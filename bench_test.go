@@ -1,0 +1,340 @@
+package objectrunner
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§IV), regenerating the reported rows/series over the
+// synthetic benchmark, plus ablations for the design choices listed in
+// DESIGN.md §6 and micro-benchmarks of the pipeline stages. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The absolute numbers differ from the paper's (different hardware and a
+// synthetic substrate); the shapes — who wins, by what rough factor,
+// where the failure modes sit — are the reproduction target and are
+// recorded in EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+
+	"objectrunner/internal/annotate"
+	"objectrunner/internal/clean"
+	"objectrunner/internal/corpus"
+	"objectrunner/internal/dom"
+	"objectrunner/internal/eqclass"
+	"objectrunner/internal/experiments"
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sitegen"
+	"objectrunner/internal/wrapper"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+// benchEnvironment generates one shared small-scale benchmark (the
+// generation cost must not pollute the measured loops).
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := sitegen.DefaultConfig()
+		cfg.PagesPerSource = 8
+		benchEnv, benchErr = experiments.NewEnv(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1Extraction regenerates Table I: ObjectRunner's
+// per-source extraction results over all 49 sources of the 5 domains.
+func BenchmarkTable1Extraction(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs := env.Table1()
+		if len(runs) != 49 {
+			b.Fatalf("sources = %d", len(runs))
+		}
+	}
+}
+
+// BenchmarkTable2SampleSelection regenerates Table II: SOD-guided sample
+// selection vs uniform random selection, per domain.
+func BenchmarkTable2SampleSelection(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := env.Table2()
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable3Comparison regenerates Table III: ObjectRunner vs ExAlg
+// vs RoadRunner per domain.
+func BenchmarkTable3Comparison(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := env.Table3()
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure6Classification regenerates both facets of Figure 6
+// (object classification rates and incompletely-managed-source rates)
+// from the Table III runs.
+func BenchmarkFigure6Classification(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := experiments.Figure6FromTable3(env.Table3())
+		if len(points) != 15 {
+			b.Fatalf("points = %d", len(points))
+		}
+	}
+}
+
+// BenchmarkWrapperGeneration measures wrapper inference on one source —
+// the paper's §IV wrapping-time claim (4–9 s per source on 2008-era
+// hardware, with recognizers in place).
+func BenchmarkWrapperGeneration(b *testing.B) {
+	env := benchEnvironment(b)
+	src, dd, err := env.B.FindSource("concerts", "eventorb (list)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := mustRecs(b, env, dd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := wrapper.Infer(src.Pages, dd.SOD, recs, env.B.KB, wrapper.DefaultConfig())
+		if w.Aborted {
+			b.Fatal(w.AbortReason)
+		}
+	}
+}
+
+// BenchmarkExtractionOnly measures template application to one page once
+// the wrapper exists — "the time required to extract the data was
+// negligible" (§IV).
+func BenchmarkExtractionOnly(b *testing.B) {
+	env := benchEnvironment(b)
+	src, dd, err := env.B.FindSource("concerts", "eventorb (list)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := mustRecs(b, env, dd)
+	w := wrapper.Infer(src.Pages, dd.SOD, recs, env.B.KB, wrapper.DefaultConfig())
+	if w.Aborted {
+		b.Fatal(w.AbortReason)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if objs := w.ExtractPage(src.Pages[i%len(src.Pages)]); len(objs) == 0 {
+			b.Fatal("no objects")
+		}
+	}
+}
+
+// mustRecs resolves a domain's recognizers from the benchmark KB+corpus.
+func mustRecs(b *testing.B, env *experiments.Env, dd *sitegen.DomainData) map[string]recognize.Recognizer {
+	b.Helper()
+	reg := recognize.NewRegistry(env.B.KB, corpus.Source{Corpus: env.B.Corpus, Threshold: 0.05})
+	recs, err := reg.ResolveAll(dd.SOD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return recs
+}
+
+// BenchmarkAblationSupport sweeps the token-support parameter on the
+// publications domain (§IV "automatic variation of parameters").
+func BenchmarkAblationSupport(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := env.SupportAblation("publications")
+		if len(pts) != 3 {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkAblationDictCoverage regenerates the concerts domain at 10%
+// and 20% dictionary coverage (paper §IV.A and Appendix A) and measures
+// extraction at each.
+func BenchmarkAblationDictCoverage(b *testing.B) {
+	cfg := sitegen.DefaultConfig()
+	cfg.PagesPerSource = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.CoverageAblation(cfg, "concerts", []float64{0.10, 0.20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 2 {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkAblationAlpha sweeps the block-abort threshold (§III.E) on
+// the albums domain.
+func BenchmarkAblationAlpha(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := env.AlphaAblation("albums", []float64{0, 0.5, 1})
+		if len(pts) != 3 {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+// --- Micro-benchmarks of the pipeline stages ---
+
+func benchSourceHTML(b *testing.B) []string {
+	env := benchEnvironment(b)
+	src, _, err := env.B.FindSource("concerts", "eventorb (list)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src.HTML
+}
+
+// BenchmarkHTMLParseClean measures the pre-processing front: parsing and
+// cleaning one template-generated page.
+func BenchmarkHTMLParseClean(b *testing.B) {
+	html := benchSourceHTML(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := clean.Page(html[i%len(html)]); p == nil {
+			b.Fatal("nil page")
+		}
+	}
+}
+
+// BenchmarkAnnotatePage measures recognizer matching over one page.
+func BenchmarkAnnotatePage(b *testing.B) {
+	env := benchEnvironment(b)
+	src, dd, err := env.B.FindSource("concerts", "eventorb (list)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := mustRecs(b, env, dd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa := annotate.AnnotatePage(src.Pages[i%len(src.Pages)], recs)
+		if pa.Count() == 0 {
+			b.Fatal("no annotations")
+		}
+	}
+}
+
+// BenchmarkEquivalenceClassAnalysis measures Algorithm 2 over an
+// annotated sample.
+func BenchmarkEquivalenceClassAnalysis(b *testing.B) {
+	env := benchEnvironment(b)
+	src, dd, err := env.B.FindSource("concerts", "eventorb (list)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := mustRecs(b, env, dd)
+	var sample [][]*eqclass.Occurrence
+	for i, p := range src.Pages {
+		pa := annotate.AnnotatePage(p, recs)
+		sample = append(sample, eqclass.TokenizePage(p, pa, i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := make([][]*eqclass.Occurrence, len(sample))
+		for j, page := range sample {
+			fresh[j] = make([]*eqclass.Occurrence, len(page))
+			for k, o := range page {
+				cp := *o
+				fresh[j][k] = &cp
+			}
+		}
+		a := eqclass.Analyze(fresh, eqclass.DefaultParams(), nil)
+		if len(a.EQs) == 0 {
+			b.Fatal("no classes")
+		}
+	}
+}
+
+// BenchmarkDictionaryFind measures gazetteer scanning over page-sized
+// text.
+func BenchmarkDictionaryFind(b *testing.B) {
+	env := benchEnvironment(b)
+	d := recognize.NewDictionary("instanceOf(Artist)")
+	d.AddAll(env.B.KB.Instances("Artist"))
+	page := clean.Page(benchSourceHTML(b)[0])
+	text := page.Text()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Find(text)
+	}
+}
+
+// BenchmarkHearstExtraction measures corpus mining for one class.
+func BenchmarkHearstExtraction(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if es := env.B.Corpus.Score("artist"); len(es) == 0 {
+			b.Fatal("no instances")
+		}
+	}
+}
+
+// BenchmarkSiteGeneration measures the synthetic-benchmark generator
+// itself (one domain).
+func BenchmarkSiteGeneration(b *testing.B) {
+	cfg := sitegen.DefaultConfig()
+	cfg.PagesPerSource = 8
+	cfg.Domains = []string{"cars"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench := sitegen.Generate(cfg)
+		if len(bench.Domains) != 1 {
+			b.Fatal("generation failed")
+		}
+	}
+}
+
+// BenchmarkPublicAPIRun measures the one-shot public path on the running
+// example.
+func BenchmarkPublicAPIRun(b *testing.B) {
+	ex := concertExtractor(b)
+	pages := concertPages()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		objs, err := ex.Run(pages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(objs) != 4 {
+			b.Fatalf("objects = %d", len(objs))
+		}
+	}
+}
+
+// BenchmarkDOMOps measures raw DOM construction and traversal.
+func BenchmarkDOMOps(b *testing.B) {
+	html := benchSourceHTML(b)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc := dom.Parse(html)
+		n := 0
+		doc.Walk(func(*dom.Node) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty walk")
+		}
+	}
+}

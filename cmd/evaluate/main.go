@@ -1,0 +1,95 @@
+// Command evaluate regenerates the paper's tables and figures over the
+// synthetic benchmark (see DESIGN.md §4 for the experiment index):
+//
+//	evaluate -table 1          # Table I: per-source extraction results
+//	evaluate -table 2          # Table II: SOD-guided vs random sampling
+//	evaluate -table 3          # Table III: ObjectRunner vs ExAlg vs RoadRunner
+//	evaluate -figure 6         # Figure 6(a)+(b)
+//	evaluate -ablation support # support sweep on publications
+//	evaluate -ablation coverage# dictionary-coverage sweep on concerts
+//	evaluate -ablation alpha   # block-threshold sweep on albums
+//	evaluate -timing           # wrapping time per source
+//	evaluate -all              # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"objectrunner/internal/experiments"
+	"objectrunner/internal/sitegen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	table := flag.Int("table", 0, "reproduce Table 1, 2 or 3")
+	figure := flag.Int("figure", 0, "reproduce Figure 6")
+	ablation := flag.String("ablation", "", "ablation: support | coverage | alpha")
+	timing := flag.Bool("timing", false, "measure wrapping times")
+	all := flag.Bool("all", false, "run everything")
+	seed := flag.Uint64("seed", 42, "benchmark seed")
+	pages := flag.Int("pages", 20, "pages per source")
+	flag.Parse()
+
+	cfg := sitegen.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.PagesPerSource = *pages
+
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	ran := false
+	if *all || *table == 1 {
+		fmt.Println(experiments.FormatTable1(env.Table1()))
+		ran = true
+	}
+	if *all || *table == 2 {
+		fmt.Println(experiments.FormatTable2(env.Table2()))
+		ran = true
+	}
+	var rows3 []experiments.Table3Row
+	if *all || *table == 3 || *figure == 6 {
+		rows3 = env.Table3()
+	}
+	if *all || *table == 3 {
+		fmt.Println(experiments.FormatTable3(rows3))
+		ran = true
+	}
+	if *all || *figure == 6 {
+		fmt.Println(experiments.FormatFigure6(experiments.Figure6FromTable3(rows3)))
+		ran = true
+	}
+	if *all || *ablation == "support" {
+		fmt.Println(experiments.FormatSupportAblation("publications", env.SupportAblation("publications")))
+		ran = true
+	}
+	if *all || *ablation == "coverage" {
+		pts, err := experiments.CoverageAblation(cfg, "concerts", []float64{0.10, 0.20, 0.40, 0.80})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCoverageAblation("concerts", pts))
+		ran = true
+	}
+	if *all || *ablation == "alpha" {
+		fmt.Println(experiments.FormatAlphaAblation("albums", env.AlphaAblation("albums", []float64{0, 0.25, 0.5, 1, 2})))
+		ran = true
+	}
+	if *all || *timing {
+		fmt.Println(experiments.FormatTimings(env.WrappingTimes()))
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		return fmt.Errorf("nothing selected; use -table, -figure, -ablation, -timing or -all")
+	}
+	return nil
+}

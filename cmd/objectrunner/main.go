@@ -1,0 +1,176 @@
+// Command objectrunner infers a wrapper for a structured Web source and
+// extracts the objects described by an SOD.
+//
+// Usage:
+//
+//	objectrunner -sod concert.sod -pages './pages/*.html' \
+//	    -dict Artist=artists.txt -dict Theater=theaters.txt [-json]
+//
+// The SOD file holds a Structured Object Description in the DSL form,
+// e.g.
+//
+//	tuple {
+//	    artist: instanceOf(Artist)
+//	    date: date
+//	    location: tuple { theater: instanceOf(Theater), address: address ? }
+//	}
+//
+// Dictionary files list one instance per line (optionally "value<TAB>confidence").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"objectrunner"
+)
+
+type dictFlags map[string]string
+
+func (d dictFlags) String() string { return fmt.Sprint(map[string]string(d)) }
+
+func (d dictFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("expected Class=file, got %q", v)
+	}
+	d[parts[0]] = parts[1]
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "objectrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sodPath := flag.String("sod", "", "path to the SOD file (required)")
+	pagesGlob := flag.String("pages", "", "glob of source HTML pages (required)")
+	dicts := dictFlags{}
+	flag.Var(dicts, "dict", "Class=file dictionary (repeatable)")
+	asJSON := flag.Bool("json", false, "emit objects as JSON")
+	dedupe := flag.Bool("dedup", true, "drop duplicate objects")
+	flag.Parse()
+
+	if *sodPath == "" || *pagesGlob == "" {
+		flag.Usage()
+		return fmt.Errorf("-sod and -pages are required")
+	}
+	sodText, err := os.ReadFile(*sodPath)
+	if err != nil {
+		return err
+	}
+	var opts []objectrunner.Option
+	for class, file := range dicts {
+		entries, err := readDictionary(file)
+		if err != nil {
+			return fmt.Errorf("dictionary %s: %w", class, err)
+		}
+		opts = append(opts, objectrunner.WithDictionary(class, entries))
+	}
+	ex, err := objectrunner.New(string(sodText), opts...)
+	if err != nil {
+		return err
+	}
+
+	files, err := filepath.Glob(*pagesGlob)
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return fmt.Errorf("no pages match %q", *pagesGlob)
+	}
+	pages := make([]string, 0, len(files))
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		pages = append(pages, string(b))
+	}
+
+	w, err := ex.Wrap(pages)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrapper inferred over %d pages: %s\n", len(pages), w.Describe())
+
+	objects := w.ExtractAllHTML(pages)
+	if *dedupe {
+		objects = objectrunner.Deduplicate(objects)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(toJSON(objects))
+	}
+	for i, o := range objects {
+		fmt.Printf("%4d %s\n", i+1, o)
+	}
+	fmt.Fprintf(os.Stderr, "%d objects extracted\n", len(objects))
+	return nil
+}
+
+// toJSON flattens instances into maps for JSON output.
+func toJSON(objects []*objectrunner.Object) []map[string]any {
+	out := make([]map[string]any, 0, len(objects))
+	for _, o := range objects {
+		m := make(map[string]any)
+		var walk func(in *objectrunner.Object)
+		walk = func(in *objectrunner.Object) {
+			if in.Leaf() {
+				name := in.Type.Name
+				switch prev := m[name].(type) {
+				case nil:
+					m[name] = in.Value
+				case string:
+					m[name] = []string{prev, in.Value}
+				case []string:
+					m[name] = append(prev, in.Value)
+				}
+				return
+			}
+			for _, c := range in.Children {
+				walk(c)
+			}
+		}
+		walk(o)
+		out = append(out, m)
+	}
+	return out
+}
+
+func readDictionary(path string) ([]objectrunner.Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []objectrunner.Entry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		conf := 0.9
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64); err == nil {
+				conf = v
+			}
+			line = line[:i]
+		}
+		entries = append(entries, objectrunner.Entry{Value: line, Confidence: conf})
+	}
+	return entries, sc.Err()
+}

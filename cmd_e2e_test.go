@@ -1,0 +1,99 @@
+package objectrunner
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineRoundTrip materializes a benchmark slice with
+// cmd/sitegen and extracts it with cmd/objectrunner — the full
+// user-facing tool chain. Requires the go toolchain; skipped in -short.
+func TestCommandLineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binaries")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "bin")
+	if err := os.MkdirAll(bin, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = "."
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	sitegen := build("sitegen")
+	runner := build("objectrunner")
+
+	benchDir := filepath.Join(dir, "bench")
+	out, err := exec.Command(sitegen, "-out", benchDir, "-pages", "12", "-domains", "cars").CombinedOutput()
+	if err != nil {
+		t.Fatalf("sitegen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "benchmark written") {
+		t.Fatalf("sitegen output: %s", out)
+	}
+
+	// The generated tree: bench/cars/<source>/page*.html + sod.txt, and
+	// bench/dictionaries/carbrand.txt.
+	sodPath := filepath.Join(benchDir, "cars", "sod.txt")
+	if _, err := os.Stat(sodPath); err != nil {
+		t.Fatal(err)
+	}
+	dict := filepath.Join(benchDir, "dictionaries", "carbrand.txt")
+	if _, err := os.Stat(dict); err != nil {
+		t.Fatal(err)
+	}
+	pages := filepath.Join(benchDir, "cars", "cars", "page*.html")
+
+	cmd := exec.Command(runner,
+		"-sod", sodPath,
+		"-pages", pages,
+		"-dict", "CarBrand="+dict,
+		"-json",
+	)
+	raw, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			t.Fatalf("objectrunner: %v\n%s", err, ee.Stderr)
+		}
+		t.Fatal(err)
+	}
+	var objs []map[string]any
+	if err := json.Unmarshal(raw, &objs); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, raw)
+	}
+	if len(objs) < 10 {
+		t.Fatalf("extracted %d objects, want a full listing", len(objs))
+	}
+	for _, o := range objs[:3] {
+		if o["brand"] == nil || o["price"] == nil {
+			t.Errorf("incomplete object: %v", o)
+		}
+	}
+	// Compare against the golden standard object count (duplicates are
+	// dropped by the CLI, so extracted <= golden).
+	var golden [][]map[string][]string
+	gb, err := os.ReadFile(filepath.Join(benchDir, "cars", "cars", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(gb, &golden); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, page := range golden {
+		total += len(page)
+	}
+	if len(objs) > total {
+		t.Errorf("extracted %d objects exceed golden %d", len(objs), total)
+	}
+}

@@ -1,0 +1,105 @@
+// Books: a nested SOD with a multi-valued author set, mixed per-record
+// markup (the paper's Fig. 2(a) Amazon encodings), and a study of how
+// dictionary coverage affects extraction — the wrapper generalizes far
+// beyond what the gazetteers have seen.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"objectrunner"
+)
+
+var catalog = []struct {
+	title   string
+	authors []string
+	price   string
+}{
+	{"Pride and Prejudice", []string{"Jane Austen", "Fiona Stafford"}, "$9.99"},
+	{"Cutting for Stone", []string{"Abraham Verghese"}, "$12.50"},
+	{"Norse Mythology", []string{"Neil Gaiman"}, "$14.00"},
+	{"Good Omens", []string{"Neil Gaiman", "Terry Pratchett"}, "$11.25"},
+	{"The Colour of Magic", []string{"Terry Pratchett"}, "$7.80"},
+	{"Persuasion", []string{"Jane Austen"}, "$8.75"},
+}
+
+// renderPages renders the catalog three books per page, varying the
+// author markup per record exactly like the paper's Fig. 2(a): sometimes
+// the first author is a link, sometimes the whole list is plain text.
+func renderPages() []string {
+	var pages []string
+	for start := 0; start < len(catalog); start += 3 {
+		var sb strings.Builder
+		sb.WriteString("<html><body><ul>")
+		for i := start; i < start+3 && i < len(catalog); i++ {
+			b := catalog[i]
+			var authors string
+			switch i % 3 {
+			case 0: // b1: by <a>First</a> and Rest
+				authors = "by <a>" + b.authors[0] + "</a>"
+				if len(b.authors) > 1 {
+					authors += " and " + strings.Join(b.authors[1:], ", ")
+				}
+			case 1: // b2: by A, B
+				authors = "by " + strings.Join(b.authors, ", ")
+			default: // b3: by <a>A</a>
+				authors = "by <a>" + strings.Join(b.authors, "</a>, <a>") + "</a>"
+			}
+			sb.WriteString("<li><div>" + b.title + "</div><span>" + authors + "</span><em>" + b.price + "</em></li>")
+		}
+		sb.WriteString("</ul></body></html>")
+		pages = append(pages, sb.String())
+	}
+	return pages
+}
+
+func main() {
+	pages := renderPages()
+
+	// Coverage study: give the extractor only a fraction of the titles
+	// and authors and watch the wrapper carry the rest structurally.
+	for _, coverage := range []int{2, 4, 6} {
+		titles := make([]objectrunner.Entry, 0, coverage)
+		authors := make([]objectrunner.Entry, 0, coverage)
+		seen := map[string]bool{}
+		for i := 0; i < coverage && i < len(catalog); i++ {
+			titles = append(titles, objectrunner.Entry{Value: catalog[i].title, Confidence: 0.9})
+			for _, a := range catalog[i].authors {
+				if !seen[a] {
+					seen[a] = true
+					authors = append(authors, objectrunner.Entry{Value: a, Confidence: 0.9})
+				}
+			}
+		}
+		ex, err := objectrunner.New(`tuple {
+			title: instanceOf(BookTitle)
+			price: price
+			authors: set(author: instanceOf(Author))+
+		}`,
+			objectrunner.WithDictionary("BookTitle", titles),
+			objectrunner.WithDictionary("Author", authors),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		objects, err := ex.Run(pages)
+		if err != nil {
+			fmt.Printf("coverage %d/%d books: source discarded (%v)\n", coverage, len(catalog), err)
+			continue
+		}
+		fmt.Printf("coverage %d/%d books known -> %d objects extracted\n", coverage, len(catalog), len(objects))
+		if coverage == 6 {
+			for _, o := range objects {
+				var names []string
+				if set := o.Field("authors"); set != nil {
+					for _, a := range set.Children {
+						names = append(names, a.Value)
+					}
+				}
+				fmt.Printf("  %-22s %-7s by %s\n", o.FieldValue("title"), o.FieldValue("price"), strings.Join(names, " & "))
+			}
+		}
+	}
+}

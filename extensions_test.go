@@ -1,0 +1,99 @@
+package objectrunner
+
+import (
+	"testing"
+)
+
+// The two §VI future-work extensions: type specification by example
+// instances, and automatic source ranking for an SOD.
+
+func seededKB() *KnowledgeBase {
+	k := NewKnowledgeBase()
+	k.AddSubClass("Band", "Performer")
+	k.AddSubClass("Artist", "Performer")
+	k.AddInstance("Metallica", "Band", 0.9)
+	k.AddInstance("Madonna", "Artist", 0.95)
+	k.AddInstance("Muse", "Artist", 0.85)
+	k.AddInstance("Coldplay", "Artist", 0.9)
+	k.AddInstance("The Beatles", "Band", 0.95)
+	return k
+}
+
+func TestSeedInstancesExpandViaKB(t *testing.T) {
+	// The user names no class; two example instances pull in the whole
+	// Artist/Band neighborhood from the knowledge base.
+	ex, err := New(`tuple { artist: instanceOf(MySeededType), date: date }`,
+		WithKnowledgeBase(seededKB()),
+		WithSeedInstances("MySeededType", []string{"Madonna", "Metallica"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := []string{
+		`<html><body><li><div>The Beatles</div><div>Monday May 11, 2010 8:00pm</div></li><li><div>Muse</div><div>Saturday May 29, 2010 7:00pm</div></li></body></html>`,
+		`<html><body><li><div>Coldplay</div><div>Friday June 19, 2010 7:00pm</div></li></body></html>`,
+		`<html><body><li><div>Madonna</div><div>Saturday August 8, 2010 8:00pm</div></li><li><div>Metallica</div><div>Sunday August 9, 2010 9:00pm</div></li></body></html>`,
+	}
+	objs, err := ex.Run(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 5 {
+		for _, o := range objs {
+			t.Logf("obj: %s", o)
+		}
+		t.Fatalf("objects = %d, want 5", len(objs))
+	}
+}
+
+func TestSeedInstancesWithoutKB(t *testing.T) {
+	// With no ontology, the seeds themselves are the dictionary.
+	ex, err := New(`tuple { artist: instanceOf(X), date: date }`,
+		WithSeedInstances("X", []string{"Alpha Band", "Beta Duo", "Gamma Trio"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := []string{
+		`<html><body><li><i>Alpha Band</i><u>Monday May 11, 2010 8:00pm</u></li></body></html>`,
+		`<html><body><li><i>Beta Duo</i><u>Saturday May 29, 2010 7:00pm</u></li></body></html>`,
+		`<html><body><li><i>Gamma Trio</i><u>Friday June 19, 2010 7:00pm</u></li></body></html>`,
+	}
+	objs, err := ex.Run(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("objects = %d, want 3", len(objs))
+	}
+}
+
+func TestRankSourcesPrefersRelevantAndRich(t *testing.T) {
+	ex := concertExtractor(t)
+	relevant := concertPages()
+	irrelevant := []string{
+		`<html><body><p>nothing to see here just words</p></body></html>`,
+		`<html><body><p>more filler content entirely off topic</p></body></html>`,
+	}
+	halfRelevant := []string{
+		`<html><body><li><div>Metallica</div><div>tickets on sale</div></li></body></html>`,
+	}
+	ranks := ex.RankSources([][]string{irrelevant, relevant, halfRelevant})
+	if len(ranks) != 3 {
+		t.Fatalf("ranks = %d", len(ranks))
+	}
+	if ranks[0].Index != 1 {
+		t.Errorf("best source index = %d, want 1 (the concert source)", ranks[0].Index)
+	}
+	if ranks[0].Score <= 0 {
+		t.Errorf("best score = %v", ranks[0].Score)
+	}
+	// Both deficient sources score zero: the irrelevant one has nothing,
+	// and the half-relevant one never witnesses a date, so the minimum
+	// across types is zero for both.
+	for _, r := range ranks[1:] {
+		if r.Score != 0 {
+			t.Errorf("deficient source %d scored %v, want 0", r.Index, r.Score)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module objectrunner
+
+go 1.22

@@ -1,0 +1,52 @@
+package annotate
+
+import (
+	"sort"
+
+	"objectrunner/internal/dom"
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sod"
+)
+
+// SourceScore summarizes how relevant and data-rich a source looks for a
+// given SOD — the paper's future-work goal of automatically selecting
+// "the most relevant and data rich sources" for an input SOD (§VI). The
+// score is the average per-page minimum annotation score across the SOD's
+// entity types: a source must witness every type to rank at all.
+type SourceScore struct {
+	Index int     // position in the input slice
+	Score float64 // average per-page MinScore over all entity types
+	Pages int     // pages annotated
+}
+
+// RankSources scores each candidate source (a slice of parsed pages) for
+// the SOD and returns the ranking, best first. Only a bounded number of
+// pages per source is annotated (probe), keeping the ranking cheap.
+func RankSources(sources [][]*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf TermFreq, probe int) []SourceScore {
+	if probe <= 0 {
+		probe = 5
+	}
+	var types []string
+	for _, e := range s.EntityTypes() {
+		types = append(types, e.Name)
+	}
+	out := make([]SourceScore, 0, len(sources))
+	for i, pages := range sources {
+		n := len(pages)
+		if n > probe {
+			n = probe
+		}
+		total := 0.0
+		for _, p := range pages[:n] {
+			pa := AnnotatePage(p, recs)
+			total += MinScore(pa, types, tf)
+		}
+		sc := SourceScore{Index: i, Pages: n}
+		if n > 0 {
+			sc.Score = total / float64(n)
+		}
+		out = append(out, sc)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}

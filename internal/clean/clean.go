@@ -1,0 +1,204 @@
+// Package clean implements the pre-processing cleaning step of the
+// ObjectRunner pipeline (paper §III): removal of page segments that carry
+// no extractable information — scripts, styles, comments, hidden nodes,
+// empty elements — plus whitespace normalisation. Cleaning runs before
+// visual segmentation and annotation, and makes wrapper inference both
+// faster and less noisy.
+package clean
+
+import (
+	"strings"
+
+	"objectrunner/internal/dom"
+)
+
+// Options controls which cleaning passes run. The zero value disables
+// everything; use DefaultOptions for the paper's configuration.
+type Options struct {
+	// DropScripts removes <script> and <noscript> elements.
+	DropScripts bool
+	// DropStyles removes <style> elements and style attributes.
+	DropStyles bool
+	// DropComments removes comment nodes.
+	DropComments bool
+	// DropHidden removes elements styled or attributed as invisible
+	// (style="display:none", hidden, type="hidden").
+	DropHidden bool
+	// DropHead removes the <head> element entirely.
+	DropHead bool
+	// DropForms removes interactive form controls (input/select/button),
+	// which belong to the page chrome rather than the data region.
+	DropForms bool
+	// DropEmpty prunes elements with no text, no image and no children
+	// after the other passes.
+	DropEmpty bool
+	// NormalizeSpace collapses whitespace inside text nodes and removes
+	// whitespace-only text nodes.
+	NormalizeSpace bool
+	// KeepAttrs, when non-nil, lists the only attribute names retained on
+	// elements; all others are dropped. When nil, attributes are kept.
+	KeepAttrs []string
+}
+
+// DefaultOptions is the cleaning configuration used in the paper's
+// experiments: everything non-informative goes, structural attributes
+// (id/class, href/src kept for block identification) stay.
+func DefaultOptions() Options {
+	return Options{
+		DropScripts:    true,
+		DropStyles:     true,
+		DropComments:   true,
+		DropHidden:     true,
+		DropHead:       true,
+		DropForms:      true,
+		DropEmpty:      true,
+		NormalizeSpace: true,
+	}
+}
+
+// Clean applies the configured passes to the tree rooted at doc, in place,
+// and returns doc for chaining.
+func Clean(doc *dom.Node, opts Options) *dom.Node {
+	removeUnwanted(doc, opts)
+	if opts.NormalizeSpace {
+		normalizeSpace(doc)
+	}
+	if opts.KeepAttrs != nil {
+		keep := make(map[string]bool, len(opts.KeepAttrs))
+		for _, a := range opts.KeepAttrs {
+			keep[strings.ToLower(a)] = true
+		}
+		filterAttrs(doc, keep)
+	}
+	if opts.DropEmpty {
+		for dropEmpty(doc) {
+			// Iterate: removing leaves can empty their parents.
+		}
+	}
+	return doc
+}
+
+// Page is a convenience that parses raw HTML and cleans it with the
+// default options, mirroring the paper's JTidy + cleaning stage.
+func Page(src string) *dom.Node {
+	return Clean(dom.Parse(src), DefaultOptions())
+}
+
+func removeUnwanted(n *dom.Node, opts Options) {
+	var doomed []*dom.Node
+	for _, c := range n.Children {
+		if isUnwanted(c, opts) {
+			doomed = append(doomed, c)
+			continue
+		}
+		removeUnwanted(c, opts)
+	}
+	for _, d := range doomed {
+		n.RemoveChild(d)
+	}
+}
+
+func isUnwanted(n *dom.Node, opts Options) bool {
+	switch n.Type {
+	case dom.CommentNode:
+		return opts.DropComments
+	case dom.DoctypeNode:
+		return false
+	case dom.ElementNode:
+		switch n.Data {
+		case "script", "noscript":
+			return opts.DropScripts
+		case "style":
+			return opts.DropStyles
+		case "head", "meta", "link", "base":
+			return opts.DropHead
+		case "input", "select", "button", "option", "textarea":
+			if opts.DropForms {
+				return true
+			}
+		case "iframe", "object", "embed":
+			return opts.DropScripts
+		}
+		if opts.DropHidden && isHidden(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHidden reports whether the element is invisible under common idioms.
+func isHidden(n *dom.Node) bool {
+	if _, ok := n.Attr("hidden"); ok {
+		return true
+	}
+	if v, ok := n.Attr("type"); ok && strings.EqualFold(v, "hidden") {
+		return true
+	}
+	style, ok := n.Attr("style")
+	if !ok {
+		return false
+	}
+	style = strings.ToLower(strings.ReplaceAll(style, " ", ""))
+	return strings.Contains(style, "display:none") || strings.Contains(style, "visibility:hidden")
+}
+
+func normalizeSpace(n *dom.Node) {
+	var doomed []*dom.Node
+	for _, c := range n.Children {
+		if c.Type == dom.TextNode {
+			c.Data = dom.CollapseSpace(c.Data)
+			if c.Data == "" {
+				doomed = append(doomed, c)
+			}
+			continue
+		}
+		normalizeSpace(c)
+	}
+	for _, d := range doomed {
+		n.RemoveChild(d)
+	}
+}
+
+func filterAttrs(n *dom.Node, keep map[string]bool) {
+	n.Walk(func(m *dom.Node) bool {
+		if m.Type != dom.ElementNode {
+			return true
+		}
+		var kept []dom.Attr
+		for _, a := range m.Attrs {
+			if keep[strings.ToLower(a.Name)] {
+				kept = append(kept, a)
+			}
+		}
+		m.Attrs = kept
+		return true
+	})
+}
+
+// contentBearing marks elements that are meaningful even when childless.
+var contentBearing = map[string]bool{
+	"img": true, "br": true, "hr": true, "html": true, "body": true,
+	"td": true, "th": true, // empty cells preserve table geometry
+}
+
+// dropEmpty removes one generation of empty leaf elements and reports
+// whether anything was removed.
+func dropEmpty(n *dom.Node) bool {
+	removed := false
+	var walk func(*dom.Node)
+	walk = func(m *dom.Node) {
+		var doomed []*dom.Node
+		for _, c := range m.Children {
+			walk(c)
+			if c.Type == dom.ElementNode && len(c.Children) == 0 && !contentBearing[c.Data] {
+				doomed = append(doomed, c)
+			}
+		}
+		for _, d := range doomed {
+			m.RemoveChild(d)
+			removed = true
+		}
+	}
+	walk(n)
+	return removed
+}

@@ -1,0 +1,432 @@
+// Package corpus implements the second gazetteer-construction alternative
+// of ObjectRunner (paper §III.A): looking for instances of a type directly
+// in a textual Web corpus by applying Hearst patterns ("Artist such as X",
+// "X is an Artist", ...) and scoring the candidates with the
+// Str-ICNorm-Thresh metric of McDowell & Cafarella (paper Eq. 1):
+//
+//	score(i,t) = Σ_p count(i,t,p) / (max(count(i), count25) · count(t))
+//
+// where count(i,t,p) is the number of corpus hits for pair (i,t) under
+// pattern p, count(i) is the hit count of term i, count(t) of the class
+// term, and count25 the hit count at the 25th percentile. The paper uses a
+// ClueWeb-scale corpus; this package provides the same code path over an
+// in-memory document collection.
+package corpus
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"objectrunner/internal/recognize"
+)
+
+// Corpus is an in-memory collection of text documents with token-level
+// indexes for pattern matching and hit counting.
+type Corpus struct {
+	docs [][]token
+	// termCount caches Count results for single tokens.
+	unigram map[string]int
+	// MaxPhraseLen bounds candidate instance length in tokens.
+	MaxPhraseLen int
+}
+
+type token struct {
+	raw   string
+	low   string
+	upper bool // starts with an uppercase letter in the source text
+}
+
+// New creates an empty corpus.
+func New() *Corpus {
+	return &Corpus{unigram: make(map[string]int), MaxPhraseLen: 6}
+}
+
+// AddDocument tokenizes and stores a document.
+func (c *Corpus) AddDocument(text string) {
+	toks := lexDoc(text)
+	c.docs = append(c.docs, toks)
+	for _, t := range toks {
+		if t.low != "," && t.low != "." {
+			c.unigram[t.low]++
+		}
+	}
+}
+
+// NumDocuments returns how many documents the corpus holds.
+func (c *Corpus) NumDocuments() int { return len(c.docs) }
+
+// lexDoc splits text into word tokens, keeping "," and "." as standalone
+// tokens because Hearst patterns are punctuation-sensitive.
+func lexDoc(text string) []token {
+	var toks []token
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			raw := string(cur)
+			toks = append(toks, token{
+				raw:   raw,
+				low:   strings.ToLower(raw),
+				upper: unicode.IsUpper(cur[0]),
+			})
+			cur = cur[:0]
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' || r == '’' || r == '-' || r == '.' && len(cur) > 0:
+			// Periods inside abbreviations (B.B) stay attached; sentence
+			// periods follow a space or end the text and are split below.
+			cur = append(cur, r)
+		case r == ',' || r == '.':
+			flush()
+			toks = append(toks, token{raw: string(r), low: string(r)})
+		default:
+			flush()
+		}
+	}
+	flush()
+	// Detach trailing periods from words ("Grill." -> "Grill", ".").
+	var out []token
+	for _, t := range toks {
+		if len(t.raw) > 1 && strings.HasSuffix(t.raw, ".") && !strings.Contains(t.raw[:len(t.raw)-1], ".") {
+			w := t.raw[:len(t.raw)-1]
+			out = append(out, token{raw: w, low: strings.ToLower(w), upper: t.upper}, token{raw: ".", low: "."})
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Count returns the number of occurrences of the phrase in the corpus
+// (token-based, case-insensitive).
+func (c *Corpus) Count(phrase string) int {
+	want := recognize.Tokenize(phrase)
+	if len(want) == 0 {
+		return 0
+	}
+	if len(want) == 1 {
+		return c.unigram[want[0]]
+	}
+	count := 0
+	for _, doc := range c.docs {
+		for i := 0; i+len(want) <= len(doc); i++ {
+			ok := true
+			for k, w := range want {
+				if normLow(doc[i+k].low) != w {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// normLow maps a lexer token to Tokenize's normal form (strip embedded
+// periods and hyphens so "B.B" matches tokenized "b b"... single-token
+// approximation: drop dots/hyphens).
+func normLow(s string) string {
+	s = strings.ReplaceAll(s, ".", "")
+	s = strings.ReplaceAll(s, "-", "")
+	s = strings.ReplaceAll(s, "’", "'")
+	return s
+}
+
+// TermFrequency returns the corpus hit count of a phrase with a floor of 1
+// (the tf(i) denominator of paper Eq. 2 and 3).
+func (c *Corpus) TermFrequency(phrase string) float64 {
+	if n := c.Count(phrase); n > 1 {
+		return float64(n)
+	}
+	return 1
+}
+
+// Candidate is one instance extracted by Hearst patterns, with per-pattern
+// hit counts.
+type Candidate struct {
+	Value    string
+	ByPat    map[string]int
+	Total    int
+}
+
+// patternNames lists the implemented Hearst patterns. "t" stands for the
+// class term (matched in singular or plural form).
+var patternNames = []string{
+	"t such as X",
+	"such t as X",
+	"t including X",
+	"t especially X",
+	"X is a t",
+	"X and other t",
+}
+
+// Extract applies the Hearst patterns for the class and returns candidates
+// with their per-pattern counts.
+func (c *Corpus) Extract(class string) []Candidate {
+	classToks := recognize.Tokenize(class)
+	if len(classToks) == 0 {
+		return nil
+	}
+	found := make(map[string]*Candidate)
+	add := func(val string, pat string) {
+		if val == "" {
+			return
+		}
+		key := recognize.NormalizePhrase(val)
+		cand, ok := found[key]
+		if !ok {
+			cand = &Candidate{Value: val, ByPat: make(map[string]int)}
+			found[key] = cand
+		}
+		cand.ByPat[pat]++
+		cand.Total++
+	}
+	for _, doc := range c.docs {
+		c.scanDoc(doc, classToks, add)
+	}
+	out := make([]Candidate, 0, len(found))
+	for _, cand := range found {
+		out = append(out, *cand)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// classAt reports whether the class term (singular or plural) occurs at
+// position i and returns the number of tokens consumed.
+func classAt(doc []token, i int, class []string) int {
+	if i+len(class) > len(doc) {
+		return 0
+	}
+	for k := 0; k < len(class)-1; k++ {
+		if doc[i+k].low != class[k] {
+			return 0
+		}
+	}
+	last := doc[i+len(class)-1].low
+	want := class[len(class)-1]
+	if last == want || last == want+"s" || last == want+"es" ||
+		strings.HasSuffix(want, "y") && last == want[:len(want)-1]+"ies" {
+		return len(class)
+	}
+	return 0
+}
+
+func (c *Corpus) scanDoc(doc []token, class []string, add func(string, string)) {
+	n := len(doc)
+	for i := 0; i < n; i++ {
+		if k := classAt(doc, i, class); k > 0 {
+			j := i + k
+			// "t such as X", "t , such as X"
+			j2 := skipComma(doc, j)
+			if at(doc, j2, "such") && at(doc, j2+1, "as") {
+				c.addList(doc, j2+2, "t such as X", add)
+			}
+			// "t including X" / "t , including X"
+			if at(doc, j2, "including") {
+				c.addList(doc, j2+1, "t including X", add)
+			}
+			// "t especially X"
+			if at(doc, j2, "especially") {
+				c.addList(doc, j2+1, "t especially X", add)
+			}
+		}
+		// "such t as X"
+		if at(doc, i, "such") {
+			if k := classAt(doc, i+1, class); k > 0 && at(doc, i+1+k, "as") {
+				c.addList(doc, i+2+k, "such t as X", add)
+			}
+		}
+		// "X is a t" / "X is an t"
+		if at(doc, i, "is") && (at(doc, i+1, "a") || at(doc, i+1, "an")) {
+			if classAt(doc, i+2, class) > 0 {
+				if v := c.properPhraseEndingAt(doc, i-1); v != "" {
+					add(v, "X is a t")
+				}
+			}
+		}
+		// "X and other t"
+		if at(doc, i, "and") && at(doc, i+1, "other") {
+			if classAt(doc, i+2, class) > 0 {
+				if v := c.properPhraseEndingAt(doc, i-1); v != "" {
+					add(v, "X and other t")
+				}
+			}
+		}
+	}
+}
+
+func at(doc []token, i int, word string) bool {
+	return i >= 0 && i < len(doc) && doc[i].low == word
+}
+
+func skipComma(doc []token, i int) int {
+	if i < len(doc) && doc[i].low == "," {
+		return i + 1
+	}
+	return i
+}
+
+// addList consumes a comma/and-separated list of proper phrases starting
+// at i: "Madonna , Muse and Coldplay".
+func (c *Corpus) addList(doc []token, i int, pat string, add func(string, string)) {
+	for i < len(doc) {
+		v, next := c.properPhraseAt(doc, i)
+		if v == "" {
+			return
+		}
+		add(v, pat)
+		i = next
+		// Separators between list items.
+		switch {
+		case at(doc, i, ","):
+			i++
+			if at(doc, i, "and") || at(doc, i, "or") {
+				i++
+			}
+		case at(doc, i, "and"), at(doc, i, "or"):
+			i++
+		default:
+			return
+		}
+	}
+}
+
+// properPhraseAt reads a maximal run of capitalized tokens (a proper-name
+// phrase) starting at i and returns it with the next index. Lower-case
+// connector words ("of", "the", "and" inside names) are allowed only
+// between capitalized tokens.
+func (c *Corpus) properPhraseAt(doc []token, i int) (string, int) {
+	var parts []string
+	j := i
+	for j < len(doc) && len(parts) < c.MaxPhraseLen {
+		t := doc[j]
+		if t.upper || len(t.raw) > 0 && t.raw[0] >= '0' && t.raw[0] <= '9' {
+			parts = append(parts, t.raw)
+			j++
+			continue
+		}
+		// Connector permitted mid-phrase when followed by a capital. "and"
+		// is deliberately excluded: it separates list items in the
+		// patterns ("X, Y and Z").
+		if len(parts) > 0 && (t.low == "of" || t.low == "the") &&
+			j+1 < len(doc) && doc[j+1].upper {
+			parts = append(parts, t.raw)
+			j += 2
+			parts = append(parts, doc[j-1].raw)
+			continue
+		}
+		break
+	}
+	if len(parts) == 0 {
+		return "", i
+	}
+	return strings.Join(parts, " "), j
+}
+
+// properPhraseEndingAt reads backwards the maximal proper phrase ending at
+// index i.
+func (c *Corpus) properPhraseEndingAt(doc []token, i int) string {
+	if i < 0 || i >= len(doc) || !doc[i].upper {
+		return ""
+	}
+	start := i
+	for start-1 >= 0 && doc[start-1].upper && i-start+1 < c.MaxPhraseLen {
+		start--
+	}
+	var parts []string
+	for k := start; k <= i; k++ {
+		parts = append(parts, doc[k].raw)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Score extracts candidates for the class and scores them with the
+// Str-ICNorm-Thresh metric (paper Eq. 1), normalised so the best candidate
+// has confidence 1. Implements recognize.GazetteerSource semantics via the
+// Source adapter.
+func (c *Corpus) Score(class string) []recognize.Entry {
+	cands := c.Extract(class)
+	if len(cands) == 0 {
+		return nil
+	}
+	countT := float64(c.Count(class))
+	if countT < 1 {
+		countT = 1
+	}
+	// count25: the hit count at the 25th percentile of candidate counts.
+	counts := make([]int, 0, len(cands))
+	for _, cand := range cands {
+		counts = append(counts, c.Count(cand.Value))
+	}
+	sort.Ints(counts)
+	count25 := float64(counts[len(counts)/4])
+	if count25 < 1 {
+		count25 = 1
+	}
+	raw := make([]float64, len(cands))
+	maxScore := 0.0
+	for i, cand := range cands {
+		ci := float64(c.Count(cand.Value))
+		denomBase := ci
+		if count25 > denomBase {
+			denomBase = count25
+		}
+		s := 0.0
+		for _, hits := range cand.ByPat {
+			s += float64(hits)
+		}
+		s /= denomBase * countT
+		raw[i] = s
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	if maxScore == 0 {
+		return nil
+	}
+	out := make([]recognize.Entry, 0, len(cands))
+	for i, cand := range cands {
+		out = append(out, recognize.Entry{Value: cand.Value, Confidence: raw[i] / maxScore})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Source adapts the corpus to recognize.GazetteerSource with an optional
+// confidence threshold: candidates scoring below Threshold (relative to
+// the best) are dropped, mirroring the -Thresh part of the metric.
+type Source struct {
+	Corpus    *Corpus
+	Threshold float64
+}
+
+// Instances implements recognize.GazetteerSource.
+func (s Source) Instances(class string) []recognize.Entry {
+	es := s.Corpus.Score(class)
+	if s.Threshold <= 0 {
+		return es
+	}
+	var out []recognize.Entry
+	for _, e := range es {
+		if e.Confidence >= s.Threshold {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package corpus
+
+import (
+	"testing"
+)
+
+func seeded() *Corpus {
+	c := New()
+	c.AddDocument("Famous artists such as Madonna, Muse and Coldplay toured last year.")
+	c.AddDocument("Metallica is an artist known worldwide. Madonna released a new record.")
+	c.AddDocument("Many bands, including Radiohead and Muse, played the festival.")
+	c.AddDocument("Such artists as Bob Dylan perform rarely.")
+	c.AddDocument("Coldplay and other artists joined the lineup.")
+	c.AddDocument("The city of New York hosts concerts. New York is big. New York again.")
+	return c
+}
+
+func TestCount(t *testing.T) {
+	c := seeded()
+	if got := c.Count("Madonna"); got != 2 {
+		t.Errorf("Count(Madonna) = %d, want 2", got)
+	}
+	if got := c.Count("New York"); got != 3 {
+		t.Errorf("Count(New York) = %d, want 3", got)
+	}
+	if got := c.Count("zzz"); got != 0 {
+		t.Errorf("Count(zzz) = %d", got)
+	}
+	if got := c.Count(""); got != 0 {
+		t.Errorf("Count(\"\") = %d", got)
+	}
+}
+
+func TestTermFrequencyFloor(t *testing.T) {
+	c := seeded()
+	if c.TermFrequency("neverseen") != 1 {
+		t.Error("tf floor")
+	}
+	if c.TermFrequency("New York") != 3 {
+		t.Error("tf of common phrase")
+	}
+}
+
+func TestExtractSuchAs(t *testing.T) {
+	c := seeded()
+	cands := c.Extract("artist")
+	byVal := make(map[string]*Candidate)
+	for i := range cands {
+		byVal[cands[i].Value] = &cands[i]
+	}
+	for _, want := range []string{"Madonna", "Muse", "Coldplay"} {
+		cand, ok := byVal[want]
+		if !ok {
+			t.Errorf("%s not extracted (got %v)", want, names(cands))
+			continue
+		}
+		if cand.ByPat["t such as X"] == 0 && cand.ByPat["X and other t"] == 0 && cand.ByPat["such t as X"] == 0 {
+			t.Errorf("%s extracted by unexpected patterns: %v", want, cand.ByPat)
+		}
+	}
+}
+
+func names(cs []Candidate) []string {
+	var out []string
+	for _, c := range cs {
+		out = append(out, c.Value)
+	}
+	return out
+}
+
+func TestExtractIsA(t *testing.T) {
+	c := seeded()
+	cands := c.Extract("artist")
+	for _, cand := range cands {
+		if cand.Value == "Metallica" {
+			if cand.ByPat["X is a t"] != 1 {
+				t.Errorf("Metallica patterns = %v", cand.ByPat)
+			}
+			return
+		}
+	}
+	t.Errorf("Metallica not extracted: %v", names(cands))
+}
+
+func TestExtractAndOther(t *testing.T) {
+	c := seeded()
+	for _, cand := range c.Extract("artist") {
+		if cand.Value == "Coldplay" && cand.ByPat["X and other t"] >= 1 {
+			return
+		}
+	}
+	t.Error("'Coldplay and other artists' not matched")
+}
+
+func TestExtractIncludingPlural(t *testing.T) {
+	c := seeded()
+	found := map[string]bool{}
+	for _, cand := range c.Extract("band") {
+		found[cand.Value] = true
+	}
+	if !found["Radiohead"] || !found["Muse"] {
+		t.Errorf("including-pattern candidates = %v", found)
+	}
+}
+
+func TestExtractSuchTAs(t *testing.T) {
+	c := seeded()
+	for _, cand := range c.Extract("artist") {
+		if cand.Value == "Bob Dylan" {
+			if cand.ByPat["such t as X"] != 1 {
+				t.Errorf("Bob Dylan patterns = %v", cand.ByPat)
+			}
+			return
+		}
+	}
+	t.Error("'Such artists as Bob Dylan' not matched")
+}
+
+func TestExtractMultiwordPhrases(t *testing.T) {
+	c := New()
+	c.AddDocument("Venues such as The Town Hall and Madison Square Garden sold out.")
+	found := map[string]bool{}
+	for _, cand := range c.Extract("venue") {
+		found[cand.Value] = true
+	}
+	if !found["The Town Hall"] {
+		t.Errorf("multiword candidate missing: %v", found)
+	}
+	if !found["Madison Square Garden"] {
+		t.Errorf("second list item missing: %v", found)
+	}
+}
+
+func TestExtractUnknownClass(t *testing.T) {
+	c := seeded()
+	if got := c.Extract("zeppelin"); len(got) != 0 {
+		t.Errorf("unknown class extracted %v", names(got))
+	}
+	if got := c.Extract(""); got != nil {
+		t.Error("empty class should yield nil")
+	}
+}
+
+func TestScoreOrderingAndNormalization(t *testing.T) {
+	c := New()
+	// Muse has three pattern hits over three mentions (ratio 1); Madonna
+	// has one pattern hit over two mentions (ratio 0.5). New York is
+	// frequent in the corpus, so its single hit is damped by count(i).
+	c.AddDocument("artists such as Muse and Madonna play.")
+	c.AddDocument("Muse is an artist. artists such as Muse tour. Madonna released a record.")
+	c.AddDocument("artists such as New York appear wrongly.")
+	c.AddDocument("New York New York New York New York New York New York New York New York")
+	es := c.Score("artist")
+	if len(es) == 0 {
+		t.Fatal("no scores")
+	}
+	if es[0].Value != "Muse" {
+		t.Errorf("top candidate = %v", es[0])
+	}
+	if es[0].Confidence != 1 {
+		t.Errorf("top confidence = %v, want 1 (normalised)", es[0].Confidence)
+	}
+	var muse, ny float64
+	for _, e := range es {
+		switch e.Value {
+		case "Muse":
+			muse = e.Confidence
+		case "New York":
+			ny = e.Confidence
+		}
+	}
+	if ny >= muse {
+		t.Errorf("frequent term not damped: NY=%v Muse=%v", ny, muse)
+	}
+}
+
+func TestSourceThreshold(t *testing.T) {
+	c := New()
+	c.AddDocument("artists such as Muse and Madonna play.")
+	c.AddDocument("Muse is an artist. artists such as Muse tour. Muse again? No: Madonna Madonna Madonna Madonna.")
+	all := Source{Corpus: c}.Instances("artist")
+	some := Source{Corpus: c, Threshold: 0.9}.Instances("artist")
+	if len(some) >= len(all) {
+		t.Errorf("threshold did not filter: %d vs %d", len(some), len(all))
+	}
+	for _, e := range some {
+		if e.Confidence < 0.9 {
+			t.Errorf("entry below threshold: %v", e)
+		}
+	}
+}
+
+func TestScoreEmptyCorpus(t *testing.T) {
+	c := New()
+	if es := c.Score("artist"); es != nil {
+		t.Errorf("empty corpus scored %v", es)
+	}
+}
+
+func TestNumDocuments(t *testing.T) {
+	c := seeded()
+	if c.NumDocuments() != 6 {
+		t.Errorf("NumDocuments = %d", c.NumDocuments())
+	}
+}

@@ -1,0 +1,102 @@
+// Package dedup implements the de-duplication step of the ObjectRunner
+// architecture (paper Fig. 1, "pre-processing of extracted data"): the
+// same real-world item frequently appears in several sources (the paper's
+// example: the concerts on yellowpages.com are precisely the ones from
+// zvents.com), and redundancy across sources is the system's safety net —
+// objects lost in one source are found in another. De-duplication merges
+// those copies.
+package dedup
+
+import (
+	"sort"
+	"strings"
+
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sod"
+)
+
+// Key computes a normalized identity key for an extracted instance: the
+// sorted, token-normalized leaf values. Two objects with the same key are
+// duplicates.
+func Key(in *sod.Instance) string {
+	vals := in.Values()
+	norm := make([]string, 0, len(vals))
+	for _, v := range vals {
+		if n := recognize.NormalizePhrase(v); n != "" {
+			norm = append(norm, n)
+		}
+	}
+	sort.Strings(norm)
+	return strings.Join(norm, "\x1f")
+}
+
+// Deduplicate removes exact duplicates (same identity key), keeping the
+// first occurrence. Order is otherwise preserved.
+func Deduplicate(objects []*sod.Instance) []*sod.Instance {
+	seen := make(map[string]bool, len(objects))
+	out := make([]*sod.Instance, 0, len(objects))
+	for _, o := range objects {
+		k := Key(o)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, o)
+	}
+	return out
+}
+
+// MergeSources concatenates per-source extractions and de-duplicates
+// across them, returning the merged collection and how many duplicates
+// were dropped.
+func MergeSources(bySource [][]*sod.Instance) ([]*sod.Instance, int) {
+	var all []*sod.Instance
+	for _, objs := range bySource {
+		all = append(all, objs...)
+	}
+	merged := Deduplicate(all)
+	return merged, len(all) - len(merged)
+}
+
+// NearDuplicates reports pairs of objects that share a given fraction of
+// their normalized leaf values (Jaccard similarity over token-normalized
+// values) without being exact duplicates — candidates for fuzzy merging.
+func NearDuplicates(objects []*sod.Instance, threshold float64) [][2]int {
+	sets := make([]map[string]bool, len(objects))
+	for i, o := range objects {
+		s := make(map[string]bool)
+		for _, v := range o.Values() {
+			if n := recognize.NormalizePhrase(v); n != "" {
+				s[n] = true
+			}
+		}
+		sets[i] = s
+	}
+	var out [][2]int
+	for i := 0; i < len(objects); i++ {
+		for j := i + 1; j < len(objects); j++ {
+			sim := jaccard(sets[i], sets[j])
+			if sim >= threshold && sim < 1 {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for v := range a {
+		if b[v] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

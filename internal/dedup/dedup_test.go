@@ -1,0 +1,120 @@
+package dedup
+
+import (
+	"testing"
+	"testing/quick"
+
+	"objectrunner/internal/sod"
+)
+
+var concertT = sod.MustParse(`tuple { artist: instanceOf(Artist), date: date }`)
+
+func obj(artist, date string) *sod.Instance {
+	return &sod.Instance{Type: concertT, Children: []*sod.Instance{
+		sod.NewValue(concertT.Fields[0], artist),
+		sod.NewValue(concertT.Fields[1], date),
+	}}
+}
+
+func TestKeyNormalization(t *testing.T) {
+	a := obj("Metallica", "May 11, 2010")
+	b := obj("METALLICA", "may 11 2010")
+	if Key(a) != Key(b) {
+		t.Errorf("keys differ: %q vs %q", Key(a), Key(b))
+	}
+	c := obj("Muse", "May 11, 2010")
+	if Key(a) == Key(c) {
+		t.Error("distinct objects share a key")
+	}
+}
+
+func TestKeyOrderInsensitive(t *testing.T) {
+	a := &sod.Instance{Type: concertT, Children: []*sod.Instance{
+		sod.NewValue(concertT.Fields[1], "May 11, 2010"),
+		sod.NewValue(concertT.Fields[0], "Metallica"),
+	}}
+	b := obj("Metallica", "May 11, 2010")
+	if Key(a) != Key(b) {
+		t.Error("field order changed the key")
+	}
+}
+
+func TestDeduplicate(t *testing.T) {
+	objs := []*sod.Instance{
+		obj("Metallica", "May 11, 2010"),
+		obj("Muse", "June 19, 2010"),
+		obj("metallica", "May 11 2010"), // duplicate of first
+		obj("Muse", "June 19, 2010"),    // duplicate of second
+	}
+	out := Deduplicate(objs)
+	if len(out) != 2 {
+		t.Fatalf("got %d, want 2", len(out))
+	}
+	// First occurrences win, order preserved.
+	if out[0].FieldValue("artist") != "Metallica" || out[1].FieldValue("artist") != "Muse" {
+		t.Errorf("order not preserved: %v, %v", out[0], out[1])
+	}
+}
+
+func TestDeduplicateEmpty(t *testing.T) {
+	if got := Deduplicate(nil); len(got) != 0 {
+		t.Error("dedup of nil")
+	}
+}
+
+func TestMergeSources(t *testing.T) {
+	s1 := []*sod.Instance{obj("Metallica", "May 11, 2010"), obj("Muse", "June 19, 2010")}
+	s2 := []*sod.Instance{obj("Metallica", "May 11, 2010"), obj("Coldplay", "August 8, 2010")}
+	merged, dropped := MergeSources([][]*sod.Instance{s1, s2})
+	if len(merged) != 3 {
+		t.Errorf("merged = %d, want 3", len(merged))
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestNearDuplicates(t *testing.T) {
+	objs := []*sod.Instance{
+		obj("Metallica", "May 11, 2010"),
+		obj("Metallica", "May 12, 2010"), // shares artist only
+		obj("Coldplay", "August 8, 2010"),
+	}
+	pairs := NearDuplicates(objs, 0.2)
+	found := false
+	for _, p := range pairs {
+		if p == [2]int{0, 1} {
+			found = true
+		}
+		if p == [2]int{0, 2} {
+			t.Error("unrelated objects flagged as near-duplicates")
+		}
+	}
+	if !found {
+		t.Errorf("near-duplicate pair not found: %v", pairs)
+	}
+	// Exact duplicates are excluded (similarity 1).
+	dups := []*sod.Instance{obj("A", "May 1, 2010"), obj("A", "May 1, 2010")}
+	if got := NearDuplicates(dups, 0.5); len(got) != 0 {
+		t.Errorf("exact duplicates reported as near: %v", got)
+	}
+}
+
+// Property: deduplication is idempotent.
+func TestDeduplicateIdempotent(t *testing.T) {
+	f := func(names []string) bool {
+		var objs []*sod.Instance
+		for _, n := range names {
+			if n == "" {
+				continue
+			}
+			objs = append(objs, obj(n, "May 1, 2010"))
+		}
+		once := Deduplicate(objs)
+		twice := Deduplicate(once)
+		return len(once) == len(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package dom
+
+// This file implements an error-recovering HTML tree builder. It plays the
+// role of the JTidy step in the ObjectRunner pipeline: template-generated
+// pages are frequently ill-formed (unclosed <li>, <p>, table cells, stray
+// end tags), and downstream wrapper inference requires a well-formed tree.
+
+// voidElements never take children and need no end tag.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// autoClose maps a tag to the set of open tags it implicitly closes when it
+// starts. This mirrors the HTML5 "implied end tags" rules for the elements
+// that matter in data-rich pages.
+var autoClose = map[string]map[string]bool{
+	"li":       {"li": true},
+	"p":        {"p": true},
+	"dt":       {"dt": true, "dd": true},
+	"dd":       {"dt": true, "dd": true},
+	"tr":       {"tr": true, "td": true, "th": true},
+	"td":       {"td": true, "th": true},
+	"th":       {"td": true, "th": true},
+	"thead":    {"tr": true, "td": true, "th": true, "tbody": true},
+	"tbody":    {"tr": true, "td": true, "th": true, "thead": true},
+	"tfoot":    {"tr": true, "td": true, "th": true, "tbody": true},
+	"option":   {"option": true},
+	"optgroup": {"option": true, "optgroup": true},
+}
+
+// blockClosesP marks block-level tags whose start implies closing an open
+// <p>.
+var blockClosesP = map[string]bool{
+	"address": true, "article": true, "aside": true, "blockquote": true,
+	"div": true, "dl": true, "fieldset": true, "footer": true, "form": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"header": true, "hr": true, "main": true, "nav": true, "ol": true,
+	"pre": true, "section": true, "table": true, "ul": true,
+}
+
+// Parse builds a DOM tree from raw HTML. It never fails: malformed input
+// yields the best-effort repaired tree. The returned node has type
+// DocumentNode.
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode, Data: "#document"}
+	z := NewTokenizer(src)
+	// The open-element stack; stack[0] is the document.
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	openTag := func(tok Token) {
+		name := tok.Data
+		// Implied end tags.
+		if close, ok := autoClose[name]; ok {
+			for len(stack) > 1 && close[top().Data] {
+				stack = stack[:len(stack)-1]
+			}
+		}
+		if blockClosesP[name] {
+			for len(stack) > 1 && top().Data == "p" {
+				stack = stack[:len(stack)-1]
+			}
+		}
+		el := &Node{Type: ElementNode, Data: name, Attrs: tok.Attrs}
+		top().AppendChild(el)
+		if tok.Type == StartTagToken && !voidElements[name] {
+			stack = append(stack, el)
+		}
+	}
+
+	closeTag := func(name string) {
+		if voidElements[name] {
+			return
+		}
+		// Find the matching open element.
+		for i := len(stack) - 1; i >= 1; i-- {
+			if stack[i].Data == name {
+				stack = stack[:i]
+				return
+			}
+		}
+		// Stray end tag: ignore.
+	}
+
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case TextToken:
+			if tok.Data == "" {
+				continue
+			}
+			top().AppendChild(&Node{Type: TextNode, Data: tok.Data})
+		case CommentToken:
+			top().AppendChild(&Node{Type: CommentNode, Data: tok.Data})
+		case DoctypeToken:
+			top().AppendChild(&Node{Type: DoctypeNode, Data: tok.Data})
+		case StartTagToken, SelfClosingToken:
+			openTag(tok)
+		case EndTagToken:
+			closeTag(tok.Data)
+		}
+	}
+	ensureStructure(doc)
+	return doc
+}
+
+// ensureStructure guarantees the document has html and body elements, so
+// downstream code can rely on a stable skeleton (the paper's running
+// example templates always include <html><body>).
+func ensureStructure(doc *Node) {
+	html := doc.FindOne("html")
+	if html == nil {
+		html = NewElement("html")
+		// Move everything except doctype under html.
+		var keep []*Node
+		for _, c := range doc.Children {
+			if c.Type == DoctypeNode {
+				keep = append(keep, c)
+			} else {
+				c.Parent = html
+				html.Children = append(html.Children, c)
+			}
+		}
+		doc.Children = append(keep, html)
+		html.Parent = doc
+	}
+	if html.FindOne("body") == nil {
+		body := NewElement("body")
+		var keep []*Node
+		for _, c := range html.Children {
+			if c.Type == ElementNode && (c.Data == "head" || c.Data == "body") {
+				keep = append(keep, c)
+			} else {
+				c.Parent = body
+				body.Children = append(body.Children, c)
+			}
+		}
+		html.Children = append(keep, body)
+		body.Parent = html
+	}
+}

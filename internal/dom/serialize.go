@@ -1,0 +1,64 @@
+package dom
+
+import "strings"
+
+// OuterHTML serializes the subtree rooted at n back to HTML text. Void
+// elements are emitted without end tags; raw-text elements are emitted
+// without entity escaping.
+func (n *Node) OuterHTML() string {
+	var sb strings.Builder
+	serialize(&sb, n)
+	return sb.String()
+}
+
+// InnerHTML serializes the children of n.
+func (n *Node) InnerHTML() string {
+	var sb strings.Builder
+	for _, c := range n.Children {
+		serialize(&sb, c)
+	}
+	return sb.String()
+}
+
+func serialize(sb *strings.Builder, n *Node) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			serialize(sb, c)
+		}
+	case DoctypeNode:
+		sb.WriteString("<!")
+		sb.WriteString(n.Data)
+		sb.WriteString(">")
+	case CommentNode:
+		sb.WriteString("<!--")
+		sb.WriteString(n.Data)
+		sb.WriteString("-->")
+	case TextNode:
+		if n.Parent != nil && n.Parent.Type == ElementNode && rawTextTags[n.Parent.Data] {
+			sb.WriteString(n.Data)
+		} else {
+			sb.WriteString(EncodeEntities(n.Data))
+		}
+	case ElementNode:
+		sb.WriteByte('<')
+		sb.WriteString(n.Data)
+		for _, a := range n.Attrs {
+			sb.WriteByte(' ')
+			sb.WriteString(a.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(EncodeAttr(a.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('>')
+		if voidElements[n.Data] {
+			return
+		}
+		for _, c := range n.Children {
+			serialize(sb, c)
+		}
+		sb.WriteString("</")
+		sb.WriteString(n.Data)
+		sb.WriteByte('>')
+	}
+}

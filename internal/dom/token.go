@@ -1,0 +1,325 @@
+package dom
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// TokenType discriminates lexical tokens produced by the HTML tokenizer.
+type TokenType int
+
+const (
+	// StartTagToken is an opening tag such as <div class="x">.
+	StartTagToken TokenType = iota
+	// EndTagToken is a closing tag such as </div>.
+	EndTagToken
+	// SelfClosingToken is a self-closed tag such as <br/>.
+	SelfClosingToken
+	// TextToken is a run of character data between tags.
+	TextToken
+	// CommentToken is an HTML comment.
+	CommentToken
+	// DoctypeToken is a <!DOCTYPE ...> declaration.
+	DoctypeToken
+)
+
+// Token is a single lexical token of an HTML document.
+type Token struct {
+	Type  TokenType
+	Data  string // tag name (lower-cased) or text/comment content
+	Attrs []Attr
+}
+
+// Tokenizer splits raw HTML into a stream of Tokens. It performs entity
+// decoding on text and attribute values and lower-cases tag and attribute
+// names. It is resilient: malformed markup degrades to text rather than
+// failing.
+type Tokenizer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, indicates the tokenizer is inside a raw-text
+	// element (script/style/textarea) and must scan for its end tag only.
+	rawTag string
+}
+
+// NewTokenizer returns a Tokenizer over the given HTML source.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// rawTextTags are elements whose content is scanned verbatim until the
+// matching end tag.
+var rawTextTags = map[string]bool{
+	"script":   true,
+	"style":    true,
+	"textarea": true,
+	"title":    true,
+}
+
+// Next returns the next token and true, or a zero token and false at the
+// end of input.
+func (z *Tokenizer) Next() (Token, bool) {
+	if z.pos >= len(z.src) {
+		return Token{}, false
+	}
+	if z.rawTag != "" {
+		return z.nextRawText()
+	}
+	if z.src[z.pos] == '<' {
+		if tok, ok := z.nextTag(); ok {
+			return tok, true
+		}
+		// A lone '<' that does not begin a valid construct is text.
+		start := z.pos
+		z.pos++
+		return Token{Type: TextToken, Data: z.src[start:z.pos]}, true
+	}
+	return z.nextText()
+}
+
+func (z *Tokenizer) nextText() (Token, bool) {
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	return Token{Type: TextToken, Data: DecodeEntities(z.src[start:z.pos])}, true
+}
+
+func (z *Tokenizer) nextRawText() (Token, bool) {
+	end := "</" + z.rawTag
+	low := strings.ToLower(z.src[z.pos:])
+	idx := strings.Index(low, end)
+	if idx < 0 {
+		// Unterminated raw element: consume everything.
+		text := z.src[z.pos:]
+		z.pos = len(z.src)
+		z.rawTag = ""
+		return Token{Type: TextToken, Data: text}, true
+	}
+	if idx == 0 {
+		// At the end tag itself; emit it.
+		tag := z.rawTag
+		z.rawTag = ""
+		// Advance past "</tag" then to '>'.
+		z.pos += len(end)
+		for z.pos < len(z.src) && z.src[z.pos] != '>' {
+			z.pos++
+		}
+		if z.pos < len(z.src) {
+			z.pos++
+		}
+		return Token{Type: EndTagToken, Data: tag}, true
+	}
+	text := z.src[z.pos : z.pos+idx]
+	z.pos += idx
+	return Token{Type: TextToken, Data: text}, true
+}
+
+// nextTag attempts to lex a tag, comment or doctype at the current '<'.
+func (z *Tokenizer) nextTag() (Token, bool) {
+	s := z.src
+	i := z.pos
+	if strings.HasPrefix(s[i:], "<!--") {
+		end := strings.Index(s[i+4:], "-->")
+		if end < 0 {
+			z.pos = len(s)
+			return Token{Type: CommentToken, Data: s[i+4:]}, true
+		}
+		z.pos = i + 4 + end + 3
+		return Token{Type: CommentToken, Data: s[i+4 : i+4+end]}, true
+	}
+	if len(s) > i+1 && (s[i+1] == '!' || s[i+1] == '?') {
+		// Doctype or processing instruction: skip to '>'.
+		end := strings.IndexByte(s[i:], '>')
+		if end < 0 {
+			z.pos = len(s)
+			return Token{Type: DoctypeToken, Data: s[i+2:]}, true
+		}
+		z.pos = i + end + 1
+		return Token{Type: DoctypeToken, Data: s[i+2 : i+end]}, true
+	}
+	closing := false
+	j := i + 1
+	if j < len(s) && s[j] == '/' {
+		closing = true
+		j++
+	}
+	// A tag name must start with a letter.
+	if j >= len(s) || !isLetter(s[j]) {
+		return Token{}, false
+	}
+	nameStart := j
+	for j < len(s) && isNameChar(s[j]) {
+		j++
+	}
+	name := strings.ToLower(s[nameStart:j])
+	tok := Token{Data: name}
+	if closing {
+		tok.Type = EndTagToken
+		// Skip to '>'.
+		for j < len(s) && s[j] != '>' {
+			j++
+		}
+		if j < len(s) {
+			j++
+		}
+		z.pos = j
+		return tok, true
+	}
+	tok.Type = StartTagToken
+	// Parse attributes.
+	for {
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j >= len(s) {
+			break
+		}
+		if s[j] == '>' {
+			j++
+			break
+		}
+		if s[j] == '/' {
+			// Possibly self-closing.
+			k := j + 1
+			for k < len(s) && isSpace(s[k]) {
+				k++
+			}
+			if k < len(s) && s[k] == '>' {
+				tok.Type = SelfClosingToken
+				j = k + 1
+				break
+			}
+			j++
+			continue
+		}
+		// Attribute name.
+		aStart := j
+		for j < len(s) && !isSpace(s[j]) && s[j] != '=' && s[j] != '>' && s[j] != '/' {
+			j++
+		}
+		aName := strings.ToLower(s[aStart:j])
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		aVal := ""
+		if j < len(s) && s[j] == '=' {
+			j++
+			for j < len(s) && isSpace(s[j]) {
+				j++
+			}
+			if j < len(s) && (s[j] == '"' || s[j] == '\'') {
+				q := s[j]
+				j++
+				vStart := j
+				for j < len(s) && s[j] != q {
+					j++
+				}
+				aVal = s[vStart:j]
+				if j < len(s) {
+					j++
+				}
+			} else {
+				vStart := j
+				for j < len(s) && !isSpace(s[j]) && s[j] != '>' {
+					j++
+				}
+				aVal = s[vStart:j]
+			}
+		}
+		if aName != "" {
+			tok.Attrs = append(tok.Attrs, Attr{Name: aName, Value: DecodeEntities(aVal)})
+		}
+	}
+	z.pos = j
+	if tok.Type == StartTagToken && rawTextTags[name] {
+		z.rawTag = name
+	}
+	return tok, true
+}
+
+func isLetter(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+func isNameChar(b byte) bool {
+	return isLetter(b) || b >= '0' && b <= '9' || b == '-' || b == '_' || b == ':'
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f'
+}
+
+// namedEntities maps the HTML entities that appear in template-generated
+// pages with any frequency. Unknown entities are left verbatim.
+var namedEntities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": "\"", "apos": "'",
+	"nbsp": " ", "copy": "©", "reg": "®", "trade": "™",
+	"hellip": "…", "mdash": "—", "ndash": "–",
+	"lsquo": "‘", "rsquo": "’", "ldquo": "“", "rdquo": "”",
+	"bull": "•", "middot": "·", "laquo": "«", "raquo": "»",
+	"times": "×", "divide": "÷", "deg": "°", "plusmn": "±",
+	"frac12": "½", "frac14": "¼", "eacute": "é", "egrave": "è",
+	"agrave": "à", "ccedil": "ç", "uuml": "ü", "ouml": "ö",
+	"auml": "ä", "euro": "€", "pound": "£", "yen": "¥",
+	"cent": "¢", "sect": "§", "para": "¶",
+}
+
+// DecodeEntities replaces HTML character references (&amp;, &#65;, &#x41;)
+// with their character values. Unrecognised references are preserved
+// verbatim.
+func DecodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 12 {
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		ref := s[i+1 : i+semi]
+		if strings.HasPrefix(ref, "#") {
+			num := ref[1:]
+			base := 10
+			if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+				num = num[1:]
+				base = 16
+			}
+			if v, err := strconv.ParseInt(num, base, 32); err == nil && v > 0 && v <= unicode.MaxRune {
+				sb.WriteRune(rune(v))
+				i += semi + 1
+				continue
+			}
+		} else if rep, ok := namedEntities[ref]; ok {
+			sb.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// EncodeEntities escapes the characters that must be escaped when
+// serializing text content back to HTML.
+func EncodeEntities(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EncodeAttr escapes an attribute value for double-quoted serialization.
+func EncodeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "\"", "&quot;")
+	return r.Replace(s)
+}

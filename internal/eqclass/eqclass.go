@@ -1,0 +1,713 @@
+package eqclass
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Params tunes Algorithm 2.
+type Params struct {
+	// Support is the minimal number of pages in which a token must appear
+	// to be a template candidate (varied between 3 and 5 in the paper's
+	// experiments).
+	Support int
+	// AnnThreshold is the generalization threshold for incomplete or
+	// conflicting annotations (0.7 in the paper).
+	AnnThreshold float64
+	// MaxIter bounds the outer fixpoint loop.
+	MaxIter int
+	// UseAnnotations enables the semantic criteria. Disabling it yields
+	// the pure ExAlg-style baseline behaviour.
+	UseAnnotations bool
+}
+
+// DefaultParams mirrors the paper's configuration.
+func DefaultParams() Params {
+	return Params{Support: 3, AnnThreshold: 0.7, MaxIter: 10, UseAnnotations: true}
+}
+
+// Tuple is one repetition of an equivalence class on a page: the token
+// positions of its k roles, in template order.
+type Tuple struct {
+	Positions []int
+}
+
+// First returns the position of the first separator.
+func (t Tuple) First() int { return t.Positions[0] }
+
+// Last returns the position of the last separator.
+func (t Tuple) Last() int { return t.Positions[len(t.Positions)-1] }
+
+// EQ is a valid equivalence class: a set of token roles having the same
+// frequency of occurrences in each input page and a unique template role
+// (paper §III.C). Roles are ordered; consecutive roles delimit the class's
+// data slots.
+type EQ struct {
+	ID     int
+	Roles  []int   // role ids in template (σ) order
+	Descs  []Desc  // page-independent descriptors of the roles
+	Vector []int   // occurrences per page
+	Tuples [][]Tuple // per page, the class's repetitions in order
+
+	// Hierarchy (filled by BuildHierarchy).
+	Parent     *EQ
+	ParentSlot int
+	Children   []*EQ
+	// OrderHint is the class's average token offset from the start of
+	// the parent tuple containing it: children of one slot extract in
+	// this order when their separator descriptors are structurally
+	// identical (annotation-differentiated roles look alike on unseen
+	// pages).
+	OrderHint float64
+}
+
+// K returns the number of roles (separators) in the class.
+func (e *EQ) K() int { return len(e.Roles) }
+
+// Slots returns the number of interior data slots (K-1).
+func (e *EQ) Slots() int {
+	if e.K() < 2 {
+		return 0
+	}
+	return e.K() - 1
+}
+
+// String renders a compact description for diagnostics.
+func (e *EQ) String() string {
+	var parts []string
+	for _, d := range e.Descs {
+		parts = append(parts, d.String())
+	}
+	return fmt.Sprintf("EQ%d%v [%s]", e.ID, e.Vector, strings.Join(parts, " "))
+}
+
+// Analysis is the result of running Algorithm 2 over a page sample.
+type Analysis struct {
+	// Pages holds the token sequences, with final role assignments.
+	Pages [][]*Occurrence
+	// EQs are the valid equivalence classes, in discovery order.
+	EQs []*EQ
+	// Conflicts counts the conflicting-annotation events observed; the
+	// wrapper's self-validation loop uses it as a quality estimate.
+	Conflicts int
+	// Iterations is the number of outer-loop iterations performed.
+	Iterations int
+
+	params Params
+	// roleKeys maps role id to its structural key (diagnostics).
+	roleKeys []string
+	// profiles holds per-class slot profiles, keyed by EQ id (filled by
+	// BuildHierarchy).
+	profiles map[int][]SlotProfile
+}
+
+// Analyze runs Algorithm 2: differentiate roles by HTML features, then
+// iterate {find EQs; differentiate by EQ positions and non-conflicting
+// annotations} to a fixpoint, then apply conflicting annotations, until
+// the outer fixpoint. The abort check of §III.E runs in the wrapper
+// package between iterations via the Hook.
+func Analyze(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool) *Analysis {
+	if p.Support <= 0 {
+		p.Support = 3
+	}
+	if p.AnnThreshold <= 0 {
+		p.AnnThreshold = 0.7
+	}
+	if p.MaxIter <= 0 {
+		p.MaxIter = 10
+	}
+	a := &Analysis{Pages: pages, params: p}
+
+	// Line 1: differentiate roles using HTML features (value + DOM path).
+	// Annotated words are shielded from template candidacy so that
+	// too-regular data ("New York") stays extractable (paper §II.C).
+	a.assignRoles(func(o *Occurrence) string { return baseKey(o) })
+
+	aborted := false
+	generation := 0
+	for iter := 0; iter < p.MaxIter; iter++ {
+		a.Iterations = iter + 1
+		changedOuter := false
+		// Inner fixpoint: EQs + non-conflicting annotations.
+		for inner := 0; inner < p.MaxIter; inner++ {
+			a.EQs = a.findEQs()
+			// Handle invalid EQs: classes straddling other classes'
+			// separators are discarded, freeing their roles for further
+			// differentiation.
+			BuildHierarchy(a)
+			if hook != nil && !hook(a) {
+				aborted = true
+				break
+			}
+			generation++
+			changed := a.differentiate(false, generation)
+			if changed {
+				changedOuter = true
+				continue
+			}
+			break
+		}
+		if aborted {
+			break
+		}
+		// Conflicting annotations.
+		if p.UseAnnotations {
+			generation++
+			if a.differentiate(true, generation) {
+				changedOuter = true
+			}
+		}
+		if !changedOuter {
+			break
+		}
+	}
+	if !aborted {
+		a.EQs = a.findEQs()
+	}
+	BuildHierarchy(a)
+	// Extraction-time separator ordinals are only needed on the final
+	// hierarchy.
+	computeDescOrdinals(a)
+	return a
+}
+
+// baseKey is the HTML-feature role key.
+func baseKey(o *Occurrence) string {
+	return fmt.Sprintf("%d|%s|%s", o.Kind, o.Value, o.Path)
+}
+
+// templateCandidate reports whether the occurrence may serve as a
+// template (separator) token. Words carrying entity-type annotations are
+// data by definition when annotations are enabled.
+func (a *Analysis) templateCandidate(o *Occurrence) bool {
+	if a.params.UseAnnotations && o.Kind == KindWord && o.Annotated() {
+		return false
+	}
+	return true
+}
+
+// assignRoles recomputes role ids from a key function. It reports whether
+// the induced partition of occurrences changed — ids themselves may be
+// relabelled freely (keys carry generation tags), so change is detected
+// as a broken old↔new bijection. Role ids are dense and deterministic.
+func (a *Analysis) assignRoles(key func(*Occurrence) string) bool {
+	type occKey struct {
+		o *Occurrence
+		k string
+	}
+	var all []occKey
+	for _, page := range a.Pages {
+		for _, o := range page {
+			all = append(all, occKey{o, key(o)})
+		}
+	}
+	keys := make([]string, 0, len(all))
+	seen := make(map[string]bool)
+	for _, ok := range all {
+		if !seen[ok.k] {
+			seen[ok.k] = true
+			keys = append(keys, ok.k)
+		}
+	}
+	sort.Strings(keys)
+	id := make(map[string]int, len(keys))
+	for i, k := range keys {
+		id[k] = i
+	}
+	changed := false
+	oldToNew := make(map[int]int)
+	newToOld := make(map[int]int)
+	for _, ok := range all {
+		r := id[ok.k]
+		if n, seen := oldToNew[ok.o.role]; seen {
+			if n != r {
+				changed = true
+			}
+		} else {
+			oldToNew[ok.o.role] = r
+		}
+		if old, seen := newToOld[r]; seen {
+			if old != ok.o.role {
+				changed = true
+			}
+		} else {
+			newToOld[r] = ok.o.role
+		}
+		ok.o.role = r
+	}
+	a.roleKeys = keys
+	return changed
+}
+
+// findEQs groups template-candidate roles by occurrence vector, validates
+// order and nesting, and returns the valid equivalence classes.
+func (a *Analysis) findEQs() []*EQ {
+	np := len(a.Pages)
+	support := a.params.Support
+	if support > np {
+		support = np
+	}
+	// Occurrence vectors and page coverage per role.
+	type roleStat struct {
+		vector []int
+		pages  int
+		occs   []*Occurrence // all occurrences, page order then position
+		cand   bool
+	}
+	stats := make(map[int]*roleStat)
+	for pi, page := range a.Pages {
+		for _, o := range page {
+			st, ok := stats[o.role]
+			if !ok {
+				st = &roleStat{vector: make([]int, np), cand: true}
+				stats[o.role] = st
+			}
+			if st.vector[pi] == 0 {
+				st.pages++
+			}
+			st.vector[pi]++
+			st.occs = append(st.occs, o)
+			if !a.templateCandidate(o) {
+				st.cand = false
+			}
+		}
+	}
+	// Group candidate roles by vector.
+	groups := make(map[string][]int)
+	for r, st := range stats {
+		if !st.cand || st.pages < support {
+			continue
+		}
+		key := fmt.Sprint(st.vector)
+		groups[key] = append(groups[key], r)
+	}
+	gkeys := make([]string, 0, len(groups))
+	for k := range groups {
+		gkeys = append(gkeys, k)
+	}
+	sort.Strings(gkeys)
+
+	var eqs []*EQ
+	for _, gk := range gkeys {
+		roles := groups[gk]
+		sort.Ints(roles)
+		for _, eq := range a.salvageEQs(roles, stats[roles[0]].vector) {
+			eq.ID = len(eqs) + 1
+			eqs = append(eqs, eq)
+		}
+	}
+	return eqs
+}
+
+// salvageEQs handles invalid candidate classes (Algorithm 2, "handle
+// invalid EQs"): when a same-vector group fails the ordered-and-nested
+// test — typically because a data word coincidentally shares the vector —
+// progressively smaller subgroups are retried: the tag tokens alone, then
+// the tag tokens partitioned by DOM path. Members excluded from a class
+// simply remain data.
+func (a *Analysis) salvageEQs(roles []int, vector []int) []*EQ {
+	if eq := a.validateEQ(roles, vector); eq != nil {
+		return []*EQ{eq}
+	}
+	// Locate a representative occurrence per role for kind and path.
+	rep := make(map[int]*Occurrence, len(roles))
+	want := make(map[int]bool, len(roles))
+	for _, r := range roles {
+		want[r] = true
+	}
+	for _, page := range a.Pages {
+		for _, o := range page {
+			if want[o.role] && rep[o.role] == nil {
+				rep[o.role] = o
+			}
+		}
+	}
+	var tags []int
+	for _, r := range roles {
+		if o := rep[r]; o != nil && o.Kind != KindWord {
+			tags = append(tags, r)
+		}
+	}
+	if len(tags) > 0 && len(tags) < len(roles) {
+		if eq := a.validateEQ(tags, vector); eq != nil {
+			return []*EQ{eq}
+		}
+	}
+	if len(tags) < 2 {
+		return nil
+	}
+	byPath := make(map[string][]int)
+	for _, r := range tags {
+		byPath[rep[r].Path] = append(byPath[rep[r].Path], r)
+	}
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var out []*EQ
+	for _, p := range paths {
+		sub := byPath[p]
+		sort.Ints(sub)
+		if eq := a.validateEQ(sub, vector); eq != nil {
+			out = append(out, eq)
+		}
+	}
+	return out
+}
+
+// validateEQ checks the ordered-and-nested property: on every page the
+// occurrences of the class's roles must form the same role sequence σ
+// repeated vector[p] times. It returns the class with its tuples, or nil
+// when invalid (such classes are discarded — Algorithm 2, "handle invalid
+// EQs").
+func (a *Analysis) validateEQ(roles []int, vector []int) *EQ {
+	k := len(roles)
+	inClass := make(map[int]bool, k)
+	for _, r := range roles {
+		inClass[r] = true
+	}
+	var sigma []int
+	var sigmaOccs []*Occurrence
+	tuples := make([][]Tuple, len(a.Pages))
+	for pi, page := range a.Pages {
+		var occs []*Occurrence
+		for _, o := range page {
+			if inClass[o.role] {
+				occs = append(occs, o)
+			}
+		}
+		if len(occs) != k*vector[pi] {
+			return nil // should not happen; defensive
+		}
+		if len(occs) == 0 {
+			continue
+		}
+		if sigma == nil {
+			// Derive σ from the first tuple: k distinct roles.
+			seen := make(map[int]bool, k)
+			for i := 0; i < k; i++ {
+				r := occs[i].role
+				if seen[r] {
+					return nil
+				}
+				seen[r] = true
+				sigma = append(sigma, r)
+				sigmaOccs = append(sigmaOccs, occs[i])
+			}
+		}
+		// The page must be σ repeated vector[pi] times.
+		for i, o := range occs {
+			if o.role != sigma[i%k] {
+				return nil
+			}
+		}
+		for t := 0; t < vector[pi]; t++ {
+			pos := make([]int, k)
+			for i := 0; i < k; i++ {
+				pos[i] = occs[t*k+i].Pos
+			}
+			tuples[pi] = append(tuples[pi], Tuple{Positions: pos})
+		}
+	}
+	if sigma == nil {
+		return nil
+	}
+	descs := make([]Desc, k)
+	for i, o := range sigmaOccs {
+		descs[i] = DescOf(o)
+	}
+	return &EQ{Roles: sigma, Descs: descs, Vector: vector, Tuples: tuples}
+}
+
+// scope identifies the innermost equivalence-class slot containing a
+// token position.
+type scope struct {
+	eq    int // EQ id
+	tuple int // tuple ordinal on the page
+	slot  int // interior slot index
+}
+
+// computeScopes paints, for every page position, the innermost (EQ,
+// tuple, slot) containing it. Wider gaps are painted first so inner
+// classes overwrite outer ones.
+func (a *Analysis) computeScopes() [][]scope {
+	scopes := make([][]scope, len(a.Pages))
+	for pi, page := range a.Pages {
+		scopes[pi] = make([]scope, len(page))
+		for i := range scopes[pi] {
+			scopes[pi][i] = scope{eq: -1}
+		}
+	}
+	type gap struct {
+		page, from, to int // token positions, exclusive bounds
+		sc             scope
+	}
+	var gaps []gap
+	for _, eq := range a.EQs {
+		if eq.K() < 2 {
+			continue
+		}
+		for pi, tups := range eq.Tuples {
+			for ti, t := range tups {
+				for s := 0; s+1 < len(t.Positions); s++ {
+					gaps = append(gaps, gap{
+						page: pi,
+						from: t.Positions[s],
+						to:   t.Positions[s+1],
+						sc:   scope{eq: eq.ID, tuple: ti, slot: s},
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i].to-gaps[i].from > gaps[j].to-gaps[j].from })
+	for _, g := range gaps {
+		row := scopes[g.page]
+		for p := g.from + 1; p < g.to; p++ {
+			row[p] = g.sc
+		}
+	}
+	return scopes
+}
+
+// differentiate recomputes roles with the positional (EQ + ordinal) and
+// annotation criteria. Roles that belong to a valid class of the current
+// hierarchy are "deemed unique" already and keep their keys unchanged —
+// in particular, the repeated occurrences of an iterator class (a record
+// <li> appearing a varying number of times per page) are never split.
+// Free roles are refined by their innermost (class, slot) scope plus an
+// ordinal, settling on the minimal number of consecutive occurrences
+// across tuples (paper §III.C), and by annotation labels. With
+// conflicting=false only unambiguous single-type annotations participate;
+// with conflicting=true, disagreeing roles are resolved by majority
+// generalization at the AnnThreshold and unresolved disagreements are
+// counted as conflicts.
+func (a *Analysis) differentiate(conflicting bool, generation int) bool {
+	scopes := a.computeScopes()
+
+	// Roles of current valid classes are frozen — except, when semantic
+	// annotations are in play, those of child classes repeating a
+	// constant number of times (>= 2) per parent tuple: such classes are
+	// structural repetition, not iterators, and their tokens play several
+	// distinct roles (the three <div>s of the running example). Those are
+	// dissolved for ordinal differentiation. The paper is explicit that
+	// positions in the HTML tree and in equivalence classes alone do not
+	// suffice to tell the roles apart (§III.C) — so the purely structural
+	// baseline (UseAnnotations=false) keeps such classes as nested
+	// iterators, exactly like ExAlg.
+	frozen := make(map[int]bool)
+	for _, e := range a.EQs {
+		freeze := true
+		if a.params.UseAnnotations && e.Parent != nil {
+			if constant, c := Multiplicity(e.Parent, e); constant && c >= 2 {
+				freeze = false
+			}
+		}
+		if freeze {
+			for _, r := range e.Roles {
+				frozen[r] = true
+			}
+		}
+	}
+
+	// Ordinal bounds: for each free (role, class, slot), the minimal
+	// occurrence count over the tuples that contain the role at all.
+	type rsKey struct {
+		role, eq, slot int
+	}
+	tupleCounts := make(map[rsKey]map[[2]int]int) // -> (page,tuple) -> count
+	for pi, page := range a.Pages {
+		for i, o := range page {
+			sc := scopes[pi][i]
+			if sc.eq < 0 || frozen[o.role] {
+				continue
+			}
+			k := rsKey{o.role, sc.eq, sc.slot}
+			if tupleCounts[k] == nil {
+				tupleCounts[k] = make(map[[2]int]int)
+			}
+			tupleCounts[k][[2]int{pi, sc.tuple}]++
+		}
+	}
+	minPerSlot := make(map[rsKey]int)
+	for k, m := range tupleCounts {
+		min := -1
+		for _, c := range m {
+			if min < 0 || c < min {
+				min = c
+			}
+		}
+		minPerSlot[k] = min
+	}
+
+	// Annotation labels per occurrence. Annotations apply to frozen roles
+	// too: a frozen iterator class whose token occurrences carry distinct
+	// types (the classless record <div>s) must still be differentiated —
+	// freezing only shields roles from positional re-splitting.
+	annLabel := a.annotationLabels(conflicting, nil)
+
+	// Recompute keys: frozen roles keep their previous key modulo the
+	// annotation label; free occurrences get base + scope/ordinal +
+	// annotation label, tagged with the generation so stale keys from
+	// earlier class ids cannot collide.
+	ordinalSeen := make(map[string]int)
+	key := func(o *Occurrence) string {
+		if frozen[o.role] {
+			k := a.roleKeys[o.role]
+			if idx := strings.LastIndex(k, "|t:"); idx >= 0 {
+				k = k[:idx]
+			}
+			if lbl, ok := annLabel[o]; ok {
+				k += "|t:" + lbl
+			}
+			return k
+		}
+		sc := scopes[o.Page][o.Pos]
+		k := baseKey(o)
+		if sc.eq >= 0 {
+			m := minPerSlot[rsKey{o.role, sc.eq, sc.slot}]
+			ordKey := fmt.Sprintf("%d|%d|%d|%d|%d", o.Page, sc.eq, sc.tuple, sc.slot, o.role)
+			ordinalSeen[ordKey]++
+			ord := ordinalSeen[ordKey]
+			if ord > m {
+				ord = m + 1 // overflow bucket beyond the minimal count
+			}
+			k += fmt.Sprintf("|g%d.eq%d.s%d.o%d", generation, sc.eq, sc.slot, ord)
+		}
+		if lbl, ok := annLabel[o]; ok {
+			k += "|t:" + lbl
+		}
+		return k
+	}
+	return a.assignRoles(key)
+}
+
+// annotationLabels decides, per occurrence, the annotation label used for
+// role differentiation of free (non-frozen) roles.
+//
+// Non-conflicting phase: a role whose occurrences carry one consistent
+// type is labelled wholesale when the annotated share reaches
+// AnnThreshold (the paper's incomplete-annotation generalization); a role
+// whose occurrences are each uniquely typed with different types splits
+// by type. Sparse mixed roles and roles with multi-type occurrences are
+// deferred.
+//
+// Conflicting phase: deferred roles are resolved by majority
+// generalization at AnnThreshold; overridden or unresolved annotations
+// are counted as conflicts (the wrapper's quality estimate).
+func (a *Analysis) annotationLabels(conflicting bool, frozen map[int]bool) map[*Occurrence]string {
+	labels := make(map[*Occurrence]string)
+	if !a.params.UseAnnotations {
+		return labels
+	}
+	if conflicting {
+		// Conflicts reflect the current role assignment; recount on each
+		// conflicting pass rather than accumulating across passes.
+		a.Conflicts = 0
+	}
+	// Group occurrences by role; when a frozen set is supplied, only free
+	// roles participate.
+	byRole := make(map[int][]*Occurrence)
+	for _, page := range a.Pages {
+		for _, o := range page {
+			if !frozen[o.role] {
+				byRole[o.role] = append(byRole[o.role], o)
+			}
+		}
+	}
+	roles := make([]int, 0, len(byRole))
+	for r := range byRole {
+		roles = append(roles, r)
+	}
+	sort.Ints(roles)
+	for _, r := range roles {
+		occs := byRole[r]
+		hasMulti := false
+		typeCounts := make(map[string]int)
+		annotated := 0
+		for _, o := range occs {
+			if len(o.Types) > 1 {
+				hasMulti = true
+			}
+			if len(o.Types) > 0 {
+				annotated++
+				for _, t := range o.Types {
+					typeCounts[t]++
+				}
+			}
+		}
+		if annotated == 0 {
+			continue
+		}
+		annShare := float64(annotated) / float64(len(occs))
+		if !conflicting {
+			switch {
+			case hasMulti:
+				// Deferred to the conflicting phase.
+			case len(typeCounts) == 1:
+				if annShare >= a.params.AnnThreshold {
+					t := singleKey(typeCounts)
+					for _, o := range occs {
+						labels[o] = t
+					}
+				}
+				// Too sparse to trust: leave unlabelled rather than
+				// splitting annotated from unannotated occurrences.
+			default:
+				// Several distinct types share the role (the classless
+				// <div>s of the running example): split the annotated
+				// occurrences by their type; unannotated ones stay in
+				// the base role. This is how annotations differentiate
+				// roles that positions alone cannot (paper §III.C).
+				for _, o := range occs {
+					if t := o.SingleType(); t != "" {
+						labels[o] = t
+					}
+				}
+			}
+			continue
+		}
+		// Conflicting phase: majority generalization over the role.
+		best, bestCount, total := "", 0, 0
+		keys := make([]string, 0, len(typeCounts))
+		for t := range typeCounts {
+			keys = append(keys, t)
+		}
+		sort.Strings(keys)
+		for _, t := range keys {
+			c := typeCounts[t]
+			total += c
+			if c > bestCount {
+				best, bestCount = t, c
+			}
+		}
+		if len(typeCounts) == 1 && !hasMulti {
+			// Consistent but possibly sparse; nothing conflicting here.
+			if annShare >= a.params.AnnThreshold {
+				for _, o := range occs {
+					labels[o] = best
+				}
+			}
+			continue
+		}
+		if float64(bestCount)/float64(total) >= a.params.AnnThreshold {
+			a.Conflicts += total - bestCount
+			for _, o := range occs {
+				labels[o] = best
+			}
+			continue
+		}
+		// Unresolvable: count the conflict, leave occurrences unlabeled.
+		a.Conflicts += total
+	}
+	return labels
+}
+
+func singleKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

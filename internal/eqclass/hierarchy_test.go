@@ -1,0 +1,270 @@
+package eqclass
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"objectrunner/internal/annotate"
+	"objectrunner/internal/clean"
+	"objectrunner/internal/recognize"
+)
+
+// analyzed runs the full analysis over the given page sources.
+func analyzed(t testing.TB, srcs []string, recs map[string]recognize.Recognizer, p Params) *Analysis {
+	t.Helper()
+	var pages [][]*Occurrence
+	for i, src := range srcs {
+		page := clean.Page(src)
+		var pa *annotate.PageAnnotations
+		if recs != nil {
+			pa = annotate.AnnotatePage(page, recs)
+		}
+		pages = append(pages, TokenizePage(page, pa, i))
+	}
+	return Analyze(pages, p, nil)
+}
+
+// listSrc builds a ul/li list page with n records of two fields each.
+func listSrc(n, seed int) string {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	var sb strings.Builder
+	sb.WriteString("<html><body><ul>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `<li><div class="a">%s</div><div class="b">%s</div></li>`,
+			words[(seed+i)%len(words)], words[(seed+i+3)%len(words)])
+	}
+	sb.WriteString("</ul></body></html>")
+	return sb.String()
+}
+
+// TestEQInvariants checks the structural invariants of every valid class:
+// identical per-page counts for all roles, tuples in σ order, no
+// overlapping tuples, hierarchy nesting consistent with ParentSlot.
+func TestEQInvariants(t *testing.T) {
+	a := analyzed(t, []string{listSrc(2, 0), listSrc(4, 1), listSrc(3, 2)}, nil,
+		Params{Support: 3, MaxIter: 10, UseAnnotations: false, AnnThreshold: 0.7})
+	for _, e := range a.EQs {
+		if e.K() < 2 {
+			t.Errorf("%v: hierarchy class with %d roles", e, e.K())
+		}
+		for pi, tups := range e.Tuples {
+			if len(tups) != e.Vector[pi] {
+				t.Errorf("%v: page %d has %d tuples, vector says %d", e, pi, len(tups), e.Vector[pi])
+			}
+			last := -1
+			for _, tup := range tups {
+				if len(tup.Positions) != e.K() {
+					t.Errorf("%v: tuple with %d positions", e, len(tup.Positions))
+				}
+				for i := 1; i < len(tup.Positions); i++ {
+					if tup.Positions[i] <= tup.Positions[i-1] {
+						t.Errorf("%v: tuple positions not increasing", e)
+					}
+				}
+				if tup.First() <= last {
+					t.Errorf("%v: tuples overlap", e)
+				}
+				last = tup.Last()
+			}
+		}
+		// Children nest strictly inside one slot of the parent.
+		for _, c := range e.Children {
+			if c.Parent != e {
+				t.Errorf("%v: child %v has wrong parent", e, c)
+			}
+			if c.ParentSlot < 0 || c.ParentSlot >= e.Slots() {
+				t.Errorf("%v: child slot %d out of range", e, c.ParentSlot)
+			}
+		}
+	}
+}
+
+func TestMultiplicityConstantAndVarying(t *testing.T) {
+	// Classless records: the two divs share one role and form a nested
+	// class repeating exactly twice per record, while the record class
+	// itself repeats a varying number of times per page.
+	classless := func(n, seed int) string {
+		var sb strings.Builder
+		sb.WriteString("<html><body><ul>")
+		for i := 0; i < n; i++ {
+			// Unique words: no accidental cross-page regularity.
+			fmt.Fprintf(&sb, `<li><div>va%dp%d</div><div>vb%dp%d</div></li>`, i, seed, i, seed)
+		}
+		sb.WriteString("</ul></body></html>")
+		return sb.String()
+	}
+	a := analyzed(t, []string{classless(2, 0), classless(4, 1), classless(3, 2)}, nil,
+		Params{Support: 3, MaxIter: 10, UseAnnotations: false, AnnThreshold: 0.7})
+	var li, div *EQ
+	for _, e := range a.EQs {
+		isLi, isDiv := false, false
+		for _, d := range e.Descs {
+			if d.Value == "li" {
+				isLi = true
+			}
+			if d.Value == "div" {
+				isDiv = true
+			}
+		}
+		if isLi && li == nil {
+			li = e
+		}
+		if isDiv && !isLi && div == nil {
+			div = e
+		}
+	}
+	if li == nil {
+		t.Fatal("no li class")
+	}
+	if li.Parent != nil {
+		if constant, c := Multiplicity(li.Parent, li); constant {
+			t.Errorf("li multiplicity constant=%v c=%d, want varying (2,4,3 records)", constant, c)
+		}
+	}
+	if div == nil || div.Parent != li {
+		t.Fatalf("no div child class under li (div=%v)", div)
+	}
+	if constant, c := Multiplicity(li, div); !constant || c != 2 {
+		t.Errorf("div multiplicity = (%v, %d), want constant 2", constant, c)
+	}
+}
+
+func TestDescOrdinalsLearned(t *testing.T) {
+	// Classless records: both divs share the structural signature, so
+	// the second div separator must learn ordinal 2.
+	srcs := []string{
+		`<html><body><ul><li><div>alpha</div><div>beta</div></li><li><div>gamma</div><div>delta</div></li></ul></body></html>`,
+		`<html><body><ul><li><div>epsilon</div><div>zeta</div></li></ul></body></html>`,
+		`<html><body><ul><li><div>eta</div><div>theta</div></li><li><div>beta</div><div>alpha</div></li></ul></body></html>`,
+	}
+	a := analyzed(t, srcs, nil, Params{Support: 3, MaxIter: 10, UseAnnotations: false, AnnThreshold: 0.7})
+	for _, e := range a.EQs {
+		sigCount := make(map[string][]int)
+		for _, d := range e.Descs {
+			sigCount[d.Sig()] = append(sigCount[d.Sig()], d.Ordinal)
+		}
+		for sig, ords := range sigCount {
+			seen := make(map[int]bool)
+			for _, o := range ords {
+				if o <= 0 {
+					t.Errorf("%v: desc %s has non-positive ordinal %d", e, sig, o)
+				}
+				if seen[o] {
+					t.Errorf("%v: desc %s repeats ordinal %d", e, sig, o)
+				}
+				seen[o] = true
+			}
+		}
+	}
+}
+
+func TestOrderHintOrdering(t *testing.T) {
+	// Children of one slot must be sorted by their within-record offset.
+	artists := recognize.NewDictionary("instanceOf(A)")
+	artists.AddAll([]recognize.Entry{{Value: "alpha", Confidence: 0.9}, {Value: "gamma", Confidence: 0.9}, {Value: "epsilon", Confidence: 0.9}, {Value: "eta", Confidence: 0.9}})
+	venues := recognize.NewDictionary("instanceOf(B)")
+	venues.AddAll([]recognize.Entry{{Value: "beta", Confidence: 0.9}, {Value: "delta", Confidence: 0.9}, {Value: "zeta", Confidence: 0.9}, {Value: "theta", Confidence: 0.9}})
+	recs := map[string]recognize.Recognizer{"a": artists, "b": venues}
+	srcs := []string{listSrc(2, 0), listSrc(4, 1), listSrc(3, 2)}
+	a := analyzed(t, srcs, recs, DefaultParams())
+	for _, e := range a.EQs {
+		for i := 1; i < len(e.Children); i++ {
+			x, y := e.Children[i-1], e.Children[i]
+			if x.ParentSlot == y.ParentSlot && x.OrderHint > y.OrderHint {
+				t.Errorf("%v: children out of order (%f > %f)", e, x.OrderHint, y.OrderHint)
+			}
+		}
+	}
+}
+
+// TestSalvageDropsCoincidentalWords: a word sharing the record class's
+// vector must not invalidate the class — the tags survive without it.
+func TestSalvageDropsCoincidentalWords(t *testing.T) {
+	// "promo" appears exactly once per page, matching the page class
+	// vector, but positioned inside the varying record region on page 2,
+	// so the combined group cannot form a valid sequence.
+	srcs := []string{
+		`<html><body><p>promo</p><ul><li><i>alpha</i></li><li><i>beta</i></li></ul></body></html>`,
+		`<html><body><ul><li><i>gamma</i></li><li><i>promo</i></li><li><i>delta</i></li></ul></body></html>`,
+		`<html><body><p>promo</p><ul><li><i>epsilon</i></li><li><i>zeta</i></li></ul></body></html>`,
+	}
+	a := analyzed(t, srcs, nil, Params{Support: 3, MaxIter: 10, UseAnnotations: false, AnnThreshold: 0.7})
+	found := false
+	for _, e := range a.EQs {
+		for _, d := range e.Descs {
+			if d.Value == "li" {
+				found = true
+			}
+			if d.Kind == KindWord && d.Value == "promo" {
+				t.Errorf("coincidental word became a separator in %v", e)
+			}
+		}
+	}
+	if !found {
+		t.Error("record class lost entirely")
+	}
+}
+
+// Property: Analyze never panics and always yields consistent vectors,
+// whatever the record counts.
+func TestAnalyzeTotalQuick(t *testing.T) {
+	f := func(n1, n2, n3 uint8) bool {
+		counts := []int{int(n1%5) + 1, int(n2%5) + 1, int(n3%5) + 1}
+		var srcs []string
+		for i, n := range counts {
+			srcs = append(srcs, listSrc(n, i))
+		}
+		a := analyzed(t, srcs, nil, Params{Support: 3, MaxIter: 6, UseAnnotations: false, AnnThreshold: 0.7})
+		for _, e := range a.EQs {
+			for pi, tups := range e.Tuples {
+				if len(tups) != e.Vector[pi] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagValue(t *testing.T) {
+	doc := clean.Page(`<body><div class="f-artist other">x</div><div>y</div></body>`)
+	divs := doc.Find("div")
+	if got := TagValue(divs[0]); got != "div.f-artist" {
+		t.Errorf("TagValue = %q", got)
+	}
+	if got := TagValue(divs[1]); got != "div" {
+		t.Errorf("TagValue = %q", got)
+	}
+}
+
+func TestConflictsResetBetweenPasses(t *testing.T) {
+	// Conflicts must reflect the final state, not accumulate across
+	// outer-loop passes.
+	artists := recognize.NewDictionary("instanceOf(A)")
+	theaters := recognize.NewDictionary("instanceOf(B)")
+	for _, v := range []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"} {
+		artists.Add(v, 0.6)
+		theaters.Add(v, 0.6) // every value ambiguous: conflicting types
+	}
+	recs := map[string]recognize.Recognizer{"a": artists, "b": theaters}
+	srcs := []string{listSrc(2, 0), listSrc(3, 1), listSrc(2, 2)}
+	a := analyzed(t, srcs, recs, DefaultParams())
+	if a.Conflicts == 0 {
+		t.Error("fully ambiguous annotations produced no conflicts")
+	}
+	// Conflicts bounded by total annotated occurrences.
+	total := 0
+	for _, page := range a.Pages {
+		for _, o := range page {
+			total += len(o.Types)
+		}
+	}
+	if a.Conflicts > total {
+		t.Errorf("conflicts %d exceed type mentions %d (accumulation bug)", a.Conflicts, total)
+	}
+}

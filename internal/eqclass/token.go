@@ -1,0 +1,239 @@
+// Package eqclass implements the wrapper-generation core of ObjectRunner
+// (paper §III.C): ExAlg-style equivalence classes over token occurrence
+// vectors, with token roles differentiated by (i) HTML features, (ii)
+// positions with respect to previously found equivalence classes, and
+// (iii) semantic annotations — first non-conflicting, then conflicting
+// ones (Algorithm 2). The resulting hierarchy of valid equivalence classes
+// is the input of the template-construction step.
+package eqclass
+
+import (
+	"fmt"
+	"strings"
+
+	"objectrunner/internal/annotate"
+	"objectrunner/internal/dom"
+	"objectrunner/internal/recognize"
+)
+
+// TokKind discriminates page tokens: words or HTML tags (paper §III.C:
+// "occurrence vectors for page tokens (words or HTML tags)").
+type TokKind int
+
+const (
+	// KindStartTag is an opening tag occurrence.
+	KindStartTag TokKind = iota
+	// KindEndTag is a closing tag occurrence.
+	KindEndTag
+	// KindWord is a single word of text content.
+	KindWord
+)
+
+// String returns a short name for the kind.
+func (k TokKind) String() string {
+	switch k {
+	case KindStartTag:
+		return "tag"
+	case KindEndTag:
+		return "endtag"
+	case KindWord:
+		return "word"
+	}
+	return "?"
+}
+
+// Occurrence is one token occurrence on one page, carrying the features
+// used for role differentiation: the token value, its DOM path (the HTML
+// criterion), its annotations (the semantic criterion), and its position
+// (the equivalence-class criterion).
+type Occurrence struct {
+	Kind  TokKind
+	Value string    // tag name or lower-cased word
+	Raw   string    // the word as it appears in the page (original case)
+	Path  string    // DOM path of the owning element
+	Node  *dom.Node // owning element (tags) or parent element (words)
+	Page  int       // page index within the sample
+	Pos   int       // position in the page's token sequence
+	Types []string  // annotation types on the owning element
+
+	role int // current role id, refined by Algorithm 2
+}
+
+// Role returns the occurrence's current role id.
+func (o *Occurrence) Role() int { return o.role }
+
+// Annotated reports whether the occurrence carries at least one
+// annotation type.
+func (o *Occurrence) Annotated() bool { return len(o.Types) > 0 }
+
+// SingleType returns the occurrence's unique annotation type, or "" when
+// it has none or several (the paper's conflicting case).
+func (o *Occurrence) SingleType() string {
+	if len(o.Types) == 1 {
+		return o.Types[0]
+	}
+	return ""
+}
+
+// Desc is the page-independent description of a separator token, used to
+// re-locate template tokens on unseen pages during extraction.
+type Desc struct {
+	Kind  TokKind
+	Value string
+	Path  string
+	// Ordinal disambiguates annotation-differentiated separators that
+	// are structurally identical: it is the 1-based occurrence index of
+	// this (kind, value, path) signature within a repetition of the
+	// class, learned from the sample (0 means "first match"). The
+	// classless record <div>s of the running example need it — the date
+	// div is, say, always the third div of the record.
+	Ordinal int
+}
+
+// Sig returns the structural signature (without the ordinal).
+func (d Desc) Sig() string {
+	return fmt.Sprintf("%d|%s|%s", d.Kind, d.Value, d.Path)
+}
+
+// DescOf returns the occurrence's descriptor.
+func DescOf(o *Occurrence) Desc {
+	return Desc{Kind: o.Kind, Value: o.Value, Path: o.Path}
+}
+
+// String renders the descriptor for diagnostics.
+func (d Desc) String() string {
+	switch d.Kind {
+	case KindStartTag:
+		return "<" + d.Value + ">@" + d.Path
+	case KindEndTag:
+		return "</" + d.Value + ">@" + d.Path
+	default:
+		return fmt.Sprintf("%q@%s", d.Value, d.Path)
+	}
+}
+
+// valueWordTypes maps each normalized word of the annotations' matched
+// values to the types it witnesses.
+func valueWordTypes(anns []annotate.Ann) map[string][]string {
+	if len(anns) == 0 {
+		return nil
+	}
+	out := make(map[string][]string)
+	for _, a := range anns {
+		for _, w := range recognize.Tokenize(a.Value) {
+			if !containsStr(out[w], a.Type) {
+				out[w] = append(out[w], a.Type)
+			}
+		}
+	}
+	return out
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// typesOfWord returns the types witnessed by every sub-token of the page
+// word ("$9.99" and "7:00p" tokenize to several sub-tokens that must all
+// belong to the matched value).
+func typesOfWord(wordTypes map[string][]string, w string) []string {
+	if len(wordTypes) == 0 {
+		return nil
+	}
+	toks := recognize.Tokenize(w)
+	if len(toks) == 0 {
+		return nil
+	}
+	cand := wordTypes[toks[0]]
+	for _, t := range toks[1:] {
+		if len(cand) == 0 {
+			return nil
+		}
+		next := wordTypes[t]
+		var inter []string
+		for _, c := range cand {
+			if containsStr(next, c) {
+				inter = append(inter, c)
+			}
+		}
+		cand = inter
+	}
+	return cand
+}
+
+// TagValue returns the token value of an element: the tag name, refined
+// by the element's first class token when present — class attributes
+// carry the template's own field structure ("f-title" vs "f-price") and
+// are part of the HTML features that differentiate token roles.
+func TagValue(n *dom.Node) string {
+	if cls, ok := n.Attr("class"); ok {
+		if f := strings.Fields(cls); len(f) > 0 {
+			return n.Data + "." + strings.ToLower(f[0])
+		}
+	}
+	return n.Data
+}
+
+// TokenizePage converts a page region into its token sequence. When pa is
+// non-nil, tag occurrences inherit the annotation types of their element,
+// and word occurrences carry the types of the matched values they belong
+// to. Skipped content: comments and doctypes.
+func TokenizePage(root *dom.Node, pa *annotate.PageAnnotations, page int) []*Occurrence {
+	var occs []*Occurrence
+	add := func(o *Occurrence) {
+		o.Page = page
+		o.Pos = len(occs)
+		occs = append(occs, o)
+	}
+	var walk func(n *dom.Node)
+	walk = func(n *dom.Node) {
+		switch n.Type {
+		case dom.TextNode:
+			parent := n.Parent
+			path := "#text"
+			if parent != nil {
+				path = parent.Path()
+			}
+			// A word carries an annotation type only when it belongs to
+			// the matched value — template words sharing the node with a
+			// value ("by" next to author names) stay unannotated, so they
+			// remain separator candidates.
+			var wordTypes map[string][]string
+			if pa != nil && parent != nil {
+				wordTypes = valueWordTypes(pa.Anns[parent])
+			}
+			for _, w := range strings.Fields(dom.CollapseSpace(n.Data)) {
+				add(&Occurrence{
+					Kind:  KindWord,
+					Value: strings.ToLower(w),
+					Raw:   w,
+					Path:  path,
+					Node:  parent,
+					Types: typesOfWord(wordTypes, w),
+				})
+			}
+		case dom.ElementNode:
+			var types []string
+			if pa != nil {
+				types = pa.Types(n)
+			}
+			v := TagValue(n)
+			add(&Occurrence{Kind: KindStartTag, Value: v, Path: n.Path(), Node: n, Types: types})
+			for _, c := range n.Children {
+				walk(c)
+			}
+			add(&Occurrence{Kind: KindEndTag, Value: v, Path: n.Path(), Node: n, Types: types})
+		case dom.DocumentNode:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+	return occs
+}

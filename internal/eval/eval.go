@@ -1,0 +1,511 @@
+// Package eval implements the paper's evaluation methodology (§IV.B):
+// extracted data is scored against a golden standard, attributes and
+// objects are classified as correct, partially correct or incorrect, and
+// the two precision measures Pc = Oc/No and Pp = (Oc+Op)/No are computed.
+// Anonymous-field extractors (ExAlg, RoadRunner) are labelled
+// post-hoc against the golden standard, simulating the manual labeling
+// their pipelines require.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sod"
+	"objectrunner/internal/template"
+)
+
+// AttrSpec describes one attribute of the golden schema.
+type AttrSpec struct {
+	Name     string
+	Optional bool
+	Set      bool
+}
+
+// Object is a golden-standard object: attribute name to values (sets have
+// several values).
+type Object map[string][]string
+
+// Record is an extracted record: field id to values. ObjectRunner emits
+// attribute names as field ids; the baselines emit opaque slot ids.
+type Record map[string][]string
+
+// RecordsFromInstances converts ObjectRunner instances into evaluation
+// records keyed by attribute name.
+func RecordsFromInstances(objs []*sod.Instance) []Record {
+	out := make([]Record, 0, len(objs))
+	for _, o := range objs {
+		rec := make(Record)
+		var walk func(in *sod.Instance)
+		walk = func(in *sod.Instance) {
+			if in.Leaf() {
+				rec[in.Type.Name] = append(rec[in.Type.Name], in.Value)
+				return
+			}
+			for _, c := range in.Children {
+				walk(c)
+			}
+		}
+		walk(o)
+		out = append(out, rec)
+	}
+	return out
+}
+
+// AttrStatus classifies one attribute of one source (paper §IV.B).
+type AttrStatus int
+
+const (
+	// AttrAbsent means the (optional) attribute does not appear in the
+	// source; it leaves the denominators.
+	AttrAbsent AttrStatus = iota
+	// AttrCorrect: the extracted values for it are correct.
+	AttrCorrect
+	// AttrPartial: values of several attributes extracted together, or
+	// values of one attribute spread over separate fields.
+	AttrPartial
+	// AttrIncorrect: the extracted values mix distinct attributes of the
+	// implicit schema.
+	AttrIncorrect
+)
+
+// String renders the status.
+func (s AttrStatus) String() string {
+	switch s {
+	case AttrAbsent:
+		return "absent"
+	case AttrCorrect:
+		return "correct"
+	case AttrPartial:
+		return "partial"
+	}
+	return "incorrect"
+}
+
+// SourceResult aggregates one source's evaluation (one row of Table I).
+type SourceResult struct {
+	Source string
+	// OptionalPresent reports whether the schema's optional attribute
+	// appears in this source.
+	OptionalPresent bool
+	// Attr statuses by attribute name.
+	Attr map[string]AttrStatus
+	// Ac/Ap/Ai over ATotal present attributes.
+	Ac, Ap, Ai, ATotal int
+	// Object counts: No golden objects, of which Oc correct, Op
+	// partially correct, Oi incorrect.
+	No, Oc, Op, Oi int
+}
+
+// Pc is the precision for correctness Oc/No.
+func (r SourceResult) Pc() float64 {
+	if r.No == 0 {
+		return 0
+	}
+	return float64(r.Oc) / float64(r.No)
+}
+
+// Pp is the precision for partial correctness (Oc+Op)/No.
+func (r SourceResult) Pp() float64 {
+	if r.No == 0 {
+		return 0
+	}
+	return float64(r.Oc+r.Op) / float64(r.No)
+}
+
+// Incomplete reports whether the source was incompletely handled (any
+// partially-correct or incorrect attribute) — Figure 6(b)'s measure.
+func (r SourceResult) Incomplete() bool { return r.Ap > 0 || r.Ai > 0 }
+
+// matchLevel grades how an extracted value set covers a golden value set.
+type matchLevel int
+
+const (
+	matchNone matchLevel = iota
+	matchPartial
+	matchExact
+)
+
+func norm(s string) string { return recognize.NormalizePhrase(s) }
+
+// valuesMatch grades extracted values w against golden values v.
+func valuesMatch(golden, extracted []string) matchLevel {
+	if len(golden) == 0 {
+		return matchNone
+	}
+	if len(extracted) == 0 {
+		return matchNone
+	}
+	gn := make([]string, len(golden))
+	for i, g := range golden {
+		gn[i] = norm(g)
+	}
+	en := make([]string, len(extracted))
+	for i, e := range extracted {
+		en[i] = norm(e)
+	}
+	// Exact: same multisets. Flat extractors return multi-valued
+	// attributes as one comma/"and"-separated string; splitting it is
+	// the trivial normalization a manual labeler performs, so it counts
+	// as exact too.
+	if sameMultiset(gn, en) {
+		return matchExact
+	}
+	if len(golden) > 1 {
+		var split []string
+		for _, e := range extracted {
+			for _, part := range template.SplitList(e) {
+				split = append(split, norm(part))
+			}
+		}
+		if sameMultiset(gn, split) {
+			return matchExact
+		}
+	}
+	// Partial: every golden value is contained in some extracted value
+	// (merged with other data), or is covered by a concatenation /
+	// fragment of extracted values (split across fields).
+	covered := 0
+	for _, g := range gn {
+		ok := false
+		for _, e := range en {
+			if e == "" {
+				continue
+			}
+			if strings.Contains(" "+e+" ", " "+g+" ") || strings.Contains(" "+g+" ", " "+e+" ") {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			covered++
+		}
+	}
+	if covered == len(gn) {
+		return matchPartial
+	}
+	// The concatenation of all extracted values containing the golden
+	// value also counts as split coverage.
+	joined := strings.Join(en, " ")
+	all := true
+	for _, g := range gn {
+		if !strings.Contains(" "+joined+" ", " "+g+" ") {
+			all = false
+			break
+		}
+	}
+	if all {
+		return matchPartial
+	}
+	return matchNone
+}
+
+func sameMultiset(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca := make(map[string]int)
+	for _, x := range a {
+		ca[x]++
+	}
+	for _, x := range b {
+		ca[x]--
+		if ca[x] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FieldMapping maps golden attributes to extracted field ids. Identity
+// mapping applies when the extractor already labels fields (ObjectRunner).
+type FieldMapping map[string]string
+
+// IdentityMapping maps each attribute to itself.
+func IdentityMapping(attrs []AttrSpec) FieldMapping {
+	m := make(FieldMapping, len(attrs))
+	for _, a := range attrs {
+		m[a.Name] = a.Name
+	}
+	return m
+}
+
+// BuildMapping labels anonymous fields against the golden standard: for
+// each attribute, the field whose values match it most often (exact
+// matches weighted above partial ones) wins. This simulates the manual
+// column-labeling step the unsupervised baselines require.
+func BuildMapping(attrs []AttrSpec, golden [][]Object, extracted [][]Record) FieldMapping {
+	type score struct {
+		exact, partial int
+	}
+	scores := make(map[string]map[string]*score) // attr -> field -> score
+	for _, a := range attrs {
+		scores[a.Name] = make(map[string]*score)
+	}
+	for pi := range golden {
+		if pi >= len(extracted) {
+			break
+		}
+		n := len(golden[pi])
+		if len(extracted[pi]) < n {
+			n = len(extracted[pi])
+		}
+		for k := 0; k < n; k++ {
+			g, r := golden[pi][k], extracted[pi][k]
+			for _, a := range attrs {
+				gv := g[a.Name]
+				if len(gv) == 0 {
+					continue
+				}
+				for field, ev := range r {
+					lvl := valuesMatch(gv, ev)
+					if lvl == matchNone {
+						continue
+					}
+					s := scores[a.Name][field]
+					if s == nil {
+						s = &score{}
+						scores[a.Name][field] = s
+					}
+					if lvl == matchExact {
+						s.exact++
+					} else {
+						s.partial++
+					}
+				}
+			}
+		}
+	}
+	m := make(FieldMapping)
+	for attr, fields := range scores {
+		bestField, bestKey := "", [2]int{-1, -1}
+		names := make([]string, 0, len(fields))
+		for f := range fields {
+			names = append(names, f)
+		}
+		sort.Strings(names)
+		for _, f := range names {
+			s := fields[f]
+			key := [2]int{s.exact, s.partial}
+			if key[0] > bestKey[0] || key[0] == bestKey[0] && key[1] > bestKey[1] {
+				bestField, bestKey = f, key
+			}
+		}
+		if bestField != "" {
+			m[attr] = bestField
+		}
+	}
+	return m
+}
+
+// EvaluateSource scores one source: golden objects and extracted records
+// are given per page; the mapping translates attribute names to field
+// ids.
+func EvaluateSource(source string, attrs []AttrSpec, golden [][]Object, extracted [][]Record, mapping FieldMapping) SourceResult {
+	res := SourceResult{Source: source, Attr: make(map[string]AttrStatus)}
+
+	// Which attributes appear in the source at all?
+	present := make(map[string]bool)
+	for _, page := range golden {
+		for _, obj := range page {
+			for _, a := range attrs {
+				if len(obj[a.Name]) > 0 {
+					present[a.Name] = true
+				}
+			}
+		}
+	}
+	for _, a := range attrs {
+		if a.Optional && present[a.Name] {
+			res.OptionalPresent = true
+		}
+	}
+
+	// Per-attribute tallies across objects.
+	type tally struct{ exact, partial, wrong, total int }
+	tallies := make(map[string]*tally)
+	for _, a := range attrs {
+		tallies[a.Name] = &tally{}
+	}
+
+	for pi := range golden {
+		var recs []Record
+		if pi < len(extracted) {
+			recs = extracted[pi]
+		}
+		used := make([]bool, len(recs))
+		for _, gObj := range golden[pi] {
+			res.No++
+			// Greedy best-record assignment for this golden object.
+			best, bestScore := -1, -1
+			for ri, rec := range recs {
+				if used[ri] {
+					continue
+				}
+				s := pairScore(attrs, gObj, rec, mapping)
+				if s > bestScore {
+					best, bestScore = ri, s
+				}
+			}
+			if best < 0 || bestScore <= 0 {
+				res.Oi++
+				for _, a := range attrs {
+					if len(gObj[a.Name]) > 0 {
+						t := tallies[a.Name]
+						t.wrong++
+						t.total++
+					}
+				}
+				continue
+			}
+			used[best] = true
+			rec := recs[best]
+			objExact, objPartial := true, true
+			for _, a := range attrs {
+				gv := gObj[a.Name]
+				if len(gv) == 0 {
+					continue
+				}
+				t := tallies[a.Name]
+				t.total++
+				switch valuesMatch(gv, rec[mapping[a.Name]]) {
+				case matchExact:
+					t.exact++
+				case matchPartial:
+					t.partial++
+					objExact = false
+				default:
+					t.wrong++
+					objExact, objPartial = false, false
+				}
+			}
+			switch {
+			case objExact:
+				res.Oc++
+			case objPartial:
+				res.Op++
+			default:
+				res.Oi++
+			}
+		}
+	}
+
+	// Attribute classification (thresholded aggregation of per-object
+	// outcomes): correct when (almost) all values are exact; incorrect
+	// when a substantial share mixes values of distinct attributes;
+	// partially correct in between (merged or split values).
+	for _, a := range attrs {
+		t := tallies[a.Name]
+		var st AttrStatus
+		switch {
+		case t.total == 0:
+			st = AttrAbsent
+		case float64(t.exact) >= 0.9*float64(t.total):
+			st = AttrCorrect
+		case float64(t.wrong) > 0.25*float64(t.total):
+			st = AttrIncorrect
+		default:
+			st = AttrPartial
+		}
+		res.Attr[a.Name] = st
+		switch st {
+		case AttrCorrect:
+			res.Ac++
+			res.ATotal++
+		case AttrPartial:
+			res.Ap++
+			res.ATotal++
+		case AttrIncorrect:
+			res.Ai++
+			res.ATotal++
+		}
+	}
+	return res
+}
+
+// pairScore ranks a candidate record for a golden object.
+func pairScore(attrs []AttrSpec, g Object, r Record, mapping FieldMapping) int {
+	s := 0
+	for _, a := range attrs {
+		gv := g[a.Name]
+		if len(gv) == 0 {
+			continue
+		}
+		switch valuesMatch(gv, r[mapping[a.Name]]) {
+		case matchExact:
+			s += 2
+		case matchPartial:
+			s++
+		}
+	}
+	return s
+}
+
+// DomainResult aggregates sources of one domain (one row of Tables II
+// and III).
+type DomainResult struct {
+	Domain  string
+	Sources []SourceResult
+}
+
+// Totals sums the object counts.
+func (d DomainResult) Totals() (no, oc, op, oi int) {
+	for _, s := range d.Sources {
+		no += s.No
+		oc += s.Oc
+		op += s.Op
+		oi += s.Oi
+	}
+	return
+}
+
+// Pc is the domain-level precision for correctness.
+func (d DomainResult) Pc() float64 {
+	no, oc, _, _ := d.Totals()
+	if no == 0 {
+		return 0
+	}
+	return float64(oc) / float64(no)
+}
+
+// Pp is the domain-level precision for partial correctness.
+func (d DomainResult) Pp() float64 {
+	no, oc, op, _ := d.Totals()
+	if no == 0 {
+		return 0
+	}
+	return float64(oc+op) / float64(no)
+}
+
+// ClassificationRates returns the fractions of correct, partially correct
+// and incorrect objects (Figure 6(a)).
+func (d DomainResult) ClassificationRates() (c, p, i float64) {
+	no, oc, op, oi := d.Totals()
+	if no == 0 {
+		return
+	}
+	return float64(oc) / float64(no), float64(op) / float64(no), float64(oi) / float64(no)
+}
+
+// IncompleteRate returns the fraction of incompletely managed sources
+// (Figure 6(b)).
+func (d DomainResult) IncompleteRate() float64 {
+	if len(d.Sources) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range d.Sources {
+		if s.Incomplete() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Sources))
+}
+
+// FormatAttrRow renders "Ac/T Ap/T Ai/T" like Table I's attribute
+// columns.
+func (r SourceResult) FormatAttrRow() string {
+	return fmt.Sprintf("%d/%d %d/%d %d/%d", r.Ac, r.ATotal, r.Ap, r.ATotal, r.Ai, r.ATotal)
+}

@@ -1,0 +1,263 @@
+package eval
+
+import (
+	"testing"
+
+	"objectrunner/internal/sod"
+)
+
+var attrs = []AttrSpec{
+	{Name: "artist"},
+	{Name: "date"},
+	{Name: "address", Optional: true},
+}
+
+func golden1() [][]Object {
+	return [][]Object{
+		{
+			{"artist": {"Metallica"}, "date": {"May 11, 2010"}, "address": {"237 West 42nd street"}},
+			{"artist": {"Madonna"}, "date": {"May 29, 2010"}, "address": {"131 W 55th St"}},
+		},
+		{
+			{"artist": {"Muse"}, "date": {"June 19, 2010"}, "address": {"4 Penn Plaza"}},
+		},
+	}
+}
+
+func perfectExtraction() [][]Record {
+	var out [][]Record
+	for _, page := range golden1() {
+		var recs []Record
+		for _, g := range page {
+			r := make(Record)
+			for k, v := range g {
+				r[k] = append([]string{}, v...)
+			}
+			recs = append(recs, r)
+		}
+		out = append(out, recs)
+	}
+	return out
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	res := EvaluateSource("s", attrs, golden1(), perfectExtraction(), IdentityMapping(attrs))
+	if res.No != 3 || res.Oc != 3 || res.Op != 0 || res.Oi != 0 {
+		t.Fatalf("counts = %+v", res)
+	}
+	if res.Pc() != 1 || res.Pp() != 1 {
+		t.Errorf("Pc=%v Pp=%v", res.Pc(), res.Pp())
+	}
+	if res.Ac != 3 || res.ATotal != 3 {
+		t.Errorf("attrs = %s", res.FormatAttrRow())
+	}
+	if !res.OptionalPresent {
+		t.Error("optional present not detected")
+	}
+	if res.Incomplete() {
+		t.Error("perfect source flagged incomplete")
+	}
+}
+
+func TestEvaluateMergedFields(t *testing.T) {
+	// Artist and date extracted together in one field: partial.
+	ext := [][]Record{
+		{
+			{"artist": {"Metallica May 11, 2010"}, "date": {"May 11, 2010"}, "address": {"237 West 42nd street"}},
+			{"artist": {"Madonna May 29, 2010"}, "date": {"May 29, 2010"}, "address": {"131 W 55th St"}},
+		},
+		{
+			{"artist": {"Muse June 19, 2010"}, "date": {"June 19, 2010"}, "address": {"4 Penn Plaza"}},
+		},
+	}
+	res := EvaluateSource("s", attrs, golden1(), ext, IdentityMapping(attrs))
+	if res.Oc != 0 || res.Op != 3 || res.Oi != 0 {
+		t.Fatalf("counts = Oc=%d Op=%d Oi=%d", res.Oc, res.Op, res.Oi)
+	}
+	if res.Attr["artist"] != AttrPartial {
+		t.Errorf("artist = %s", res.Attr["artist"])
+	}
+	if res.Pc() != 0 || res.Pp() != 1 {
+		t.Errorf("Pc=%v Pp=%v", res.Pc(), res.Pp())
+	}
+	if !res.Incomplete() {
+		t.Error("merged-field source not flagged incomplete")
+	}
+}
+
+func TestEvaluateIncorrect(t *testing.T) {
+	// Artist field holds unrelated values: incorrect.
+	ext := [][]Record{
+		{
+			{"artist": {"XYZ"}, "date": {"May 11, 2010"}, "address": {"237 West 42nd street"}},
+			{"artist": {"QRS"}, "date": {"May 29, 2010"}, "address": {"131 W 55th St"}},
+		},
+		{
+			{"artist": {"TUV"}, "date": {"June 19, 2010"}, "address": {"4 Penn Plaza"}},
+		},
+	}
+	res := EvaluateSource("s", attrs, golden1(), ext, IdentityMapping(attrs))
+	if res.Oi != 3 {
+		t.Fatalf("Oi = %d, want 3", res.Oi)
+	}
+	if res.Attr["artist"] != AttrIncorrect {
+		t.Errorf("artist = %s", res.Attr["artist"])
+	}
+}
+
+func TestEvaluateMissingExtraction(t *testing.T) {
+	res := EvaluateSource("s", attrs, golden1(), nil, IdentityMapping(attrs))
+	if res.No != 3 || res.Oi != 3 {
+		t.Errorf("counts = %+v", res)
+	}
+}
+
+func TestEvaluateOptionalAbsent(t *testing.T) {
+	g := [][]Object{{
+		{"artist": {"Metallica"}, "date": {"May 11, 2010"}},
+		{"artist": {"Muse"}, "date": {"June 19, 2010"}},
+	}}
+	ext := [][]Record{{
+		{"artist": {"Metallica"}, "date": {"May 11, 2010"}},
+		{"artist": {"Muse"}, "date": {"June 19, 2010"}},
+	}}
+	res := EvaluateSource("s", attrs, g, ext, IdentityMapping(attrs))
+	if res.OptionalPresent {
+		t.Error("optional flagged present")
+	}
+	if res.ATotal != 2 {
+		t.Errorf("ATotal = %d, want 2 (address absent)", res.ATotal)
+	}
+	if res.Attr["address"] != AttrAbsent {
+		t.Errorf("address = %s", res.Attr["address"])
+	}
+	if res.Oc != 2 {
+		t.Errorf("Oc = %d", res.Oc)
+	}
+}
+
+func TestEvaluateSetValues(t *testing.T) {
+	bAttrs := []AttrSpec{{Name: "title"}, {Name: "authors", Set: true}}
+	g := [][]Object{{
+		{"title": {"Good Omens"}, "authors": {"Neil Gaiman", "Terry Pratchett"}},
+	}}
+	exact := [][]Record{{
+		{"title": {"Good Omens"}, "authors": {"Terry Pratchett", "Neil Gaiman"}},
+	}}
+	res := EvaluateSource("s", bAttrs, g, exact, IdentityMapping(bAttrs))
+	if res.Oc != 1 {
+		t.Errorf("set order should not matter: %+v", res)
+	}
+	// A comma/"and"-joined list is the trivial flat rendering of a set:
+	// splitting it is part of labeling, so it scores exact.
+	merged := [][]Record{{
+		{"title": {"Good Omens"}, "authors": {"Neil Gaiman and Terry Pratchett"}},
+	}}
+	res = EvaluateSource("s", bAttrs, g, merged, IdentityMapping(bAttrs))
+	if res.Oc != 1 {
+		t.Errorf("joined set should be exact after splitting: Oc=%d Op=%d Oi=%d", res.Oc, res.Op, res.Oi)
+	}
+	// Merged with foreign content stays partial.
+	noisy := [][]Record{{
+		{"title": {"Good Omens"}, "authors": {"Neil Gaiman and Terry Pratchett hardcover"}},
+	}}
+	res = EvaluateSource("s", bAttrs, g, noisy, IdentityMapping(bAttrs))
+	if res.Op != 1 {
+		t.Errorf("noisy set should be partial: Oc=%d Op=%d Oi=%d", res.Oc, res.Op, res.Oi)
+	}
+}
+
+func TestBuildMappingLabelsAnonymousFields(t *testing.T) {
+	g := golden1()
+	ext := [][]Record{
+		{
+			{"f1": {"Metallica"}, "f2": {"May 11, 2010"}, "f3": {"237 West 42nd street"}},
+			{"f1": {"Madonna"}, "f2": {"May 29, 2010"}, "f3": {"131 W 55th St"}},
+		},
+		{
+			{"f1": {"Muse"}, "f2": {"June 19, 2010"}, "f3": {"4 Penn Plaza"}},
+		},
+	}
+	m := BuildMapping(attrs, g, ext)
+	if m["artist"] != "f1" || m["date"] != "f2" || m["address"] != "f3" {
+		t.Errorf("mapping = %v", m)
+	}
+	res := EvaluateSource("s", attrs, g, ext, m)
+	if res.Oc != 3 {
+		t.Errorf("mapped evaluation Oc = %d", res.Oc)
+	}
+}
+
+func TestBuildMappingPrefersExact(t *testing.T) {
+	g := [][]Object{{{"artist": {"Metallica"}}}}
+	ext := [][]Record{{
+		{"fa": {"Metallica"}, "fb": {"Metallica live tonight"}},
+	}}
+	m := BuildMapping([]AttrSpec{{Name: "artist"}}, g, ext)
+	if m["artist"] != "fa" {
+		t.Errorf("mapping = %v, want exact field fa", m)
+	}
+}
+
+func TestRecordsFromInstances(t *testing.T) {
+	bt := sod.MustParse(`tuple { title: instanceOf(BookTitle), authors: set(author: instanceOf(Author))+ }`)
+	authors := bt.Fields[1]
+	inst := &sod.Instance{Type: bt, Children: []*sod.Instance{
+		sod.NewValue(bt.Fields[0], "Good Omens"),
+		{Type: authors, Children: []*sod.Instance{
+			sod.NewValue(authors.Elem, "Neil Gaiman"),
+			sod.NewValue(authors.Elem, "Terry Pratchett"),
+		}},
+	}}
+	recs := RecordsFromInstances([]*sod.Instance{inst})
+	if len(recs) != 1 {
+		t.Fatal("no record")
+	}
+	if got := recs[0]["title"]; len(got) != 1 || got[0] != "Good Omens" {
+		t.Errorf("title = %v", got)
+	}
+	if got := recs[0]["author"]; len(got) != 2 {
+		t.Errorf("authors = %v", got)
+	}
+}
+
+func TestDomainAggregation(t *testing.T) {
+	d := DomainResult{Domain: "concerts", Sources: []SourceResult{
+		{No: 100, Oc: 80, Op: 10, Oi: 10, Ac: 3, ATotal: 3},
+		{No: 50, Oc: 50, Ac: 2, Ap: 1, ATotal: 3},
+	}}
+	no, oc, op, oi := d.Totals()
+	if no != 150 || oc != 130 || op != 10 || oi != 10 {
+		t.Errorf("totals = %d %d %d %d", no, oc, op, oi)
+	}
+	if pc := d.Pc(); pc < 0.86 || pc > 0.87 {
+		t.Errorf("Pc = %v", pc)
+	}
+	if pp := d.Pp(); pp < 0.93 || pp > 0.94 {
+		t.Errorf("Pp = %v", pp)
+	}
+	c, p, i := d.ClassificationRates()
+	if c+p+i < 0.99 || c+p+i > 1.01 {
+		t.Errorf("rates = %v %v %v", c, p, i)
+	}
+	// Source 2 has Ap>0: half the sources incomplete.
+	if got := d.IncompleteRate(); got != 0.5 {
+		t.Errorf("incomplete rate = %v", got)
+	}
+}
+
+func TestValuesMatchEdgeCases(t *testing.T) {
+	if valuesMatch(nil, []string{"x"}) != matchNone {
+		t.Error("empty golden matched")
+	}
+	if valuesMatch([]string{"x"}, nil) != matchNone {
+		t.Error("empty extraction matched")
+	}
+	if valuesMatch([]string{"The Beatles"}, []string{"the  beatles"}) != matchExact {
+		t.Error("normalization failed")
+	}
+	// Split case: golden value covered by concatenation of two fields.
+	if valuesMatch([]string{"Neil Gaiman"}, []string{"Neil", "Gaiman"}) == matchNone {
+		t.Error("split coverage not detected")
+	}
+}

@@ -1,0 +1,276 @@
+// Package exalg implements the ExAlg baseline (Arasu & Garcia-Molina,
+// SIGMOD 2003) against which ObjectRunner is compared in the paper's
+// §IV.B: fully unsupervised wrapper inference from occurrence vectors and
+// equivalence classes, using only the pages' regularity — no semantic
+// annotations and no target description. It extracts every data slot of
+// the inferred template into anonymous fields; labeling happens (if at
+// all) as a post-processing step, which the evaluation harness simulates
+// with golden-standard-driven field mapping.
+package exalg
+
+import (
+	"fmt"
+	"strings"
+
+	"objectrunner/internal/dom"
+	"objectrunner/internal/eqclass"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// Support is the minimal number of pages a template token must
+	// appear in.
+	Support int
+	// SampleSize bounds how many pages are used for inference.
+	SampleSize int
+	// MaxIter bounds the differentiation fixpoint.
+	MaxIter int
+}
+
+// DefaultConfig mirrors the original system's defaults.
+func DefaultConfig() Config {
+	return Config{Support: 3, SampleSize: 20, MaxIter: 10}
+}
+
+// Record is one extracted record: anonymous field ids mapped to values.
+type Record map[string][]string
+
+// Wrapper is an inferred ExAlg template.
+type Wrapper struct {
+	Analysis *eqclass.Analysis
+	// record is the equivalence class treated as the record template:
+	// the class with the most typed... — ExAlg has no types; the class
+	// with the most data slots below the root.
+	records []*eqclass.EQ
+	Aborted bool
+}
+
+// Infer builds the template from the source's pages.
+func Infer(pages []*dom.Node, cfg Config) *Wrapper {
+	if cfg.Support <= 0 {
+		cfg = DefaultConfig()
+	}
+	if len(pages) == 0 {
+		return &Wrapper{Aborted: true}
+	}
+	n := len(pages)
+	if cfg.SampleSize > 0 && n > cfg.SampleSize {
+		n = cfg.SampleSize
+	}
+	var sample [][]*eqclass.Occurrence
+	for i := 0; i < n; i++ {
+		sample = append(sample, eqclass.TokenizePage(pages[i], nil, i))
+	}
+	p := eqclass.Params{Support: cfg.Support, MaxIter: cfg.MaxIter, UseAnnotations: false, AnnThreshold: 0.7}
+	a := eqclass.Analyze(sample, p, nil)
+	w := &Wrapper{Analysis: a}
+	w.records = recordClasses(a)
+	if len(w.records) == 0 {
+		w.Aborted = true
+	}
+	return w
+}
+
+// recordClasses selects the class whose tuples correspond to the
+// source's records: the class maximizing repetitions × fields², where a
+// record's fields include, for each descendant class, its per-record
+// occurrences (ExAlg's schema is nested; a record's fields may live in
+// classes iterating inside it). Squaring favours the outer class that
+// groups a whole record over the inner class holding single values.
+func recordClasses(a *eqclass.Analysis) []*eqclass.EQ {
+	// A record class repeats: its tuples occur at least twice per parent
+	// tuple (constant or varying). Only when no class repeats (singleton
+	// detail pages) does the page-level class stand in for the record.
+	var candidates []*eqclass.EQ
+	for _, e := range a.EQs {
+		if e.Parent == nil {
+			continue
+		}
+		if _, mult := eqclass.Multiplicity(e.Parent, e); mult >= 2 {
+			candidates = append(candidates, e)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = a.EQs
+	}
+	var best *eqclass.EQ
+	bestScore := 0
+	for _, e := range candidates {
+		fields := fieldsPerRecord(a, e)
+		if fields == 0 {
+			continue
+		}
+		tuples := 0
+		for _, tups := range e.Tuples {
+			tuples += len(tups)
+		}
+		score := fields * fields * tuples
+		if score > bestScore {
+			best, bestScore = e, score
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return []*eqclass.EQ{best}
+}
+
+// fieldsPerRecord estimates how many data fields one tuple of the class
+// yields: its own text slots plus each descendant's fields multiplied by
+// the descendant's per-tuple repetition count.
+func fieldsPerRecord(a *eqclass.Analysis, e *eqclass.EQ) int {
+	text := 0
+	for _, p := range a.SlotProfilesOf(e) {
+		if p.TextCount > 0 {
+			text++
+		}
+	}
+	for _, c := range e.Children {
+		_, mult := eqclass.Multiplicity(e, c)
+		if mult < 1 {
+			mult = 1
+		}
+		text += mult * fieldsPerRecord(a, c)
+	}
+	return text
+}
+
+// ExtractPage applies the template to one page, producing one record per
+// repetition of the record class. A record's fields are the class's own
+// data slots plus, for each descendant class, the data slots of its
+// occurrences within the record span, keyed positionally — this tabulates
+// ExAlg's nested output the way a manual labeler would, column by column.
+func (w *Wrapper) ExtractPage(page *dom.Node) []Record {
+	if w.Aborted {
+		return nil
+	}
+	toks := eqclass.TokenizePage(page, nil, 0)
+	var out []Record
+	for _, e := range w.records {
+		for _, span := range findSpans(toks, e.Descs) {
+			rec := make(Record)
+			w.fillRecord(rec, e, toks, span)
+			if len(rec) > 0 {
+				out = append(out, rec)
+			}
+		}
+	}
+	return out
+}
+
+// fillRecord collects the fields of one record span: the class's own data
+// slots and, recursively, the occurrences of descendant classes within
+// the span (keyed with the occurrence ordinal so repeated inner classes
+// become distinct columns).
+func (w *Wrapper) fillRecord(rec Record, e *eqclass.EQ, toks []*eqclass.Occurrence, span []int) {
+	for _, s := range dataSlots(w.Analysis, e) {
+		if val := spanSlotText(toks, span, s); val != "" {
+			rec[fieldID(e, s)+".o0"] = append(rec[fieldID(e, s)+".o0"], val)
+		}
+	}
+	from, to := span[0], span[len(span)-1]
+	for _, c := range e.Children {
+		childSlots := dataSlots(w.Analysis, c)
+		if len(childSlots) == 0 && len(c.Children) == 0 {
+			continue
+		}
+		ord := 0
+		for _, cs := range findSpansWithin(toks, c.Descs, from+1, to) {
+			for _, s := range childSlots {
+				if val := spanSlotText(toks, cs, s); val != "" {
+					key := fmt.Sprintf("%s.o%d", fieldID(c, s), ord)
+					rec[key] = append(rec[key], val)
+				}
+			}
+			// Grandchildren flatten without further ordinal nesting.
+			for _, g := range c.Children {
+				for _, gs := range findSpansWithin(toks, g.Descs, cs[0]+1, cs[len(cs)-1]) {
+					for _, s := range dataSlots(w.Analysis, g) {
+						if val := spanSlotText(toks, gs, s); val != "" {
+							key := fmt.Sprintf("%s.o%d", fieldID(g, s), ord)
+							rec[key] = append(rec[key], val)
+						}
+					}
+				}
+			}
+			ord++
+		}
+	}
+}
+
+// ExtractPages applies the template to every page.
+func (w *Wrapper) ExtractPages(pages []*dom.Node) [][]Record {
+	out := make([][]Record, len(pages))
+	for i, p := range pages {
+		out[i] = w.ExtractPage(p)
+	}
+	return out
+}
+
+func fieldID(e *eqclass.EQ, slot int) string {
+	return fmt.Sprintf("eq%d.s%d", e.ID, slot)
+}
+
+func dataSlots(a *eqclass.Analysis, e *eqclass.EQ) []int {
+	var out []int
+	for i, p := range a.SlotProfilesOf(e) {
+		if p.TextCount > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// findSpans locates repetitions of the class's separator sequence on the
+// page by greedy descriptor matching.
+func findSpans(toks []*eqclass.Occurrence, descs []eqclass.Desc) [][]int {
+	return findSpansWithin(toks, descs, 0, len(toks))
+}
+
+// findSpansWithin restricts the scan to token positions [from, to).
+func findSpansWithin(toks []*eqclass.Occurrence, descs []eqclass.Desc, from, to int) [][]int {
+	if to > len(toks) {
+		to = len(toks)
+	}
+	var out [][]int
+	i := from
+	for {
+		positions := make([]int, 0, len(descs))
+		j := i
+		ok := true
+		for _, d := range descs {
+			found := -1
+			for ; j < to; j++ {
+				o := toks[j]
+				if o.Kind == d.Kind && o.Value == d.Value && o.Path == d.Path {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				ok = false
+				break
+			}
+			positions = append(positions, found)
+			j = found + 1
+		}
+		if !ok || len(positions) == 0 {
+			return out
+		}
+		out = append(out, positions)
+		i = positions[len(positions)-1] + 1
+	}
+}
+
+func spanSlotText(toks []*eqclass.Occurrence, span []int, slot int) string {
+	if slot+1 >= len(span) {
+		return ""
+	}
+	var words []string
+	for i := span[slot] + 1; i < span[slot+1]; i++ {
+		if toks[i].Kind == eqclass.KindWord {
+			words = append(words, toks[i].Raw)
+		}
+	}
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable1 renders the Table I reproduction as text.
+func FormatTable1(runs []SourceRun) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE I — EXTRACTION RESULTS (ObjectRunner)\n")
+	sb.WriteString(fmt.Sprintf("%-14s %-26s %-8s %-6s %-6s %-6s %6s %6s %6s %6s\n",
+		"Domain", "Source", "Optional", "Ac", "Ap", "Ai", "No", "Oc", "Op", "Oi"))
+	lastDomain := ""
+	for _, r := range runs {
+		domain := ""
+		if r.Domain != lastDomain {
+			domain = r.Domain
+			lastDomain = r.Domain
+		}
+		if r.Aborted {
+			sb.WriteString(fmt.Sprintf("%-14s %-26s (discarded: %s)\n", domain, r.Source, r.AbortReason))
+			continue
+		}
+		opt := "no"
+		if r.Optional {
+			opt = "yes"
+		}
+		res := r.Result
+		sb.WriteString(fmt.Sprintf("%-14s %-26s %-8s %d/%-4d %d/%-4d %d/%-4d %6d %6d %6d %6d\n",
+			domain, r.Source, opt,
+			res.Ac, res.ATotal, res.Ap, res.ATotal, res.Ai, res.ATotal,
+			res.No, res.Oc, res.Op, res.Oi))
+	}
+	return sb.String()
+}
+
+// FormatTable2 renders the Table II reproduction.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE II — PRECISION BY SAMPLE SELECTION: SOD-BASED VS RANDOM (%)\n")
+	sb.WriteString(fmt.Sprintf("%-14s %10s %10s %12s %12s\n", "Domain", "Sel Pc", "Sel Pp", "Random Pc", "Random Pp"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-14s %10.2f %10.2f %12.2f %12.2f\n",
+			r.Domain, 100*r.SelPc, 100*r.SelPp, 100*r.RandPc, 100*r.RandPp))
+	}
+	return sb.String()
+}
+
+// FormatTable3 renders the Table III reproduction.
+func FormatTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("TABLE III — PERFORMANCE RESULTS (%)\n")
+	sb.WriteString(fmt.Sprintf("%-14s %8s %8s %8s %8s %8s %8s\n",
+		"Domain", "OR Pc", "OR Pp", "EA Pc", "EA Pp", "RR Pc", "RR Pp"))
+	for _, r := range rows {
+		or, ea, rr := r.Results[OR], r.Results[EA], r.Results[RR]
+		sb.WriteString(fmt.Sprintf("%-14s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			r.Domain,
+			100*or.Pc(), 100*or.Pp(),
+			100*ea.Pc(), 100*ea.Pp(),
+			100*rr.Pc(), 100*rr.Pp()))
+	}
+	return sb.String()
+}
+
+// FormatFigure6 renders both facets of Figure 6 as text series.
+func FormatFigure6(points []Figure6) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 6(a) — OBJECT CLASSIFICATION RATES\n")
+	sb.WriteString(fmt.Sprintf("%-14s %-12s %9s %9s %11s\n", "Domain", "Algorithm", "Correct", "Partial", "Incorrect"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("%-14s %-12s %9.2f %9.2f %11.2f\n",
+			p.Domain, p.Algo, p.Correct, p.Partial, p.Incorrect))
+	}
+	sb.WriteString("\nFIGURE 6(b) — RATE OF INCOMPLETELY MANAGED SOURCES\n")
+	sb.WriteString(fmt.Sprintf("%-14s %-12s %10s\n", "Domain", "Algorithm", "Rate"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("%-14s %-12s %10.2f\n", p.Domain, p.Algo, p.IncompleteSources))
+	}
+	return sb.String()
+}
+
+// FormatSupportAblation renders the support sweep.
+func FormatSupportAblation(domain string, points []SupportPoint) string {
+	var sb strings.Builder
+	sb.WriteString("ABLATION — TOKEN SUPPORT (" + domain + ")\n")
+	sb.WriteString(fmt.Sprintf("%-8s %8s %8s\n", "Support", "Pc", "Pp"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("%-8d %8.2f %8.2f\n", p.Support, 100*p.Pc, 100*p.Pp))
+	}
+	return sb.String()
+}
+
+// FormatCoverageAblation renders the dictionary-coverage sweep.
+func FormatCoverageAblation(domain string, points []CoveragePoint) string {
+	var sb strings.Builder
+	sb.WriteString("ABLATION — DICTIONARY COVERAGE (" + domain + ")\n")
+	sb.WriteString(fmt.Sprintf("%-10s %8s %8s %9s\n", "Coverage", "Pc", "Pp", "Aborted"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("%-10.2f %8.2f %8.2f %9d\n", p.Coverage, 100*p.Pc, 100*p.Pp, p.Aborted))
+	}
+	return sb.String()
+}
+
+// FormatAlphaAblation renders the block-threshold sweep.
+func FormatAlphaAblation(domain string, points []AlphaPoint) string {
+	var sb strings.Builder
+	sb.WriteString("ABLATION — BLOCK ABORT THRESHOLD ALPHA (" + domain + ")\n")
+	sb.WriteString(fmt.Sprintf("%-8s %8s %9s\n", "Alpha", "Pc", "Aborted"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("%-8.2f %8.2f %9d\n", p.Alpha, 100*p.Pc, p.Aborted))
+	}
+	return sb.String()
+}
+
+// FormatTimings renders wrapper-inference times with min/max summary.
+func FormatTimings(ts []Timing) string {
+	var sb strings.Builder
+	sb.WriteString("WRAPPING TIME PER SOURCE (s)\n")
+	min, max := -1.0, 0.0
+	for _, t := range ts {
+		sb.WriteString(fmt.Sprintf("%-14s %-26s %8.3f\n", t.Domain, t.Source, t.Seconds))
+		if min < 0 || t.Seconds < min {
+			min = t.Seconds
+		}
+		if t.Seconds > max {
+			max = t.Seconds
+		}
+	}
+	sb.WriteString(fmt.Sprintf("range: %.3f – %.3f s (paper: 4–9 s on 2008-era hardware)\n", min, max))
+	return sb.String()
+}

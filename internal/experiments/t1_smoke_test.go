@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"objectrunner/internal/sitegen"
+	"objectrunner/internal/wrapper"
+)
+
+// TestT1Smoke prints per-source ObjectRunner results at reduced scale.
+func TestT1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow smoke")
+	}
+	cfg := sitegen.DefaultConfig()
+	cfg.PagesPerSource = 12
+	e, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dd := range e.B.Domains {
+		for _, src := range dd.Sources {
+			run := e.RunOR(dd, src, wrapper.DefaultConfig())
+			if run.Aborted {
+				fmt.Printf("%-12s %-24s ABORT: %s\n", run.Domain, run.Source, run.AbortReason)
+				continue
+			}
+			r := run.Result
+			fmt.Printf("%-12s %-24s %s No=%d Oc=%d Op=%d Oi=%d\n", run.Domain, run.Source, r.FormatAttrRow(), r.No, r.Oc, r.Op, r.Oi)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"objectrunner/internal/sitegen"
+)
+
+// TestT3Smoke prints the Table III / Figure 6 reproduction at a reduced
+// scale; used during development and skipped in -short runs.
+func TestT3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow smoke")
+	}
+	cfg := sitegen.DefaultConfig()
+	cfg.PagesPerSource = 12
+	e, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := e.Table3()
+	fmt.Println(FormatTable3(rows))
+	fmt.Println(FormatFigure6(Figure6FromTable3(rows)))
+}

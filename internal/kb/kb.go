@@ -1,0 +1,187 @@
+// Package kb implements a YAGO-style knowledge base used to construct
+// dictionary recognizers for open isInstanceOf entity types (paper §III.A,
+// first alternative). The paper queries the YAGO ontology and, because
+// useful instances may not sit directly under the queried class (Metallica
+// is a Band, not an Artist), it looks at a semantic neighborhood of the
+// class. This package reproduces that query surface over an in-memory
+// fact base: classes form a subclass DAG, entities attach to classes with
+// confidence values, and Instances(class) collects the neighborhood's
+// instances with distance-attenuated confidence.
+package kb
+
+import (
+	"sort"
+	"strings"
+
+	"objectrunner/internal/recognize"
+)
+
+// KB is an in-memory ontology: a subclass graph plus instance facts.
+type KB struct {
+	// subOf maps a class to its direct superclasses.
+	subOf map[string][]string
+	// supOf maps a class to its direct subclasses.
+	supOf map[string][]string
+	// instances maps a class to its direct instance facts.
+	instances map[string][]fact
+	// tf holds term frequencies of instance strings (used by the
+	// selectivity estimates of paper Eq. 2 and 3).
+	tf map[string]float64
+	// facts counts all asserted facts.
+	facts int
+	// Attenuation is the per-hop confidence multiplier for neighborhood
+	// instances (a Band instance answering an Artist query scores lower
+	// than a direct Artist instance).
+	Attenuation float64
+	// MaxDistance bounds the semantic neighborhood search.
+	MaxDistance int
+}
+
+type fact struct {
+	value string
+	conf  float64
+}
+
+// New creates an empty knowledge base with the default neighborhood
+// parameters (2 hops, 0.8 attenuation per hop).
+func New() *KB {
+	return &KB{
+		subOf:       make(map[string][]string),
+		supOf:       make(map[string][]string),
+		instances:   make(map[string][]fact),
+		tf:          make(map[string]float64),
+		Attenuation: 0.8,
+		MaxDistance: 2,
+	}
+}
+
+func norm(class string) string { return strings.ToLower(strings.TrimSpace(class)) }
+
+// AddSubClass asserts subClassOf(sub, super).
+func (kb *KB) AddSubClass(sub, super string) {
+	s, p := norm(sub), norm(super)
+	if s == "" || p == "" || s == p {
+		return
+	}
+	for _, x := range kb.subOf[s] {
+		if x == p {
+			return
+		}
+	}
+	kb.subOf[s] = append(kb.subOf[s], p)
+	kb.supOf[p] = append(kb.supOf[p], s)
+	kb.facts++
+}
+
+// AddInstance asserts isInstanceOf(value, class) with a confidence score.
+func (kb *KB) AddInstance(value, class string, conf float64) {
+	c := norm(class)
+	if value == "" || c == "" {
+		return
+	}
+	kb.instances[c] = append(kb.instances[c], fact{value: value, conf: conf})
+	kb.facts++
+}
+
+// SetTermFrequency records how often an instance string occurs in the
+// reference corpus; common strings ("New York") are poor discriminators
+// and receive high frequencies.
+func (kb *KB) SetTermFrequency(value string, f float64) {
+	kb.tf[recognize.NormalizePhrase(value)] = f
+}
+
+// TermFrequency returns the recorded term frequency of a string, with a
+// floor of 1 so selectivity ratios stay finite.
+func (kb *KB) TermFrequency(value string) float64 {
+	if f, ok := kb.tf[recognize.NormalizePhrase(value)]; ok && f >= 1 {
+		return f
+	}
+	return 1
+}
+
+// NumFacts returns the number of asserted facts.
+func (kb *KB) NumFacts() int { return kb.facts }
+
+// Classes returns all known class names, sorted.
+func (kb *KB) Classes() []string {
+	seen := make(map[string]bool)
+	for c := range kb.instances {
+		seen[c] = true
+	}
+	for c := range kb.subOf {
+		seen[c] = true
+	}
+	for c := range kb.supOf {
+		seen[c] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Neighborhood returns the classes within maxDist hops of the given class
+// in the undirected subclass graph, mapped to their distance. Distance 0
+// is the class itself.
+func (kb *KB) Neighborhood(class string, maxDist int) map[string]int {
+	start := norm(class)
+	dist := map[string]int{start: 0}
+	frontier := []string{start}
+	for d := 1; d <= maxDist; d++ {
+		var next []string
+		for _, c := range frontier {
+			for _, nb := range append(append([]string{}, kb.subOf[c]...), kb.supOf[c]...) {
+				if _, seen := dist[nb]; !seen {
+					dist[nb] = d
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// DirectInstances returns the instances asserted directly on the class.
+func (kb *KB) DirectInstances(class string) []recognize.Entry {
+	fs := kb.instances[norm(class)]
+	out := make([]recognize.Entry, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, recognize.Entry{Value: f.value, Confidence: f.conf})
+	}
+	return out
+}
+
+// Instances implements recognize.GazetteerSource: it returns the
+// instances of the class's semantic neighborhood, with confidence
+// attenuated by graph distance. Duplicate values keep their best score.
+func (kb *KB) Instances(class string) []recognize.Entry {
+	dist := kb.Neighborhood(class, kb.MaxDistance)
+	best := make(map[string]recognize.Entry)
+	for c, d := range dist {
+		factor := 1.0
+		for i := 0; i < d; i++ {
+			factor *= kb.Attenuation
+		}
+		for _, f := range kb.instances[c] {
+			conf := f.conf * factor
+			key := recognize.NormalizePhrase(f.value)
+			if cur, ok := best[key]; !ok || conf > cur.Confidence {
+				best[key] = recognize.Entry{Value: f.value, Confidence: conf}
+			}
+		}
+	}
+	out := make([]recognize.Entry, 0, len(best))
+	for _, e := range best {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

@@ -1,0 +1,190 @@
+package kb
+
+import (
+	"testing"
+)
+
+// musicKB builds the paper's motivating fragment: Metallica is a Band,
+// Band and Artist share the superclass Performer, so an Artist query
+// should surface Metallica through the semantic neighborhood.
+func musicKB() *KB {
+	k := New()
+	k.AddSubClass("Band", "Performer")
+	k.AddSubClass("Artist", "Performer")
+	k.AddSubClass("Performer", "Person")
+	k.AddInstance("Metallica", "Band", 0.9)
+	k.AddInstance("Madonna", "Artist", 0.95)
+	k.AddInstance("Socrates", "Person", 0.9)
+	return k
+}
+
+func TestDirectInstances(t *testing.T) {
+	k := musicKB()
+	es := k.DirectInstances("Artist")
+	if len(es) != 1 || es[0].Value != "Madonna" {
+		t.Errorf("direct = %v", es)
+	}
+	if got := k.DirectInstances("artist"); len(got) != 1 {
+		t.Error("class lookup should be case-insensitive")
+	}
+}
+
+func TestNeighborhoodDistances(t *testing.T) {
+	k := musicKB()
+	d := k.Neighborhood("Artist", 2)
+	cases := map[string]int{"artist": 0, "performer": 1, "band": 2, "person": 2}
+	for c, want := range cases {
+		if got, ok := d[c]; !ok || got != want {
+			t.Errorf("dist[%s] = %d (present=%v), want %d", c, got, ok, want)
+		}
+	}
+	if _, ok := d["nosuch"]; ok {
+		t.Error("unknown class in neighborhood")
+	}
+}
+
+func TestInstancesSemanticNeighborhood(t *testing.T) {
+	k := musicKB()
+	es := k.Instances("Artist")
+	byVal := make(map[string]float64)
+	for _, e := range es {
+		byVal[e.Value] = e.Confidence
+	}
+	if _, ok := byVal["Metallica"]; !ok {
+		t.Fatal("Metallica (a Band) not found via Artist neighborhood")
+	}
+	if byVal["Madonna"] != 0.95 {
+		t.Errorf("direct instance confidence = %v, want 0.95", byVal["Madonna"])
+	}
+	// Band is 2 hops away: 0.9 * 0.8^2 = 0.576.
+	want := 0.9 * 0.8 * 0.8
+	if diff := byVal["Metallica"] - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("attenuated confidence = %v, want %v", byVal["Metallica"], want)
+	}
+	// Sorted by descending confidence: Madonna first.
+	if es[0].Value != "Madonna" {
+		t.Errorf("first entry = %v", es[0])
+	}
+}
+
+func TestInstancesRespectMaxDistance(t *testing.T) {
+	k := musicKB()
+	k.MaxDistance = 1
+	for _, e := range k.Instances("Artist") {
+		if e.Value == "Metallica" {
+			t.Error("Metallica found beyond MaxDistance")
+		}
+	}
+}
+
+func TestInstancesDeduplicate(t *testing.T) {
+	k := New()
+	k.AddSubClass("Band", "Performer")
+	k.AddSubClass("Artist", "Performer")
+	k.AddInstance("Muse", "Artist", 0.5)
+	k.AddInstance("Muse", "Band", 0.99)
+	es := k.Instances("Artist")
+	if len(es) != 1 {
+		t.Fatalf("got %d entries, want 1 (deduped)", len(es))
+	}
+	// Best of direct 0.5 vs attenuated 0.99*0.64 = 0.6336.
+	want := 0.99 * 0.8 * 0.8
+	if diff := es[0].Confidence - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("conf = %v, want %v", es[0].Confidence, want)
+	}
+}
+
+func TestTermFrequency(t *testing.T) {
+	k := New()
+	k.SetTermFrequency("New York", 5000)
+	if got := k.TermFrequency("new  york"); got != 5000 {
+		t.Errorf("tf = %v", got)
+	}
+	if got := k.TermFrequency("rare thing"); got != 1 {
+		t.Errorf("default tf = %v, want 1", got)
+	}
+	k.SetTermFrequency("weird", 0.2)
+	if got := k.TermFrequency("weird"); got != 1 {
+		t.Errorf("tf floor violated: %v", got)
+	}
+}
+
+func TestFactCountingAndIdempotence(t *testing.T) {
+	k := New()
+	k.AddSubClass("A", "B")
+	k.AddSubClass("A", "B") // duplicate edge ignored
+	k.AddSubClass("A", "A") // self edge ignored
+	k.AddSubClass("", "B")  // empty ignored
+	if k.NumFacts() != 1 {
+		t.Errorf("facts = %d, want 1", k.NumFacts())
+	}
+	k.AddInstance("x", "A", 0.5)
+	k.AddInstance("", "A", 0.5)
+	k.AddInstance("x", "", 0.5)
+	if k.NumFacts() != 2 {
+		t.Errorf("facts = %d, want 2", k.NumFacts())
+	}
+}
+
+func TestClasses(t *testing.T) {
+	k := musicKB()
+	cs := k.Classes()
+	want := []string{"artist", "band", "performer", "person"}
+	if len(cs) != len(want) {
+		t.Fatalf("classes = %v", cs)
+	}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Errorf("classes[%d] = %s, want %s", i, cs[i], want[i])
+		}
+	}
+}
+
+func TestUnknownClass(t *testing.T) {
+	k := musicKB()
+	if es := k.Instances("NoSuchClass"); len(es) != 0 {
+		t.Errorf("unknown class returned %v", es)
+	}
+}
+
+func TestExpandInstances(t *testing.T) {
+	k := musicKB()
+	// Seeds hitting the Band/Artist neighborhood pull in both classes'
+	// instances.
+	es := k.ExpandInstances([]string{"Madonna", "Metallica"})
+	found := map[string]bool{}
+	for _, e := range es {
+		found[e.Value] = true
+	}
+	for _, want := range []string{"Madonna", "Metallica"} {
+		if !found[want] {
+			t.Errorf("seed %q missing from expansion %v", want, es)
+		}
+	}
+	// Seeds carry full confidence.
+	for _, e := range es {
+		if e.Value == "Madonna" && e.Confidence != 1 {
+			t.Errorf("seed confidence = %v", e.Confidence)
+		}
+	}
+	// Unknown seeds fall back to themselves.
+	es = k.ExpandInstances([]string{"Nobody Known"})
+	if len(es) != 1 || es[0].Value != "Nobody Known" || es[0].Confidence != 1 {
+		t.Errorf("fallback expansion = %v", es)
+	}
+	// Empty input.
+	if es := k.ExpandInstances(nil); es != nil {
+		t.Errorf("nil seeds expanded to %v", es)
+	}
+}
+
+func TestSeedSource(t *testing.T) {
+	k := musicKB()
+	src := SeedSource{KB: k, Seeds: map[string][]string{"MyType": {"Madonna"}}}
+	if es := src.Instances("MyType"); len(es) == 0 {
+		t.Error("seed source returned nothing")
+	}
+	if es := src.Instances("Other"); es != nil {
+		t.Errorf("unknown class returned %v", es)
+	}
+}

@@ -1,0 +1,95 @@
+package kb
+
+import (
+	"sort"
+
+	"objectrunner/internal/recognize"
+)
+
+// ExpandInstances implements the paper's future-work idea of specifying
+// an atomic type by giving only a few instances (§VI, "in the style of
+// Google sets"): the seeds are located in the ontology, the classes that
+// best cover them are identified, and the semantic neighborhood of those
+// classes is returned as a gazetteer. Seeds missing from the ontology are
+// simply included verbatim with full confidence.
+func (kb *KB) ExpandInstances(seeds []string) []recognize.Entry {
+	if len(seeds) == 0 {
+		return nil
+	}
+	// Score classes by how many seeds they (or their neighborhood) hold.
+	norm := func(s string) string { return recognize.NormalizePhrase(s) }
+	seedSet := make(map[string]bool, len(seeds))
+	for _, s := range seeds {
+		seedSet[norm(s)] = true
+	}
+	classScore := make(map[string]int)
+	for class, facts := range kb.instances {
+		for _, f := range facts {
+			if seedSet[norm(f.value)] {
+				classScore[class]++
+			}
+		}
+	}
+	if len(classScore) == 0 {
+		// Nothing known: the seeds themselves are the dictionary.
+		out := make([]recognize.Entry, 0, len(seeds))
+		for _, s := range seeds {
+			out = append(out, recognize.Entry{Value: s, Confidence: 1})
+		}
+		return out
+	}
+	// Keep the best-covering classes (all classes tied at the maximum).
+	best := 0
+	for _, c := range classScore {
+		if c > best {
+			best = c
+		}
+	}
+	var classes []string
+	for class, c := range classScore {
+		if c == best {
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes)
+	// Union of the chosen classes' neighborhoods, plus the seeds.
+	seen := make(map[string]recognize.Entry)
+	for _, class := range classes {
+		for _, e := range kb.Instances(class) {
+			key := norm(e.Value)
+			if cur, ok := seen[key]; !ok || e.Confidence > cur.Confidence {
+				seen[key] = e
+			}
+		}
+	}
+	for _, s := range seeds {
+		seen[norm(s)] = recognize.Entry{Value: s, Confidence: 1}
+	}
+	out := make([]recognize.Entry, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// SeedSource adapts seed expansion to the GazetteerSource interface: the
+// named class resolves to the expansion of the configured seeds.
+type SeedSource struct {
+	KB    *KB
+	Seeds map[string][]string // class name -> example instances
+}
+
+// Instances implements recognize.GazetteerSource.
+func (s SeedSource) Instances(class string) []recognize.Entry {
+	seeds, ok := s.Seeds[class]
+	if !ok {
+		return nil
+	}
+	return s.KB.ExpandInstances(seeds)
+}

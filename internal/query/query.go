@@ -1,0 +1,226 @@
+// Package query implements the "phase-two querying" of the ObjectRunner
+// architecture (paper Fig. 1 and §I: after an SOD harvests structured
+// data, users query the extracted collection). It provides a small,
+// composable query layer over extracted instances: field predicates,
+// ordering, projection and limits.
+package query
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sod"
+)
+
+// Predicate tests one instance.
+type Predicate func(in *sod.Instance) bool
+
+// values gathers every leaf value of the named field within an instance.
+func values(in *sod.Instance, field string) []string {
+	var out []string
+	var rec func(*sod.Instance)
+	rec = func(x *sod.Instance) {
+		if x.Leaf() {
+			if x.Type.Name == field {
+				out = append(out, x.Value)
+			}
+			return
+		}
+		for _, c := range x.Children {
+			rec(c)
+		}
+	}
+	rec(in)
+	return out
+}
+
+// first returns the first value of the field, or "".
+func first(in *sod.Instance, field string) string {
+	vs := values(in, field)
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// Eq matches instances where some value of the field equals v after
+// normalization (case and punctuation insensitive).
+func Eq(field, v string) Predicate {
+	want := recognize.NormalizePhrase(v)
+	return func(in *sod.Instance) bool {
+		for _, x := range values(in, field) {
+			if recognize.NormalizePhrase(x) == want {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Contains matches instances where some value of the field contains the
+// needle (case-insensitive).
+func Contains(field, needle string) Predicate {
+	n := strings.ToLower(needle)
+	return func(in *sod.Instance) bool {
+		for _, x := range values(in, field) {
+			if strings.Contains(strings.ToLower(x), n) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// numeric extracts the first number from a string ("$12.99" -> 12.99).
+func numeric(s string) (float64, bool) {
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= '0' && c <= '9' {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return 0, false
+	}
+	end := start
+	for end < len(s) && (s[end] >= '0' && s[end] <= '9' || s[end] == '.' || s[end] == ',') {
+		end++
+	}
+	v, err := strconv.ParseFloat(strings.ReplaceAll(s[start:end], ",", ""), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// NumLess matches instances whose field holds a number strictly below
+// bound (currency symbols and thousands separators are tolerated).
+func NumLess(field string, bound float64) Predicate {
+	return func(in *sod.Instance) bool {
+		for _, x := range values(in, field) {
+			if v, ok := numeric(x); ok && v < bound {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// NumAtLeast matches instances whose field holds a number >= bound.
+func NumAtLeast(field string, bound float64) Predicate {
+	return func(in *sod.Instance) bool {
+		for _, x := range values(in, field) {
+			if v, ok := numeric(x); ok && v >= bound {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// And combines predicates conjunctively.
+func And(ps ...Predicate) Predicate {
+	return func(in *sod.Instance) bool {
+		for _, p := range ps {
+			if !p(in) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines predicates disjunctively.
+func Or(ps ...Predicate) Predicate {
+	return func(in *sod.Instance) bool {
+		for _, p := range ps {
+			if p(in) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not inverts a predicate.
+func Not(p Predicate) Predicate {
+	return func(in *sod.Instance) bool { return !p(in) }
+}
+
+// Query is a fluent query over an extracted collection. Operations do not
+// modify the source slice.
+type Query struct {
+	objects []*sod.Instance
+}
+
+// Over starts a query over a collection.
+func Over(objects []*sod.Instance) *Query {
+	return &Query{objects: objects}
+}
+
+// Where keeps the instances satisfying the predicate.
+func (q *Query) Where(p Predicate) *Query {
+	var out []*sod.Instance
+	for _, o := range q.objects {
+		if p(o) {
+			out = append(out, o)
+		}
+	}
+	return &Query{objects: out}
+}
+
+// OrderBy sorts by the field's first value, lexicographically (stable).
+func (q *Query) OrderBy(field string) *Query {
+	out := append([]*sod.Instance{}, q.objects...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return recognize.NormalizePhrase(first(out[i], field)) < recognize.NormalizePhrase(first(out[j], field))
+	})
+	return &Query{objects: out}
+}
+
+// OrderByNum sorts by the field's first numeric value ascending; values
+// without a number sort last.
+func (q *Query) OrderByNum(field string) *Query {
+	out := append([]*sod.Instance{}, q.objects...)
+	key := func(in *sod.Instance) (float64, bool) { return numeric(first(in, field)) }
+	sort.SliceStable(out, func(i, j int) bool {
+		vi, oki := key(out[i])
+		vj, okj := key(out[j])
+		if oki != okj {
+			return oki
+		}
+		return vi < vj
+	})
+	return &Query{objects: out}
+}
+
+// Limit truncates the result.
+func (q *Query) Limit(n int) *Query {
+	if n < 0 || n > len(q.objects) {
+		n = len(q.objects)
+	}
+	return &Query{objects: q.objects[:n]}
+}
+
+// All returns the current result set.
+func (q *Query) All() []*sod.Instance { return q.objects }
+
+// Count returns the current result size.
+func (q *Query) Count() int { return len(q.objects) }
+
+// Project returns, for each instance, the requested fields' values.
+func (q *Query) Project(fields ...string) []map[string][]string {
+	out := make([]map[string][]string, 0, len(q.objects))
+	for _, o := range q.objects {
+		row := make(map[string][]string, len(fields))
+		for _, f := range fields {
+			row[f] = values(o, f)
+		}
+		out = append(out, row)
+	}
+	return out
+}

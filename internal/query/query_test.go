@@ -1,0 +1,131 @@
+package query
+
+import (
+	"testing"
+
+	"objectrunner/internal/sod"
+)
+
+var bookT = sod.MustParse(`tuple { title: instanceOf(T), price: price, authors: set(author: instanceOf(A))+ }`)
+
+func book(title, price string, authors ...string) *sod.Instance {
+	set := &sod.Instance{Type: bookT.Fields[2]}
+	for _, a := range authors {
+		set.Children = append(set.Children, sod.NewValue(bookT.Fields[2].Elem, a))
+	}
+	return &sod.Instance{Type: bookT, Children: []*sod.Instance{
+		sod.NewValue(bookT.Fields[0], title),
+		sod.NewValue(bookT.Fields[1], price),
+		set,
+	}}
+}
+
+func library() []*sod.Instance {
+	return []*sod.Instance{
+		book("Good Omens", "$11.25", "Neil Gaiman", "Terry Pratchett"),
+		book("Norse Mythology", "$14.00", "Neil Gaiman"),
+		book("Pride and Prejudice", "$9.99", "Jane Austen"),
+		book("Persuasion", "no price", "Jane Austen"),
+	}
+}
+
+func TestEqNormalized(t *testing.T) {
+	got := Over(library()).Where(Eq("title", "good  OMENS")).All()
+	if len(got) != 1 || got[0].FieldValue("title") != "Good Omens" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEqOnSetMembers(t *testing.T) {
+	got := Over(library()).Where(Eq("author", "Neil Gaiman")).Count()
+	if got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	got := Over(library()).Where(Contains("title", "pri")).Count()
+	if got != 1 {
+		t.Errorf("count = %d", got)
+	}
+}
+
+func TestNumericPredicates(t *testing.T) {
+	under12 := Over(library()).Where(NumLess("price", 12)).Count()
+	if under12 != 2 { // 11.25 and 9.99; "no price" excluded
+		t.Errorf("under12 = %d", under12)
+	}
+	atLeast14 := Over(library()).Where(NumAtLeast("price", 14)).Count()
+	if atLeast14 != 1 {
+		t.Errorf("atLeast14 = %d", atLeast14)
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	q := Over(library())
+	both := q.Where(And(Eq("author", "Neil Gaiman"), NumLess("price", 12))).Count()
+	if both != 1 {
+		t.Errorf("and = %d", both)
+	}
+	either := q.Where(Or(Eq("author", "Jane Austen"), Eq("author", "Terry Pratchett"))).Count()
+	if either != 3 {
+		t.Errorf("or = %d", either)
+	}
+	neither := q.Where(Not(Eq("author", "Neil Gaiman"))).Count()
+	if neither != 2 {
+		t.Errorf("not = %d", neither)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	got := Over(library()).OrderBy("title").Limit(2).All()
+	if len(got) != 2 {
+		t.Fatalf("limit failed: %d", len(got))
+	}
+	if got[0].FieldValue("title") != "Good Omens" || got[1].FieldValue("title") != "Norse Mythology" {
+		t.Errorf("order = %q, %q", got[0].FieldValue("title"), got[1].FieldValue("title"))
+	}
+}
+
+func TestOrderByNum(t *testing.T) {
+	got := Over(library()).OrderByNum("price").All()
+	if got[0].FieldValue("price") != "$9.99" {
+		t.Errorf("cheapest first = %q", got[0].FieldValue("price"))
+	}
+	// Value without a number sorts last.
+	if got[len(got)-1].FieldValue("price") != "no price" {
+		t.Errorf("last = %q", got[len(got)-1].FieldValue("price"))
+	}
+}
+
+func TestProject(t *testing.T) {
+	rows := Over(library()).Where(Eq("title", "Good Omens")).Project("title", "author")
+	if len(rows) != 1 {
+		t.Fatal("no rows")
+	}
+	if len(rows[0]["author"]) != 2 {
+		t.Errorf("authors = %v", rows[0]["author"])
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	objs := library()
+	q := Over(objs)
+	q.Where(Eq("author", "Jane Austen")).OrderBy("title").Limit(1)
+	if q.Count() != 4 || len(objs) != 4 {
+		t.Error("query mutated its source")
+	}
+}
+
+func TestLimitEdgeCases(t *testing.T) {
+	q := Over(library())
+	if q.Limit(-1).Count() != 4 {
+		t.Error("negative limit")
+	}
+	if q.Limit(100).Count() != 4 {
+		t.Error("oversized limit")
+	}
+	if q.Limit(0).Count() != 0 {
+		t.Error("zero limit")
+	}
+}

@@ -1,0 +1,197 @@
+package recognize
+
+import (
+	"sort"
+	"strings"
+)
+
+// Entry is one gazetteer instance with its confidence score w.r.t. the
+// type the dictionary is associated to (paper §III.A: "gazetteer instances
+// should be described by confidence values").
+type Entry struct {
+	Value      string
+	Confidence float64
+}
+
+// Dictionary is a dictionary-based (isInstanceOf) recognizer: an open set
+// of known instances for a class, built on the fly from a knowledge base
+// or a Web corpus, and enrichable with values discovered during
+// extraction.
+type Dictionary struct {
+	name string
+	// byFirst indexes entries by their first token for linear-time text
+	// scanning.
+	byFirst map[string][]dictEntry
+	size    int
+}
+
+type dictEntry struct {
+	tokens []string
+	value  string
+	conf   float64
+}
+
+// NewDictionary creates an empty dictionary recognizer with the given
+// display name (conventionally "instanceOf(Class)").
+func NewDictionary(name string) *Dictionary {
+	return &Dictionary{name: name, byFirst: make(map[string][]dictEntry)}
+}
+
+// Name implements Recognizer.
+func (d *Dictionary) Name() string { return d.name }
+
+// Len returns the number of entries.
+func (d *Dictionary) Len() int { return d.size }
+
+// Add inserts an instance with its confidence. Adding an existing instance
+// keeps the higher confidence (enrichment never degrades knowledge).
+func (d *Dictionary) Add(value string, conf float64) {
+	toks := Tokenize(value)
+	if len(toks) == 0 {
+		return
+	}
+	first := toks[0]
+	for i, e := range d.byFirst[first] {
+		if equalTokens(e.tokens, toks) {
+			if conf > e.conf {
+				d.byFirst[first][i].conf = conf
+			}
+			return
+		}
+	}
+	d.byFirst[first] = append(d.byFirst[first], dictEntry{tokens: toks, value: value, conf: conf})
+	d.size++
+}
+
+// AddAll inserts every entry.
+func (d *Dictionary) AddAll(entries []Entry) {
+	for _, e := range entries {
+		d.Add(e.Value, e.Confidence)
+	}
+}
+
+// Contains reports whether the phrase is a known instance and returns its
+// confidence.
+func (d *Dictionary) Contains(phrase string) (float64, bool) {
+	toks := Tokenize(phrase)
+	if len(toks) == 0 {
+		return 0, false
+	}
+	for _, e := range d.byFirst[toks[0]] {
+		if equalTokens(e.tokens, toks) {
+			return e.conf, true
+		}
+	}
+	return 0, false
+}
+
+// Entries returns a copy of all entries, sorted by descending confidence
+// then value, for deterministic iteration.
+func (d *Dictionary) Entries() []Entry {
+	out := make([]Entry, 0, d.size)
+	for _, bucket := range d.byFirst {
+		for _, e := range bucket {
+			out = append(out, Entry{Value: e.value, Confidence: e.conf})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Find implements Recognizer: it scans the text for maximal dictionary
+// phrases. Matching is token-based and case-insensitive; among entries
+// starting at the same token, the longest match wins.
+func (d *Dictionary) Find(text string) []Match {
+	spans := tokenSpans(text)
+	var out []Match
+	i := 0
+	for i < len(spans) {
+		tok := strings.ToLower(normToken(text[spans[i].start:spans[i].end]))
+		best := -1
+		bestLen := 0
+		bestConf := 0.0
+		for _, e := range d.byFirst[tok] {
+			n := len(e.tokens)
+			if n <= bestLen || i+n > len(spans) {
+				continue
+			}
+			ok := true
+			for k := 1; k < n; k++ {
+				w := strings.ToLower(normToken(text[spans[i+k].start:spans[i+k].end]))
+				if w != e.tokens[k] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best = n
+				bestLen = n
+				bestConf = e.conf
+			}
+		}
+		if best > 0 {
+			start, end := spans[i].start, spans[i+best-1].end
+			out = append(out, Match{Start: start, End: end, Value: text[start:end], Confidence: bestConf})
+			i += best
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+type span struct{ start, end int }
+
+// tokenSpans returns the byte spans of word tokens in text, mirroring
+// Tokenize's segmentation.
+func tokenSpans(text string) []span {
+	var spans []span
+	start := -1
+	for i, r := range text {
+		isWord := r == '\'' || r == '’' ||
+			r >= '0' && r <= '9' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			r > 127 && isLetterRune(r)
+		if isWord {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			spans = append(spans, span{start, i})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		spans = append(spans, span{start, len(text)})
+	}
+	return spans
+}
+
+func isLetterRune(r rune) bool {
+	// Unicode letters beyond ASCII (accented names etc).
+	return r >= 0x00C0 && r <= 0x024F || r >= 0x0370
+}
+
+// normToken normalizes a raw token the way Tokenize does (apostrophe
+// variants unified).
+func normToken(s string) string {
+	return strings.ReplaceAll(s, "’", "'")
+}
+
+func equalTokens(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,80 @@
+// Package recognize implements the type recognizers of ObjectRunner
+// (paper §II.A, §III.A). A recognizer decides which substrings of a text
+// are instances of an entity type. Three families are provided, matching
+// the paper: (i) user-defined regular expressions, (ii) system-predefined
+// recognizers (dates, addresses, phone numbers, prices, ...), and (iii)
+// open, dictionary-based isInstanceOf recognizers whose gazetteers are
+// built on the fly from a knowledge base or a Web corpus.
+//
+// Recognizers are never assumed to be entirely precise nor complete; every
+// match carries a confidence score and downstream stages treat annotations
+// as hints, not ground truth.
+package recognize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Match is one recognized instance inside a text.
+type Match struct {
+	Start      int     // byte offset of the first matched character
+	End        int     // byte offset one past the last matched character
+	Value      string  // the matched instance, as it appears in the text
+	Confidence float64 // in (0, 1]
+}
+
+// Recognizer finds instances of one entity type in text.
+type Recognizer interface {
+	// Name identifies the recognizer (e.g. "date", "instanceOf(Artist)").
+	Name() string
+	// Find returns all non-overlapping matches in document order.
+	Find(text string) []Match
+}
+
+// FindWhole reports whether the entire text (modulo surrounding space) is
+// a single instance according to r, and with what confidence.
+func FindWhole(r Recognizer, text string) (float64, bool) {
+	trimmed := strings.TrimSpace(text)
+	for _, m := range r.Find(trimmed) {
+		if strings.TrimSpace(trimmed[m.Start:m.End]) == trimmed {
+			return m.Confidence, true
+		}
+	}
+	return 0, false
+}
+
+// Tokenize splits text into lower-cased word tokens, dropping punctuation.
+// It is the shared lexical basis for dictionary matching and corpus
+// statistics.
+func Tokenize(text string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+		case r == '\'' || r == '’':
+			// Keep apostrophes inside words (O'Brien).
+			if cur.Len() > 0 {
+				cur.WriteRune('\'')
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// NormalizePhrase lower-cases and collapses a phrase to its token form,
+// so "The  Beatles" and "the beatles" compare equal.
+func NormalizePhrase(s string) string {
+	return strings.Join(Tokenize(s), " ")
+}

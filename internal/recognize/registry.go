@@ -1,0 +1,125 @@
+package recognize
+
+import (
+	"fmt"
+	"strings"
+
+	"objectrunner/internal/sod"
+)
+
+// GazetteerSource supplies instances for open isInstanceOf types. The
+// knowledge-base and corpus packages implement it (paper §III.A lists the
+// two alternatives: querying an ontology and Hearst patterns over a Web
+// corpus).
+type GazetteerSource interface {
+	// Instances returns scored instances of the named class. An empty
+	// result is legitimate: sources are best-effort.
+	Instances(class string) []Entry
+}
+
+// Registry resolves the recognizer references of an SOD to concrete
+// recognizers, constructing dictionary recognizers on the fly from the
+// configured gazetteer sources.
+type Registry struct {
+	sources    []GazetteerSource
+	predefined map[string]func() Recognizer
+	cache      map[string]Recognizer
+}
+
+// NewRegistry creates a registry with the standard predefined recognizers
+// and the given gazetteer sources (consulted in order for isInstanceOf
+// types, all contributions merged).
+func NewRegistry(sources ...GazetteerSource) *Registry {
+	r := &Registry{
+		sources: sources,
+		cache:   make(map[string]Recognizer),
+		predefined: map[string]func() Recognizer{
+			"date":    NewDate,
+			"year":    NewYear,
+			"price":   NewPrice,
+			"phone":   NewPhone,
+			"address": NewAddress,
+			"email":   NewEmail,
+			"number":  NewNumber,
+			"isbn":    NewISBN,
+		},
+	}
+	return r
+}
+
+// RegisterPredefined adds (or replaces) a named predefined recognizer
+// family.
+func (r *Registry) RegisterPredefined(kind string, ctor func() Recognizer) {
+	r.predefined[strings.ToLower(kind)] = ctor
+}
+
+// Resolve returns the recognizer for a reference, building and caching it
+// on first use.
+func (r *Registry) Resolve(ref sod.RecognizerRef) (Recognizer, error) {
+	key := strings.ToLower(ref.Kind) + "(" + ref.Arg + ")"
+	if rec, ok := r.cache[key]; ok {
+		return rec, nil
+	}
+	rec, err := r.build(ref)
+	if err != nil {
+		return nil, err
+	}
+	r.cache[key] = rec
+	return rec, nil
+}
+
+func (r *Registry) build(ref sod.RecognizerRef) (Recognizer, error) {
+	kind := strings.ToLower(ref.Kind)
+	switch {
+	case kind == "regex":
+		if ref.Arg == "" {
+			return nil, fmt.Errorf("recognize: regex recognizer needs a pattern")
+		}
+		return NewRegex("regex("+ref.Arg+")", ref.Arg)
+	case ref.IsInstanceOf():
+		if ref.Arg == "" {
+			return nil, fmt.Errorf("recognize: instanceOf recognizer needs a class name")
+		}
+		d := NewDictionary("instanceOf(" + ref.Arg + ")")
+		for _, src := range r.sources {
+			d.AddAll(src.Instances(ref.Arg))
+		}
+		return d, nil
+	default:
+		ctor, ok := r.predefined[kind]
+		if !ok {
+			return nil, fmt.Errorf("recognize: unknown recognizer kind %q", ref.Kind)
+		}
+		return ctor(), nil
+	}
+}
+
+// ResolveAll maps every entity type of the SOD to its recognizer, keyed by
+// entity type name. It fails fast on the first unresolvable reference.
+func (r *Registry) ResolveAll(t *sod.Type) (map[string]Recognizer, error) {
+	out := make(map[string]Recognizer)
+	for _, e := range t.EntityTypes() {
+		rec, err := r.Resolve(e.Recognizer)
+		if err != nil {
+			return nil, fmt.Errorf("recognize: type %q: %w", e.Name, err)
+		}
+		out[e.Name] = rec
+	}
+	return out, nil
+}
+
+// Dictionary returns the dictionary recognizer cached for an isInstanceOf
+// reference, if one has been resolved; used by the enrichment loop to add
+// discovered instances back.
+func (r *Registry) Dictionary(ref sod.RecognizerRef) (*Dictionary, bool) {
+	key := strings.ToLower(ref.Kind) + "(" + ref.Arg + ")"
+	d, ok := r.cache[key].(*Dictionary)
+	return d, ok
+}
+
+// StaticSource is a GazetteerSource over a fixed in-memory table, useful
+// for tests and for user-supplied dictionaries.
+type StaticSource map[string][]Entry
+
+// Instances implements GazetteerSource.
+func (s StaticSource) Instances(class string) []Entry { return s[class] }

@@ -1,0 +1,526 @@
+// Package roadrunner implements the RoadRunner baseline (Crescenzi, Mecca
+// & Merialdo, VLDB 2001) used in the paper's comparison (§IV.B):
+// unsupervised wrapper inference by pairwise page alignment into a
+// union-free regular expression. Matching a sample page against the
+// current wrapper generalizes it on mismatches: string mismatches become
+// #PCDATA fields, repeated blocks become iterators ( )+ discovered by
+// square matching, and unalignable blocks become optionals ( )?.
+//
+// As the paper observes, this family of techniques assumes every HTML tag
+// belongs to the template and relies purely on cross-page variation: list
+// pages whose record count is constant across sample pages offer no
+// variation, so the iterator is never discovered and record fields leak
+// into the page template — the "too regular" failure mode.
+package roadrunner
+
+import (
+	"fmt"
+	"strings"
+
+	"objectrunner/internal/dom"
+)
+
+// tokKind discriminates wrapper tokens.
+type tokKind int
+
+const (
+	kindTag tokKind = iota
+	kindEndTag
+	kindText  // constant string
+	kindField // #PCDATA
+)
+
+// wtoken is one token of the wrapper expression.
+type wtoken struct {
+	kind  tokKind
+	value string
+	// iter marks the start of an iterator region of length iterLen
+	// (square matching result).
+	iterLen int
+	// opt marks the start of an optional region of length optLen.
+	optLen int
+}
+
+func (t wtoken) matches(p ptoken) bool {
+	switch t.kind {
+	case kindTag:
+		return p.kind == kindTag && p.value == t.value
+	case kindEndTag:
+		return p.kind == kindEndTag && p.value == t.value
+	case kindText:
+		return p.kind == kindText && p.value == t.value
+	case kindField:
+		return p.kind == kindText
+	}
+	return false
+}
+
+// ptoken is one token of a concrete page.
+type ptoken struct {
+	kind  tokKind
+	value string
+	raw   string
+}
+
+// Config tunes inference.
+type Config struct {
+	// SampleSize bounds how many pages participate in wrapper
+	// generalization.
+	SampleSize int
+}
+
+// DefaultConfig returns the defaults.
+func DefaultConfig() Config { return Config{SampleSize: 20} }
+
+// Record is one extracted record: field ids to values.
+type Record map[string][]string
+
+// Wrapper is the inferred union-free expression.
+type Wrapper struct {
+	tokens  []wtoken
+	Aborted bool
+}
+
+// tagValue refines a tag token with the element's first class token, as
+// rendered templates distinguish fields by class.
+func tagValue(n *dom.Node) string {
+	if cls, ok := n.Attr("class"); ok {
+		if f := strings.Fields(cls); len(f) > 0 {
+			return n.Data + "." + strings.ToLower(f[0])
+		}
+	}
+	return n.Data
+}
+
+// tokenizePage flattens a page into tags and maximal text runs (the
+// RoadRunner token model: strings between tags are single fields).
+func tokenizePage(page *dom.Node) []ptoken {
+	var out []ptoken
+	var walk func(n *dom.Node)
+	walk = func(n *dom.Node) {
+		switch n.Type {
+		case dom.TextNode:
+			text := dom.CollapseSpace(n.Data)
+			if text != "" {
+				out = append(out, ptoken{kind: kindText, value: strings.ToLower(text), raw: text})
+			}
+		case dom.ElementNode:
+			v := tagValue(n)
+			out = append(out, ptoken{kind: kindTag, value: v})
+			for _, c := range n.Children {
+				walk(c)
+			}
+			out = append(out, ptoken{kind: kindEndTag, value: v})
+		case dom.DocumentNode:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(page)
+	return out
+}
+
+// Infer builds the wrapper by generalizing across the sample pages.
+func Infer(pages []*dom.Node, cfg Config) *Wrapper {
+	if cfg.SampleSize <= 0 {
+		cfg = DefaultConfig()
+	}
+	if len(pages) == 0 {
+		return &Wrapper{Aborted: true}
+	}
+	n := len(pages)
+	if n > cfg.SampleSize {
+		n = cfg.SampleSize
+	}
+	// Initial wrapper: the first page, verbatim.
+	w := &Wrapper{}
+	for _, p := range tokenizePage(pages[0]) {
+		k := p.kind
+		w.tokens = append(w.tokens, wtoken{kind: k, value: p.value})
+	}
+	for i := 1; i < n; i++ {
+		w.generalize(tokenizePage(pages[i]))
+	}
+	return w
+}
+
+// generalize aligns the wrapper with a page and folds the differences
+// into fields, iterators and optionals.
+func (w *Wrapper) generalize(page []ptoken) {
+	ops := align(w.tokens, page)
+	var out []wtoken
+	i, j := 0, 0
+	inserts := false
+	for _, op := range ops {
+		switch op {
+		case opMatch:
+			t := w.tokens[i]
+			// String mismatch under match-with-substitution becomes a
+			// field.
+			if t.kind == kindText && page[j].kind == kindText && t.value != page[j].value {
+				t.kind = kindField
+				t.value = "#PCDATA"
+			}
+			if t.kind == kindField {
+				t.value = "#PCDATA"
+			}
+			out = append(out, t)
+			i++
+			j++
+		case opDelete:
+			// Wrapper token absent from the page: wrap as optional (or
+			// extend a square if it repeats — handled post-hoc).
+			t := w.tokens[i]
+			if t.optLen == 0 {
+				t.optLen = 1
+			}
+			out = append(out, t)
+			i++
+		case opInsert:
+			// Page block absent from the wrapper: square matching below
+			// decides between iterator and optional.
+			inserts = true
+			j++
+		}
+	}
+	w.tokens = out
+	// Iterator discovery is mismatch-driven, as in the original
+	// algorithm: without an insertion there is no evidence of
+	// repetition, which is exactly why constant-record-count ("too
+	// regular") list pages defeat RoadRunner.
+	if inserts {
+		w.discoverIterators(page)
+	}
+}
+
+// discoverIterators performs square matching: a region of the wrapper
+// whose tag sequence immediately repeats on a page is an iterator.
+func (w *Wrapper) discoverIterators(page []ptoken) {
+	// Find candidate squares: for each end-tag position e in the
+	// wrapper, try region lengths backwards and check whether the page
+	// contains the region's tag signature at least twice in a row.
+	sig := func(toks []wtoken, from, to int) string {
+		var parts []string
+		for _, t := range toks[from:to] {
+			switch t.kind {
+			case kindTag:
+				parts = append(parts, "<"+t.value+">")
+			case kindEndTag:
+				parts = append(parts, "</"+t.value+">")
+			default:
+				parts = append(parts, "$")
+			}
+		}
+		return strings.Join(parts, " ")
+	}
+	psig := func(toks []ptoken, from, to int) string {
+		var parts []string
+		for _, t := range toks[from:to] {
+			switch t.kind {
+			case kindTag:
+				parts = append(parts, "<"+t.value+">")
+			case kindEndTag:
+				parts = append(parts, "</"+t.value+">")
+			default:
+				parts = append(parts, "$")
+			}
+		}
+		return strings.Join(parts, " ")
+	}
+	for start := 0; start < len(w.tokens); start++ {
+		if w.tokens[start].kind != kindTag || w.tokens[start].iterLen > 0 {
+			continue
+		}
+		// Region = balanced element starting here.
+		end := balancedEnd(w.tokens, start)
+		if end < 0 {
+			continue
+		}
+		regionSig := sig(w.tokens, start, end+1)
+		// Does any page position repeat this signature at least twice?
+		L := end + 1 - start
+		for p := 0; p+2*L <= len(page); p++ {
+			if psig(page, p, p+L) == regionSig && psig(page, p+L, p+2*L) == regionSig {
+				w.tokens[start].iterLen = L
+				break
+			}
+		}
+	}
+}
+
+// balancedEnd returns the index of the end tag closing the element that
+// starts at i, or -1.
+func balancedEnd(toks []wtoken, i int) int {
+	depth := 0
+	for j := i; j < len(toks); j++ {
+		switch toks[j].kind {
+		case kindTag:
+			depth++
+		case kindEndTag:
+			depth--
+			if depth == 0 {
+				return j
+			}
+		}
+	}
+	return -1
+}
+
+// Alignment operations.
+type alignOp int
+
+const (
+	opMatch alignOp = iota
+	opDelete
+	opInsert
+)
+
+// align computes an edit script between wrapper and page tokens by
+// longest-common-subsequence over a compatibility relation (fields match
+// any string).
+func align(w []wtoken, p []ptoken) []alignOp {
+	n, m := len(w), len(p)
+	// lcs[i][j] = best score aligning w[i:] with p[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	compat := func(i, j int) bool {
+		t, q := w[i], p[j]
+		if t.kind == kindField || t.kind == kindText {
+			return q.kind == kindText
+		}
+		return t.matches(q)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			best := lcs[i+1][j]
+			if lcs[i][j+1] > best {
+				best = lcs[i][j+1]
+			}
+			if compat(i, j) && lcs[i+1][j+1]+1 > best {
+				best = lcs[i+1][j+1] + 1
+			}
+			lcs[i][j] = best
+		}
+	}
+	var ops []alignOp
+	i, j := 0, 0
+	for i < n && j < m {
+		if compat(i, j) && lcs[i][j] == lcs[i+1][j+1]+1 {
+			ops = append(ops, opMatch)
+			i++
+			j++
+			continue
+		}
+		if lcs[i+1][j] >= lcs[i][j+1] {
+			ops = append(ops, opDelete)
+			i++
+		} else {
+			ops = append(ops, opInsert)
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, opDelete)
+	}
+	for ; j < m; j++ {
+		ops = append(ops, opInsert)
+	}
+	return ops
+}
+
+// ExtractPage matches the wrapper against a page and returns the
+// extracted records: one record per iteration of the iterator carrying
+// the most fields, or a single page record when no iterator exists.
+func (w *Wrapper) ExtractPage(page *dom.Node) []Record {
+	if w.Aborted {
+		return nil
+	}
+	toks := tokenizePage(page)
+	values := w.matchPage(toks)
+	return w.recordsFrom(values)
+}
+
+// fieldValue is one captured field instance.
+type fieldValue struct {
+	wrapperPos int
+	iteration  int // -1 outside iterators
+	value      string
+}
+
+// matchPage scans the page against the wrapper, capturing field values.
+// Iterator regions repeat greedily; optional regions are skipped when
+// they do not match.
+func (w *Wrapper) matchPage(page []ptoken) []fieldValue {
+	var out []fieldValue
+	j := 0
+	i := 0
+	for i < len(w.tokens) && j <= len(page) {
+		t := w.tokens[i]
+		if t.iterLen > 0 {
+			iter := 0
+			for {
+				nj, vals, ok := matchRegion(w.tokens, i, i+t.iterLen, page, j)
+				if !ok {
+					break
+				}
+				for _, v := range vals {
+					v.iteration = iter
+					out = append(out, v)
+				}
+				j = nj
+				iter++
+			}
+			i += t.iterLen
+			continue
+		}
+		if t.optLen > 0 {
+			nj, vals, ok := matchRegion(w.tokens, i, i+t.optLen, page, j)
+			if ok {
+				for _, v := range vals {
+					out = append(out, v)
+				}
+				j = nj
+			}
+			i += t.optLen
+			continue
+		}
+		if j < len(page) && t.matches(page[j]) {
+			if t.kind == kindField {
+				out = append(out, fieldValue{wrapperPos: i, iteration: -1, value: page[j].raw})
+			}
+			i++
+			j++
+			continue
+		}
+		// Skip unmatched page tokens (noise tolerance).
+		if j < len(page) {
+			j++
+			continue
+		}
+		break
+	}
+	return out
+}
+
+// matchRegion tries to match wrapper[i:end) at page position j; returns
+// the new page position, the captured fields and success.
+func matchRegion(wt []wtoken, i, end int, page []ptoken, j int) (int, []fieldValue, bool) {
+	var vals []fieldValue
+	for k := i; k < end; k++ {
+		if j >= len(page) || !wt[k].matches(page[j]) {
+			return j, nil, false
+		}
+		if wt[k].kind == kindField {
+			vals = append(vals, fieldValue{wrapperPos: k, value: page[j].raw})
+		}
+		j++
+	}
+	return j, vals, true
+}
+
+// recordsFrom groups captured fields into records.
+func (w *Wrapper) recordsFrom(values []fieldValue) []Record {
+	// Group by iteration; iteration -1 fields belong to the page record.
+	byIter := make(map[int]Record)
+	for _, v := range values {
+		rec, ok := byIter[v.iteration]
+		if !ok {
+			rec = make(Record)
+			byIter[v.iteration] = rec
+		}
+		id := fmt.Sprintf("f%d", v.wrapperPos)
+		rec[id] = append(rec[id], v.value)
+	}
+	if len(byIter) == 0 {
+		return nil
+	}
+	// Iterations in order; the page-level record (iteration -1) is
+	// emitted once, either merged (no iterations) or standalone last.
+	var out []Record
+	maxIter := -1
+	for it := range byIter {
+		if it > maxIter {
+			maxIter = it
+		}
+	}
+	for it := 0; it <= maxIter; it++ {
+		if rec, ok := byIter[it]; ok {
+			out = append(out, rec)
+		}
+	}
+	if rec, ok := byIter[-1]; ok {
+		if len(out) == 0 {
+			out = append(out, rec)
+		} else if len(rec) > 0 {
+			// Page-level fields attach to the first record (RoadRunner
+			// exposes them once per page).
+			for k, vs := range rec {
+				out[0][k] = append(out[0][k], vs...)
+			}
+		}
+	}
+	return out
+}
+
+// ExtractPages applies the wrapper to every page.
+func (w *Wrapper) ExtractPages(pages []*dom.Node) [][]Record {
+	out := make([][]Record, len(pages))
+	for i, p := range pages {
+		out[i] = w.ExtractPage(p)
+	}
+	return out
+}
+
+// NumFields returns how many #PCDATA fields the wrapper has (diagnostics).
+func (w *Wrapper) NumFields() int {
+	n := 0
+	for _, t := range w.tokens {
+		if t.kind == kindField {
+			n++
+		}
+	}
+	return n
+}
+
+// HasIterator reports whether square matching found any iterator.
+func (w *Wrapper) HasIterator() bool {
+	for _, t := range w.tokens {
+		if t.iterLen > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the wrapper expression for diagnostics.
+func (w *Wrapper) String() string {
+	var sb strings.Builder
+	for i := 0; i < len(w.tokens); i++ {
+		t := w.tokens[i]
+		if t.iterLen > 0 {
+			sb.WriteString("( ")
+		}
+		switch t.kind {
+		case kindTag:
+			sb.WriteString("<" + t.value + "> ")
+		case kindEndTag:
+			sb.WriteString("</" + t.value + "> ")
+		case kindText:
+			sb.WriteString("'" + t.value + "' ")
+		case kindField:
+			sb.WriteString("#PCDATA ")
+		}
+		if t.iterLen > 0 {
+			// Closing paren rendered after the region.
+			// (kept simple: regions are annotated at their start)
+			sb.WriteString(fmt.Sprintf("[iter:%d] ", t.iterLen))
+		}
+		if t.optLen > 0 {
+			sb.WriteString("[opt] ")
+		}
+	}
+	return strings.TrimSpace(sb.String())
+}

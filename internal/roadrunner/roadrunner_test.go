@@ -1,0 +1,159 @@
+package roadrunner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"objectrunner/internal/clean"
+	"objectrunner/internal/dom"
+)
+
+func listPages(counts []int) []*dom.Node {
+	pool := [][2]string{
+		{"Metallica", "Monday May 11, 8:00pm"},
+		{"Madonna", "Saturday May 29 7:00p"},
+		{"Muse", "Friday June 19 7:00p"},
+		{"Coldplay", "Saturday August 8, 2010 8:00pm"},
+	}
+	var out []*dom.Node
+	for pi, n := range counts {
+		var sb strings.Builder
+		sb.WriteString("<html><body><ul>")
+		for j := 0; j < n; j++ {
+			r := pool[(pi+j)%len(pool)]
+			fmt.Fprintf(&sb, `<li><div>%s</div><div>%s</div></li>`, r[0], r[1])
+		}
+		sb.WriteString("</ul></body></html>")
+		out = append(out, clean.Page(sb.String()))
+	}
+	return out
+}
+
+func TestStringMismatchBecomesField(t *testing.T) {
+	pages := []*dom.Node{
+		clean.Page(`<html><body><div>Metallica</div></body></html>`),
+		clean.Page(`<html><body><div>Madonna</div></body></html>`),
+	}
+	w := Infer(pages, DefaultConfig())
+	if w.NumFields() != 1 {
+		t.Fatalf("fields = %d, want 1\nwrapper: %s", w.NumFields(), w)
+	}
+	recs := w.ExtractPage(pages[0])
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	found := false
+	for _, vs := range recs[0] {
+		for _, v := range vs {
+			if v == "Metallica" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("field value lost: %v", recs[0])
+	}
+}
+
+func TestIteratorDiscoveredOnVaryingLists(t *testing.T) {
+	pages := listPages([]int{2, 4, 3})
+	w := Infer(pages, DefaultConfig())
+	if !w.HasIterator() {
+		t.Fatalf("no iterator found on varying lists\nwrapper: %s", w)
+	}
+	recs := w.ExtractPage(pages[1])
+	if len(recs) != 4 {
+		for _, r := range recs {
+			t.Logf("rec: %v", r)
+		}
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+}
+
+func TestTooRegularListsFail(t *testing.T) {
+	// The paper's observation: constant record counts give RoadRunner no
+	// variation to discover the iterator, so records collapse into the
+	// page template.
+	pages := listPages([]int{2, 2, 2})
+	w := Infer(pages, DefaultConfig())
+	recs := w.ExtractPage(pages[0])
+	// Without an iterator, at most one page-level record comes back —
+	// the two golden records cannot both be correct.
+	if w.HasIterator() && len(recs) == 2 {
+		t.Skip("iterator found despite constant counts (acceptable, but unexpected)")
+	}
+	if len(recs) > 1 {
+		t.Errorf("expected collapsed extraction, got %d records", len(recs))
+	}
+}
+
+func TestExtractOnUnseenPage(t *testing.T) {
+	pages := listPages([]int{2, 4, 3})
+	w := Infer(pages, DefaultConfig())
+	unseen := clean.Page(`<html><body><ul>` +
+		`<li><div>The Strokes</div><div>Friday July 2, 9:00pm</div></li>` +
+		`<li><div>Arcade Fire</div><div>Sunday July 4, 7:30pm</div></li>` +
+		`</ul></body></html>`)
+	recs := w.ExtractPage(unseen)
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2\nwrapper: %s", len(recs), w)
+	}
+}
+
+func TestInferEmpty(t *testing.T) {
+	w := Infer(nil, DefaultConfig())
+	if !w.Aborted {
+		t.Error("no pages should abort")
+	}
+}
+
+func TestOptionalBlocks(t *testing.T) {
+	// Page 2 lacks the promo div: it must become optional, and both
+	// pages should still extract their field.
+	pages := []*dom.Node{
+		clean.Page(`<html><body><div><em>promo</em></div><span>Metallica</span></body></html>`),
+		clean.Page(`<html><body><span>Madonna</span></body></html>`),
+		clean.Page(`<html><body><div><em>promo</em></div><span>Muse</span></body></html>`),
+	}
+	w := Infer(pages, DefaultConfig())
+	for i, p := range pages {
+		recs := w.ExtractPage(p)
+		if len(recs) == 0 {
+			t.Errorf("page %d extracted nothing\nwrapper: %s", i, w)
+		}
+	}
+}
+
+func TestWrapperString(t *testing.T) {
+	pages := listPages([]int{2, 3})
+	w := Infer(pages, DefaultConfig())
+	s := w.String()
+	if !strings.Contains(s, "<li>") {
+		t.Errorf("wrapper rendering missing tags: %s", s)
+	}
+}
+
+func TestExtractPagesAndClassedTags(t *testing.T) {
+	pages := []*dom.Node{
+		clean.Page(`<html><body><ul><li><div class="a">alpha</div></li><li><div class="a">beta</div></li></ul></body></html>`),
+		clean.Page(`<html><body><ul><li><div class="a">gamma</div></li><li><div class="a">delta</div></li><li><div class="a">epsilon</div></li></ul></body></html>`),
+		clean.Page(`<html><body><ul><li><div class="a">zeta</div></li></ul></body></html>`),
+	}
+	w := Infer(pages, DefaultConfig())
+	all := w.ExtractPages(pages)
+	if len(all) != 3 {
+		t.Fatalf("pages = %d", len(all))
+	}
+	total := 0
+	for _, recs := range all {
+		total += len(recs)
+	}
+	if total != 6 {
+		t.Errorf("records = %d, want 6", total)
+	}
+	// Class attributes participate in the token model.
+	if !strings.Contains(w.String(), "div.a") {
+		t.Errorf("wrapper tokens lack class refinement: %s", w.String())
+	}
+}

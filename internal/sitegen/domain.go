@@ -1,0 +1,222 @@
+package sitegen
+
+import (
+	"objectrunner/internal/eval"
+)
+
+// Quirk is a per-source template pathology, chosen to reproduce the
+// failure modes the paper's Table I exhibits on live sources.
+type Quirk int
+
+const (
+	// QuirkNone is a clean, regular template.
+	QuirkNone Quirk = iota
+	// QuirkOptionalAbsent omits the domain's optional attribute (the
+	// "Optional: no" rows of Table I).
+	QuirkOptionalAbsent
+	// QuirkConstantCount renders the same number of records on every
+	// page — the "too regular" list pages on which RoadRunner fails.
+	QuirkConstantCount
+	// QuirkMixedList varies the markup of multi-valued attributes per
+	// record (the Amazon author encodings of paper Fig. 2(a)).
+	QuirkMixedList
+	// QuirkTooRegularValue renders a constant string ("New York") in its
+	// own node next to a data attribute on every record.
+	QuirkTooRegularValue
+	// QuirkMergedFields renders two attributes inside one text node, so
+	// even a perfect wrapper extracts them together (partially correct).
+	QuirkMergedFields
+	// QuirkUnstableLayout merges two attributes on some records and
+	// separates them on others: wrappers mix values of distinct
+	// attributes (incorrect).
+	QuirkUnstableLayout
+	// QuirkNoisy interleaves junk blocks of varying structure between
+	// records.
+	QuirkNoisy
+	// QuirkUnstructured produces prose pages with no records at all (the
+	// discarded emusic row).
+	QuirkUnstructured
+	// QuirkRarePromo injects a promo block on only a few pages — the
+	// token-support ablation target (§IV, parameter variation).
+	QuirkRarePromo
+)
+
+// SourceSpec describes one synthetic source.
+type SourceSpec struct {
+	Name   string
+	Detail bool // singleton pages instead of list pages
+	Quirks []Quirk
+	// Layout selects the HTML record template family.
+	Layout int
+	// Pages overrides the benchmark's default page count when > 0.
+	Pages int
+	// MinRecords/MaxRecords bound records per list page.
+	MinRecords, MaxRecords int
+	// ExpectDiscard marks sources the pipeline should reject.
+	ExpectDiscard bool
+	// Pristine disables the default page realism (per-record extras,
+	// varying related-content blocks): the source renders its records
+	// and nothing else. Structure-only systems do best here.
+	Pristine bool
+	// Classless renders the template without semantic class attributes,
+	// so fields are structurally indistinguishable — the situation where
+	// the paper's annotations are decisive.
+	Classless bool
+}
+
+func (s SourceSpec) has(q Quirk) bool {
+	for _, x := range s.Quirks {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+// DomainSpec describes one evaluation domain: its SOD, golden schema and
+// sources.
+type DomainSpec struct {
+	Name    string
+	SODText string
+	// Attrs is the golden schema; set members use the element type name.
+	Attrs   []eval.AttrSpec
+	Sources []SourceSpec
+}
+
+// Domains returns the five evaluation domains with their source lists,
+// mirroring the 49 usable sources (plus one discarded) of Table I.
+func Domains() []DomainSpec {
+	return []DomainSpec{
+		{
+			Name: "concerts",
+			SODText: `tuple {
+				artist: instanceOf(Artist)
+				date: date
+				location: tuple { theater: instanceOf(Theater), address: address ? }
+			}`,
+			Attrs: []eval.AttrSpec{
+				{Name: "artist"}, {Name: "date"}, {Name: "theater"},
+				{Name: "address", Optional: true},
+			},
+			Sources: []SourceSpec{
+				{Name: "zvents (detail)", Detail: true, Layout: 0},
+				{Name: "zvents (list)", Layout: 0, MinRecords: 2, MaxRecords: 6, Classless: true},
+				{Name: "upcoming.yahoo (detail)", Detail: true, Layout: 1, Classless: true},
+				{Name: "upcoming.yahoo (list)", Layout: 1, MinRecords: 3, MaxRecords: 8, Quirks: []Quirk{QuirkUnstableLayout}},
+				{Name: "eventful (detail)", Detail: true, Layout: 2, Quirks: []Quirk{QuirkMergedFields}},
+				{Name: "eventful (list)", Layout: 2, MinRecords: 4, MaxRecords: 9, Quirks: []Quirk{QuirkOptionalAbsent}, Classless: true},
+				{Name: "eventorb (detail)", Detail: true, Layout: 3, Pristine: true},
+				{Name: "eventorb (list)", Layout: 3, MinRecords: 2, MaxRecords: 7, Pristine: true},
+				{Name: "bandsintown (detail)", Detail: true, Layout: 0, Classless: true},
+			},
+		},
+		{
+			Name: "albums",
+			SODText: `tuple {
+				title: instanceOf(AlbumTitle)
+				artist: instanceOf(Artist)
+				price: price
+				date: date ?
+			}`,
+			Attrs: []eval.AttrSpec{
+				{Name: "title"}, {Name: "artist"}, {Name: "price"},
+				{Name: "date", Optional: true},
+			},
+			Sources: []SourceSpec{
+				{Name: "amazon", Layout: 0, MinRecords: 3, MaxRecords: 8},
+				{Name: "101cd", Layout: 1, MinRecords: 4, MaxRecords: 9, Quirks: []Quirk{QuirkMergedFields, QuirkOptionalAbsent}},
+				{Name: "towerrecords", Layout: 2, MinRecords: 3, MaxRecords: 9, Pristine: true},
+				{Name: "walmart", Layout: 3, MinRecords: 5, MaxRecords: 10, Quirks: []Quirk{QuirkMergedFields}},
+				{Name: "cdunivers", Layout: 0, MinRecords: 4, MaxRecords: 10},
+				{Name: "hmv", Layout: 1, MinRecords: 2, MaxRecords: 6},
+				{Name: "play", Layout: 2, MinRecords: 3, MaxRecords: 8, Quirks: []Quirk{QuirkOptionalAbsent}},
+				{Name: "sanity", Layout: 3, MinRecords: 4, MaxRecords: 10},
+				{Name: "secondspin", Layout: 0, MinRecords: 5, MaxRecords: 10, Classless: true},
+				{Name: "emusic", Layout: 0, Quirks: []Quirk{QuirkUnstructured}, ExpectDiscard: true},
+			},
+		},
+		{
+			Name: "books",
+			SODText: `tuple {
+				title: instanceOf(BookTitle)
+				price: price
+				date: date ?
+				authors: set(author: instanceOf(Author))+
+			}`,
+			Attrs: []eval.AttrSpec{
+				{Name: "title"}, {Name: "price"},
+				{Name: "date", Optional: true},
+				{Name: "author", Set: true},
+			},
+			Sources: []SourceSpec{
+				{Name: "amazon", Layout: 0, MinRecords: 3, MaxRecords: 3, Quirks: []Quirk{QuirkConstantCount, QuirkMixedList}},
+				{Name: "bn", Layout: 1, MinRecords: 4, MaxRecords: 4, Quirks: []Quirk{QuirkConstantCount}, Classless: true},
+				{Name: "buy", Layout: 2, MinRecords: 5, MaxRecords: 5, Quirks: []Quirk{QuirkConstantCount, QuirkOptionalAbsent}},
+				{Name: "abebooks", Layout: 3, MinRecords: 3, MaxRecords: 3, Quirks: []Quirk{QuirkConstantCount, QuirkOptionalAbsent}},
+				{Name: "walmart", Layout: 0, MinRecords: 4, MaxRecords: 4, Quirks: []Quirk{QuirkConstantCount, QuirkUnstableLayout}},
+				{Name: "abc", Layout: 1, MinRecords: 3, MaxRecords: 3, Quirks: []Quirk{QuirkConstantCount}},
+				{Name: "bookdepository", Layout: 2, MinRecords: 4, MaxRecords: 4, Quirks: []Quirk{QuirkConstantCount, QuirkMixedList}},
+				{Name: "booksamillion", Layout: 3, MinRecords: 5, MaxRecords: 5, Quirks: []Quirk{QuirkConstantCount}, Classless: true},
+				{Name: "bookstore", Layout: 0, MinRecords: 3, MaxRecords: 3, Quirks: []Quirk{QuirkConstantCount, QuirkUnstableLayout, QuirkOptionalAbsent}, Classless: true},
+				{Name: "powells", Layout: 1, MinRecords: 4, MaxRecords: 4, Quirks: []Quirk{QuirkConstantCount, QuirkOptionalAbsent}, Pristine: true},
+			},
+		},
+		{
+			Name: "publications",
+			SODText: `tuple {
+				title: instanceOf(PubTitle)
+				date: year ?
+				authors: set(author: instanceOf(Author))+
+			}`,
+			Attrs: []eval.AttrSpec{
+				{Name: "title"},
+				{Name: "date", Optional: true},
+				{Name: "author", Set: true},
+			},
+			Sources: []SourceSpec{
+				{Name: "acm", Layout: 0, MinRecords: 4, MaxRecords: 4, Quirks: []Quirk{QuirkConstantCount}},
+				{Name: "dblp", Layout: 1, MinRecords: 5, MaxRecords: 5, Quirks: []Quirk{QuirkConstantCount, QuirkRarePromo}},
+				{Name: "cambridge", Layout: 2, MinRecords: 3, MaxRecords: 3, Quirks: []Quirk{QuirkConstantCount}},
+				{Name: "citebase", Layout: 3, MinRecords: 4, MaxRecords: 4, Quirks: []Quirk{QuirkConstantCount, QuirkRarePromo}, Classless: true},
+				{Name: "citeseer", Layout: 0, MinRecords: 5, MaxRecords: 5, Quirks: []Quirk{QuirkConstantCount, QuirkMergedFields}},
+				{Name: "DivaPortal", Layout: 1, MinRecords: 3, MaxRecords: 3, Quirks: []Quirk{QuirkConstantCount}},
+				{Name: "GoogleScholar", Layout: 2, MinRecords: 4, MaxRecords: 4, Quirks: []Quirk{QuirkConstantCount, QuirkNoisy, QuirkUnstableLayout}},
+				{Name: "elsevier", Layout: 3, MinRecords: 4, MaxRecords: 4, Quirks: []Quirk{QuirkConstantCount}},
+				{Name: "IngentaConnect", Layout: 0, MinRecords: 5, MaxRecords: 5, Quirks: []Quirk{QuirkConstantCount, QuirkUnstableLayout}},
+				{Name: "IowaState", Layout: 1, MinRecords: 3, MaxRecords: 3, Quirks: []Quirk{QuirkConstantCount, QuirkNoisy, QuirkUnstableLayout, QuirkMergedFields}, Classless: true},
+			},
+		},
+		{
+			Name: "cars",
+			SODText: `tuple {
+				brand: instanceOf(CarBrand)
+				price: price
+			}`,
+			Attrs: []eval.AttrSpec{
+				{Name: "brand"}, {Name: "price"},
+			},
+			Sources: []SourceSpec{
+				{Name: "amazoncars", Layout: 0, MinRecords: 1, MaxRecords: 3},
+				{Name: "automotive", Layout: 1, MinRecords: 4, MaxRecords: 9, Quirks: []Quirk{QuirkMergedFields}},
+				{Name: "cars", Layout: 2, MinRecords: 3, MaxRecords: 8, Pristine: true},
+				{Name: "carmax", Layout: 3, MinRecords: 3, MaxRecords: 8},
+				{Name: "autonation", Layout: 0, MinRecords: 2, MaxRecords: 7},
+				{Name: "carsshop", Layout: 1, MinRecords: 3, MaxRecords: 8},
+				{Name: "carsdirect", Layout: 2, MinRecords: 5, MaxRecords: 10, Quirks: []Quirk{QuirkMergedFields}},
+				{Name: "usedcars", Layout: 3, MinRecords: 4, MaxRecords: 9},
+				{Name: "autoweb", Layout: 0, MinRecords: 1, MaxRecords: 5},
+				{Name: "autotrader", Layout: 1, MinRecords: 2, MaxRecords: 6},
+			},
+		},
+	}
+}
+
+// DomainByName returns one domain spec.
+func DomainByName(name string) (DomainSpec, bool) {
+	for _, d := range Domains() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return DomainSpec{}, false
+}

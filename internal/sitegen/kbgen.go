@@ -1,0 +1,160 @@
+package sitegen
+
+import (
+	"fmt"
+
+	"objectrunner/internal/corpus"
+	"objectrunner/internal/kb"
+)
+
+// KB and Corpus aliases keep the sitegen API self-contained.
+type (
+	// KB is the knowledge-base type populated by the benchmark.
+	KB = kb.KB
+	// Corpus is the Web-corpus type populated by the benchmark.
+	Corpus = corpus.Corpus
+)
+
+// classOf maps pool kinds to the ontology classes the SODs reference.
+// Some instances are asserted on neighboring classes (Band instead of
+// Artist, Writer instead of Author) so the semantic-neighborhood lookup
+// path is exercised, exactly as the paper describes for Metallica/Band.
+var classHierarchy = [][2]string{
+	{"Artist", "Performer"}, {"Band", "Performer"}, {"Performer", "Person"},
+	{"Theater", "Venue"}, {"ConcertHall", "Venue"},
+	{"AlbumTitle", "CreativeWork"}, {"BookTitle", "CreativeWork"},
+	{"PubTitle", "CreativeWork"},
+	{"Author", "Writer"}, {"Writer", "Person"},
+	{"CarBrand", "Product"},
+}
+
+// buildKB asserts a coverage fraction of each pool into the ontology.
+func buildKB(p *Pools, r *rng, coverage float64) *kb.KB {
+	k := kb.New()
+	for _, edge := range classHierarchy {
+		k.AddSubClass(edge[0], edge[1])
+	}
+	assert := func(values []string, class, altClass string) {
+		for _, v := range values {
+			if !r.chance(coverage) {
+				continue
+			}
+			conf := 0.7 + float64(r.intn(25))/100
+			c := class
+			// A fifth of the covered instances live on a neighboring
+			// class only.
+			if altClass != "" && r.chance(0.2) {
+				c = altClass
+			}
+			k.AddInstance(v, c, conf)
+		}
+	}
+	assert(p.Artists, "Artist", "Band")
+	assert(p.Theaters, "Theater", "ConcertHall")
+	assert(p.AlbumTitles, "AlbumTitle", "")
+	assert(p.BookTitles, "BookTitle", "")
+	assert(p.Authors, "Author", "Writer")
+	assert(p.PubTitles, "PubTitle", "")
+	assert(p.Brands, "CarBrand", "")
+	// Term frequencies: ubiquitous strings are poor discriminators.
+	for _, city := range cityNames {
+		k.SetTermFrequency(city, 5000)
+	}
+	k.SetTermFrequency("New York", 9000)
+	return k
+}
+
+// hearstTemplates phrase class instances for the corpus.
+var hearstTemplates = map[string][]string{
+	"Artist": {
+		"Great artists such as %s toured the country last year.",
+		"%s is an artist with a devoted following.",
+		"%s and other artists joined the festival lineup.",
+	},
+	"Theater": {
+		"Historic venues such as %s host shows nightly.",
+		"%s is a theater located downtown.",
+	},
+	"AlbumTitle": {
+		"Classic albums such as %s defined the decade.",
+	},
+	"BookTitle": {
+		"Novels such as %s remain in print.",
+	},
+	"Author": {
+		"Celebrated authors such as %s signed copies.",
+		"%s is an author of several bestsellers.",
+	},
+	"PubTitle": {
+		"Influential papers such as %s are widely cited.",
+	},
+	"CarBrand": {
+		"Popular cars such as %s sell quickly.",
+		"%s is a car many families choose.",
+	},
+}
+
+// buildCorpus writes Hearst-pattern sentences for a coverage fraction of
+// each pool, plus filler text that supplies term frequencies.
+func buildCorpus(p *Pools, r *rng, coverage float64) *corpus.Corpus {
+	c := corpus.New()
+	emit := func(values []string, class string) {
+		tmpls := hearstTemplates[class]
+		for _, v := range values {
+			if !r.chance(coverage) {
+				continue
+			}
+			c.AddDocument(fmt.Sprintf(pick(r, tmpls), v))
+		}
+	}
+	emit(p.Artists, "Artist")
+	emit(p.Theaters, "Theater")
+	emit(p.AlbumTitles, "AlbumTitle")
+	emit(p.BookTitles, "BookTitle")
+	emit(p.Authors, "Author")
+	emit(p.PubTitles, "PubTitle")
+	emit(p.Brands, "CarBrand")
+	// Frequency filler: common city strings appear often, so the
+	// selectivity estimates damp them.
+	for i := 0; i < 40; i++ {
+		city := pick(r, cityNames)
+		c.AddDocument(fmt.Sprintf("Things to do in %s this weekend. %s has endless events.", city, city))
+	}
+	return c
+}
+
+// MTurkRanking simulates the Mechanical-Turk source-selection step of the
+// paper's §IV.A: workers independently rank the domain's sources with
+// noise, and the aggregated top-k (Borda count) is returned. The
+// benchmark generates exactly the sources the workers "know about", so
+// the ranking decides ordering, not membership.
+func MTurkRanking(d DomainSpec, workers, topK int, seed uint64) []string {
+	r := newRNG(seed).derive("mturk/" + d.Name)
+	scores := make(map[string]int)
+	names := make([]string, len(d.Sources))
+	for i, s := range d.Sources {
+		names[i] = s.Name
+	}
+	for w := 0; w < workers; w++ {
+		// Each worker perturbs the canonical order by random swaps.
+		order := append([]string{}, names...)
+		for i := 0; i < len(order); i++ {
+			j := r.intn(len(order))
+			order[i], order[j] = order[j], order[i]
+		}
+		for rank, name := range order {
+			scores[name] += len(order) - rank
+		}
+	}
+	// Sort by Borda score descending, stable on the canonical order.
+	out := append([]string{}, names...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && scores[out[j]] > scores[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if topK > 0 && topK < len(out) {
+		out = out[:topK]
+	}
+	return out
+}

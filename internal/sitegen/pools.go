@@ -1,0 +1,197 @@
+package sitegen
+
+import "fmt"
+
+// Name-part pools. Values are combined deterministically into entity
+// pools large enough that sources overlap realistically (the Web's
+// redundancy) without recognizers ever being complete.
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+	"Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+	"Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty",
+	"Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley",
+	"Steven", "Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua",
+	"Michelle",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson",
+	"Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+	"Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen",
+	"King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+}
+
+var bandAdjectives = []string{
+	"Electric", "Velvet", "Crimson", "Silent", "Golden", "Midnight",
+	"Burning", "Frozen", "Wandering", "Savage", "Neon", "Hollow",
+	"Rising", "Falling", "Distant", "Broken", "Lunar", "Solar",
+	"Eternal", "Phantom",
+}
+
+var bandNouns = []string{
+	"Wolves", "Tigers", "Owls", "Ravens", "Engines", "Mirrors",
+	"Shadows", "Rivers", "Mountains", "Flames", "Echoes", "Serpents",
+	"Harbors", "Lanterns", "Pilots", "Prophets", "Dreamers", "Hunters",
+	"Sparrows", "Giants",
+}
+
+var venueKinds = []string{
+	"Ballroom", "Theater", "Hall", "Arena", "Lounge", "Club", "Garden",
+	"Pavilion", "Stage", "Amphitheater",
+}
+
+var venuePrefixes = []string{
+	"Grand", "Royal", "Crystal", "Empire", "Liberty", "Sunset",
+	"Harbor", "Union", "Majestic", "Palace", "Apollo", "Orpheum",
+	"Rialto", "Paramount", "Colonial", "Regent", "Cameo", "Strand",
+	"Bluebird", "Starlight",
+}
+
+var streetNames = []string{
+	"Main", "Oak", "Maple", "Cedar", "Elm", "Washington", "Lake",
+	"Hill", "Park", "Pine", "Walnut", "Sunset", "Lincoln", "Jackson",
+	"Church", "Spring", "Franklin", "River", "Willow", "Jefferson",
+	"Delancey", "Bowery", "Houston", "Mercer", "Bleecker",
+}
+
+var streetKinds = []string{"Street", "Avenue", "Boulevard", "Road", "Lane", "Drive", "Plaza", "Place"}
+
+var titleNouns = []string{
+	"Garden", "Storm", "Journey", "Secret", "Empire", "Shadow", "Light",
+	"Ocean", "Winter", "Summer", "Memory", "Silence", "Horizon",
+	"Kingdom", "Mirror", "Forest", "Island", "Tower", "Bridge", "Letter",
+}
+
+var titleAdjectives = []string{
+	"Lost", "Hidden", "Forgotten", "Endless", "Quiet", "Distant",
+	"Golden", "Broken", "Invisible", "Burning", "Last", "First",
+	"Secret", "Silent", "Wild", "Ancient", "Crimson", "Pale", "Bright",
+	"Hollow",
+}
+
+var paperTopics = []string{
+	"Query Optimization", "Data Integration", "Web Extraction",
+	"Schema Matching", "Entity Resolution", "Stream Processing",
+	"Index Structures", "Transaction Management", "Graph Mining",
+	"Information Retrieval", "Distributed Storage", "Crowdsourcing",
+	"Data Cleaning", "Keyword Search", "Record Linkage", "View Selection",
+	"Workload Forecasting", "Cache Coherence", "Join Algorithms",
+	"Sampling Methods",
+}
+
+var paperPatterns = []string{
+	"Efficient %s over Large Corpora",
+	"Scalable %s in the Cloud",
+	"Towards Adaptive %s",
+	"On the Complexity of %s",
+	"%s with Probabilistic Guarantees",
+	"A Unified Framework for %s",
+	"Incremental %s for Evolving Data",
+	"%s Revisited",
+	"Learning-based %s",
+	"Parallel %s on Modern Hardware",
+}
+
+var carBrands = []string{
+	"Toyota Camry", "Honda Accord", "Ford Fusion", "Chevrolet Malibu",
+	"Nissan Altima", "Hyundai Sonata", "Kia Optima", "Mazda 6",
+	"Subaru Legacy", "Volkswagen Passat", "BMW 3 Series",
+	"Mercedes C Class", "Audi A4", "Lexus ES", "Acura TLX",
+	"Infiniti Q50", "Volvo S60", "Jaguar XE", "Tesla Model 3",
+	"Dodge Charger", "Chrysler 300", "Buick Regal", "Cadillac ATS",
+	"Lincoln MKZ", "Genesis G70", "Toyota Corolla", "Honda Civic",
+	"Ford Focus", "Chevrolet Cruze", "Nissan Sentra", "Hyundai Elantra",
+	"Kia Forte", "Mazda 3", "Subaru Impreza", "Volkswagen Jetta",
+	"BMW 5 Series", "Mercedes E Class", "Audi A6", "Lexus GS",
+	"Tesla Model S",
+}
+
+var monthNames = []string{
+	"January", "February", "March", "April", "May", "June", "July",
+	"August", "September", "October", "November", "December",
+}
+
+var dayNames = []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+
+var cityNames = []string{
+	"New York City", "Boston", "Chicago", "Seattle", "Austin", "Denver",
+	"Portland", "Atlanta", "Nashville", "Philadelphia",
+}
+
+// Pools holds the generated entity pools of one benchmark instance.
+type Pools struct {
+	Artists     []string
+	Theaters    []string
+	Streets     []string
+	AlbumTitles []string
+	BookTitles  []string
+	Authors     []string
+	PubTitles   []string
+	Brands      []string
+}
+
+// buildPools generates the entity pools deterministically.
+func buildPools(r *rng) *Pools {
+	p := &Pools{}
+	seen := make(map[string]bool)
+	add := func(dst *[]string, v string) {
+		if !seen[v] {
+			seen[v] = true
+			*dst = append(*dst, v)
+		}
+	}
+	g := r.derive("pools")
+	for i := 0; i < 240; i++ {
+		switch g.intn(3) {
+		case 0:
+			add(&p.Artists, "The "+pick(g, bandAdjectives)+" "+pick(g, bandNouns))
+		case 1:
+			add(&p.Artists, pick(g, bandAdjectives)+" "+pick(g, bandNouns))
+		default:
+			add(&p.Artists, pick(g, firstNames)+" "+pick(g, lastNames))
+		}
+	}
+	for i := 0; i < 160; i++ {
+		switch g.intn(3) {
+		case 0:
+			add(&p.Theaters, "The "+pick(g, venuePrefixes)+" "+pick(g, venueKinds))
+		default:
+			add(&p.Theaters, pick(g, venuePrefixes)+" "+pick(g, venueKinds))
+		}
+	}
+	for i := 0; i < 300; i++ {
+		add(&p.Streets, fmt.Sprintf("%d %s %s", g.rangeInt(1, 999), pick(g, streetNames), pick(g, streetKinds)))
+	}
+	for i := 0; i < 260; i++ {
+		switch g.intn(3) {
+		case 0:
+			add(&p.AlbumTitles, "The "+pick(g, titleAdjectives)+" "+pick(g, titleNouns))
+		case 1:
+			add(&p.AlbumTitles, pick(g, titleAdjectives)+" "+pick(g, titleNouns))
+		default:
+			add(&p.AlbumTitles, pick(g, titleNouns)+" of "+pick(g, titleNouns))
+		}
+	}
+	for i := 0; i < 260; i++ {
+		switch g.intn(3) {
+		case 0:
+			add(&p.BookTitles, "The "+pick(g, titleNouns)+" of the "+pick(g, titleNouns))
+		case 1:
+			add(&p.BookTitles, "A "+pick(g, titleAdjectives)+" "+pick(g, titleNouns))
+		default:
+			add(&p.BookTitles, pick(g, titleAdjectives)+" "+pick(g, titleNouns)+"s")
+		}
+	}
+	for i := 0; i < 220; i++ {
+		add(&p.Authors, pick(g, firstNames)+" "+pick(g, lastNames))
+	}
+	for i := 0; i < 200; i++ {
+		add(&p.PubTitles, fmt.Sprintf(pick(g, paperPatterns), pick(g, paperTopics)))
+	}
+	p.Brands = append([]string{}, carBrands...)
+	return p
+}

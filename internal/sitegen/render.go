@@ -1,0 +1,432 @@
+package sitegen
+
+import (
+	"fmt"
+	"strings"
+
+	"objectrunner/internal/eval"
+)
+
+// style is the per-source rendering style, fixed once per source so every
+// page of the source shares one template.
+type style struct {
+	layout   int
+	order    []string // attribute rendering order
+	labelled bool     // render "Artist:" style labels
+	chrome   int      // chrome variant
+	classed  bool     // field nodes carry semantic class attributes
+	extras   bool     // per-record extras and varying related blocks
+}
+
+// cls renders a class attribute when the source uses semantic classes.
+func (st style) cls(name string) string {
+	if !st.classed {
+		return ""
+	}
+	return ` class="` + name + `"`
+}
+
+// attrOrder returns the source's attribute order: a deterministic
+// permutation of the domain order, keeping theater/address adjacent (the
+// nested location block of the running example).
+func attrOrder(d DomainSpec, r *rng) []string {
+	var units [][]string
+	i := 0
+	attrs := d.Attrs
+	for i < len(attrs) {
+		if attrs[i].Name == "theater" && i+1 < len(attrs) && attrs[i+1].Name == "address" {
+			units = append(units, []string{"theater", "address"})
+			i += 2
+			continue
+		}
+		units = append(units, []string{attrs[i].Name})
+		i++
+	}
+	// Fisher-Yates over units.
+	for j := len(units) - 1; j > 0; j-- {
+		k := r.intn(j + 1)
+		units[j], units[k] = units[k], units[j]
+	}
+	var out []string
+	for _, u := range units {
+		out = append(out, u...)
+	}
+	return out
+}
+
+// genRecord draws one golden object for the domain.
+func genRecord(d DomainSpec, p *Pools, r *rng, spec SourceSpec) eval.Object {
+	obj := make(eval.Object)
+	switch d.Name {
+	case "concerts":
+		obj["artist"] = []string{pick(r, p.Artists)}
+		obj["date"] = []string{genConcertDate(r)}
+		obj["theater"] = []string{pick(r, p.Theaters)}
+		if !spec.has(QuirkOptionalAbsent) {
+			obj["address"] = []string{pick(r, p.Streets)}
+		}
+	case "albums":
+		obj["title"] = []string{pick(r, p.AlbumTitles)}
+		obj["artist"] = []string{pick(r, p.Artists)}
+		obj["price"] = []string{genPrice(r)}
+		if !spec.has(QuirkOptionalAbsent) {
+			obj["date"] = []string{genMonthYear(r)}
+		}
+	case "books":
+		obj["title"] = []string{pick(r, p.BookTitles)}
+		obj["price"] = []string{genPrice(r)}
+		if !spec.has(QuirkOptionalAbsent) {
+			obj["date"] = []string{genMonthYear(r)}
+		}
+		obj["author"] = genAuthors(p, r, 3)
+	case "publications":
+		obj["title"] = []string{pick(r, p.PubTitles)}
+		if !spec.has(QuirkOptionalAbsent) {
+			obj["date"] = []string{fmt.Sprint(r.rangeInt(1995, 2011))}
+		}
+		obj["author"] = genAuthors(p, r, 4)
+	case "cars":
+		obj["brand"] = []string{pick(r, p.Brands)}
+		obj["price"] = []string{genCarPrice(r)}
+	}
+	return obj
+}
+
+func genAuthors(p *Pools, r *rng, max int) []string {
+	n := r.rangeInt(1, max)
+	seen := make(map[string]bool)
+	var out []string
+	for len(out) < n {
+		a := pick(r, p.Authors)
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func genConcertDate(r *rng) string {
+	day := pick(r, dayNames)
+	month := pick(r, monthNames)
+	dom := r.rangeInt(1, 28)
+	year := r.rangeInt(2009, 2011)
+	hour := r.rangeInt(6, 11)
+	min := []string{"00", "15", "30", "45"}[r.intn(4)]
+	return fmt.Sprintf("%s %s %d, %d %d:%spm", day, month, dom, year, hour, min)
+}
+
+func genMonthYear(r *rng) string {
+	return fmt.Sprintf("%s %d", pick(r, monthNames), r.rangeInt(1998, 2011))
+}
+
+func genPrice(r *rng) string {
+	return fmt.Sprintf("$%d.%02d", r.rangeInt(5, 49), r.rangeInt(0, 99))
+}
+
+func genCarPrice(r *rng) string {
+	return fmt.Sprintf("$%d,%03d", r.rangeInt(8, 52), r.rangeInt(0, 999))
+}
+
+var labelFor = map[string]string{
+	"artist": "Artist", "date": "Date", "theater": "Venue",
+	"address": "Address", "title": "Title", "price": "Price",
+	"author": "Authors", "brand": "Model",
+}
+
+// renderPage produces the HTML of one page of a source.
+func renderPage(d DomainSpec, spec SourceSpec, st style, records []eval.Object, r *rng, pageIdx int) string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html><html><head><title>")
+	sb.WriteString(spec.Name)
+	sb.WriteString("</title><meta charset=\"utf-8\"><script src=\"app.js\"></script></head><body>")
+	renderChrome(&sb, spec, st, true)
+	if spec.has(QuirkUnstructured) {
+		renderProse(&sb, r)
+	} else {
+		sb.WriteString(`<div id="content" class="main">`)
+		openList(&sb, st.layout)
+		for ri, rec := range records {
+			if spec.has(QuirkRarePromo) && ri == 0 && (pageIdx == 2 || pageIdx == 3 || pageIdx == 5) {
+				sb.WriteString(`<div class="promo"><b>Limited promotional listing featured today</b></div>`)
+			}
+			if spec.has(QuirkNoisy) && r.chance(0.3) {
+				renderJunk(&sb, r)
+			}
+			renderRecord(&sb, d, spec, st, rec, r)
+		}
+		closeList(&sb, st.layout)
+		sb.WriteString(`</div>`)
+		if st.extras {
+			renderRelated(&sb, r)
+		}
+	}
+	renderChrome(&sb, spec, st, false)
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+func renderChrome(sb *strings.Builder, spec SourceSpec, st style, header bool) {
+	if header {
+		fmt.Fprintf(sb, `<div id="header"><img src="logo.png"><span class="site">%s</span>`, strings.Fields(spec.Name)[0])
+		sb.WriteString(`<div class="nav"><a href="/">home</a><a href="/browse">browse</a><a href="/help">help</a></div></div>`)
+		if st.chrome%2 == 0 {
+			sb.WriteString(`<div id="crumbs"><span>home</span> &gt; <span>results</span></div>`)
+		}
+		return
+	}
+	sb.WriteString(`<div id="footer"><span>terms of service</span><span>privacy</span><span>contact</span></div>`)
+}
+
+func renderProse(sb *strings.Builder, r *rng) {
+	sb.WriteString(`<div id="content">`)
+	for i := 0; i < r.rangeInt(3, 6); i++ {
+		sb.WriteString("<p>")
+		for j := 0; j < r.rangeInt(15, 40); j++ {
+			sb.WriteString(pick(r, []string{
+				"music", "discover", "listen", "great", "new", "releases",
+				"enjoy", "download", "the", "best", "of", "today", "and",
+				"every", "week", "curated", "for", "you", "explore", "more",
+			}))
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("</p>")
+	}
+	sb.WriteString(`</div>`)
+}
+
+// renderJunkPage produces an off-template page of the source: same
+// chrome, but an editorial body with a few entity mentions in prose
+// instead of records.
+func renderJunkPage(d DomainSpec, spec SourceSpec, st style, p *Pools, r *rng) string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html><html><head><title>")
+	sb.WriteString(spec.Name)
+	sb.WriteString("</title><meta charset=\"utf-8\"></head><body>")
+	renderChrome(&sb, spec, st, true)
+	sb.WriteString(`<div id="content" class="editorial">`)
+	mentions := junkMentions(d, p, r)
+	for i := 0; i < r.rangeInt(2, 4); i++ {
+		sb.WriteString("<p>")
+		for j := 0; j < r.rangeInt(12, 30); j++ {
+			sb.WriteString(pick(r, []string{
+				"this", "week", "we", "look", "at", "what", "makes", "a",
+				"great", "pick", "and", "why", "fans", "keep", "coming",
+				"back", "for", "more", "every", "season", "with", "our",
+				"editors", "notes", "on", "the", "latest",
+			}))
+			sb.WriteByte(' ')
+		}
+		if i == 0 {
+			sb.WriteString(" featuring " + esc(mentions[0]) + " ")
+		}
+		sb.WriteString("</p>")
+	}
+	sb.WriteString(`</div>`)
+	renderRelated(&sb, r)
+	renderChrome(&sb, spec, st, false)
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+// junkMentions picks a domain entity to drop into editorial prose.
+func junkMentions(d DomainSpec, p *Pools, r *rng) []string {
+	var pool []string
+	switch d.Name {
+	case "concerts", "albums":
+		pool = p.Artists
+	case "books":
+		pool = p.Authors
+	case "publications":
+		pool = p.PubTitles
+	default:
+		pool = p.Brands
+	}
+	return []string{pick(r, pool)}
+}
+
+// renderRelated emits a cross-page-varying related-content block: a
+// different number of differently-worded suggestions on every page.
+func renderRelated(sb *strings.Builder, r *rng) {
+	words := []string{
+		"top", "picks", "bestsellers", "new", "arrivals", "deals",
+		"weekly", "favorites", "trending", "editors", "choice", "gift",
+		"ideas", "clearance", "popular", "nearby",
+	}
+	sb.WriteString(`<div id="related"><h3>You may also like</h3><ul>`)
+	for i := 0; i < r.rangeInt(1, 5); i++ {
+		sb.WriteString("<li>")
+		for j := 0; j < r.rangeInt(2, 4); j++ {
+			sb.WriteString(pick(r, words))
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("</li>")
+	}
+	sb.WriteString(`</ul></div>`)
+}
+
+var junkTemplates = []string{
+	`<div class="ad"><span>sponsored</span><em>%s</em></div>`,
+	`<div class="tip"><b>%s</b></div>`,
+	`<div class="widget"><span>%s</span><span>more</span></div>`,
+}
+
+func renderJunk(sb *strings.Builder, r *rng) {
+	words := []string{"special", "deal", "today", "featured", "trending", "hot", "offer", "exclusive"}
+	text := pick(r, words) + " " + pick(r, words)
+	fmt.Fprintf(sb, pick(r, junkTemplates), text)
+}
+
+func openList(sb *strings.Builder, layout int) {
+	switch layout {
+	case 0:
+		sb.WriteString(`<ul class="results">`)
+	case 1:
+		sb.WriteString(`<table class="results">`)
+	default:
+		sb.WriteString(`<div class="results">`)
+	}
+}
+
+func closeList(sb *strings.Builder, layout int) {
+	switch layout {
+	case 0:
+		sb.WriteString(`</ul>`)
+	case 1:
+		sb.WriteString(`</table>`)
+	default:
+		sb.WriteString(`</div>`)
+	}
+}
+
+// renderRecord renders one record according to the source's layout and
+// quirks.
+func renderRecord(sb *strings.Builder, d DomainSpec, spec SourceSpec, st style, rec eval.Object, r *rng) {
+	// Units: attribute name -> rendered inner HTML. Quirks may merge two
+	// consecutive attributes into one unit.
+	type unit struct {
+		attr string
+		html string
+	}
+	var units []unit
+	for _, attr := range st.order {
+		vals := rec[attr]
+		if len(vals) == 0 {
+			continue
+		}
+		var inner string
+		if attr == "author" {
+			inner = renderAuthors(vals, spec, r)
+		} else {
+			inner = esc(vals[0])
+		}
+		units = append(units, unit{attr: attr, html: inner})
+	}
+	if spec.has(QuirkMergedFields) && len(units) >= 2 {
+		// Merge the first two units into a single text node.
+		units[0] = unit{attr: units[0].attr, html: units[0].html + " " + units[1].html}
+		units = append(units[:1], units[2:]...)
+	}
+	if spec.has(QuirkUnstableLayout) && len(units) >= 2 && r.chance(0.4) {
+		// Swap the first two units on a fraction of records: positional
+		// wrappers then mix values of distinct attributes (incorrect).
+		units[0], units[1] = units[1], units[0]
+	}
+	switch st.layout {
+	case 0:
+		sb.WriteString("<li>")
+		for _, u := range units {
+			fmt.Fprintf(sb, `<div%s>%s</div>`, st.cls("f-"+u.attr), u.html)
+		}
+		renderExtras(sb, st, r)
+		sb.WriteString("</li>")
+	case 1:
+		sb.WriteString("<tr>")
+		for _, u := range units {
+			fmt.Fprintf(sb, `<td%s>%s</td>`, st.cls("f-"+u.attr), u.html)
+		}
+		if st.extras {
+			fmt.Fprintf(sb, `<td%s>`, st.cls("f-x"))
+			renderExtras(sb, st, r)
+			sb.WriteString(`</td>`)
+		}
+		sb.WriteString("</tr>")
+	case 2:
+		sb.WriteString(`<div class="rec">`)
+		for _, u := range units {
+			if st.labelled {
+				fmt.Fprintf(sb, `<div%s><span class="lbl">%s:</span> <span%s>%s</span></div>`, st.cls("row-"+u.attr), labelFor[u.attr], st.cls("val"), u.html)
+			} else {
+				fmt.Fprintf(sb, `<div%s><span%s>%s</span></div>`, st.cls("row-"+u.attr), st.cls("val"), u.html)
+			}
+		}
+		renderExtras(sb, st, r)
+		sb.WriteString(`</div>`)
+	default:
+		sb.WriteString(`<dl class="rec">`)
+		for _, u := range units {
+			fmt.Fprintf(sb, `<dt%s>%s</dt><dd%s>%s</dd>`, st.cls("k-"+u.attr), labelFor[u.attr], st.cls("v-"+u.attr), u.html)
+		}
+		sb.WriteString(`</dl>`)
+		renderExtras(sb, st, r)
+	}
+}
+
+// renderExtras emits the per-record noise of real listing pages: ratings
+// and availability snippets whose presence and wording vary per record.
+// They carry no golden data; targeted extraction ignores them, while
+// structure-only alignment must absorb them.
+func renderExtras(sb *strings.Builder, st style, r *rng) {
+	if !st.extras {
+		return
+	}
+	if r.chance(0.55) {
+		fmt.Fprintf(sb, `<div%s><span>%d stars</span><span>%d customer reviews</span></div>`,
+			st.cls("rating"), r.rangeInt(1, 5), r.rangeInt(2, 900))
+	}
+	if r.chance(0.35) {
+		phrases := []string{
+			"usually ships within %d days",
+			"only %d left in stock",
+			"free delivery on orders over %d",
+			"%d people viewed this today",
+		}
+		fmt.Fprintf(sb, `<div%s><em>`+pick(r, phrases)+`</em></div>`, st.cls("avail"), r.rangeInt(1, 30))
+	}
+}
+
+// renderAuthors renders a multi-valued author attribute. With
+// QuirkMixedList the markup varies per record, reproducing the Amazon
+// encodings of paper Fig. 2(a).
+func renderAuthors(authors []string, spec SourceSpec, r *rng) string {
+	if !spec.has(QuirkMixedList) {
+		return "by " + esc(strings.Join(authors, ", "))
+	}
+	switch r.intn(3) {
+	case 0:
+		// b1: by <a>First</a> and Rest
+		if len(authors) == 1 {
+			return "by <a>" + esc(authors[0]) + "</a>"
+		}
+		return "by <a>" + esc(authors[0]) + "</a> and " + esc(strings.Join(authors[1:], ", "))
+	case 1:
+		// b2: by A, B
+		return "by " + esc(strings.Join(authors, ", "))
+	default:
+		// b3: by <a>A</a><a>B</a>
+		var sb strings.Builder
+		sb.WriteString("by ")
+		for i, a := range authors {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("<a>" + esc(a) + "</a>")
+		}
+		return sb.String()
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

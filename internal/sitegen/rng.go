@@ -1,0 +1,70 @@
+// Package sitegen generates the synthetic structured-Web benchmark that
+// substitutes for the paper's 49 live sources (DESIGN.md §2): five
+// domains — concerts, albums, books, publications, cars — each with a set
+// of template-based sources whose quirks reproduce the structural
+// phenomena the paper identifies as decisive (optional attributes,
+// constant record counts, mixed value encodings, too-regular values,
+// noise), plus the YAGO-like fact base and Hearst-ready corpus used to
+// build gazetteers, the golden standard for precision scoring, and a
+// simulated Mechanical-Turk source-ranking step.
+//
+// Everything is deterministic: the same seed reproduces the same pages,
+// facts and golden objects.
+package sitegen
+
+// rng is a small deterministic xorshift64* generator. Sources derive
+// their streams from the benchmark seed and their own name, so adding a
+// source never perturbs the others.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+// derive returns an independent generator for a named sub-stream.
+func (r *rng) derive(name string) *rng {
+	h := r.state
+	for _, c := range name {
+		h ^= uint64(c)
+		h *= 0x100000001B3
+	}
+	return newRNG(h)
+}
+
+func (r *rng) next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a value in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// pick returns a random element of xs.
+func pick[T any](r *rng, xs []T) T {
+	return xs[r.intn(len(xs))]
+}
+
+// chance returns true with probability p (0..1).
+func (r *rng) chance(p float64) bool {
+	return float64(r.next()%1000000)/1000000 < p
+}

@@ -1,0 +1,210 @@
+package sitegen
+
+import (
+	"fmt"
+
+	"objectrunner/internal/clean"
+	"objectrunner/internal/dom"
+	"objectrunner/internal/eval"
+	"objectrunner/internal/sod"
+)
+
+// Config parameterizes benchmark generation.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal benchmarks.
+	Seed uint64
+	// PagesPerSource is the number of pages generated per source (the
+	// paper collects roughly 50 per source).
+	PagesPerSource int
+	// KBCoverage is the fraction of each entity pool asserted in the
+	// knowledge base (the paper completes dictionaries to at least 20%
+	// coverage; Appendix A studies 10%).
+	KBCoverage float64
+	// CorpusCoverage is the fraction of each pool mentioned in Hearst
+	// sentences of the Web corpus.
+	CorpusCoverage float64
+	// JunkFraction is the share of extra off-template pages (index pages,
+	// editorials) appended to every non-pristine source — the crawl noise
+	// that makes SOD-guided sample selection matter (Table II).
+	JunkFraction float64
+	// Domains restricts generation to the named domains (nil = all).
+	Domains []string
+}
+
+// DefaultConfig mirrors the paper's setup at a laptop-friendly scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           42,
+		PagesPerSource: 30,
+		KBCoverage:     0.25,
+		CorpusCoverage: 0.10,
+		JunkFraction:   0.30,
+	}
+}
+
+// Source is one generated synthetic source.
+type Source struct {
+	Spec   SourceSpec
+	Domain string
+	// HTML holds the raw pages; Pages the parsed and cleaned trees.
+	HTML  []string
+	Pages []*dom.Node
+	// Golden holds the golden-standard objects, per page.
+	Golden [][]eval.Object
+}
+
+// NumObjects counts the golden objects of the source.
+func (s *Source) NumObjects() int {
+	n := 0
+	for _, page := range s.Golden {
+		n += len(page)
+	}
+	return n
+}
+
+// DomainData bundles a domain's SOD and generated sources.
+type DomainData struct {
+	Spec    DomainSpec
+	SOD     *sod.Type
+	Sources []*Source
+}
+
+// Benchmark is a full generated evaluation environment: five domains of
+// sources with golden standards, plus the knowledge base and corpus that
+// feed gazetteer construction.
+type Benchmark struct {
+	Config  Config
+	Pools   *Pools
+	Domains []*DomainData
+	KB      *KB
+	Corpus  *Corpus
+}
+
+// Generate builds the benchmark.
+func Generate(cfg Config) *Benchmark {
+	if cfg.PagesPerSource <= 0 {
+		cfg.PagesPerSource = DefaultConfig().PagesPerSource
+	}
+	if cfg.KBCoverage <= 0 {
+		cfg.KBCoverage = DefaultConfig().KBCoverage
+	}
+	if cfg.CorpusCoverage <= 0 {
+		cfg.CorpusCoverage = DefaultConfig().CorpusCoverage
+	}
+	root := newRNG(cfg.Seed)
+	pools := buildPools(root)
+	b := &Benchmark{Config: cfg, Pools: pools}
+	b.KB = buildKB(pools, root.derive("kb"), cfg.KBCoverage)
+	b.Corpus = buildCorpus(pools, root.derive("corpus"), cfg.CorpusCoverage)
+
+	wantDomain := func(name string) bool {
+		if len(cfg.Domains) == 0 {
+			return true
+		}
+		for _, d := range cfg.Domains {
+			if d == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, spec := range Domains() {
+		if !wantDomain(spec.Name) {
+			continue
+		}
+		dd := &DomainData{Spec: spec, SOD: sod.MustParse(spec.SODText)}
+		for _, ss := range spec.Sources {
+			dd.Sources = append(dd.Sources, generateSource(spec, ss, pools, root, cfg))
+		}
+		b.Domains = append(b.Domains, dd)
+	}
+	return b
+}
+
+// generateSource renders one source's pages and golden standard.
+func generateSource(d DomainSpec, spec SourceSpec, pools *Pools, root *rng, cfg Config) *Source {
+	r := root.derive(d.Name + "/" + spec.Name)
+	st := style{
+		layout:   spec.Layout,
+		order:    attrOrder(d, r.derive("order")),
+		labelled: r.chance(0.5),
+		chrome:   r.intn(4),
+		classed:  !spec.Classless,
+		extras:   !spec.Pristine,
+	}
+	if spec.Detail {
+		// Singleton pages: one object per page, label-rich layout.
+		st.layout = 2
+		st.labelled = true
+	}
+	pages := spec.Pages
+	if pages <= 0 {
+		pages = cfg.PagesPerSource
+	}
+	src := &Source{Spec: spec, Domain: d.Name}
+	recRNG := r.derive("records")
+	pageRNG := r.derive("pages")
+	for pi := 0; pi < pages; pi++ {
+		n := 1
+		if !spec.Detail {
+			lo, hi := spec.MinRecords, spec.MaxRecords
+			if lo <= 0 {
+				lo = 2
+			}
+			if hi < lo {
+				hi = lo
+			}
+			if spec.has(QuirkConstantCount) {
+				n = lo
+			} else {
+				n = pageRNG.rangeInt(lo, hi)
+			}
+		}
+		var records []eval.Object
+		for j := 0; j < n; j++ {
+			records = append(records, genRecord(d, pools, recRNG, spec))
+		}
+		html := renderPage(d, spec, st, records, pageRNG, pi)
+		src.HTML = append(src.HTML, html)
+		src.Pages = append(src.Pages, clean.Page(html))
+		if spec.has(QuirkUnstructured) {
+			src.Golden = append(src.Golden, nil)
+		} else {
+			src.Golden = append(src.Golden, records)
+		}
+	}
+	// Crawl noise: off-template pages (index pages, editorials) with no
+	// records but the same chrome, interleaved deterministically. They
+	// carry a few entity mentions in prose, so a random page sample
+	// wastes slots on them while Algorithm 1 skips them.
+	if cfg.JunkFraction > 0 && !spec.Pristine && !spec.has(QuirkUnstructured) {
+		junkRNG := r.derive("junk")
+		n := int(float64(pages) * cfg.JunkFraction)
+		for j := 0; j < n; j++ {
+			html := renderJunkPage(d, spec, st, pools, junkRNG)
+			// Interleave: insert after every third content page.
+			pos := (j*3 + 2) % (len(src.HTML) + 1)
+			src.HTML = append(src.HTML[:pos], append([]string{html}, src.HTML[pos:]...)...)
+			page := clean.Page(html)
+			src.Pages = append(src.Pages[:pos], append([]*dom.Node{page}, src.Pages[pos:]...)...)
+			src.Golden = append(src.Golden[:pos], append([][]eval.Object{nil}, src.Golden[pos:]...)...)
+		}
+	}
+	return src
+}
+
+// FindSource returns a source by domain and name.
+func (b *Benchmark) FindSource(domain, name string) (*Source, *DomainData, error) {
+	for _, dd := range b.Domains {
+		if dd.Spec.Name != domain {
+			continue
+		}
+		for _, s := range dd.Sources {
+			if s.Spec.Name == name {
+				return s, dd, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("sitegen: no source %q in domain %q", name, domain)
+	}
+	return nil, nil, fmt.Errorf("sitegen: no domain %q", domain)
+}

@@ -1,0 +1,70 @@
+package sod
+
+// Canonicalize transforms an SOD into the canonical form used by the
+// template matching step (paper §III.D): every tuple node receives as
+// direct children all the atomic-type nodes reachable from it only via
+// tuple nodes (no set nodes), i.e. nested tuples with identical
+// multiplicity collapse into a single tuple level, while set types keep
+// their nesting. The input is not modified.
+func Canonicalize(t *Type) *Type {
+	return canon(t.Clone())
+}
+
+func canon(t *Type) *Type {
+	switch t.Kind {
+	case KindEntity:
+		return t
+	case KindSet:
+		t.Elem = canon(t.Elem)
+		return t
+	case KindDisjunction:
+		for i, f := range t.Fields {
+			t.Fields[i] = canon(f)
+		}
+		return t
+	case KindTuple:
+		var flat []*Type
+		for _, f := range t.Fields {
+			f = canon(f)
+			if f.Kind == KindTuple {
+				// Merge the nested tuple's children into this level. A
+				// component of an optional nested tuple stays optional.
+				for _, g := range f.Fields {
+					if f.Optional {
+						g.Optional = true
+					}
+					flat = append(flat, g)
+				}
+				continue
+			}
+			flat = append(flat, f)
+		}
+		t.Fields = flat
+		return t
+	}
+	return t
+}
+
+// AtomicFields returns the direct entity-type children of a canonical
+// tuple, i.e. the attributes that must co-occur at one template level.
+func AtomicFields(t *Type) []*Type {
+	var out []*Type
+	for _, f := range t.Fields {
+		if f.Kind == KindEntity {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SetFields returns the direct set-type children of a canonical tuple,
+// i.e. the nested collections that must match deeper template levels.
+func SetFields(t *Type) []*Type {
+	var out []*Type
+	for _, f := range t.Fields {
+		if f.Kind == KindSet {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package sod
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an SOD from its textual DSL form. The grammar, designed for
+// minimal-effort specification (paper §I: SODs are "provided by users in a
+// minimal-effort and flexible manner"):
+//
+//	sod    := type
+//	type   := tuple | set | oneof | entity
+//	tuple  := "tuple" "{" field ( ("," | newline) field )* "}"
+//	set    := "set" "(" type ")" mult?
+//	oneof  := "oneof" "(" type "|" type ")"
+//	entity := name ":" rec
+//	rec    := ident ( "(" arg ")" )?
+//	field  := (name ":")? type "?"?
+//	mult   := "*" | "+" | "?" | int | int "-" int
+//
+// Examples:
+//
+//	tuple { artist: instanceOf(Artist), date: date, address: address ? }
+//	tuple { title: instanceOf(BookTitle), authors: set(author: instanceOf(Author))+ }
+func Parse(src string) (*Type, error) {
+	p := &parser{toks: lex(src)}
+	t, err := p.parseType("")
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("sod: trailing input at %q", p.peek().val)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed SODs.
+func MustParse(src string) *Type {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokPunct         // one of { } ( ) , : | ? * + -
+	tokInt
+	tokEOF
+)
+
+type tok struct {
+	kind tokKind
+	val  string
+}
+
+func lex(src string) []tok {
+	var toks []tok
+	i := 0
+	for i < len(src) {
+		r := src[i]
+		switch {
+		case r == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(r)):
+			i++
+		case strings.ContainsRune("{}(),:|?*+-", rune(r)):
+			toks = append(toks, tok{tokPunct, string(r)})
+			i++
+		case r >= '0' && r <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, tok{tokInt, src[i:j]})
+			i = j
+		default:
+			j := i
+			for j < len(src) && (isIdentChar(src[j])) {
+				j++
+			}
+			if j == i {
+				// Unknown byte: skip it (robustness over strictness).
+				i++
+				continue
+			}
+			toks = append(toks, tok{tokIdent, src[i:j]})
+			i = j
+		}
+	}
+	toks = append(toks, tok{tokEOF, ""})
+	return toks
+}
+
+func isIdentChar(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_' || b == '.'
+}
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) peek() tok  { return p.toks[p.pos] }
+func (p *parser) next() tok  { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool  { return p.peek().kind == tokEOF }
+
+func (p *parser) expect(val string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.val != val {
+		return fmt.Errorf("sod: expected %q, found %q", val, t.val)
+	}
+	return nil
+}
+
+func (p *parser) accept(val string) bool {
+	if p.peek().kind == tokPunct && p.peek().val == val {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parseType parses a type, attaching the given field name.
+func (p *parser) parseType(name string) (*Type, error) {
+	t := p.peek()
+	if t.kind != tokIdent && t.kind != tokInt {
+		return nil, fmt.Errorf("sod: expected a type, found %q", t.val)
+	}
+	switch t.val {
+	case "tuple":
+		p.next()
+		return p.parseTuple(name)
+	case "set":
+		p.next()
+		return p.parseSet(name)
+	case "oneof":
+		p.next()
+		return p.parseDisjunction(name)
+	}
+	// Entity: name ":" rec, or bare rec when a field name was supplied.
+	ident := p.next().val
+	if p.accept(":") {
+		inner, err := p.parseType(ident)
+		if err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	// Bare recognizer: use field name as entity name, or the recognizer
+	// kind itself when anonymous (e.g. a top-level "date").
+	rec, err := p.parseRecognizerAfter(ident)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = ident
+	}
+	return Entity(name, rec), nil
+}
+
+// parseRecognizerAfter parses the optional "(arg)" following a recognizer
+// kind identifier already consumed.
+func (p *parser) parseRecognizerAfter(kind string) (RecognizerRef, error) {
+	ref := RecognizerRef{Kind: kind}
+	if p.accept("(") {
+		var parts []string
+		depth := 1
+		for {
+			t := p.next()
+			if t.kind == tokEOF {
+				return ref, fmt.Errorf("sod: unterminated recognizer argument for %q", kind)
+			}
+			if t.kind == tokPunct {
+				switch t.val {
+				case "(":
+					depth++
+				case ")":
+					depth--
+					if depth == 0 {
+						ref.Arg = strings.Join(parts, "")
+						return ref, nil
+					}
+				}
+			}
+			parts = append(parts, t.val)
+		}
+	}
+	return ref, nil
+}
+
+func (p *parser) parseTuple(name string) (*Type, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	tp := &Type{Kind: KindTuple, Name: name}
+	for {
+		if p.accept("}") {
+			break
+		}
+		f, err := p.parseType("")
+		if err != nil {
+			return nil, err
+		}
+		if p.accept("?") {
+			f.Optional = true
+		}
+		tp.Fields = append(tp.Fields, f)
+		p.accept(",") // commas between fields are optional
+	}
+	return tp, nil
+}
+
+func (p *parser) parseSet(name string) (*Type, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	elem, err := p.parseType("")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	mult, err := p.parseMultiplicity()
+	if err != nil {
+		return nil, err
+	}
+	return Set(name, elem, mult), nil
+}
+
+func (p *parser) parseMultiplicity() (Multiplicity, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokPunct && t.val == "*":
+		p.next()
+		return MultStar, nil
+	case t.kind == tokPunct && t.val == "+":
+		p.next()
+		return MultPlus, nil
+	case t.kind == tokPunct && t.val == "?":
+		p.next()
+		return MultOptional, nil
+	case t.kind == tokInt:
+		p.next()
+		lo, _ := strconv.Atoi(t.val)
+		if p.accept("-") {
+			hi := p.next()
+			if hi.kind != tokInt {
+				return Multiplicity{}, fmt.Errorf("sod: expected integer after %d-, found %q", lo, hi.val)
+			}
+			h, _ := strconv.Atoi(hi.val)
+			return Multiplicity{Min: lo, Max: h}, nil
+		}
+		return Multiplicity{Min: lo, Max: lo}, nil
+	}
+	// No explicit multiplicity: + is the natural default for sets.
+	return MultPlus, nil
+}
+
+func (p *parser) parseDisjunction(name string) (*Type, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	a, err := p.parseType("")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("|"); err != nil {
+		return nil, err
+	}
+	b, err := p.parseType("")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return Disjunction(name, a, b), nil
+}

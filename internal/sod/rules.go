@@ -1,0 +1,194 @@
+package sod
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rules are the additional restrictions the paper's §II.A (footnote 1)
+// attaches to SODs beyond the type structure: "these could allow one to
+// say that a certain entity type has to cover the entire textual content
+// of an HTML node …; or to require that two date types have to be in a
+// certain order relationship or that a particular address has to be in a
+// certain range". The paper omits them from its experiments; they are
+// implemented here as first-class instance validators.
+//
+// Rules attach to the SOD root via AddRule and are enforced on extracted
+// instances by CheckRules (the wrapper drops violating objects).
+
+// Rule validates one extracted instance.
+type Rule interface {
+	// Check returns nil when the instance satisfies the rule.
+	Check(in *Instance) error
+	// Describe renders the rule for diagnostics.
+	Describe() string
+}
+
+// AddRule attaches a rule to the type (meaningful on the SOD root).
+func (t *Type) AddRule(r Rule) *Type {
+	t.Rules = append(t.Rules, r)
+	return t
+}
+
+// CheckRules validates an instance against every rule of the type.
+func (t *Type) CheckRules(in *Instance) error {
+	for _, r := range t.Rules {
+		if err := r.Check(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FilterByRules drops the instances violating any rule and returns the
+// survivors together with the number dropped.
+func (t *Type) FilterByRules(objects []*Instance) ([]*Instance, int) {
+	if len(t.Rules) == 0 {
+		return objects, 0
+	}
+	out := objects[:0:0]
+	for _, o := range objects {
+		if t.CheckRules(o) == nil {
+			out = append(out, o)
+		}
+	}
+	return out, len(objects) - len(out)
+}
+
+// fieldValues collects every leaf value bound to the named entity type.
+func fieldValues(in *Instance, name string) []string {
+	var out []string
+	var rec func(*Instance)
+	rec = func(x *Instance) {
+		if x.Leaf() {
+			if x.Type.Name == name {
+				out = append(out, x.Value)
+			}
+			return
+		}
+		for _, c := range x.Children {
+			rec(c)
+		}
+	}
+	rec(in)
+	return out
+}
+
+// ValueRule constrains a field's value with an arbitrary predicate.
+type ValueRule struct {
+	Field string
+	Desc  string
+	Pred  func(value string) bool
+}
+
+// Check implements Rule: every value of the field must satisfy the
+// predicate (fields absent from the instance pass).
+func (r ValueRule) Check(in *Instance) error {
+	for _, v := range fieldValues(in, r.Field) {
+		if !r.Pred(v) {
+			return fmt.Errorf("sod: rule %s: value %q rejected", r.Describe(), v)
+		}
+	}
+	return nil
+}
+
+// Describe implements Rule.
+func (r ValueRule) Describe() string {
+	if r.Desc != "" {
+		return fmt.Sprintf("value(%s: %s)", r.Field, r.Desc)
+	}
+	return fmt.Sprintf("value(%s)", r.Field)
+}
+
+// OrderRule requires that two fields stand in an order relationship under
+// a caller-supplied comparison (the paper's "two date types have to be in
+// a certain order relationship").
+type OrderRule struct {
+	Before, After string
+	// Less compares two raw values; when nil, lexicographic comparison
+	// of the normalized strings applies.
+	Less func(a, b string) bool
+}
+
+// Check implements Rule.
+func (r OrderRule) Check(in *Instance) error {
+	before := fieldValues(in, r.Before)
+	after := fieldValues(in, r.After)
+	if len(before) == 0 || len(after) == 0 {
+		return nil // absent fields do not violate the order
+	}
+	less := r.Less
+	if less == nil {
+		less = func(a, b string) bool { return strings.ToLower(a) < strings.ToLower(b) }
+	}
+	for _, b := range before {
+		for _, a := range after {
+			if !less(b, a) && b != a {
+				return fmt.Errorf("sod: rule %s: %q not before %q", r.Describe(), b, a)
+			}
+		}
+	}
+	return nil
+}
+
+// Describe implements Rule.
+func (r OrderRule) Describe() string {
+	return fmt.Sprintf("order(%s < %s)", r.Before, r.After)
+}
+
+// ContainsRule requires a field's value to contain (or, inverted, avoid)
+// a substring — a practical instantiation of the paper's textual rules
+// ("a particular address has to be in a certain range of coordinates" is
+// approximated by textual region constraints on the Web).
+type ContainsRule struct {
+	Field  string
+	Needle string
+	Negate bool
+}
+
+// Check implements Rule.
+func (r ContainsRule) Check(in *Instance) error {
+	for _, v := range fieldValues(in, r.Field) {
+		has := strings.Contains(strings.ToLower(v), strings.ToLower(r.Needle))
+		if has == r.Negate {
+			return fmt.Errorf("sod: rule %s: value %q rejected", r.Describe(), v)
+		}
+	}
+	return nil
+}
+
+// Describe implements Rule.
+func (r ContainsRule) Describe() string {
+	op := "contains"
+	if r.Negate {
+		op = "omits"
+	}
+	return fmt.Sprintf("%s(%s, %q)", op, r.Field, r.Needle)
+}
+
+// WholeNodeRule marks an entity type whose instances must cover the
+// entire textual content of their HTML node. It is enforced during
+// annotation (only whole-node matches annotate), so it is declared on the
+// type and consulted by the annotation stage via WholeNodeFields.
+type WholeNodeRule struct {
+	Field string
+}
+
+// Check implements Rule; at the instance level the rule is vacuous (the
+// annotation stage enforces it), so it always passes.
+func (r WholeNodeRule) Check(*Instance) error { return nil }
+
+// Describe implements Rule.
+func (r WholeNodeRule) Describe() string { return fmt.Sprintf("wholeNode(%s)", r.Field) }
+
+// WholeNodeFields lists the entity-type names restricted to whole-node
+// matches.
+func (t *Type) WholeNodeFields() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range t.Rules {
+		if w, ok := r.(WholeNodeRule); ok {
+			out[w.Field] = true
+		}
+	}
+	return out
+}

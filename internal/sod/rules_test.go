@@ -1,0 +1,120 @@
+package sod
+
+import (
+	"strings"
+	"testing"
+)
+
+func ruleSOD() *Type {
+	return MustParse(`tuple { artist: instanceOf(Artist), start: date, end: date }`)
+}
+
+func ruleInstance(artist, start, end string) *Instance {
+	t := ruleSOD()
+	in := &Instance{Type: t}
+	if artist != "" {
+		in.Children = append(in.Children, NewValue(t.Fields[0], artist))
+	}
+	if start != "" {
+		in.Children = append(in.Children, NewValue(t.Fields[1], start))
+	}
+	if end != "" {
+		in.Children = append(in.Children, NewValue(t.Fields[2], end))
+	}
+	return in
+}
+
+func TestValueRule(t *testing.T) {
+	r := ValueRule{Field: "artist", Desc: "non-numeric", Pred: func(v string) bool {
+		return !strings.ContainsAny(v, "0123456789")
+	}}
+	if err := r.Check(ruleInstance("Metallica", "", "")); err != nil {
+		t.Errorf("valid value rejected: %v", err)
+	}
+	if err := r.Check(ruleInstance("Blink 182", "", "")); err == nil {
+		t.Error("invalid value accepted")
+	}
+	// Absent fields pass.
+	if err := r.Check(ruleInstance("", "x", "")); err != nil {
+		t.Errorf("absent field rejected: %v", err)
+	}
+	if !strings.Contains(r.Describe(), "non-numeric") {
+		t.Error("describe")
+	}
+}
+
+func TestOrderRule(t *testing.T) {
+	r := OrderRule{Before: "start", After: "end"}
+	if err := r.Check(ruleInstance("", "2010-05-01", "2010-06-01")); err != nil {
+		t.Errorf("ordered dates rejected: %v", err)
+	}
+	if err := r.Check(ruleInstance("", "2010-06-01", "2010-05-01")); err == nil {
+		t.Error("inverted dates accepted")
+	}
+	// Equal values pass; missing either side passes.
+	if err := r.Check(ruleInstance("", "2010-05-01", "2010-05-01")); err != nil {
+		t.Errorf("equal dates rejected: %v", err)
+	}
+	if err := r.Check(ruleInstance("", "2010-06-01", "")); err != nil {
+		t.Errorf("missing side rejected: %v", err)
+	}
+	// Custom comparison.
+	num := OrderRule{Before: "start", After: "end", Less: func(a, b string) bool { return len(a) < len(b) }}
+	if err := num.Check(ruleInstance("", "ab", "abcd")); err != nil {
+		t.Errorf("custom less rejected: %v", err)
+	}
+}
+
+func TestContainsRule(t *testing.T) {
+	r := ContainsRule{Field: "artist", Needle: "the"}
+	if err := r.Check(ruleInstance("The Beatles", "", "")); err != nil {
+		t.Errorf("containing value rejected: %v", err)
+	}
+	if err := r.Check(ruleInstance("Metallica", "", "")); err == nil {
+		t.Error("non-containing value accepted")
+	}
+	neg := ContainsRule{Field: "artist", Needle: "the", Negate: true}
+	if err := neg.Check(ruleInstance("Metallica", "", "")); err != nil {
+		t.Errorf("negated rule rejected clean value: %v", err)
+	}
+	if err := neg.Check(ruleInstance("The Beatles", "", "")); err == nil {
+		t.Error("negated rule accepted matching value")
+	}
+}
+
+func TestFilterByRules(t *testing.T) {
+	s := ruleSOD()
+	s.AddRule(OrderRule{Before: "start", After: "end"})
+	objs := []*Instance{
+		ruleInstance("A", "2010-01-01", "2010-02-01"),
+		ruleInstance("B", "2010-03-01", "2010-02-01"), // violates
+		ruleInstance("C", "2010-04-01", "2010-05-01"),
+	}
+	kept, dropped := s.FilterByRules(objs)
+	if len(kept) != 2 || dropped != 1 {
+		t.Fatalf("kept=%d dropped=%d", len(kept), dropped)
+	}
+	if kept[0].FieldValue("artist") != "A" || kept[1].FieldValue("artist") != "C" {
+		t.Error("wrong survivors")
+	}
+	// No rules: pass-through.
+	plain := ruleSOD()
+	kept2, dropped2 := plain.FilterByRules(objs)
+	if len(kept2) != 3 || dropped2 != 0 {
+		t.Error("rule-less filter dropped objects")
+	}
+}
+
+func TestWholeNodeFields(t *testing.T) {
+	s := ruleSOD()
+	s.AddRule(WholeNodeRule{Field: "artist"})
+	s.AddRule(OrderRule{Before: "start", After: "end"})
+	w := s.WholeNodeFields()
+	if !w["artist"] || w["start"] {
+		t.Errorf("whole-node fields = %v", w)
+	}
+	// Whole-node rules are vacuous at instance level.
+	if err := s.CheckRules(ruleInstance("x", "2010-01-01", "2010-02-01")); err != nil {
+		t.Errorf("CheckRules: %v", err)
+	}
+}

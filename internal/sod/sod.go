@@ -1,0 +1,434 @@
+// Package sod implements Structured Object Descriptions, the typing
+// formalism by which ObjectRunner users describe the data to be targeted
+// and extracted from HTML pages (paper §II.A).
+//
+// An SOD is a complex type built recursively from entity (atomic) types:
+// set types carry a multiplicity constraint over instances of an element
+// type, tuple types are unordered collections of component types, and
+// disjunction types are pairs of mutually exclusive alternatives. Each
+// entity type references a recognizer by name (regular expression,
+// predefined, or dictionary-based isInstanceOf).
+package sod
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the type constructors of the SOD formalism.
+type Kind int
+
+const (
+	// KindEntity is an atomic type recognized by an associated recognizer.
+	KindEntity Kind = iota
+	// KindSet is a homogeneous collection with a multiplicity constraint.
+	KindSet
+	// KindTuple is an unordered collection of component types.
+	KindTuple
+	// KindDisjunction is a pair of mutually exclusive types.
+	KindDisjunction
+)
+
+// String returns the constructor name.
+func (k Kind) String() string {
+	switch k {
+	case KindEntity:
+		return "entity"
+	case KindSet:
+		return "set"
+	case KindTuple:
+		return "tuple"
+	case KindDisjunction:
+		return "disjunction"
+	}
+	return "unknown"
+}
+
+// Unbounded is the Max value of a multiplicity with no upper bound.
+const Unbounded = -1
+
+// Multiplicity restricts how many instances a set type may contain:
+// n–m for at least n and at most m, * for zero or more, + for one or
+// more, ? for zero or one, 1 for exactly one.
+type Multiplicity struct {
+	Min int
+	Max int // Unbounded for no upper limit
+}
+
+// Predefined multiplicities matching the paper's notation.
+var (
+	MultOne      = Multiplicity{Min: 1, Max: 1}         // 1
+	MultOptional = Multiplicity{Min: 0, Max: 1}         // ?
+	MultStar     = Multiplicity{Min: 0, Max: Unbounded} // *
+	MultPlus     = Multiplicity{Min: 1, Max: Unbounded} // +
+)
+
+// Allows reports whether a set of size n satisfies the constraint.
+func (m Multiplicity) Allows(n int) bool {
+	if n < m.Min {
+		return false
+	}
+	return m.Max == Unbounded || n <= m.Max
+}
+
+// String renders the constraint in the paper's notation.
+func (m Multiplicity) String() string {
+	switch m {
+	case MultOne:
+		return "1"
+	case MultOptional:
+		return "?"
+	case MultStar:
+		return "*"
+	case MultPlus:
+		return "+"
+	}
+	if m.Max == Unbounded {
+		return fmt.Sprintf("%d-", m.Min)
+	}
+	return fmt.Sprintf("%d-%d", m.Min, m.Max)
+}
+
+// RecognizerRef names the recognizer that validates instances of an entity
+// type: Kind is the recognizer family ("date", "price", "regex",
+// "instanceOf", ...) and Arg is its parameter (the class name for
+// isInstanceOf types, the expression for regex types).
+type RecognizerRef struct {
+	Kind string
+	Arg  string
+}
+
+// String renders the reference in DSL syntax.
+func (r RecognizerRef) String() string {
+	if r.Arg == "" {
+		return r.Kind
+	}
+	return fmt.Sprintf("%s(%s)", r.Kind, r.Arg)
+}
+
+// IsInstanceOf reports whether the recognizer is an open, dictionary-based
+// one for which a gazetteer must be constructed on the fly.
+func (r RecognizerRef) IsInstanceOf() bool {
+	return strings.EqualFold(r.Kind, "instanceof")
+}
+
+// Type is a node of an SOD type tree.
+type Type struct {
+	Kind Kind
+	// Name labels the type: the attribute name for entity types and tuple
+	// fields ("artist", "location"), optional for anonymous nodes.
+	Name string
+	// Recognizer is set for entity types only.
+	Recognizer RecognizerRef
+	// Elem is the element type of a set.
+	Elem *Type
+	// Mult constrains set cardinality (sets only).
+	Mult Multiplicity
+	// Fields are the components of a tuple or the alternatives of a
+	// disjunction.
+	Fields []*Type
+	// Optional marks a tuple component that may be absent from a source
+	// (the paper's optional attributes, e.g. the concert address).
+	Optional bool
+	// Rules are the additional restrictions of §II.A footnote 1 (value,
+	// order, whole-node); meaningful on the SOD root. See rules.go.
+	Rules []Rule
+}
+
+// Entity constructs an atomic type with the given name and recognizer.
+func Entity(name string, rec RecognizerRef) *Type {
+	return &Type{Kind: KindEntity, Name: name, Recognizer: rec}
+}
+
+// Set constructs a set type over elem with the given multiplicity.
+func Set(name string, elem *Type, mult Multiplicity) *Type {
+	return &Type{Kind: KindSet, Name: name, Elem: elem, Mult: mult}
+}
+
+// Tuple constructs a tuple type from the given component types.
+func Tuple(name string, fields ...*Type) *Type {
+	return &Type{Kind: KindTuple, Name: name, Fields: fields}
+}
+
+// Disjunction constructs a two-alternative disjunction type.
+func Disjunction(name string, a, b *Type) *Type {
+	return &Type{Kind: KindDisjunction, Name: name, Fields: []*Type{a, b}}
+}
+
+// MarkOptional flags the type as an optional tuple component and returns
+// it, for fluent construction.
+func (t *Type) MarkOptional() *Type {
+	t.Optional = true
+	return t
+}
+
+// Validate checks structural well-formedness of the type tree.
+func (t *Type) Validate() error {
+	switch t.Kind {
+	case KindEntity:
+		if t.Name == "" {
+			return fmt.Errorf("sod: entity type without a name")
+		}
+		if t.Recognizer.Kind == "" {
+			return fmt.Errorf("sod: entity type %q has no recognizer", t.Name)
+		}
+	case KindSet:
+		if t.Elem == nil {
+			return fmt.Errorf("sod: set type %q has no element type", t.Name)
+		}
+		if t.Mult.Min < 0 {
+			return fmt.Errorf("sod: set type %q has negative minimum multiplicity", t.Name)
+		}
+		if t.Mult.Max != Unbounded && t.Mult.Max < t.Mult.Min {
+			return fmt.Errorf("sod: set type %q has max < min multiplicity", t.Name)
+		}
+		return t.Elem.Validate()
+	case KindTuple:
+		if len(t.Fields) == 0 {
+			return fmt.Errorf("sod: tuple type %q has no components", t.Name)
+		}
+		for _, f := range t.Fields {
+			if err := f.Validate(); err != nil {
+				return err
+			}
+		}
+	case KindDisjunction:
+		if len(t.Fields) != 2 {
+			return fmt.Errorf("sod: disjunction type %q must have exactly two alternatives, has %d", t.Name, len(t.Fields))
+		}
+		for _, f := range t.Fields {
+			if err := f.Validate(); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("sod: unknown type kind %d", t.Kind)
+	}
+	return nil
+}
+
+// EntityTypes returns every entity type in the tree, in depth-first order.
+func (t *Type) EntityTypes() []*Type {
+	var out []*Type
+	t.walk(func(x *Type) {
+		if x.Kind == KindEntity {
+			out = append(out, x)
+		}
+	})
+	return out
+}
+
+// InstanceOfTypes returns the entity types whose recognizers are open
+// (dictionary-based) and need gazetteer construction.
+func (t *Type) InstanceOfTypes() []*Type {
+	var out []*Type
+	for _, e := range t.EntityTypes() {
+		if e.Recognizer.IsInstanceOf() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (t *Type) walk(fn func(*Type)) {
+	fn(t)
+	if t.Elem != nil {
+		t.Elem.walk(fn)
+	}
+	for _, f := range t.Fields {
+		f.walk(fn)
+	}
+}
+
+// Clone returns a deep copy of the type tree.
+func (t *Type) Clone() *Type {
+	cp := *t
+	if t.Elem != nil {
+		cp.Elem = t.Elem.Clone()
+	}
+	if len(t.Fields) > 0 {
+		cp.Fields = make([]*Type, len(t.Fields))
+		for i, f := range t.Fields {
+			cp.Fields[i] = f.Clone()
+		}
+	}
+	return &cp
+}
+
+// String renders the type in the DSL syntax accepted by Parse.
+func (t *Type) String() string {
+	var sb strings.Builder
+	t.render(&sb, 0)
+	return sb.String()
+}
+
+func (t *Type) render(sb *strings.Builder, depth int) {
+	switch t.Kind {
+	case KindEntity:
+		fmt.Fprintf(sb, "%s: %s", t.Name, t.Recognizer)
+	case KindSet:
+		if t.Name != "" {
+			fmt.Fprintf(sb, "%s: ", t.Name)
+		}
+		sb.WriteString("set(")
+		t.Elem.render(sb, depth)
+		sb.WriteString(")")
+		if t.Mult != MultOne {
+			sb.WriteString(t.Mult.String())
+		}
+	case KindTuple:
+		if t.Name != "" && depth > 0 {
+			fmt.Fprintf(sb, "%s: ", t.Name)
+		}
+		sb.WriteString("tuple {")
+		for i, f := range t.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			f.render(sb, depth+1)
+			if f.Optional {
+				sb.WriteString(" ?")
+			}
+		}
+		sb.WriteString("}")
+	case KindDisjunction:
+		if t.Name != "" && depth > 0 {
+			fmt.Fprintf(sb, "%s: ", t.Name)
+		}
+		sb.WriteString("oneof(")
+		t.Fields[0].render(sb, depth+1)
+		sb.WriteString(" | ")
+		t.Fields[1].render(sb, depth+1)
+		sb.WriteString(")")
+	}
+}
+
+// Instance is a value of an SOD type: a finite tree whose internal nodes
+// correspond to complex type constructors and whose leaves hold entity
+// values (paper §II.A).
+type Instance struct {
+	Type     *Type
+	Value    string      // entity instances only
+	Children []*Instance // tuple fields / set members / chosen alternative
+}
+
+// NewValue constructs an entity instance.
+func NewValue(t *Type, v string) *Instance {
+	return &Instance{Type: t, Value: v}
+}
+
+// Leaf returns true for entity instances.
+func (in *Instance) Leaf() bool { return in.Type != nil && in.Type.Kind == KindEntity }
+
+// Field returns the child instance for the named component, or nil.
+func (in *Instance) Field(name string) *Instance {
+	for _, c := range in.Children {
+		if c.Type != nil && c.Type.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// FieldValue returns the entity value of the named component, descending
+// one level, or "" when absent.
+func (in *Instance) FieldValue(name string) string {
+	if f := in.Field(name); f != nil {
+		return f.Value
+	}
+	return ""
+}
+
+// Values returns all leaf values of the instance, depth-first.
+func (in *Instance) Values() []string {
+	var out []string
+	var rec func(*Instance)
+	rec = func(x *Instance) {
+		if x.Leaf() {
+			out = append(out, x.Value)
+			return
+		}
+		for _, c := range x.Children {
+			rec(c)
+		}
+	}
+	rec(in)
+	return out
+}
+
+// String renders the instance as a compact record literal.
+func (in *Instance) String() string {
+	var sb strings.Builder
+	in.renderInstance(&sb)
+	return sb.String()
+}
+
+func (in *Instance) renderInstance(sb *strings.Builder) {
+	if in.Leaf() {
+		fmt.Fprintf(sb, "%s=%q", in.Type.Name, in.Value)
+		return
+	}
+	open, close := "{", "}"
+	if in.Type != nil && in.Type.Kind == KindSet {
+		open, close = "[", "]"
+	}
+	sb.WriteString(open)
+	for i, c := range in.Children {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		c.renderInstance(sb)
+	}
+	sb.WriteString(close)
+}
+
+// Conforms checks the instance against its type: entity leaves are
+// non-empty, set sizes satisfy multiplicities, tuple components cover all
+// non-optional fields, and a disjunction holds exactly one alternative.
+func (in *Instance) Conforms() error {
+	if in.Type == nil {
+		return fmt.Errorf("sod: instance without a type")
+	}
+	t := in.Type
+	switch t.Kind {
+	case KindEntity:
+		if in.Value == "" {
+			return fmt.Errorf("sod: empty value for entity %q", t.Name)
+		}
+	case KindSet:
+		if !t.Mult.Allows(len(in.Children)) {
+			return fmt.Errorf("sod: set %q has %d members, multiplicity %s", t.Name, len(in.Children), t.Mult)
+		}
+		for _, c := range in.Children {
+			if c.Type != t.Elem {
+				return fmt.Errorf("sod: set %q member has wrong type", t.Name)
+			}
+			if err := c.Conforms(); err != nil {
+				return err
+			}
+		}
+	case KindTuple:
+		seen := make(map[*Type]bool)
+		for _, c := range in.Children {
+			seen[c.Type] = true
+			if err := c.Conforms(); err != nil {
+				return err
+			}
+		}
+		for _, f := range t.Fields {
+			if !f.Optional && !seen[f] {
+				return fmt.Errorf("sod: tuple %q missing required component %q", t.Name, f.Name)
+			}
+		}
+	case KindDisjunction:
+		if len(in.Children) != 1 {
+			return fmt.Errorf("sod: disjunction %q must hold exactly one alternative", t.Name)
+		}
+		c := in.Children[0]
+		if c.Type != t.Fields[0] && c.Type != t.Fields[1] {
+			return fmt.Errorf("sod: disjunction %q holds a non-alternative", t.Name)
+		}
+		return c.Conforms()
+	}
+	return nil
+}

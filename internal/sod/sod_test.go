@@ -1,0 +1,433 @@
+package sod
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiplicityAllows(t *testing.T) {
+	cases := []struct {
+		m    Multiplicity
+		n    int
+		want bool
+	}{
+		{MultOne, 1, true}, {MultOne, 0, false}, {MultOne, 2, false},
+		{MultOptional, 0, true}, {MultOptional, 1, true}, {MultOptional, 2, false},
+		{MultStar, 0, true}, {MultStar, 100, true},
+		{MultPlus, 0, false}, {MultPlus, 1, true}, {MultPlus, 50, true},
+		{Multiplicity{Min: 2, Max: 4}, 1, false},
+		{Multiplicity{Min: 2, Max: 4}, 3, true},
+		{Multiplicity{Min: 2, Max: 4}, 5, false},
+	}
+	for _, c := range cases {
+		if got := c.m.Allows(c.n); got != c.want {
+			t.Errorf("%s.Allows(%d) = %v, want %v", c.m, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMultiplicityString(t *testing.T) {
+	for _, c := range []struct {
+		m    Multiplicity
+		want string
+	}{
+		{MultOne, "1"}, {MultOptional, "?"}, {MultStar, "*"}, {MultPlus, "+"},
+		{Multiplicity{Min: 2, Max: 5}, "2-5"},
+		{Multiplicity{Min: 3, Max: Unbounded}, "3-"},
+	} {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.m, got, c.want)
+		}
+	}
+}
+
+// concertSOD builds the running-example SOD: a concert is a tuple of
+// artist, date and a location tuple {theater, address?}.
+func concertSOD() *Type {
+	return Tuple("concert",
+		Entity("artist", RecognizerRef{Kind: "instanceOf", Arg: "Artist"}),
+		Entity("date", RecognizerRef{Kind: "date"}),
+		Tuple("location",
+			Entity("theater", RecognizerRef{Kind: "instanceOf", Arg: "Theater"}),
+			Entity("address", RecognizerRef{Kind: "address"}).MarkOptional(),
+		),
+	)
+}
+
+func bookSOD() *Type {
+	return Tuple("book",
+		Entity("title", RecognizerRef{Kind: "instanceOf", Arg: "BookTitle"}),
+		Entity("price", RecognizerRef{Kind: "price"}),
+		Entity("date", RecognizerRef{Kind: "date"}).MarkOptional(),
+		Set("authors", Entity("author", RecognizerRef{Kind: "instanceOf", Arg: "Author"}), MultPlus),
+	)
+}
+
+func TestValidate(t *testing.T) {
+	if err := concertSOD().Validate(); err != nil {
+		t.Errorf("concert SOD invalid: %v", err)
+	}
+	if err := bookSOD().Validate(); err != nil {
+		t.Errorf("book SOD invalid: %v", err)
+	}
+	bad := []*Type{
+		{Kind: KindEntity},                                    // no name
+		{Kind: KindEntity, Name: "x"},                         // no recognizer
+		{Kind: KindSet, Name: "s"},                            // no elem
+		{Kind: KindTuple, Name: "t"},                          // no fields
+		{Kind: KindDisjunction, Name: "d", Fields: []*Type{Entity("a", RecognizerRef{Kind: "date"})}}, // one alternative
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad[%d] validated", i)
+		}
+	}
+	neg := Set("s", Entity("a", RecognizerRef{Kind: "date"}), Multiplicity{Min: 3, Max: 1})
+	if err := neg.Validate(); err == nil {
+		t.Error("max<min multiplicity validated")
+	}
+}
+
+func TestEntityTypes(t *testing.T) {
+	ents := concertSOD().EntityTypes()
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name)
+	}
+	want := "artist,date,theater,address"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("entity types = %s, want %s", got, want)
+	}
+}
+
+func TestInstanceOfTypes(t *testing.T) {
+	iot := concertSOD().InstanceOfTypes()
+	if len(iot) != 2 {
+		t.Fatalf("got %d instanceOf types, want 2", len(iot))
+	}
+	if iot[0].Name != "artist" || iot[1].Name != "theater" {
+		t.Errorf("instanceOf types = %s, %s", iot[0].Name, iot[1].Name)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := concertSOD()
+	cp := orig.Clone()
+	cp.Fields[0].Name = "changed"
+	cp.Fields[2].Fields[0].Recognizer.Arg = "Changed"
+	if orig.Fields[0].Name != "artist" {
+		t.Error("clone mutation leaked into original (field name)")
+	}
+	if orig.Fields[2].Fields[0].Recognizer.Arg != "Theater" {
+		t.Error("clone mutation leaked into original (recognizer)")
+	}
+}
+
+func TestParseConcert(t *testing.T) {
+	src := `tuple {
+		artist: instanceOf(Artist)
+		date: date
+		location: tuple {
+			theater: instanceOf(Theater)
+			address: address ?
+		}
+	}`
+	got, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindTuple || len(got.Fields) != 3 {
+		t.Fatalf("parsed %s", got)
+	}
+	loc := got.Fields[2]
+	if loc.Kind != KindTuple || loc.Name != "location" {
+		t.Fatalf("location = %s", loc)
+	}
+	if !loc.Fields[1].Optional {
+		t.Error("address should be optional")
+	}
+	if loc.Fields[0].Recognizer.Arg != "Theater" {
+		t.Errorf("theater recognizer = %s", loc.Fields[0].Recognizer)
+	}
+}
+
+func TestParseBookWithSet(t *testing.T) {
+	src := `tuple { title: instanceOf(BookTitle), price: price, date: date?, authors: set(author: instanceOf(Author))+ }`
+	got, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authors := got.Fields[3]
+	if authors.Kind != KindSet || authors.Name != "authors" {
+		t.Fatalf("authors = %s", authors)
+	}
+	if authors.Mult != MultPlus {
+		t.Errorf("multiplicity = %s, want +", authors.Mult)
+	}
+	if authors.Elem.Name != "author" {
+		t.Errorf("elem = %s", authors.Elem)
+	}
+	if !got.Fields[2].Optional {
+		t.Error("date should be optional")
+	}
+}
+
+func TestParseMultiplicities(t *testing.T) {
+	for _, c := range []struct {
+		src  string
+		want Multiplicity
+	}{
+		{`set(a: date)*`, MultStar},
+		{`set(a: date)+`, MultPlus},
+		{`set(a: date)?`, MultOptional},
+		{`set(a: date)1`, MultOne},
+		{`set(a: date)2-5`, Multiplicity{Min: 2, Max: 5}},
+		{`set(a: date)`, MultPlus}, // default
+	} {
+		got, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got.Mult != c.want {
+			t.Errorf("%s: mult = %s, want %s", c.src, got.Mult, c.want)
+		}
+	}
+}
+
+func TestParseDisjunction(t *testing.T) {
+	got, err := Parse(`oneof(isbn: regex([0-9]{13}) | title: instanceOf(BookTitle))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindDisjunction || len(got.Fields) != 2 {
+		t.Fatalf("parsed %s", got)
+	}
+	if got.Fields[0].Recognizer.Kind != "regex" {
+		t.Errorf("first alt recognizer = %s", got.Fields[0].Recognizer)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	got, err := Parse(`tuple {
+		# the performer
+		artist: instanceOf(Artist)
+		date: date # when
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fields) != 2 {
+		t.Errorf("got %d fields", len(got.Fields))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`tuple {}`,            // empty tuple
+		`tuple { a: }`,        // missing recognizer
+		`set()`,               // empty set
+		`oneof(a: date)`,      // single alternative
+		`tuple { a: date } x`, // trailing
+		`set(a: date`,         // unterminated
+		`tuple { a: instanceOf(X `, // unterminated arg
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`tuple { artist: instanceOf(Artist), date: date, address: address ?}`,
+		`tuple { title: instanceOf(BookTitle), authors: set(author: instanceOf(Author))+}`,
+		`tuple { a: date, loc: tuple {b: address, c: phone}}`,
+	} {
+		t1 := MustParse(src)
+		t2, err := Parse(t1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v (rendered %q)", src, err, t1.String())
+		}
+		if t1.String() != t2.String() {
+			t.Errorf("round trip differs:\n t1: %s\n t2: %s", t1, t2)
+		}
+	}
+}
+
+func TestCanonicalizeFlattensNestedTuples(t *testing.T) {
+	c := Canonicalize(concertSOD())
+	// location tuple merges into the top level: artist, date, theater, address.
+	if len(c.Fields) != 4 {
+		t.Fatalf("canonical has %d fields, want 4: %s", len(c.Fields), c)
+	}
+	names := make(map[string]bool)
+	for _, f := range c.Fields {
+		if f.Kind != KindEntity {
+			t.Errorf("canonical concert has non-entity field %s", f)
+		}
+		names[f.Name] = true
+	}
+	for _, want := range []string{"artist", "date", "theater", "address"} {
+		if !names[want] {
+			t.Errorf("canonical missing %s", want)
+		}
+	}
+}
+
+func TestCanonicalizeKeepsSets(t *testing.T) {
+	c := Canonicalize(bookSOD())
+	sets := SetFields(c)
+	if len(sets) != 1 || sets[0].Name != "authors" {
+		t.Fatalf("sets = %v", sets)
+	}
+	atoms := AtomicFields(c)
+	if len(atoms) != 3 {
+		t.Errorf("atomic fields = %d, want 3", len(atoms))
+	}
+}
+
+func TestCanonicalizeOptionalPropagation(t *testing.T) {
+	// An optional nested tuple's components become optional at top level.
+	src := MustParse(`tuple { a: date, inner: tuple { b: price, c: address } ? }`)
+	c := Canonicalize(src)
+	if len(c.Fields) != 3 {
+		t.Fatalf("canonical fields = %d", len(c.Fields))
+	}
+	for _, f := range c.Fields[1:] {
+		if !f.Optional {
+			t.Errorf("field %s should inherit optionality", f.Name)
+		}
+	}
+}
+
+func TestCanonicalizeDoesNotMutateInput(t *testing.T) {
+	orig := concertSOD()
+	before := orig.String()
+	Canonicalize(orig)
+	if orig.String() != before {
+		t.Error("Canonicalize mutated its input")
+	}
+}
+
+func TestCanonicalizeDeepNesting(t *testing.T) {
+	src := MustParse(`tuple { a: date, t1: tuple { b: price, t2: tuple { c: address, s: set(d: phone)* } } }`)
+	c := Canonicalize(src)
+	// a, b, c flatten to the top; the set survives.
+	if got := len(AtomicFields(c)); got != 3 {
+		t.Errorf("atomic fields = %d, want 3", got)
+	}
+	if got := len(SetFields(c)); got != 1 {
+		t.Errorf("set fields = %d, want 1", got)
+	}
+}
+
+func TestCanonicalizeInsideSet(t *testing.T) {
+	// Tuples inside a set element are canonicalized independently.
+	src := MustParse(`tuple { a: date, items: set(tuple { b: price, inner: tuple { c: address } })* }`)
+	c := Canonicalize(src)
+	set := SetFields(c)[0]
+	if got := len(AtomicFields(set.Elem)); got != 2 {
+		t.Errorf("set elem atomic fields = %d, want 2", got)
+	}
+}
+
+func TestInstanceConforms(t *testing.T) {
+	sodT := bookSOD()
+	title, price, date, authors := sodT.Fields[0], sodT.Fields[1], sodT.Fields[2], sodT.Fields[3]
+	inst := &Instance{Type: sodT, Children: []*Instance{
+		NewValue(title, "War and Peace"),
+		NewValue(price, "$12.99"),
+		NewValue(date, "1869"),
+		{Type: authors, Children: []*Instance{NewValue(authors.Elem, "Leo Tolstoy")}},
+	}}
+	if err := inst.Conforms(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	// Missing required title.
+	noTitle := &Instance{Type: sodT, Children: inst.Children[1:]}
+	if err := noTitle.Conforms(); err == nil {
+		t.Error("instance missing required field accepted")
+	}
+	// Missing optional date is fine.
+	noDate := &Instance{Type: sodT, Children: []*Instance{
+		inst.Children[0], inst.Children[1], inst.Children[3],
+	}}
+	if err := noDate.Conforms(); err != nil {
+		t.Errorf("instance missing only optional field rejected: %v", err)
+	}
+	// Empty author set violates +.
+	emptySet := &Instance{Type: sodT, Children: []*Instance{
+		inst.Children[0], inst.Children[1], {Type: authors},
+	}}
+	if err := emptySet.Conforms(); err == nil {
+		t.Error("empty + set accepted")
+	}
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	sodT := concertSOD()
+	loc := sodT.Fields[2]
+	inst := &Instance{Type: sodT, Children: []*Instance{
+		NewValue(sodT.Fields[0], "Metallica"),
+		NewValue(sodT.Fields[1], "Monday May 11, 8:00pm"),
+		{Type: loc, Children: []*Instance{
+			NewValue(loc.Fields[0], "Madison Square Garden"),
+			NewValue(loc.Fields[1], "237 West 42nd street"),
+		}},
+	}}
+	if got := inst.FieldValue("artist"); got != "Metallica" {
+		t.Errorf("artist = %q", got)
+	}
+	if inst.Field("location").FieldValue("theater") != "Madison Square Garden" {
+		t.Error("nested field access failed")
+	}
+	if inst.Field("nope") != nil {
+		t.Error("absent field should be nil")
+	}
+	vals := inst.Values()
+	if len(vals) != 4 {
+		t.Errorf("Values = %v", vals)
+	}
+	s := inst.String()
+	if !strings.Contains(s, `artist="Metallica"`) {
+		t.Errorf("String = %s", s)
+	}
+}
+
+func TestInstanceDisjunctionConforms(t *testing.T) {
+	d := MustParse(`oneof(isbn: regex([0-9]+) | title: instanceOf(BookTitle))`)
+	ok := &Instance{Type: d, Children: []*Instance{NewValue(d.Fields[0], "978")}}
+	if err := ok.Conforms(); err != nil {
+		t.Errorf("valid disjunction rejected: %v", err)
+	}
+	both := &Instance{Type: d, Children: []*Instance{
+		NewValue(d.Fields[0], "978"), NewValue(d.Fields[1], "T"),
+	}}
+	if err := both.Conforms(); err == nil {
+		t.Error("disjunction with both alternatives accepted")
+	}
+}
+
+// Property: lexing never panics and always terminates with EOF.
+func TestLexTotal(t *testing.T) {
+	f := func(s string) bool {
+		toks := lex(s)
+		return len(toks) > 0 && toks[len(toks)-1].kind == tokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse never panics on arbitrary input.
+func TestParseTotal(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

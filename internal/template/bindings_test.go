@@ -1,0 +1,182 @@
+package template
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"objectrunner/internal/annotate"
+	"objectrunner/internal/clean"
+	"objectrunner/internal/eqclass"
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sod"
+)
+
+// build runs the front of the pipeline over the sources and returns the
+// template plus the annotated sample tokens.
+func build(t *testing.T, srcs []string, recs map[string]recognize.Recognizer) (*Template, [][]*eqclass.Occurrence) {
+	t.Helper()
+	var sample [][]*eqclass.Occurrence
+	for i, src := range srcs {
+		page := clean.Page(src)
+		pa := annotate.AnnotatePage(page, recs)
+		sample = append(sample, eqclass.TokenizePage(page, pa, i))
+	}
+	a := eqclass.Analyze(sample, eqclass.DefaultParams(), nil)
+	return Build(a), sample
+}
+
+func sparseDicts(coverage map[string][]string) map[string]recognize.Recognizer {
+	out := make(map[string]recognize.Recognizer)
+	for name, vals := range coverage {
+		d := recognize.NewDictionary("instanceOf(" + name + ")")
+		for _, v := range vals {
+			d.Add(v, 0.9)
+		}
+		out[name] = d
+	}
+	out["price"] = recognize.NewPrice()
+	return out
+}
+
+// TestDeepBindingThroughNestedClasses reproduces the labelled-rows layout
+// where sparsely annotated values live inside value spans: atomic fields
+// must bind through the nested classes and extract correctly.
+func TestDeepBindingThroughNestedClasses(t *testing.T) {
+	rec := func(brand, price string) string {
+		return `<div class="rec">` +
+			`<div class="row-brand"><span class="lbl">Model:</span> <span class="val">` + brand + `</span></div>` +
+			`<div class="row-price"><span class="lbl">Price:</span> <span class="val">` + price + `</span></div>` +
+			`</div>`
+	}
+	brands := []string{"Toyota Camry", "Honda Accord", "Ford Fusion", "Mazda 6", "Kia Optima", "Audi A4", "Volvo S60", "Jaguar XE"}
+	var srcs []string
+	k := 0
+	for p := 0; p < 4; p++ {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><div class="list">`)
+		for j := 0; j < 2+p%2; j++ {
+			sb.WriteString(rec(brands[k%len(brands)], fmt.Sprintf("$%d,%03d", 10+k, 100+k)))
+			k++
+		}
+		sb.WriteString(`</div></body></html>`)
+		srcs = append(srcs, sb.String())
+	}
+	// Only a quarter of the brands are known.
+	recs := sparseDicts(map[string][]string{"brand": {"Toyota Camry", "Mazda 6"}})
+	tmpl, sample := build(t, srcs, recs)
+	s := sod.MustParse(`tuple { brand: instanceOf(Brand), price: price }`)
+	ms := tmpl.MatchSOD(s)
+	if len(ms) == 0 {
+		t.Fatalf("no match:\n%s", tmpl)
+	}
+	objs := ExtractAll(s, ms, sample[0])
+	if len(objs) != 2 {
+		for _, o := range objs {
+			t.Logf("obj: %s", o)
+		}
+		t.Fatalf("objects = %d, want 2", len(objs))
+	}
+	if got := objs[0].FieldValue("brand"); got != "Toyota Camry" {
+		t.Errorf("brand = %q", got)
+	}
+	if got := objs[1].FieldValue("brand"); got != "Honda Accord" {
+		t.Errorf("brand = %q (unknown value must still extract)", got)
+	}
+}
+
+// TestMergedFieldsSecondaryBinding: two attributes rendered in one text
+// node bind to the same slot (the dominant one directly, the other via
+// the secondary fallback), yielding partially-correct values rather than
+// a failed match.
+func TestMergedFieldsSecondaryBinding(t *testing.T) {
+	rec := func(brand, price string) string {
+		return `<li><div class="f">` + brand + ` ` + price + `</div></li>`
+	}
+	brands := []string{"Toyota Camry", "Honda Accord", "Ford Fusion", "Mazda 6", "Kia Optima", "Audi A4", "Volvo S60", "Jaguar XE"}
+	var srcs []string
+	k := 0
+	for p := 0; p < 8; p++ {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><ul>`)
+		for j := 0; j < 3+p%2; j++ {
+			sb.WriteString(rec(brands[k%len(brands)], fmt.Sprintf("$%d,%03d", 10+k, 100+k)))
+			k++
+		}
+		sb.WriteString(`</ul></body></html>`)
+		srcs = append(srcs, sb.String())
+	}
+	recs := sparseDicts(map[string][]string{"brand": {"Toyota Camry", "Honda Accord", "Ford Fusion", "Mazda 6"}})
+	tmpl, sample := build(t, srcs, recs)
+	s := sod.MustParse(`tuple { brand: instanceOf(Brand), price: price }`)
+	ms := tmpl.MatchSOD(s)
+	if len(ms) == 0 {
+		t.Fatalf("merged source did not match:\n%s", tmpl)
+	}
+	objs := ExtractAll(s, ms, sample[0])
+	if len(objs) == 0 {
+		t.Fatal("nothing extracted")
+	}
+	// Both fields carry the merged text: partially correct by design.
+	found := false
+	for _, o := range objs {
+		if strings.Contains(o.FieldValue("brand"), "Honda Accord") {
+			found = true
+			if !strings.Contains(o.FieldValue("price"), "$11,101") {
+				t.Errorf("price = %q, want merged text containing $11,101", o.FieldValue("price"))
+			}
+		}
+	}
+	if !found {
+		for _, o := range objs {
+			t.Logf("obj: %s", o)
+		}
+		t.Error("no object carries the merged Honda Accord record")
+	}
+}
+
+// TestOrdinalSeparatorsOnClasslessRecords: structurally identical divs
+// annotated as different types must extract by learned ordinal on a page
+// never seen during inference.
+func TestOrdinalSeparatorsOnClasslessRecords(t *testing.T) {
+	rec := func(brand, price string) string {
+		return `<li><div>` + brand + `</div><div>` + price + `</div></li>`
+	}
+	brands := []string{"Toyota Camry", "Honda Accord", "Ford Fusion", "Mazda 6", "Kia Optima", "Audi A4"}
+	var srcs []string
+	k := 0
+	for p := 0; p < 4; p++ {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><ul>`)
+		for j := 0; j < 2+p%2; j++ {
+			sb.WriteString(rec(brands[k%len(brands)], fmt.Sprintf("$%d,%03d", 10+k, 100+k)))
+			k++
+		}
+		sb.WriteString(`</ul></body></html>`)
+		srcs = append(srcs, sb.String())
+	}
+	recs := sparseDicts(map[string][]string{"brand": {"Toyota Camry", "Ford Fusion", "Kia Optima"}})
+	tmpl, _ := build(t, srcs, recs)
+	s := sod.MustParse(`tuple { brand: instanceOf(Brand), price: price }`)
+	ms := tmpl.MatchSOD(s)
+	if len(ms) == 0 {
+		t.Fatalf("no match:\n%s", tmpl)
+	}
+	unseen := clean.Page(`<html><body><ul>` +
+		rec("Tesla Model 3", "$39,990") + rec("Genesis G70", "$41,000") +
+		`</ul></body></html>`)
+	toks := eqclass.TokenizePage(unseen, nil, 0)
+	objs := ExtractAll(s, ms, toks)
+	if len(objs) != 2 {
+		for _, o := range objs {
+			t.Logf("obj: %s", o)
+		}
+		t.Fatalf("objects = %d, want 2", len(objs))
+	}
+	if got := objs[0].FieldValue("brand"); got != "Tesla Model 3" {
+		t.Errorf("brand = %q (ordinal separator misbound)", got)
+	}
+	if got := objs[0].FieldValue("price"); got != "$39,990" {
+		t.Errorf("price = %q", got)
+	}
+}

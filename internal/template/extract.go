@@ -1,0 +1,402 @@
+package template
+
+import (
+	"strings"
+
+	"objectrunner/internal/eqclass"
+	"objectrunner/internal/sod"
+)
+
+// Extract applies a match to one page's token sequence and returns the
+// extracted SOD instances: one instance per (class tuple × repeated
+// group). The page need not belong to the inference sample — only the
+// match's separator descriptors are used to locate the template on it.
+func Extract(s *sod.Type, m *Match, toks []*eqclass.Occurrence) []*sod.Instance {
+	var out []*sod.Instance
+	ranks := childRanks(m)
+	for _, span := range findTuples(toks, m.Node.EQ.Descs, 0, len(toks)) {
+		if inst := extractGroup(m.Tuple, m, toks, span, ranks); inst != nil {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// boundChildren collects the nested classes the match binds fields or
+// sets to: their spans are excluded from sibling direct-slot text (they
+// hold other fields' values), while unbound classes stay included (their
+// structural match may cover this field's own words).
+func boundChildren(m *Match) map[*Node]bool {
+	out := make(map[*Node]bool)
+	for _, bs := range m.Fields {
+		for _, b := range bs {
+			if len(b.Path) > 0 {
+				out[b.Path[0]] = true
+			}
+		}
+	}
+	for _, sb := range m.Sets {
+		if sb != nil && sb.Child != nil {
+			out[sb.Child] = true
+		}
+	}
+	return out
+}
+
+// childRanks resolves extraction ambiguity between annotation-split
+// roles: children of one slot whose separator descriptors are
+// structurally identical (same tags, same paths) cannot be told apart on
+// an unseen page, so each bound child takes the candidate span at its
+// rank in template order (EQ.OrderHint).
+func childRanks(m *Match) map[*Node]int {
+	type key struct {
+		slot int
+		sig  string
+	}
+	groups := make(map[key][]*Node)
+	seen := make(map[*Node]bool)
+	add := func(c *Node) {
+		if c == nil || seen[c] {
+			return
+		}
+		seen[c] = true
+		k := key{c.EQ.ParentSlot, descSig(c)}
+		groups[k] = append(groups[k], c)
+	}
+	for _, bs := range m.Fields {
+		for _, b := range bs {
+			if len(b.Path) > 0 {
+				add(b.Path[0])
+			}
+		}
+	}
+	for _, sb := range m.Sets {
+		if sb != nil {
+			add(sb.Child)
+		}
+	}
+	ranks := make(map[*Node]int)
+	for _, g := range groups {
+		for i := 1; i < len(g); i++ {
+			for j := i; j > 0 && g[j].EQ.OrderHint < g[j-1].EQ.OrderHint; j-- {
+				g[j], g[j-1] = g[j-1], g[j]
+			}
+		}
+		for i, c := range g {
+			ranks[c] = i
+		}
+	}
+	return ranks
+}
+
+// descSig is the structural signature of a class's separators.
+func descSig(n *Node) string {
+	var sb strings.Builder
+	for _, d := range n.EQ.Descs {
+		sb.WriteString(d.String())
+		sb.WriteByte(' ')
+	}
+	return sb.String()
+}
+
+// ExtractAll runs every match over the page and concatenates the results.
+func ExtractAll(s *sod.Type, matches []*Match, toks []*eqclass.Occurrence) []*sod.Instance {
+	var out []*sod.Instance
+	for _, m := range matches {
+		out = append(out, Extract(s, m, toks)...)
+	}
+	return out
+}
+
+// tupleSpan is one located repetition of a class on a page: the token
+// positions of its separators.
+type tupleSpan struct {
+	positions []int
+}
+
+// slotRange returns the token range (exclusive bounds) of interior slot i.
+func (ts tupleSpan) slotRange(i int) (int, int) {
+	return ts.positions[i], ts.positions[i+1]
+}
+
+// findTuples locates repetitions of the separator sequence on the page by
+// greedy forward matching of the descriptors (kind, value, DOM path)
+// within [from, to).
+func findTuples(toks []*eqclass.Occurrence, descs []eqclass.Desc, from, to int) []tupleSpan {
+	var out []tupleSpan
+	i := from
+	for {
+		span, next := matchOnce(toks, descs, i, to)
+		if span == nil {
+			return out
+		}
+		out = append(out, *span)
+		i = next
+	}
+}
+
+// matchOnce finds one full descriptor sequence starting at or after i.
+// Ordinal-bearing descriptors bind to the n-th occurrence of their
+// structural signature within the tuple, counted from the anchor — this
+// tells apart separators that annotations differentiated during
+// inference but that look identical on an unseen page.
+func matchOnce(toks []*eqclass.Occurrence, descs []eqclass.Desc, i, to int) (*tupleSpan, int) {
+	if len(descs) == 0 {
+		return nil, to
+	}
+	// Signatures the tuple tracks.
+	tracked := make(map[string]bool, len(descs))
+	for _, d := range descs {
+		tracked[d.Sig()] = true
+	}
+	positions := make([]int, 0, len(descs))
+	counts := make(map[string]int, len(descs))
+	for di, d := range descs {
+		sig := d.Sig()
+		want := d.Ordinal
+		if want <= 0 {
+			want = counts[sig] + 1 // "next match"
+		}
+		found := -1
+		for ; i < to; i++ {
+			o := toks[i]
+			osig := (eqclass.Desc{Kind: o.Kind, Value: o.Value, Path: o.Path}).Sig()
+			if tracked[osig] {
+				counts[osig]++
+			}
+			if osig == sig && counts[osig] >= want {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, to
+		}
+		positions = append(positions, found)
+		i = found + 1
+		if di == 0 {
+			// Anchor: ordinal counting restarts at the tuple head.
+			for s := range counts {
+				counts[s] = 0
+			}
+			counts[sig] = 1
+		}
+	}
+	return &tupleSpan{positions: positions}, i
+}
+
+// extractGroup builds one SOD instance from a located tuple span, using
+// the match's field and set bindings. Instances missing a required
+// component are dropped (nil).
+func extractGroup(tuple *sod.Type, m *Match, toks []*eqclass.Occurrence, span tupleSpan, ranks map[*Node]int) *sod.Instance {
+	inst := &sod.Instance{Type: tuple}
+	bound := make(map[*sod.Type]bool)
+	excl := boundChildren(m)
+	for f, bindings := range m.Fields {
+		text := bindingsText(m.Node, toks, span, bindings, ranks, excl)
+		if text == "" {
+			continue
+		}
+		inst.Children = append(inst.Children, sod.NewValue(f, text))
+		bound[f] = true
+	}
+	for f, b := range m.Sets {
+		set := extractSet(f, b, toks, span, ranks)
+		if set == nil || len(set.Children) == 0 {
+			continue
+		}
+		inst.Children = append(inst.Children, set)
+		bound[f] = true
+	}
+	for _, f := range tuple.Fields {
+		if f.Optional || bound[f] {
+			continue
+		}
+		if f.Kind == sod.KindDisjunction {
+			// Disjunctions were resolved at match time; the resolved
+			// alternative is a distinct *Type key in m.Fields, accounted
+			// for above via its own binding.
+			continue
+		}
+		if f.Kind == sod.KindSet && f.Mult.Min == 0 {
+			continue
+		}
+		return nil
+	}
+	if len(inst.Children) == 0 {
+		return nil
+	}
+	orderChildren(inst, tuple)
+	return inst
+}
+
+// orderChildren sorts instance children into the tuple's declaration
+// order for stable output.
+func orderChildren(inst *sod.Instance, tuple *sod.Type) {
+	rank := make(map[string]int)
+	for i, f := range tuple.Fields {
+		rank[f.Name] = i
+		if f.Kind == sod.KindDisjunction {
+			for _, alt := range f.Fields {
+				rank[alt.Name] = i
+			}
+		}
+	}
+	sortStable(inst.Children, func(a, b *sod.Instance) bool {
+		return rank[a.Type.Name] < rank[b.Type.Name]
+	})
+}
+
+func sortStable(xs []*sod.Instance, less func(a, b *sod.Instance) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// bindingsText concatenates the text located by each field binding.
+func bindingsText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, bindings []FieldBinding, ranks map[*Node]int, excl map[*Node]bool) string {
+	var parts []string
+	for _, b := range bindings {
+		if text := bindingText(owner, toks, span, b, ranks, excl); text != "" {
+			parts = append(parts, text)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// bindingText resolves one binding: descend through the nested classes of
+// the binding path, narrowing at each step to the slot of the enclosing
+// class the child nests in, then read the final slot.
+func bindingText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, b FieldBinding, ranks map[*Node]int, excl map[*Node]bool) string {
+	cur := span
+	for hop, node := range b.Path {
+		from, to := cur.positions[0], cur.positions[len(cur.positions)-1]
+		if s := node.EQ.ParentSlot; s >= 0 && s+1 < len(cur.positions) {
+			from, to = cur.slotRange(s)
+		}
+		spans := findTuples(toks, node.EQ.Descs, from+1, to)
+		want := 0
+		if hop == 0 {
+			want = ranks[node]
+		}
+		if want >= len(spans) {
+			return ""
+		}
+		cur = spans[want]
+		owner = node
+	}
+	return innerSlotText(owner, toks, cur, b.Slot, excl)
+}
+
+// innerSlotText reads a slot's direct text, excluding the spans of
+// classes nested in it — mirroring how slot profiles attribute words to
+// their innermost class during inference.
+func innerSlotText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, slot int, excl map[*Node]bool) string {
+	if slot+1 >= len(span.positions) {
+		return ""
+	}
+	from, to := span.slotRange(slot)
+	var ranges [][2]int
+	if owner != nil {
+		for _, c := range owner.Children {
+			if c.EQ.ParentSlot != slot || !excl[c] {
+				continue
+			}
+			for _, cs := range findTuples(toks, c.EQ.Descs, from+1, to) {
+				ranges = append(ranges, [2]int{cs.positions[0], cs.positions[len(cs.positions)-1]})
+			}
+		}
+	}
+	var words []string
+	for i := from + 1; i < to; i++ {
+		if toks[i].Kind != eqclass.KindWord {
+			continue
+		}
+		skip := false
+		for _, e := range ranges {
+			if i >= e[0] && i <= e[1] {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			words = append(words, toks[i].Raw)
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// slotsText concatenates the word content of the given slots of a span.
+func slotsText(toks []*eqclass.Occurrence, span tupleSpan, slots []int) string {
+	var words []string
+	for _, s := range slots {
+		if s+1 >= len(span.positions) {
+			continue
+		}
+		from, to := span.slotRange(s)
+		for i := from + 1; i < to; i++ {
+			if toks[i].Kind == eqclass.KindWord {
+				words = append(words, toks[i].Raw)
+			}
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// extractSet materializes a set instance from its binding.
+func extractSet(f *sod.Type, b *SetBinding, toks []*eqclass.Occurrence, span tupleSpan, ranks map[*Node]int) *sod.Instance {
+	_ = ranks
+	set := &sod.Instance{Type: f}
+	addEntity := func(text string) {
+		for _, v := range SplitList(text) {
+			set.Children = append(set.Children, sod.NewValue(f.Elem, v))
+		}
+	}
+	// Inline case: typed slots of the parent node hold the members.
+	if len(b.Slots) > 0 {
+		for _, s := range b.Slots {
+			if text := slotsText(toks, span, []int{s}); text != "" {
+				addEntity(text)
+			}
+		}
+		return set
+	}
+	// Nested case: each child-class tuple inside the span is one member.
+	if b.Child == nil {
+		return set
+	}
+	from, to := span.positions[0], span.positions[len(span.positions)-1]
+	for _, childSpan := range findTuples(toks, b.Child.EQ.Descs, from+1, to) {
+		if b.ElemMatch != nil {
+			if inst := extractGroup(b.ElemMatch.Tuple, b.ElemMatch, toks, childSpan, childRanks(b.ElemMatch)); inst != nil {
+				inst.Type = f.Elem
+				set.Children = append(set.Children, inst)
+			}
+			continue
+		}
+		if text := slotsText(toks, childSpan, b.ElemSlots); text != "" {
+			addEntity(text)
+		}
+	}
+	return set
+}
+
+// SplitList splits an inline list of set members on the separators that
+// template-generated pages use between co-listed values: commas,
+// semicolons and the word "and" (the Amazon author lists of paper
+// Fig. 2(a): "Jane Austen and Fiona Stafford").
+func SplitList(text string) []string {
+	fields := strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ';' })
+	var out []string
+	for _, f := range fields {
+		for _, part := range strings.Split(f, " and ") {
+			part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "and "))
+			if part != "" {
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package template
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"objectrunner/internal/eqclass"
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sod"
+)
+
+// fakeNode builds a template node with nSlots interior slots, all
+// text-bearing, for direct structural tests of the group machinery.
+func fakeNode(nSlots int) *Node {
+	eq := &eqclass.EQ{ID: 1}
+	// K = nSlots+1 separators.
+	for i := 0; i <= nSlots; i++ {
+		eq.Roles = append(eq.Roles, i)
+		eq.Descs = append(eq.Descs, eqclass.Desc{Kind: eqclass.KindStartTag, Value: "div", Path: "p"})
+	}
+	n := &Node{EQ: eq}
+	for i := 0; i < nSlots; i++ {
+		n.Slots = append(n.Slots, eqclass.SlotProfile{Types: map[string]int{}, TextCount: 3})
+	}
+	return n
+}
+
+func TestCompletePeriodicGroupsSynthesizes(t *testing.T) {
+	tpl := &Template{DominanceThreshold: 0.5}
+	tuple := sod.MustParse(`tuple { a: date, b: price }`)
+	fa, fb := tuple.Fields[0], tuple.Fields[1]
+	n := fakeNode(9) // three periods of 3 slots
+	mk := func(start int) *Match {
+		m := tpl.newMatch(n, tuple)
+		m.Start, m.End = start, start+3
+		m.Fields[fa] = []FieldBinding{{Slot: start}}
+		m.Fields[fb] = []FieldBinding{{Slot: start + 1}}
+		return m
+	}
+	out := tpl.completePeriodicGroups(tuple, n, []*Match{mk(0), mk(3)})
+	if len(out) != 3 {
+		t.Fatalf("groups = %d, want 3 (one synthesized)", len(out))
+	}
+	g := out[2]
+	if g.Start != 6 {
+		t.Errorf("synthesized start = %d", g.Start)
+	}
+	if got := g.Fields[fa][0].Slot; got != 6 {
+		t.Errorf("a slot = %d, want 6", got)
+	}
+	if got := g.Fields[fb][0].Slot; got != 7 {
+		t.Errorf("b slot = %d, want 7", got)
+	}
+}
+
+func TestCompletePeriodicGroupsRefusesIrregularSpacing(t *testing.T) {
+	tpl := &Template{DominanceThreshold: 0.5}
+	tuple := sod.MustParse(`tuple { a: date }`)
+	fa := tuple.Fields[0]
+	n := fakeNode(10)
+	mk := func(start, end int) *Match {
+		m := tpl.newMatch(n, tuple)
+		m.Start, m.End = start, end
+		m.Fields[fa] = []FieldBinding{{Slot: start}}
+		return m
+	}
+	out := tpl.completePeriodicGroups(tuple, n, []*Match{mk(0, 3), mk(3, 7), mk(7, 10)})
+	if len(out) != 3 {
+		t.Errorf("irregular spacing must not synthesize: groups = %d", len(out))
+	}
+}
+
+func TestShiftGroupFailsOutOfRange(t *testing.T) {
+	tpl := &Template{DominanceThreshold: 0.5}
+	tuple := sod.MustParse(`tuple { a: date }`)
+	fa := tuple.Fields[0]
+	n := fakeNode(4)
+	base := tpl.newMatch(n, tuple)
+	base.Start, base.End = 0, 2
+	base.Fields[fa] = []FieldBinding{{Slot: 1}}
+	if _, ok := tpl.shiftGroup(tuple, n, base, 4); ok {
+		t.Error("shift beyond template accepted")
+	}
+	if g, ok := tpl.shiftGroup(tuple, n, base, 2); !ok || g.Fields[fa][0].Slot != 3 {
+		t.Errorf("valid shift failed: %v %v", g, ok)
+	}
+}
+
+// TestNestedSetChildBinding: set members live in their own repeated
+// sub-elements (one <b> per author), so the set binds to a nested class.
+func TestNestedSetChildBinding(t *testing.T) {
+	rec := func(title string, authors ...string) string {
+		var sb strings.Builder
+		sb.WriteString(`<li><div class="t">` + title + `</div><ul class="au">`)
+		for _, a := range authors {
+			sb.WriteString("<li><b>" + a + "</b></li>")
+		}
+		sb.WriteString(`</ul></li>`)
+		return sb.String()
+	}
+	authors := []string{"Jane Austen", "Neil Gaiman", "Terry Pratchett", "Abraham Verghese", "Fiona Stafford", "Mary Shelley"}
+	titles := []string{"Alpha Book", "Beta Book", "Gamma Book", "Delta Book", "Epsilon Book", "Zeta Book", "Eta Book", "Theta Book"}
+	var srcs []string
+	k := 0
+	for p := 0; p < 4; p++ {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><ul class="res">`)
+		for j := 0; j < 2+p%2; j++ {
+			n := 1 + (k % 3)
+			var as []string
+			for x := 0; x < n; x++ {
+				as = append(as, authors[(k+x)%len(authors)])
+			}
+			sb.WriteString(rec(titles[k%len(titles)], as...))
+			k++
+		}
+		sb.WriteString(`</ul></body></html>`)
+		srcs = append(srcs, sb.String())
+	}
+	recs := sparseDicts(map[string][]string{
+		"title":  {"Alpha Book", "Beta Book", "Gamma Book", "Delta Book"},
+		"author": {"Jane Austen", "Neil Gaiman", "Terry Pratchett"},
+	})
+	delete(recs, "price")
+	tmpl, sample := build(t, srcs, recs)
+	s := sod.MustParse(`tuple { title: instanceOf(Title), authors: set(author: instanceOf(Author))+ }`)
+	ms := tmpl.MatchSOD(s)
+	if len(ms) == 0 {
+		t.Fatalf("no match:\n%s", tmpl)
+	}
+	objs := ExtractAll(s, ms, sample[0])
+	if len(objs) != 2 {
+		for _, o := range objs {
+			t.Logf("obj: %s", o)
+		}
+		t.Fatalf("objects = %d, want 2", len(objs))
+	}
+	// First record (k=0) has exactly one author.
+	set := objs[0].Field("authors")
+	if set == nil || len(set.Children) != 1 {
+		t.Fatalf("authors of first record = %v", set)
+	}
+	if set.Children[0].Value != "Jane Austen" {
+		t.Errorf("author = %q", set.Children[0].Value)
+	}
+	// Second record (k=1) has two authors.
+	set2 := objs[1].Field("authors")
+	if set2 == nil || len(set2.Children) != 2 {
+		t.Fatalf("authors of second record = %v", set2)
+	}
+}
+
+// TestSetOfTuples: a set whose element is itself a tuple (author name +
+// year) exercises the recursive elem-tuple matching.
+func TestSetOfTuples(t *testing.T) {
+	rec := func(title string, pairs ...[2]string) string {
+		var sb strings.Builder
+		sb.WriteString(`<li><div class="t">` + title + `</div><ul class="au">`)
+		for _, p := range pairs {
+			sb.WriteString(`<li><b>` + p[0] + `</b><i>` + p[1] + `</i></li>`)
+		}
+		sb.WriteString(`</ul></li>`)
+		return sb.String()
+	}
+	authors := []string{"Jane Austen", "Neil Gaiman", "Terry Pratchett", "Abraham Verghese", "Fiona Stafford", "Mary Shelley"}
+	titles := []string{"Alpha Book", "Beta Book", "Gamma Book", "Delta Book", "Epsilon Book", "Zeta Book", "Eta Book", "Theta Book"}
+	var srcs []string
+	k := 0
+	for p := 0; p < 4; p++ {
+		var sb strings.Builder
+		sb.WriteString(`<html><body><ul class="res">`)
+		for j := 0; j < 2+p%2; j++ {
+			n := 1 + (k % 3)
+			var pairs [][2]string
+			for x := 0; x < n; x++ {
+				pairs = append(pairs, [2]string{authors[(k+x)%len(authors)], fmt.Sprintf("%d", 1990+(k+x)%20)})
+			}
+			sb.WriteString(rec(titles[k%len(titles)], pairs...))
+			k++
+		}
+		sb.WriteString(`</ul></body></html>`)
+		srcs = append(srcs, sb.String())
+	}
+	recs := sparseDicts(map[string][]string{
+		"title":  {"Alpha Book", "Beta Book", "Gamma Book", "Delta Book"},
+		"author": {"Jane Austen", "Neil Gaiman", "Terry Pratchett"},
+	})
+	delete(recs, "price")
+	recs["year"] = mustYear()
+	tmpl, sample := build(t, srcs, recs)
+	s := sod.MustParse(`tuple { title: instanceOf(Title), authors: set(tuple { author: instanceOf(Author), year: year })+ }`)
+	ms := tmpl.MatchSOD(s)
+	if len(ms) == 0 {
+		t.Skipf("set-of-tuples did not match at this scale:\n%s", tmpl)
+	}
+	objs := ExtractAll(s, ms, sample[0])
+	if len(objs) == 0 {
+		t.Fatal("nothing extracted")
+	}
+	set := objs[0].Field("authors")
+	if set == nil || len(set.Children) == 0 {
+		t.Fatalf("no set members: %v", objs[0])
+	}
+	member := set.Children[0]
+	if member.FieldValue("author") == "" {
+		t.Errorf("tuple member missing author: %v", member)
+	}
+}
+
+// mustYear builds the predefined year recognizer for the tests.
+func mustYear() recognize.Recognizer { return recognize.NewYear() }

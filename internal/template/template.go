@@ -1,0 +1,644 @@
+// Package template implements ObjectRunner's template-construction and
+// SOD-matching steps (paper §III.D): the hierarchy of valid equivalence
+// classes becomes an annotated template tree; the canonical SOD is matched
+// bottom-up against that tree; and only the matched regions are extracted
+// from pages. It also provides the partial-matching test used to stop
+// wrapper generation early (§III.E).
+package template
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"objectrunner/internal/eqclass"
+	"objectrunner/internal/sod"
+)
+
+// Node is one node of the annotated template tree: an equivalence class
+// with its slot profiles and nested classes.
+type Node struct {
+	EQ       *eqclass.EQ
+	Slots    []eqclass.SlotProfile
+	Children []*Node
+}
+
+// Template is the annotated template tree of a source.
+type Template struct {
+	Roots []*Node
+	// DominanceThreshold is the minimal share a type needs to dominate a
+	// slot during matching.
+	DominanceThreshold float64
+}
+
+// Build converts an analysis's class hierarchy into a template tree.
+func Build(a *eqclass.Analysis) *Template {
+	t := &Template{DominanceThreshold: 0.5}
+	byEQ := make(map[*eqclass.EQ]*Node)
+	for _, e := range a.EQs {
+		byEQ[e] = &Node{EQ: e, Slots: a.SlotProfilesOf(e)}
+	}
+	for _, e := range a.EQs {
+		n := byEQ[e]
+		for _, c := range e.Children {
+			n.Children = append(n.Children, byEQ[c])
+		}
+		if e.Parent == nil {
+			t.Roots = append(t.Roots, n)
+		}
+	}
+	return t
+}
+
+// String renders the template tree for diagnostics.
+func (t *Template) String() string {
+	var sb strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&sb, "%s%s\n", indent, n.EQ)
+		for i, s := range n.Slots {
+			d, share := s.Dominant()
+			fmt.Fprintf(&sb, "%s  slot %d: type=%s(%.2f) text=%d children=%v\n", indent, i, d, share, s.TextCount, s.ChildEQs)
+		}
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		rec(r, 0)
+	}
+	return sb.String()
+}
+
+// slotType returns the dominant type of slot i when its share passes the
+// threshold and the observations have minimal support relative to the
+// class's repetition count — a handful of stray annotations must not
+// out-vote the dozens of instances sitting in a nested class.
+func (t *Template) slotType(n *Node, i int) string {
+	d, share := n.Slots[i].Dominant()
+	if share < t.DominanceThreshold {
+		return ""
+	}
+	total := 0
+	for _, c := range n.Slots[i].Types {
+		total += c
+	}
+	tuples := 0
+	for _, tups := range n.EQ.Tuples {
+		tuples += len(tups)
+	}
+	min := 2
+	if m := tuples / 10; m > min {
+		min = m
+	}
+	if total < min {
+		return ""
+	}
+	return d
+}
+
+// SetBinding describes how a set field was matched: either to typed slots
+// of the matched node (inline lists, e.g. authors inside one span), or to
+// a nested child class whose tuples are the set members.
+type SetBinding struct {
+	// Slots are parent-node slot indices typed with the element type.
+	Slots []int
+	// Child is the nested node holding set members, with the recursive
+	// match for tuple elements (ElemMatch) or the member slots for entity
+	// elements (ElemSlots).
+	Child     *Node
+	ElemMatch *Match
+	ElemSlots []int
+}
+
+// FieldBinding locates one atomic field in the template: a slot of the
+// matched node (Path empty), or a slot of a class nested below it (Path
+// lists the descent through nested classes — the running example's
+// span.val holding a title inside the record's row div).
+type FieldBinding struct {
+	Path []*Node
+	Slot int
+}
+
+// Match binds the canonical SOD's components to template positions: each
+// atomic field to slot bindings, each set field to a SetBinding.
+type Match struct {
+	Node *Node
+	// Tuple is the canonical tuple the bindings refer to; Fields and Sets
+	// are keyed by its component types.
+	Tuple  *sod.Type
+	Fields map[*sod.Type][]FieldBinding
+	Sets   map[*sod.Type]*SetBinding
+	// Start and End delimit the slot range of this group (inclusive /
+	// exclusive), for repeated-group extraction.
+	Start, End int
+	// pending holds secondary (non-dominant) bindings, applied at group
+	// close only for required fields that stayed unbound.
+	pending map[*sod.Type][]FieldBinding
+}
+
+// MatchSOD matches the canonical form of s against the template tree,
+// top-down, returning every complete group match found. When a node
+// matches, its descendants are not searched again (they already serve the
+// match's set bindings).
+func (t *Template) MatchSOD(s *sod.Type) []*Match {
+	canon := sod.Canonicalize(s)
+	tuple := asTuple(canon)
+	var out []*Match
+	// Post-order: the deepest class at which the tuple's components
+	// complete wins — the record class, not the page class that exposes
+	// the same types through its nested record iterator.
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		matched := false
+		for _, c := range n.Children {
+			if walk(c) {
+				matched = true
+			}
+		}
+		if matched {
+			return true
+		}
+		ms := t.matchTupleOnNode(tuple, n)
+		if len(ms) > 0 {
+			out = append(out, ms...)
+			return true
+		}
+		return false
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// asTuple normalizes degenerate SOD shapes (bare entity, bare set,
+// disjunction) to a tuple for uniform matching.
+func asTuple(s *sod.Type) *sod.Type {
+	if s.Kind == sod.KindTuple {
+		return s
+	}
+	return &sod.Type{Kind: sod.KindTuple, Name: s.Name, Fields: []*sod.Type{s}}
+}
+
+// matchTupleOnNode sweeps the node's slots left to right, collecting the
+// tuple's components into groups; a group closes when it is complete and
+// a component type repeats (the repeated-record case of "too regular"
+// list pages). Incomplete groups are dropped.
+func (t *Template) matchTupleOnNode(tuple *sod.Type, n *Node) []*Match {
+	fields := resolveDisjunctions(tuple, n, t)
+	atomsByName := make(map[string]*sod.Type)
+	setsByElem := make(map[string]*sod.Type)
+	for _, f := range fields {
+		switch f.Kind {
+		case sod.KindEntity:
+			atomsByName[f.Name] = f
+		case sod.KindSet:
+			for _, name := range elemTypeNames(f.Elem) {
+				setsByElem[name] = f
+			}
+		}
+	}
+	var out []*Match
+	cur := t.newMatch(n, tuple)
+	closeGroup := func(end int) {
+		cur.End = end
+		// Fallback: required fields left unbound take their secondary
+		// (mixed-slot) bindings — the merged-attribute case.
+		for _, f := range fields {
+			if f.Kind == sod.KindEntity && !f.Optional && len(cur.Fields[f]) == 0 && len(cur.pending[f]) > 0 {
+				cur.Fields[f] = cur.pending[f]
+			}
+		}
+		if t.groupComplete(fields, cur, n) {
+			out = append(out, cur)
+		}
+		cur = t.newMatch(n, tuple)
+		cur.Start = end
+	}
+	// Sweep state: a repeated component signals the next record of a
+	// "too regular" constant-count list. For sets, repetition means a
+	// set slot appearing after atoms were bound past the previous set
+	// slots (adjacent set slots belong to one record's split list).
+	lastAtom, lastSet := -1, -1
+	for i := range n.Slots {
+		sawAtom := false
+		for _, ty := range t.slotTypings(n, i) {
+			if f, ok := atomsByName[ty.typ]; ok {
+				if ty.secondary {
+					cur.pending[f] = append(cur.pending[f], ty.binding)
+					continue
+				}
+				sawAtom = true
+				if len(cur.Fields[f]) > 0 && t.groupComplete(fields, cur, n) {
+					closeGroup(i)
+					lastAtom, lastSet = -1, -1
+				}
+				cur.Fields[f] = append(cur.Fields[f], ty.binding)
+				lastAtom = i
+				continue
+			}
+			if f, ok := setsByElem[ty.typ]; ok && len(ty.binding.Path) == 0 {
+				if cur.Sets[f] != nil && lastAtom > lastSet && t.groupComplete(fields, cur, n) {
+					closeGroup(i)
+					lastAtom, lastSet = -1, -1
+				}
+				b := cur.Sets[f]
+				if b == nil {
+					b = &SetBinding{}
+					cur.Sets[f] = b
+				}
+				b.Slots = append(b.Slots, i)
+				lastSet = i
+			}
+		}
+		if !sawAtom {
+			// A child class nested here may serve a set field.
+			boundNew := t.bindChildSets(fields, cur, n, i, lastAtom > lastSet)
+			if boundNew {
+				lastSet = i
+			}
+		}
+	}
+	closeGroup(len(n.Slots))
+	return t.completePeriodicGroups(tuple, n, out)
+}
+
+// completePeriodicGroups handles "too regular" constant-count lists: when
+// every page shows the same number of records, the records merge into one
+// class whose slots repeat with a fixed period, and sparse dictionaries
+// may fail to type some repetition's slots. Given at least two complete,
+// equally-spaced groups, the remaining periods are synthesized by
+// shifting the first group's bindings.
+func (t *Template) completePeriodicGroups(tuple *sod.Type, n *Node, out []*Match) []*Match {
+	if len(out) < 2 {
+		return out
+	}
+	period := out[1].Start - out[0].Start
+	if period <= 0 {
+		return out
+	}
+	for i := 2; i < len(out); i++ {
+		if out[i].Start-out[i-1].Start != period {
+			return out
+		}
+	}
+	covered := make(map[int]bool, len(out))
+	for _, g := range out {
+		covered[g.Start] = true
+	}
+	base := out[0]
+	for start := base.Start + period; start < len(n.Slots); start += period {
+		if covered[start] {
+			continue
+		}
+		g, ok := t.shiftGroup(tuple, n, base, start-base.Start)
+		if !ok {
+			break
+		}
+		out = append(out, g)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// shiftGroup clones a group's bindings displaced by delta slots; it fails
+// when a shifted slot falls outside the template or carries no data.
+func (t *Template) shiftGroup(tuple *sod.Type, n *Node, base *Match, delta int) (*Match, bool) {
+	g := t.newMatch(n, tuple)
+	g.Start, g.End = base.Start+delta, base.End+delta
+	anyData := false
+	for f, bs := range base.Fields {
+		for _, b := range bs {
+			if len(b.Path) == 0 {
+				slot := b.Slot + delta
+				if slot >= len(n.Slots) {
+					return nil, false
+				}
+				if n.Slots[slot].TextCount > 0 {
+					anyData = true
+				}
+				g.Fields[f] = append(g.Fields[f], FieldBinding{Slot: slot})
+				continue
+			}
+			// Child binding: rebind to a same-signature child nested at
+			// the shifted slot.
+			outer := b.Path[0].EQ.ParentSlot + delta
+			if outer >= len(n.Slots) {
+				return nil, false
+			}
+			sig := nodeDescSig(b.Path[0])
+			rebound := false
+			for _, c := range n.Children {
+				if c.EQ.ParentSlot == outer && nodeDescSig(c) == sig {
+					nb := b
+					nb.Path = append([]*Node{c}, b.Path[1:]...)
+					g.Fields[f] = append(g.Fields[f], nb)
+					rebound, anyData = true, true
+					break
+				}
+			}
+			if !rebound {
+				// Fall back to the shifted outer slot's direct text.
+				g.Fields[f] = append(g.Fields[f], FieldBinding{Slot: outer})
+			}
+		}
+	}
+	for f, sb := range base.Sets {
+		nb := &SetBinding{}
+		for _, s := range sb.Slots {
+			if s+delta >= len(n.Slots) {
+				return nil, false
+			}
+			nb.Slots = append(nb.Slots, s+delta)
+			if n.Slots[s+delta].TextCount > 0 {
+				anyData = true
+			}
+		}
+		if sb.Child != nil {
+			outer := sb.Child.EQ.ParentSlot + delta
+			if outer >= len(n.Slots) {
+				return nil, false
+			}
+			sig := nodeDescSig(sb.Child)
+			for _, c := range n.Children {
+				if c.EQ.ParentSlot == outer && nodeDescSig(c) == sig {
+					nb.Child, nb.ElemSlots, nb.ElemMatch = c, sb.ElemSlots, sb.ElemMatch
+					anyData = true
+					break
+				}
+			}
+			if nb.Child == nil && len(nb.Slots) == 0 {
+				nb.Slots = append(nb.Slots, outer)
+			}
+		}
+		g.Sets[f] = nb
+	}
+	if !anyData {
+		return nil, false
+	}
+	return g, true
+}
+
+// nodeDescSig is the structural signature of a node's class separators.
+func nodeDescSig(n *Node) string {
+	var sb strings.Builder
+	for _, d := range n.EQ.Descs {
+		sb.WriteString(d.Sig())
+		sb.WriteByte(' ')
+	}
+	return sb.String()
+}
+
+// slotTyping is one typed position reachable from a slot: directly, or
+// through classes nested in it. Secondary typings are substantial but
+// non-dominant types of mixed slots (two attributes rendered in one text
+// node): they serve as fallback bindings when a group would otherwise
+// stay incomplete, yielding the paper's "partially correct" outcomes.
+type slotTyping struct {
+	typ       string
+	binding   FieldBinding
+	secondary bool
+}
+
+// slotTypings collects the entity types observable at slot i of node n:
+// the slot's own dominant type (plus substantial secondary types), and
+// recursively the typed slots of the classes nested there. Direct
+// typings come first.
+func (t *Template) slotTypings(n *Node, i int) []slotTyping {
+	var out []slotTyping
+	dominant, _ := n.Slots[i].Dominant()
+	if st := t.slotType(n, i); st != "" {
+		out = append(out, slotTyping{typ: st, binding: FieldBinding{Slot: i}})
+	}
+	// Secondary types: a non-trivial share of the slot's observations
+	// (sparse dictionaries legitimately witness only a fraction of a
+	// merged attribute's values).
+	total := 0
+	for _, c := range n.Slots[i].Types {
+		total += c
+	}
+	if total > 0 {
+		names := make([]string, 0, len(n.Slots[i].Types))
+		for ty := range n.Slots[i].Types {
+			names = append(names, ty)
+		}
+		sort.Strings(names)
+		for _, ty := range names {
+			if ty == dominant {
+				continue
+			}
+			c := n.Slots[i].Types[ty]
+			if c >= 2 && float64(c)/float64(total) >= 0.08 {
+				out = append(out, slotTyping{typ: ty, binding: FieldBinding{Slot: i}, secondary: true})
+			}
+		}
+	}
+	for _, c := range n.Children {
+		if c.EQ.ParentSlot != i {
+			continue
+		}
+		for j := range c.Slots {
+			for _, ty := range t.slotTypings(c, j) {
+				ty.binding.Path = append([]*Node{c}, ty.binding.Path...)
+				out = append(out, ty)
+			}
+		}
+	}
+	return out
+}
+
+func (t *Template) newMatch(n *Node, tuple *sod.Type) *Match {
+	return &Match{
+		Node:    n,
+		Tuple:   tuple,
+		Fields:  make(map[*sod.Type][]FieldBinding),
+		Sets:    make(map[*sod.Type]*SetBinding),
+		pending: make(map[*sod.Type][]FieldBinding),
+	}
+}
+
+// elemTypeNames lists the entity-type names by which a set's element can
+// be recognized in slot profiles: the element's own name for entity
+// elements, the atomic components' names for tuple elements.
+func elemTypeNames(elem *sod.Type) []string {
+	if elem.Kind == sod.KindEntity {
+		return []string{elem.Name}
+	}
+	var out []string
+	for _, e := range elem.EntityTypes() {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// bindChildSets tries to bind set fields to child classes nested in slot
+// i of node n, reporting whether a binding was added.
+func (t *Template) bindChildSets(fields []*sod.Type, cur *Match, n *Node, i int, _ bool) bool {
+	bound := false
+	for _, f := range fields {
+		if f.Kind != sod.KindSet || cur.Sets[f] != nil {
+			continue
+		}
+		for _, c := range n.Children {
+			if c.EQ.ParentSlot != i {
+				continue
+			}
+			if b := t.matchSetOnChild(f, c); b != nil {
+				cur.Sets[f] = b
+				bound = true
+				break
+			}
+		}
+	}
+	return bound
+}
+
+// matchSetOnChild checks whether a nested class can hold the set's
+// members: entity elements need a slot dominated by the element type;
+// tuple elements need a recursive tuple match.
+func (t *Template) matchSetOnChild(set *sod.Type, c *Node) *SetBinding {
+	if set.Elem.Kind == sod.KindEntity {
+		var slots []int
+		for i := range c.Slots {
+			if t.slotType(c, i) == set.Elem.Name {
+				slots = append(slots, i)
+			}
+		}
+		if len(slots) > 0 {
+			return &SetBinding{Child: c, ElemSlots: slots}
+		}
+		return nil
+	}
+	elemTuple := asTuple(sod.Canonicalize(set.Elem))
+	ms := t.matchTupleOnNode(elemTuple, c)
+	if len(ms) > 0 {
+		return &SetBinding{Child: c, ElemMatch: ms[0]}
+	}
+	return nil
+}
+
+// groupComplete reports whether every required component of the tuple is
+// bound in the group. Pending secondary bindings count — they are applied
+// at group close.
+func (t *Template) groupComplete(fields []*sod.Type, m *Match, n *Node) bool {
+	complete := false
+	for _, f := range fields {
+		switch f.Kind {
+		case sod.KindEntity:
+			if len(m.Fields[f]) == 0 && len(m.pending[f]) == 0 {
+				if !f.Optional {
+					return false
+				}
+				continue
+			}
+			complete = true
+		case sod.KindSet:
+			b := m.Sets[f]
+			if b == nil {
+				// Sets may also bind to children nested inside the
+				// group's slot range even when no typed slot triggered
+				// binding during the sweep.
+				if !f.Optional && f.Mult.Min > 0 {
+					return false
+				}
+				continue
+			}
+			complete = true
+		}
+	}
+	return complete
+}
+
+// resolveDisjunctions replaces each disjunction component with whichever
+// alternative the template can support (the first alternative whose
+// entity types appear among the node's slot types), keeping other
+// components as-is.
+func resolveDisjunctions(tuple *sod.Type, n *Node, t *Template) []*sod.Type {
+	present := make(map[string]bool)
+	for i := range n.Slots {
+		if st := t.slotType(n, i); st != "" {
+			present[st] = true
+		}
+	}
+	var out []*sod.Type
+	for _, f := range tuple.Fields {
+		if f.Kind != sod.KindDisjunction {
+			out = append(out, f)
+			continue
+		}
+		chosen := f.Fields[0]
+		for _, alt := range f.Fields {
+			ok := true
+			for _, e := range alt.EntityTypes() {
+				if !present[e.Name] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				chosen = alt
+				break
+			}
+		}
+		cp := chosen.Clone()
+		cp.Optional = f.Optional
+		out = append(out, cp)
+	}
+	return out
+}
+
+// PartialMatchPossible implements the early-stopping test of §III.E:
+// during wrapper generation there must exist at least one partial
+// matching of the SOD into the current template tree — part of the SOD
+// matches, and for each missing atomic type some annotated token of that
+// type remains available. Annotated types are supplied by the caller
+// (from the sample's annotations).
+func PartialMatchPossible(s *sod.Type, a *eqclass.Analysis, annotatedTypes map[string]bool) bool {
+	canon := sod.Canonicalize(s)
+	t := Build(a)
+	// Types visible as dominated slots anywhere in the tree.
+	slotTypes := make(map[string]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for i := range n.Slots {
+			if st := t.slotType(n, i); st != "" {
+				slotTypes[st] = true
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	matched := 0
+	for _, e := range canon.EntityTypes() {
+		switch {
+		case slotTypes[e.Name]:
+			matched++
+		case annotatedTypes[e.Name]:
+			// Unmatched but still completable later.
+		case e.Optional:
+			// Missing optional components never block.
+		default:
+			return false
+		}
+	}
+	// At least part of the SOD must match once slots exist at all; before
+	// any class with slots is found, annotations alone keep hope alive.
+	if len(slotTypes) == 0 {
+		for _, e := range canon.EntityTypes() {
+			if annotatedTypes[e.Name] {
+				return true
+			}
+			if !e.Optional {
+				return false
+			}
+		}
+		return true
+	}
+	return matched > 0
+}

@@ -1,0 +1,389 @@
+package template
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"objectrunner/internal/annotate"
+	"objectrunner/internal/clean"
+	"objectrunner/internal/eqclass"
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sod"
+)
+
+func concertRecs() map[string]recognize.Recognizer {
+	artists := recognize.NewDictionary("instanceOf(Artist)")
+	artists.AddAll([]recognize.Entry{
+		{Value: "Metallica", Confidence: 0.9}, {Value: "Madonna", Confidence: 0.95},
+		{Value: "Muse", Confidence: 0.85}, {Value: "Coldplay", Confidence: 0.9},
+	})
+	theaters := recognize.NewDictionary("instanceOf(Theater)")
+	theaters.AddAll([]recognize.Entry{
+		{Value: "Madison Square Garden", Confidence: 0.9}, {Value: "The Town Hall", Confidence: 0.8},
+		{Value: "B.B King Blues and Grill", Confidence: 0.75}, {Value: "Bowery Ballroom", Confidence: 0.85},
+	})
+	return map[string]recognize.Recognizer{
+		"artist":  artists,
+		"theater": theaters,
+		"date":    recognize.NewDate(),
+	}
+}
+
+func concertSOD() *sod.Type {
+	return sod.MustParse(`tuple {
+		artist: instanceOf(Artist)
+		date: date
+		theater: instanceOf(Theater)
+	}`)
+}
+
+// concertPage builds a list page with the given records.
+func concertPage(records [][3]string) string {
+	var sb strings.Builder
+	sb.WriteString("<html><body><ul>")
+	for _, r := range records {
+		fmt.Fprintf(&sb, `<li><div>%s</div><div>%s</div><div><a>%s</a></div></li>`, r[0], r[1], r[2])
+	}
+	sb.WriteString("</ul></body></html>")
+	return sb.String()
+}
+
+// analyzeConcerts runs the full front of the pipeline over the given
+// sources and returns the analysis and the annotated token sequences.
+func analyzeConcerts(t *testing.T, srcs []string, recs map[string]recognize.Recognizer) *eqclass.Analysis {
+	t.Helper()
+	var pages [][]*eqclass.Occurrence
+	for i, src := range srcs {
+		page := clean.Page(src)
+		pa := annotate.AnnotatePage(page, recs)
+		pages = append(pages, eqclass.TokenizePage(page, pa, i))
+	}
+	return eqclass.Analyze(pages, eqclass.DefaultParams(), nil)
+}
+
+func concertSources() []string {
+	return []string{
+		concertPage([][3]string{
+			{"Metallica", "Monday May 11, 8:00pm", "Madison Square Garden"},
+			{"Madonna", "Saturday May 29 7:00p", "The Town Hall"},
+		}),
+		concertPage([][3]string{
+			{"Muse", "Friday June 19 7:00p", "B.B King Blues and Grill"},
+			{"Coldplay", "Saturday August 8, 2010 8:00pm", "Bowery Ballroom"},
+			{"Metallica", "Monday May 11, 8:00pm", "The Town Hall"},
+		}),
+		concertPage([][3]string{
+			{"Madonna", "Saturday May 29 7:00p", "Madison Square Garden"},
+		}),
+	}
+}
+
+func TestBuildTemplateTree(t *testing.T) {
+	a := analyzeConcerts(t, concertSources(), concertRecs())
+	tmpl := Build(a)
+	if len(tmpl.Roots) == 0 {
+		t.Fatalf("empty template tree:\n%s", tmpl)
+	}
+}
+
+func TestMatchConcertSOD(t *testing.T) {
+	a := analyzeConcerts(t, concertSources(), concertRecs())
+	tmpl := Build(a)
+	ms := tmpl.MatchSOD(concertSOD())
+	if len(ms) == 0 {
+		t.Fatalf("no match; template:\n%s", tmpl)
+	}
+	m := ms[0]
+	if len(m.Fields) != 3 {
+		t.Errorf("bound %d fields, want 3; match=%+v", len(m.Fields), m.Fields)
+	}
+}
+
+func TestExtractConcerts(t *testing.T) {
+	srcs := concertSources()
+	a := analyzeConcerts(t, srcs, concertRecs())
+	tmpl := Build(a)
+	ms := tmpl.MatchSOD(concertSOD())
+	if len(ms) == 0 {
+		t.Fatalf("no match; template:\n%s", tmpl)
+	}
+	// Extract from page 1 (three records).
+	page := clean.Page(srcs[1])
+	toks := eqclass.TokenizePage(page, nil, 0)
+	objs := ExtractAll(concertSOD(), ms, toks)
+	if len(objs) != 3 {
+		for _, o := range objs {
+			t.Logf("obj: %s", o)
+		}
+		t.Fatalf("extracted %d objects, want 3", len(objs))
+	}
+	first := objs[0]
+	if got := first.FieldValue("artist"); got != "Muse" {
+		t.Errorf("artist = %q", got)
+	}
+	if got := first.FieldValue("theater"); got != "B.B King Blues and Grill" {
+		t.Errorf("theater = %q", got)
+	}
+	if got := first.FieldValue("date"); !strings.Contains(got, "June 19") {
+		t.Errorf("date = %q", got)
+	}
+}
+
+func TestExtractOnUnseenPage(t *testing.T) {
+	srcs := concertSources()
+	a := analyzeConcerts(t, srcs, concertRecs())
+	ms := Build(a).MatchSOD(concertSOD())
+	if len(ms) == 0 {
+		t.Fatal("no match")
+	}
+	// A page never seen during inference, with unknown values.
+	unseen := concertPage([][3]string{
+		{"The Strokes", "Friday July 2, 9:00pm", "Terminal 5"},
+		{"Arcade Fire", "Sunday July 4, 7:30pm", "Radio City"},
+	})
+	page := clean.Page(unseen)
+	toks := eqclass.TokenizePage(page, nil, 0)
+	objs := ExtractAll(concertSOD(), ms, toks)
+	if len(objs) != 2 {
+		t.Fatalf("extracted %d objects from unseen page, want 2", len(objs))
+	}
+	if got := objs[0].FieldValue("artist"); got != "The Strokes" {
+		t.Errorf("artist = %q (dictionary coverage must not matter at extraction time)", got)
+	}
+}
+
+func TestOptionalFieldMissingFromSource(t *testing.T) {
+	// The SOD declares an optional address; the source has none. The
+	// match must still succeed.
+	sodT := sod.MustParse(`tuple {
+		artist: instanceOf(Artist)
+		date: date
+		theater: instanceOf(Theater)
+		address: address ?
+	}`)
+	a := analyzeConcerts(t, concertSources(), concertRecs())
+	ms := Build(a).MatchSOD(sodT)
+	if len(ms) == 0 {
+		t.Fatal("optional-field SOD did not match source lacking the field")
+	}
+	page := clean.Page(concertSources()[0])
+	toks := eqclass.TokenizePage(page, nil, 0)
+	objs := ExtractAll(sodT, ms, toks)
+	if len(objs) != 2 {
+		t.Fatalf("extracted %d, want 2", len(objs))
+	}
+	if got := objs[0].FieldValue("address"); got != "" {
+		t.Errorf("address = %q, want empty", got)
+	}
+}
+
+func bookRecs() map[string]recognize.Recognizer {
+	titles := recognize.NewDictionary("instanceOf(BookTitle)")
+	titles.AddAll([]recognize.Entry{
+		{Value: "Pride and Prejudice", Confidence: 0.9},
+		{Value: "Cutting for Stone", Confidence: 0.9},
+		{Value: "Norse Mythology", Confidence: 0.9},
+		{Value: "Good Omens", Confidence: 0.9},
+	})
+	authors := recognize.NewDictionary("instanceOf(Author)")
+	authors.AddAll([]recognize.Entry{
+		{Value: "Jane Austen", Confidence: 0.9}, {Value: "Fiona Stafford", Confidence: 0.85},
+		{Value: "Abraham Verghese", Confidence: 0.9}, {Value: "Neil Gaiman", Confidence: 0.9},
+		{Value: "Terry Pratchett", Confidence: 0.9},
+	})
+	return map[string]recognize.Recognizer{
+		"title":  titles,
+		"author": authors,
+		"price":  recognize.NewPrice(),
+	}
+}
+
+func bookSOD() *sod.Type {
+	return sod.MustParse(`tuple {
+		title: instanceOf(BookTitle)
+		price: price
+		authors: set(author: instanceOf(Author))+
+	}`)
+}
+
+func bookPage(books [][3]string) string {
+	var sb strings.Builder
+	sb.WriteString("<html><body><ul>")
+	for _, b := range books {
+		fmt.Fprintf(&sb, `<li><div>%s</div><span>by %s</span><em>%s</em></li>`, b[0], b[1], b[2])
+	}
+	sb.WriteString("</ul></body></html>")
+	return sb.String()
+}
+
+func TestMatchAndExtractAuthorSet(t *testing.T) {
+	srcs := []string{
+		bookPage([][3]string{
+			{"Pride and Prejudice", "Jane Austen and Fiona Stafford", "$9.99"},
+			{"Cutting for Stone", "Abraham Verghese", "$12.50"},
+		}),
+		bookPage([][3]string{
+			{"Norse Mythology", "Neil Gaiman", "$14.00"},
+			{"Good Omens", "Neil Gaiman, Terry Pratchett", "$11.25"},
+		}),
+		bookPage([][3]string{
+			{"Pride and Prejudice", "Jane Austen", "$8.75"},
+		}),
+	}
+	a := analyzeConcerts(t, srcs, bookRecs())
+	tmpl := Build(a)
+	ms := tmpl.MatchSOD(bookSOD())
+	if len(ms) == 0 {
+		t.Fatalf("book SOD did not match; template:\n%s", tmpl)
+	}
+	page := clean.Page(srcs[0])
+	toks := eqclass.TokenizePage(page, nil, 0)
+	objs := ExtractAll(bookSOD(), ms, toks)
+	if len(objs) != 2 {
+		for _, o := range objs {
+			t.Logf("obj: %s", o)
+		}
+		t.Fatalf("extracted %d books, want 2", len(objs))
+	}
+	authors := objs[0].Field("authors")
+	if authors == nil {
+		t.Fatalf("no authors set in %s", objs[0])
+	}
+	if len(authors.Children) != 2 {
+		t.Fatalf("authors = %s, want 2 members", authors)
+	}
+	if authors.Children[0].Value != "by Jane Austen" && authors.Children[0].Value != "Jane Austen" {
+		t.Errorf("first author = %q", authors.Children[0].Value)
+	}
+}
+
+func TestTooRegularListPagesConstantCount(t *testing.T) {
+	// Every page shows exactly 2 records: there is no frequency signal
+	// that the list repeats (the case where RoadRunner fails, §IV.B).
+	// The SOD-guided matcher must still produce one object per record,
+	// via repeated-group matching.
+	srcs := []string{
+		concertPage([][3]string{
+			{"Metallica", "Monday May 11, 8:00pm", "Madison Square Garden"},
+			{"Madonna", "Saturday May 29 7:00p", "The Town Hall"},
+		}),
+		concertPage([][3]string{
+			{"Muse", "Friday June 19 7:00p", "B.B King Blues and Grill"},
+			{"Coldplay", "Saturday August 8, 2010 8:00pm", "Bowery Ballroom"},
+		}),
+		concertPage([][3]string{
+			{"Madonna", "Saturday May 29 7:00p", "Madison Square Garden"},
+			{"Metallica", "Monday May 11, 8:00pm", "The Town Hall"},
+		}),
+	}
+	a := analyzeConcerts(t, srcs, concertRecs())
+	tmpl := Build(a)
+	ms := tmpl.MatchSOD(concertSOD())
+	if len(ms) == 0 {
+		t.Fatalf("no match on constant-count list; template:\n%s", tmpl)
+	}
+	page := clean.Page(srcs[0])
+	toks := eqclass.TokenizePage(page, nil, 0)
+	objs := ExtractAll(concertSOD(), ms, toks)
+	if len(objs) != 2 {
+		for _, o := range objs {
+			t.Logf("obj: %s", o)
+		}
+		t.Fatalf("extracted %d objects, want 2 (repeated groups)", len(objs))
+	}
+	if objs[0].FieldValue("artist") == objs[1].FieldValue("artist") {
+		t.Error("both objects have the same artist — groups not separated")
+	}
+}
+
+func TestPartialMatchPossible(t *testing.T) {
+	a := analyzeConcerts(t, concertSources(), concertRecs())
+	anns := map[string]bool{"artist": true, "date": true, "theater": true}
+	if !PartialMatchPossible(concertSOD(), a, anns) {
+		t.Error("full match should imply partial match")
+	}
+	// An SOD wanting a type that never occurs anywhere is hopeless.
+	bad := sod.MustParse(`tuple { artist: instanceOf(Artist), isbn: isbn }`)
+	if PartialMatchPossible(bad, a, map[string]bool{"artist": true}) {
+		t.Error("SOD with unannotated, unmatched required type should fail")
+	}
+	// But annotations keep hope alive.
+	if !PartialMatchPossible(bad, a, map[string]bool{"artist": true, "isbn": true}) {
+		t.Error("annotated types should keep the partial match possible")
+	}
+}
+
+func TestMatchFailsOnIrrelevantSource(t *testing.T) {
+	srcs := []string{
+		`<html><body><div>about us</div><div>our services</div></body></html>`,
+		`<html><body><div>contact</div><div>terms</div></body></html>`,
+		`<html><body><div>jobs</div><div>press</div></body></html>`,
+	}
+	a := analyzeConcerts(t, srcs, concertRecs())
+	ms := Build(a).MatchSOD(concertSOD())
+	if len(ms) != 0 {
+		t.Errorf("irrelevant source matched: %d matches", len(ms))
+	}
+}
+
+func TestDisjunctionResolution(t *testing.T) {
+	sodT := sod.MustParse(`tuple {
+		artist: instanceOf(Artist)
+		when: oneof(date: date | year: year)
+	}`)
+	srcs := []string{
+		concertPage([][3]string{{"Metallica", "Monday May 11, 8:00pm", "Madison Square Garden"}, {"Madonna", "Saturday May 29 7:00p", "The Town Hall"}}),
+		concertPage([][3]string{{"Muse", "Friday June 19 7:00p", "B.B King Blues and Grill"}, {"Coldplay", "Saturday August 8, 2010 8:00pm", "Bowery Ballroom"}}),
+		concertPage([][3]string{{"Madonna", "Saturday May 29 7:00p", "Madison Square Garden"}}),
+	}
+	a := analyzeConcerts(t, srcs, concertRecs())
+	ms := Build(a).MatchSOD(sodT)
+	if len(ms) == 0 {
+		t.Fatal("disjunction SOD did not match")
+	}
+	// The date alternative must be bound.
+	found := false
+	for f := range ms[0].Fields {
+		if f.Name == "date" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("date alternative not bound: %v", ms[0].Fields)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Jane Austen and Fiona Stafford", []string{"Jane Austen", "Fiona Stafford"}},
+		{"Hamilton Wright Mabie, Mary Hamilton Frey", []string{"Hamilton Wright Mabie", "Mary Hamilton Frey"}},
+		{"Abraham Verghese", []string{"Abraham Verghese"}},
+		{"A, B and C", []string{"A", "B", "C"}},
+		{"", nil},
+		{" , ", nil},
+	}
+	for _, c := range cases {
+		got := SplitList(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitList(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestTemplateStringDiagnostics(t *testing.T) {
+	a := analyzeConcerts(t, concertSources(), concertRecs())
+	s := Build(a).String()
+	if !strings.Contains(s, "slot") {
+		t.Errorf("template diagnostics missing slots:\n%s", s)
+	}
+}

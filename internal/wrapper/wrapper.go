@@ -1,0 +1,335 @@
+// Package wrapper orchestrates the full ObjectRunner targeted-extraction
+// pipeline (paper §III): pre-processing and segmentation, recognizer
+// set-up, annotation and sample selection (Algorithm 1), wrapper
+// generation over equivalence classes (Algorithm 2) with early stopping
+// (§III.E), SOD matching, extraction, the self-validating parameter
+// variation loop (§IV, "automatic variation of parameters"), and
+// dictionary enrichment (Eq. 4).
+package wrapper
+
+import (
+	"fmt"
+
+	"objectrunner/internal/annotate"
+	"objectrunner/internal/dom"
+	"objectrunner/internal/eqclass"
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/segment"
+	"objectrunner/internal/sod"
+	"objectrunner/internal/template"
+)
+
+// Config tunes the pipeline. The zero value is completed with the paper's
+// defaults by Normalize.
+type Config struct {
+	// Sample configures Algorithm 1 (sample size k, alpha, shrink).
+	Sample annotate.Params
+	// EQ configures Algorithm 2 (support, annotation threshold).
+	EQ eqclass.Params
+	// SupportMin and SupportMax bound the automatic support variation
+	// (3 to 5 in the paper). The loop re-executes wrapper generation with
+	// the next support value while conflicts remain.
+	SupportMin, SupportMax int
+	// UseSegmentation enables the VIPS-style central-block scoping.
+	UseSegmentation bool
+	// Segment configures the block selection heuristic.
+	Segment segment.Options
+	// RandomSample switches Algorithm 1 off and samples pages uniformly
+	// (the baseline of Table II).
+	RandomSample bool
+	// RandomSeed drives the baseline sampler.
+	RandomSeed uint64
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		Sample:          annotate.DefaultParams(),
+		EQ:              eqclass.DefaultParams(),
+		SupportMin:      3,
+		SupportMax:      5,
+		UseSegmentation: true,
+		Segment:         segment.DefaultOptions(),
+	}
+}
+
+// Normalize fills unset fields with defaults.
+func (c *Config) Normalize() {
+	d := DefaultConfig()
+	if c.Sample.SampleSize == 0 {
+		c.Sample = d.Sample
+	}
+	if c.EQ.MaxIter == 0 {
+		c.EQ = d.EQ
+	}
+	if c.SupportMin == 0 {
+		c.SupportMin = d.SupportMin
+	}
+	if c.SupportMax < c.SupportMin {
+		c.SupportMax = c.SupportMin
+	}
+}
+
+// Wrapper is an inferred extraction template for one source, applicable
+// to any page of that source.
+type Wrapper struct {
+	SOD      *sod.Type
+	Template *template.Template
+	Matches  []*template.Match
+	// Conflicts is the conflicting-annotation count of the chosen run
+	// (the wrapper quality estimate).
+	Conflicts int
+	// Support is the support value the variation loop settled on.
+	Support int
+	// BlockKey re-identifies the source's central block on unseen pages.
+	BlockKey segment.Key
+	// Aborted reports that the source was discarded, with the reason.
+	Aborted     bool
+	AbortReason string
+
+	useSegmentation bool
+}
+
+// Score is the wrapper quality estimate in [0, 1]: 1 for a wrapper built
+// with no conflicting annotations, decaying with the conflict count.
+func (w *Wrapper) Score() float64 {
+	return 1 / (1 + float64(w.Conflicts))
+}
+
+// Infer runs the pipeline over a source's pages (parsed and cleaned DOM
+// trees) and returns the wrapper. It never fails hard: sources that do
+// not carry the targeted data come back with Aborted set.
+func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf annotate.TermFreq, cfg Config) *Wrapper {
+	cfg.Normalize()
+	w := &Wrapper{SOD: s, useSegmentation: cfg.UseSegmentation}
+	if len(pages) == 0 {
+		w.Aborted, w.AbortReason = true, "no pages"
+		return w
+	}
+
+	// Pre-processing: central-block scoping (VIPS-style).
+	regions := pages
+	if cfg.UseSegmentation {
+		regions = segment.SelectMain(pages, cfg.Segment)
+		w.BlockKey = segment.KeyOf(regions[0])
+	}
+
+	// Annotation and sample selection (Algorithm 1 or the random
+	// baseline). The effective sample stays well below the page pool —
+	// the paper samples k≈20 of ~50 crawled pages — so that selection
+	// has room to skip off-template pages.
+	sampleCfg := cfg.Sample
+	if cap := 3 * len(regions) / 5; sampleCfg.SampleSize > cap {
+		sampleCfg.SampleSize = cap
+		if sampleCfg.SampleSize < 4 {
+			sampleCfg.SampleSize = 4
+		}
+	}
+	var res *annotate.Result
+	if cfg.RandomSample {
+		res = annotate.SelectRandom(regions, recs, sampleCfg.SampleSize, cfg.RandomSeed)
+	} else {
+		res = annotate.SelectSample(regions, s, recs, tf, sampleCfg)
+	}
+	if res.Aborted {
+		w.Aborted, w.AbortReason = true, res.AbortReason
+		return w
+	}
+	if len(res.Sample) == 0 {
+		w.Aborted, w.AbortReason = true, "empty sample"
+		return w
+	}
+
+	// The entity types that are annotated somewhere in the sample; used
+	// by the partial-matching early-stop test.
+	annotatedTypes := make(map[string]bool)
+	for _, e := range s.EntityTypes() {
+		for _, pa := range res.Sample {
+			if pa.CountType(e.Name) > 0 {
+				annotatedTypes[e.Name] = true
+				break
+			}
+		}
+	}
+
+	// Tokenize the sample once.
+	var sample [][]*eqclass.Occurrence
+	for i, pa := range res.Sample {
+		sample = append(sample, eqclass.TokenizePage(pa.Page, pa, i))
+	}
+
+	// Wrapper generation with automatic support variation: re-execute
+	// with the next support value while the quality estimate (conflict
+	// count) can improve; keep the best run.
+	var best *run
+	for support := cfg.SupportMin; support <= cfg.SupportMax; support++ {
+		p := cfg.EQ
+		p.Support = support
+		// Early stopping (§III.E): abort the iteration when no partial
+		// match of the SOD into the current template tree remains
+		// possible.
+		hook := func(an *eqclass.Analysis) bool {
+			return template.PartialMatchPossible(s, an, annotatedTypes)
+		}
+		an := analyzeFresh(sample, p, hook)
+		tmpl := template.Build(an)
+		matches := tmpl.MatchSOD(s)
+		r := &run{analysis: an, tmpl: tmpl, matches: matches, support: support}
+		if better(r, best) {
+			best = r
+		}
+		if len(matches) > 0 && an.Conflicts == 0 {
+			break // nothing left to improve
+		}
+	}
+	if best == nil || len(best.matches) == 0 {
+		w.Aborted = true
+		w.AbortReason = "SOD cannot be matched against the inferred template"
+		if best != nil {
+			w.Conflicts = best.analysis.Conflicts
+		}
+		return w
+	}
+	w.Template = best.tmpl
+	w.Matches = best.matches
+	w.Conflicts = best.analysis.Conflicts
+	w.Support = best.support
+	return w
+}
+
+// better ranks runs: having matches beats not; fewer conflicts beats
+// more; lower support (larger template vocabulary) breaks ties.
+func better(a, b *run) bool {
+	if b == nil {
+		return true
+	}
+	am, bm := len(a.matches) > 0, len(b.matches) > 0
+	if am != bm {
+		return am
+	}
+	if a.analysis.Conflicts != b.analysis.Conflicts {
+		return a.analysis.Conflicts < b.analysis.Conflicts
+	}
+	return false
+}
+
+// analyzeFresh re-tokenizes occurrences (roles are mutable) and analyzes.
+func analyzeFresh(sample [][]*eqclass.Occurrence, p eqclass.Params, hook func(*eqclass.Analysis) bool) *eqclass.Analysis {
+	fresh := make([][]*eqclass.Occurrence, len(sample))
+	for i, page := range sample {
+		fresh[i] = make([]*eqclass.Occurrence, len(page))
+		for j, o := range page {
+			cp := *o
+			fresh[i][j] = &cp
+		}
+	}
+	return eqclass.Analyze(fresh, p, hook)
+}
+
+// run is one wrapper-generation attempt of the variation loop.
+type run struct {
+	analysis *eqclass.Analysis
+	tmpl     *template.Template
+	matches  []*template.Match
+	support  int
+}
+
+// ExtractPage applies the wrapper to one page (parsed, cleaned) and
+// returns the extracted objects. The page is scoped to the source's
+// central block first when segmentation was used at inference time.
+func (w *Wrapper) ExtractPage(page *dom.Node) []*sod.Instance {
+	if w.Aborted || w.Template == nil {
+		return nil
+	}
+	region := page
+	if w.useSegmentation {
+		if n := segment.FindByKey(page, w.BlockKey); n != nil {
+			region = n
+		}
+	}
+	toks := eqclass.TokenizePage(region, nil, 0)
+	objs := template.ExtractAll(w.SOD, w.Matches, toks)
+	// Enforce the SOD's additional restrictions (§II.A footnote 1).
+	objs, _ = w.SOD.FilterByRules(objs)
+	return objs
+}
+
+// ExtractPages applies the wrapper to every page and returns the
+// concatenated objects. Per the paper, once the wrapper is constructed
+// this step is negligible in cost and needs no annotations.
+func (w *Wrapper) ExtractPages(pages []*dom.Node) []*sod.Instance {
+	var out []*sod.Instance
+	for _, p := range pages {
+		out = append(out, w.ExtractPage(p)...)
+	}
+	return out
+}
+
+// EnrichDictionaries implements the dictionary-enrichment step (Eq. 4):
+// values extracted for isInstanceOf types are added to their dictionaries
+// with a confidence combining the wrapper score and the overlap between
+// the extracted set and the existing dictionary. It returns the number of
+// new entries added.
+func EnrichDictionaries(reg *recognize.Registry, s *sod.Type, objects []*sod.Instance, wrapperScore float64) int {
+	added := 0
+	for _, e := range s.InstanceOfTypes() {
+		dict, ok := reg.Dictionary(e.Recognizer)
+		if !ok {
+			continue
+		}
+		values := collectValues(objects, e.Name)
+		if len(values) == 0 {
+			continue
+		}
+		// Overlap term of Eq. 4: Σ_{D∩I} score(i,c) / count(I).
+		overlap := 0.0
+		for _, v := range values {
+			if conf, ok := dict.Contains(v); ok {
+				overlap += conf
+			}
+		}
+		overlap /= float64(len(values))
+		conf := 0.5*wrapperScore + 0.5*overlap
+		for _, v := range values {
+			if _, known := dict.Contains(v); known {
+				continue
+			}
+			dict.Add(v, conf)
+			added++
+		}
+	}
+	return added
+}
+
+// collectValues gathers every leaf value bound to the named entity type
+// across the instance trees.
+func collectValues(objects []*sod.Instance, typeName string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var rec func(in *sod.Instance)
+	rec = func(in *sod.Instance) {
+		if in.Leaf() {
+			if in.Type.Name == typeName && in.Value != "" && !seen[in.Value] {
+				seen[in.Value] = true
+				out = append(out, in.Value)
+			}
+			return
+		}
+		for _, c := range in.Children {
+			rec(c)
+		}
+	}
+	for _, o := range objects {
+		rec(o)
+	}
+	return out
+}
+
+// Describe summarizes the wrapper for logs and CLI output.
+func (w *Wrapper) Describe() string {
+	if w.Aborted {
+		return "aborted: " + w.AbortReason
+	}
+	return fmt.Sprintf("matches=%d support=%d conflicts=%d score=%.3f",
+		len(w.Matches), w.Support, w.Conflicts, w.Score())
+}

@@ -1,0 +1,91 @@
+package objectrunner
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRulesDropViolatingObjects exercises the §II.A footnote-1 rules end
+// to end: a ContainsRule filters extracted objects at extraction time.
+func TestRulesDropViolatingObjects(t *testing.T) {
+	ex := concertExtractor(t)
+	// Only concerts in venues whose name mentions "Hall" qualify.
+	ex.SOD().AddRule(ContainsRule{Field: "theater", Needle: "hall"})
+	w, err := ex.Wrap(concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := w.ExtractAllHTML(concertPages())
+	if len(objs) != 1 {
+		for _, o := range objs {
+			t.Logf("obj: %s", o)
+		}
+		t.Fatalf("objects = %d, want 1 (only The Town Hall)", len(objs))
+	}
+	if got := objs[0].FieldValue("theater"); !strings.Contains(got, "Town Hall") {
+		t.Errorf("survivor = %q", got)
+	}
+}
+
+// TestPhaseTwoQuerying runs the architecture's second phase: querying
+// the extracted collection.
+func TestPhaseTwoQuerying(t *testing.T) {
+	ex := concertExtractor(t)
+	objs, err := ex.Run(concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Who plays in May 2010, ordered by artist?
+	may := Over(objs).Where(FieldContains("date", "May")).OrderBy("artist").All()
+	if len(may) != 2 {
+		t.Fatalf("May concerts = %d, want 2", len(may))
+	}
+	if may[0].FieldValue("artist") != "Madonna" || may[1].FieldValue("artist") != "Metallica" {
+		t.Errorf("order = %q, %q", may[0].FieldValue("artist"), may[1].FieldValue("artist"))
+	}
+	// Compound predicates.
+	n := Over(objs).Where(And(
+		FieldContains("date", "2010"),
+		Not(Eq("artist", "Muse")),
+	)).Count()
+	if n != 3 {
+		t.Errorf("compound count = %d, want 3", n)
+	}
+	// Projection.
+	rows := Over(objs).Where(Eq("artist", "Coldplay")).Project("theater", "address")
+	if len(rows) != 1 || rows[0]["theater"][0] != "Bowery Ballroom" {
+		t.Errorf("projection = %v", rows)
+	}
+}
+
+// TestNumericQueryOnPrices checks numeric predicates over extracted
+// price fields.
+func TestNumericQueryOnPrices(t *testing.T) {
+	ex, err := New(`tuple { title: instanceOf(T), price: price }`,
+		WithDictionary("T", []Entry{
+			{Value: "Alpha Album", Confidence: 0.9}, {Value: "Beta Album", Confidence: 0.9},
+			{Value: "Gamma Album", Confidence: 0.9},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := []string{
+		`<html><body><li><b>Alpha Album</b><i>$9.99</i></li><li><b>Beta Album</b><i>$19.99</i></li></body></html>`,
+		`<html><body><li><b>Gamma Album</b><i>$14.50</i></li></body></html>`,
+		`<html><body><li><b>Alpha Album</b><i>$8.49</i></li></body></html>`,
+	}
+	objs, err := ex.Run(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := Over(objs).Where(NumLess("price", 15)).OrderByNum("price").All()
+	if len(cheap) != 3 {
+		t.Fatalf("cheap = %d, want 3", len(cheap))
+	}
+	if cheap[0].FieldValue("price") != "$8.49" {
+		t.Errorf("cheapest = %q", cheap[0].FieldValue("price"))
+	}
+	if n := Over(objs).Where(NumAtLeast("price", 15)).Count(); n != 1 {
+		t.Errorf("expensive = %d", n)
+	}
+}
