@@ -1,0 +1,34 @@
+# ObjectRunner build and verification targets.
+
+GO ?= go
+
+.PHONY: build test check bench trace clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the extended tier-1 gate (see ROADMAP.md): vet plus the full
+# test suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 40m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+
+# trace runs one books source end to end with a JSONL span trace and the
+# EXPLAIN report on stderr.
+trace: build
+	$(GO) run ./cmd/sitegen -out /tmp/objectrunner-bench -domains books -pages 6
+	$(GO) run ./cmd/objectrunner -sod /tmp/objectrunner-bench/books/sod.txt \
+		-pages '/tmp/objectrunner-bench/books/bn/page*.html' \
+		-dict BookTitle=/tmp/objectrunner-bench/dictionaries/booktitle.txt \
+		-dict Author=/tmp/objectrunner-bench/dictionaries/author.txt \
+		-trace /tmp/objectrunner-trace.jsonl -report -json >/dev/null
+	@echo "trace written to /tmp/objectrunner-trace.jsonl"
+
+clean:
+	rm -rf /tmp/objectrunner-bench /tmp/objectrunner-trace.jsonl

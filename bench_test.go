@@ -50,15 +50,48 @@ func benchEnvironment(b *testing.B) *experiments.Env {
 
 // BenchmarkTable1Extraction regenerates Table I: ObjectRunner's
 // per-source extraction results over all 49 sources of the 5 domains.
+// Besides wall time it reports the aggregate extraction quality of the
+// run as custom metrics (precision/recall/F1), so quality regressions
+// show up in benchmark diffs alongside speed regressions.
 func BenchmarkTable1Extraction(b *testing.B) {
 	env := benchEnvironment(b)
+	var runs []experiments.SourceRun
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runs := env.Table1()
+		runs = env.Table1()
 		if len(runs) != 49 {
 			b.Fatalf("sources = %d", len(runs))
 		}
 	}
+	b.StopTimer()
+	reportQuality(b, runs)
+}
+
+// reportQuality aggregates golden-standard counts over the runs and
+// attaches precision/recall/F1 to the benchmark result (paper §IV:
+// correct Oc vs partial Op vs incorrect Oi out of No golden objects).
+func reportQuality(b *testing.B, runs []experiments.SourceRun) {
+	b.Helper()
+	var no, oc, op, oi int
+	for _, r := range runs {
+		no += r.Result.No
+		oc += r.Result.Oc
+		op += r.Result.Op
+		oi += r.Result.Oi
+	}
+	var precision, recall, f1 float64
+	if ex := oc + op + oi; ex > 0 {
+		precision = float64(oc) / float64(ex)
+	}
+	if no > 0 {
+		recall = float64(oc) / float64(no)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	b.ReportMetric(precision, "precision")
+	b.ReportMetric(recall, "recall")
+	b.ReportMetric(f1, "F1")
 }
 
 // BenchmarkTable2SampleSelection regenerates Table II: SOD-guided sample
@@ -301,7 +334,10 @@ func BenchmarkSiteGeneration(b *testing.B) {
 	cfg.Domains = []string{"cars"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bench := sitegen.Generate(cfg)
+		bench, err := sitegen.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(bench.Domains) != 1 {
 			b.Fatal("generation failed")
 		}

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"objectrunner/internal/experiments"
+	"objectrunner/internal/obs"
 	"objectrunner/internal/sitegen"
 )
 
@@ -36,7 +37,18 @@ func run() error {
 	all := flag.Bool("all", false, "run everything")
 	seed := flag.Uint64("seed", 42, "benchmark seed")
 	pages := flag.Int("pages", 20, "pages per source")
+	obsCLI := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	observer, obsCleanup, err := obsCLI.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsCleanup(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "evaluate: observability cleanup:", cerr)
+		}
+	}()
 
 	cfg := sitegen.DefaultConfig()
 	cfg.Seed = *seed
@@ -46,6 +58,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	env.Obs = observer
 	ran := false
 	if *all || *table == 1 {
 		fmt.Println(experiments.FormatTable1(env.Table1()))

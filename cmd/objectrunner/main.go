@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"objectrunner"
+	"objectrunner/internal/obs"
 )
 
 type dictFlags map[string]string
@@ -59,17 +60,31 @@ func run() error {
 	flag.Var(dicts, "dict", "Class=file dictionary (repeatable)")
 	asJSON := flag.Bool("json", false, "emit objects as JSON")
 	dedupe := flag.Bool("dedup", true, "drop duplicate objects")
+	report := flag.Bool("report", false, "print the wrapper inference report to stderr")
+	obsCLI := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *sodPath == "" || *pagesGlob == "" {
 		flag.Usage()
 		return fmt.Errorf("-sod and -pages are required")
 	}
+	observer, obsCleanup, err := obsCLI.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsCleanup(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "objectrunner: observability cleanup:", cerr)
+		}
+	}()
 	sodText, err := os.ReadFile(*sodPath)
 	if err != nil {
 		return err
 	}
 	var opts []objectrunner.Option
+	if observer != nil {
+		opts = append(opts, objectrunner.WithObserver(observer))
+	}
 	for class, file := range dicts {
 		entries, err := readDictionary(file)
 		if err != nil {
@@ -100,6 +115,9 @@ func run() error {
 	}
 
 	w, err := ex.Wrap(pages)
+	if *report && w != nil {
+		fmt.Fprintln(os.Stderr, w.Report())
+	}
 	if err != nil {
 		return err
 	}
@@ -109,6 +127,9 @@ func run() error {
 	if *dedupe {
 		objects = objectrunner.Deduplicate(objects)
 	}
+	// Feed extractions back into the dictionaries (paper Eq. 4); in-process
+	// only, but it closes the loop and reports enrichment in traces.
+	ex.Enrich(objects, w.Score())
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

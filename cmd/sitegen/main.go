@@ -42,7 +42,10 @@ func run() error {
 	if *domains != "" {
 		cfg.Domains = strings.Split(*domains, ",")
 	}
-	b := sitegen.Generate(cfg)
+	b, err := sitegen.Generate(cfg)
+	if err != nil {
+		return err
+	}
 
 	for _, dd := range b.Domains {
 		domDir := filepath.Join(*out, dd.Spec.Name)

@@ -19,7 +19,10 @@ func main() {
 	// with Mechanical Turk; sitegen simulates both).
 	cfg := sitegen.DefaultConfig()
 	cfg.PagesPerSource = 15
-	bench := sitegen.Generate(cfg)
+	bench, err := sitegen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var dd *sitegen.DomainData
 	for _, d := range bench.Domains {
 		if d.Spec.Name == "concerts" {

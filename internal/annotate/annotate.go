@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"objectrunner/internal/dom"
+	"objectrunner/internal/obs"
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/render"
 	"objectrunner/internal/sod"
@@ -308,6 +309,13 @@ type Result struct {
 // pages, abort when no visual block sustains the annotation threshold, and
 // return the top-k sample.
 func SelectSample(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf TermFreq, p Params) *Result {
+	return SelectSampleObserved(pages, s, recs, tf, p, nil)
+}
+
+// SelectSampleObserved is SelectSample reporting each annotation round,
+// the per-page Eq. 3 scores of the final sample, and the α-abort events
+// to the observer.
+func SelectSampleObserved(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf TermFreq, p Params, ob *obs.Observer) *Result {
 	if p.SampleSize <= 0 {
 		p.SampleSize = 20
 	}
@@ -326,6 +334,7 @@ func SelectSample(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Reco
 	// the predefined and regular expression types are processed").
 	dictTypes, otherTypes := splitTypes(s, recs, tf)
 	res.TypeOrder = append(append([]string{}, dictTypes...), otherTypes...)
+	ob.Event("annotate.type_order", obs.A("order", res.TypeOrder))
 
 	wholeOnly := s.WholeNodeFields()
 	processed := make([]string, 0, len(res.TypeOrder))
@@ -343,6 +352,8 @@ func SelectSample(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Reco
 			sortByMinScore(cur, processed, tf)
 			cur = cur[:keep]
 		}
+		ob.Count("annotate.rounds", 1)
+		ob.Event("annotate.round", obs.A("type", tName), obs.A("kept", len(cur)))
 		// Intermediate abort: with incomplete dictionaries a singleton
 		// page yields well under alpha annotations per round, so the
 		// full alpha test only runs once every type is processed; rounds
@@ -350,6 +361,8 @@ func SelectSample(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Reco
 		if p.Alpha > 0 && !blockCondition(cur, 0) {
 			res.Aborted = true
 			res.AbortReason = "no annotated visual block after type " + tName
+			ob.Count("annotate.alpha_aborts", 1)
+			ob.Event("annotate.alpha_abort", obs.A("after_type", tName), obs.A("alpha", 0.0))
 			return res
 		}
 	}
@@ -370,9 +383,20 @@ func SelectSample(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Reco
 	if p.Alpha > 0 && !blockCondition(cur, p.Alpha) {
 		res.Aborted = true
 		res.AbortReason = "no visual block sustains the annotation threshold after predefined types"
+		ob.Count("annotate.alpha_aborts", 1)
+		ob.Event("annotate.alpha_abort", obs.A("after_type", "predefined"), obs.A("alpha", p.Alpha))
 		return res
 	}
 	res.Sample = cur
+	if ob.Enabled() {
+		// Per-page Eq. 3 accounting of the selected sample.
+		for i, pa := range cur {
+			ob.Event("annotate.page",
+				obs.A("rank", i),
+				obs.A("min_score", MinScore(pa, processed, tf)),
+				obs.A("annotations", pa.Count()))
+		}
+	}
 	return res
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"objectrunner/internal/obs"
 )
 
 // Params tunes Algorithm 2.
@@ -100,7 +102,12 @@ type Analysis struct {
 	// profiles holds per-class slot profiles, keyed by EQ id (filled by
 	// BuildHierarchy).
 	profiles map[int][]SlotProfile
+	// obs receives the per-step events of AnalyzeObserved.
+	obs *obs.Observer
 }
+
+// roleCount returns the number of distinct roles currently assigned.
+func (a *Analysis) roleCount() int { return len(a.roleKeys) }
 
 // Analyze runs Algorithm 2: differentiate roles by HTML features, then
 // iterate {find EQs; differentiate by EQ positions and non-conflicting
@@ -108,6 +115,14 @@ type Analysis struct {
 // the outer fixpoint. The abort check of §III.E runs in the wrapper
 // package between iterations via the Hook.
 func Analyze(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool) *Analysis {
+	return AnalyzeObserved(pages, p, hook, nil)
+}
+
+// AnalyzeObserved is Analyze reporting the role counts and EQ counts of
+// every differentiation step — (i) HTML features, (ii) positions within
+// equivalence classes, (iii) non-conflicting and (iv) conflicting
+// annotations — plus invalid-EQ salvage events, to the observer.
+func AnalyzeObserved(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool, ob *obs.Observer) *Analysis {
 	if p.Support <= 0 {
 		p.Support = 3
 	}
@@ -117,12 +132,13 @@ func Analyze(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool) *Anal
 	if p.MaxIter <= 0 {
 		p.MaxIter = 10
 	}
-	a := &Analysis{Pages: pages, params: p}
+	a := &Analysis{Pages: pages, params: p, obs: ob}
 
 	// Line 1: differentiate roles using HTML features (value + DOM path).
 	// Annotated words are shielded from template candidacy so that
 	// too-regular data ("New York") stays extractable (paper §II.C).
 	a.assignRoles(func(o *Occurrence) string { return baseKey(o) })
+	ob.Event("eqclass.step", obs.A("step", "i-html"), obs.A("roles", a.roleCount()))
 
 	aborted := false
 	generation := 0
@@ -138,10 +154,17 @@ func Analyze(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool) *Anal
 			BuildHierarchy(a)
 			if hook != nil && !hook(a) {
 				aborted = true
+				ob.Count("eqclass.early_stops", 1)
+				ob.Event("eqclass.early_stop", obs.A("iteration", a.Iterations), obs.A("eqs", len(a.EQs)))
 				break
 			}
 			generation++
 			changed := a.differentiate(false, generation)
+			// Steps ii-iii run fused: positional (EQ + ordinal) keys and
+			// non-conflicting annotation labels in one recomputation.
+			ob.Event("eqclass.step", obs.A("step", "ii-iii-positional+nonconflicting"),
+				obs.A("iteration", a.Iterations), obs.A("roles", a.roleCount()),
+				obs.A("eqs", len(a.EQs)), obs.A("changed", changed))
 			if changed {
 				changedOuter = true
 				continue
@@ -154,7 +177,11 @@ func Analyze(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool) *Anal
 		// Conflicting annotations.
 		if p.UseAnnotations {
 			generation++
-			if a.differentiate(true, generation) {
+			changed := a.differentiate(true, generation)
+			ob.Event("eqclass.step", obs.A("step", "iv-conflicting"),
+				obs.A("iteration", a.Iterations), obs.A("roles", a.roleCount()),
+				obs.A("conflicts", a.Conflicts), obs.A("changed", changed))
+			if changed {
 				changedOuter = true
 			}
 		}
@@ -169,6 +196,7 @@ func Analyze(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool) *Anal
 	// Extraction-time separator ordinals are only needed on the final
 	// hierarchy.
 	computeDescOrdinals(a)
+	ob.Count("eqclass.conflicts", int64(a.Conflicts))
 	return a
 }
 
@@ -310,6 +338,10 @@ func (a *Analysis) salvageEQs(roles []int, vector []int) []*EQ {
 	if eq := a.validateEQ(roles, vector); eq != nil {
 		return []*EQ{eq}
 	}
+	// Invalid-EQ accounting: the same-vector group failed the
+	// ordered-and-nested test and enters progressive salvage.
+	a.obs.Count("eqclass.invalid_eqs", 1)
+	a.obs.Event("eqclass.invalid_eq", obs.A("roles", len(roles)))
 	// Locate a representative occurrence per role for kind and path.
 	rep := make(map[int]*Occurrence, len(roles))
 	want := make(map[int]bool, len(roles))

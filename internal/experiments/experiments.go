@@ -13,6 +13,7 @@ import (
 	"objectrunner/internal/corpus"
 	"objectrunner/internal/eval"
 	"objectrunner/internal/exalg"
+	"objectrunner/internal/obs"
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/roadrunner"
 	"objectrunner/internal/sitegen"
@@ -35,13 +36,18 @@ const (
 type Env struct {
 	B    *sitegen.Benchmark
 	regs map[string]map[string]recognize.Recognizer
+	// Obs, when set, observes every wrapper inference the experiments run.
+	Obs *obs.Observer
 }
 
 // NewEnv generates the benchmark and resolves recognizers for every
 // domain from the knowledge base and the corpus (both gazetteer sources
 // of §III.A).
 func NewEnv(cfg sitegen.Config) (*Env, error) {
-	b := sitegen.Generate(cfg)
+	b, err := sitegen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
 	e := &Env{B: b, regs: make(map[string]map[string]recognize.Recognizer)}
 	for _, dd := range b.Domains {
 		reg := recognize.NewRegistry(b.KB, corpus.Source{Corpus: b.Corpus, Threshold: 0.05})
@@ -70,6 +76,9 @@ type SourceRun struct {
 // and scores it against the golden standard.
 func (e *Env) RunOR(dd *sitegen.DomainData, src *sitegen.Source, cfg wrapper.Config) SourceRun {
 	recs := e.regs[dd.Spec.Name]
+	if e.Obs != nil {
+		cfg.Obs = e.Obs
+	}
 	start := time.Now()
 	w := wrapper.Infer(src.Pages, dd.SOD, recs, e.B.KB, cfg)
 	elapsed := time.Since(start).Seconds()

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the standard observability flags shared by the commands:
+//
+//	-trace FILE      write a JSONL span trace
+//	-v               log spans and events human-readably to stderr
+//	-cpuprofile FILE write a pprof CPU profile
+//	-memprofile FILE write a pprof heap profile at exit
+//
+// Register the flags before flag.Parse, then call Start after it; the
+// returned cleanup must run before the process exits (defer is fine).
+type CLI struct {
+	trace      *string
+	verbose    *bool
+	cpuProfile *string
+	memProfile *string
+}
+
+// RegisterFlags installs the observability flags on fs (use flag.CommandLine
+// for the default set).
+func RegisterFlags(fs *flag.FlagSet) *CLI {
+	return &CLI{
+		trace:      fs.String("trace", "", "write a JSONL span trace to this file"),
+		verbose:    fs.Bool("v", false, "log spans and events to stderr"),
+		cpuProfile: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		memProfile: fs.String("memprofile", "", "write a pprof heap profile to this file"),
+	}
+}
+
+// Start opens the requested sinks and profiles. The returned observer is
+// nil when no sink was requested (a valid no-op observer). The cleanup
+// function flushes and closes everything; it is never nil.
+func (c *CLI) Start() (*Observer, func() error, error) {
+	var sinks []Sink
+	var closers []func() error
+
+	cleanup := func() error {
+		var first error
+		for i := len(closers) - 1; i >= 0; i-- {
+			if err := closers[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	if *c.trace != "" {
+		f, err := os.Create(*c.trace)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		closers = append(closers, f.Close)
+		sinks = append(sinks, JSONL(f))
+	}
+	if *c.verbose {
+		sinks = append(sinks, Text(os.Stderr))
+	}
+	if *c.cpuProfile != "" {
+		f, err := os.Create(*c.cpuProfile)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, cleanup, err
+		}
+		closers = append(closers, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if *c.memProfile != "" {
+		path := *c.memProfile
+		closers = append(closers, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			return nil
+		})
+	}
+
+	if len(sinks) == 0 {
+		return nil, cleanup, nil
+	}
+	return New(sinks...), cleanup, nil
+}

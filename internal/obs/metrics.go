@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics holds the observer's named counters and duration histograms,
+// safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*hist
+}
+
+// hist is a compact duration histogram: count/sum/min/max plus
+// power-of-two millisecond buckets (<1ms, <2ms, <4ms, ... , >=2^14 ms).
+type hist struct {
+	count    int64
+	sum      time.Duration
+	min, max time.Duration
+	buckets  [16]int64
+}
+
+func bucketOf(d time.Duration) int {
+	ms := d.Milliseconds()
+	for i := 0; i < 15; i++ {
+		if ms < 1<<i {
+			return i
+		}
+	}
+	return 15
+}
+
+func (m *metrics) count(name string, delta int64) {
+	m.mu.Lock()
+	if m.counters == nil {
+		m.counters = make(map[string]int64)
+	}
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+func (m *metrics) observe(name string, d time.Duration) {
+	m.mu.Lock()
+	if m.hists == nil {
+		m.hists = make(map[string]*hist)
+	}
+	h := m.hists[name]
+	if h == nil {
+		h = &hist{min: d, max: d}
+		m.hists[name] = h
+	}
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[bucketOf(d)]++
+	m.mu.Unlock()
+}
+
+// HistSnapshot is a read-only view of one duration histogram.
+type HistSnapshot struct {
+	Count    int64
+	Sum      time.Duration
+	Min, Max time.Duration
+	// Buckets holds power-of-two millisecond buckets: Buckets[i] counts
+	// observations with d < 2^i ms (the last bucket is open-ended).
+	Buckets [16]int64
+}
+
+// Mean returns the average observed duration.
+func (h HistSnapshot) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Counters returns a copy of the observer's counters.
+func (o *Observer) Counters() map[string]int64 {
+	out := make(map[string]int64)
+	if !o.Enabled() {
+		return out
+	}
+	m := &o.core.met
+	m.mu.Lock()
+	for k, v := range m.counters {
+		out[k] = v
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// Counter returns one counter's value (0 when unset or disabled).
+func (o *Observer) Counter(name string) int64 {
+	if !o.Enabled() {
+		return 0
+	}
+	m := &o.core.met
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Histograms returns a copy of the observer's histograms.
+func (o *Observer) Histograms() map[string]HistSnapshot {
+	out := make(map[string]HistSnapshot)
+	if !o.Enabled() {
+		return out
+	}
+	m := &o.core.met
+	m.mu.Lock()
+	for k, h := range m.hists {
+		out[k] = HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Buckets: h.buckets}
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// MetricNames returns the sorted names of all counters and histograms,
+// for stable diagnostic output.
+func (o *Observer) MetricNames() (counters, hists []string) {
+	if !o.Enabled() {
+		return nil, nil
+	}
+	m := &o.core.met
+	m.mu.Lock()
+	for k := range m.counters {
+		counters = append(counters, k)
+	}
+	for k := range m.hists {
+		hists = append(hists, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(counters)
+	sort.Strings(hists)
+	return counters, hists
+}
+
+// PublishExpvar exposes the observer's counters and histogram means under
+// the given expvar name (e.g. for /debug/vars). The name must be unique
+// per process — expvar panics on duplicates — so call it once.
+func (o *Observer) PublishExpvar(name string) {
+	if !o.Enabled() {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		type histView struct {
+			Count            int64
+			MeanMs, MinMs, MaxMs float64
+		}
+		view := struct {
+			Counters   map[string]int64
+			Histograms map[string]histView
+		}{Counters: o.Counters(), Histograms: make(map[string]histView)}
+		for k, h := range o.Histograms() {
+			view.Histograms[k] = histView{
+				Count:  h.Count,
+				MeanMs: float64(h.Mean()) / float64(time.Millisecond),
+				MinMs:  float64(h.Min) / float64(time.Millisecond),
+				MaxMs:  float64(h.Max) / float64(time.Millisecond),
+			}
+		}
+		return view
+	}))
+}

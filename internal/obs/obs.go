@@ -1,0 +1,176 @@
+// Package obs is the pipeline-wide observability layer of ObjectRunner:
+// hierarchical spans with durations and attributes, named counters and
+// duration histograms, and pluggable sinks (JSONL trace, human-readable
+// text via log/slog, in-memory for tests). It is stdlib-only and designed
+// so that the disabled path — a nil *Observer, the default everywhere —
+// costs a single pointer comparison per call site.
+//
+// Span taxonomy of the extraction pipeline (see DESIGN.md):
+//
+//	pipeline.clean      parsing + cleaning the raw pages
+//	pipeline.segment    VIPS-style central-block selection
+//	pipeline.annotate   Algorithm 1 (Eq. 3 scores, top-k, α-abort)
+//	pipeline.infer      the whole wrapper-generation run
+//	pipeline.variation  one token-support value of the §IV loop
+//	pipeline.eqclass    Algorithm 2 over the sample
+//	pipeline.template   template construction + SOD matching
+//	pipeline.extract    applying the wrapper to one page
+//	pipeline.enrich     dictionary enrichment (Eq. 4)
+//
+// Usage:
+//
+//	ob := obs.New(obs.JSONL(f), obs.Text(os.Stderr))
+//	sp := ob.Span("pipeline.infer", obs.A("pages", n))
+//	defer sp.End()
+//	inner := sp.Observer() // spans started from it nest under sp
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an attribute.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one trace record delivered to sinks. Kind discriminates:
+// "span_start" and "span_end" carry the span id (and, for ends, the
+// duration); "event" is a point annotation inside the span identified by
+// Span.
+type Event struct {
+	Kind   string        `json:"ev"`
+	Time   time.Time     `json:"ts"`
+	Span   int64         `json:"span"`
+	Parent int64         `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Dur    time.Duration `json:"dur,omitempty"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+// Sink receives trace events. Implementations must be safe for
+// concurrent use.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Observer is the handle threaded through the pipeline. A nil *Observer
+// is valid and disables everything; derived observers (Span.Observer)
+// share the same sinks and metrics but parent new spans differently.
+type Observer struct {
+	core *core
+	cur  *Span
+}
+
+// core is the state shared by an observer and all its derivations.
+type core struct {
+	sinks []Sink
+	ids   atomic.Int64
+	met   metrics
+}
+
+// New returns an enabled observer emitting to the given sinks. With no
+// sinks the observer still collects counters and histograms.
+func New(sinks ...Sink) *Observer {
+	return &Observer{core: &core{sinks: sinks}}
+}
+
+// Enabled reports whether the observer records anything.
+func (o *Observer) Enabled() bool { return o != nil && o.core != nil }
+
+func (c *core) emit(e Event) {
+	for _, s := range c.sinks {
+		s.Emit(e)
+	}
+}
+
+// Span starts a span, parented to the span this observer was derived
+// from (none for a root observer). It returns nil when disabled; all
+// *Span methods are nil-safe.
+func (o *Observer) Span(name string, attrs ...Attr) *Span {
+	if !o.Enabled() {
+		return nil
+	}
+	var parent int64
+	if o.cur != nil {
+		parent = o.cur.id
+	}
+	s := &Span{core: o.core, id: o.core.ids.Add(1), parent: parent, name: name, start: time.Now()}
+	o.core.emit(Event{Kind: "span_start", Time: s.start, Span: s.id, Parent: parent, Name: name, Attrs: attrs})
+	return s
+}
+
+// Event records a point annotation on the observer's current span (span
+// id 0 — the trace root — for a root observer).
+func (o *Observer) Event(name string, attrs ...Attr) {
+	if !o.Enabled() {
+		return
+	}
+	var span int64
+	if o.cur != nil {
+		span = o.cur.id
+	}
+	o.core.emit(Event{Kind: "event", Time: time.Now(), Span: span, Name: name, Attrs: attrs})
+}
+
+// Count adds delta to the named counter.
+func (o *Observer) Count(name string, delta int64) {
+	if !o.Enabled() {
+		return
+	}
+	o.core.met.count(name, delta)
+}
+
+// Observe records one duration into the named histogram.
+func (o *Observer) Observe(name string, d time.Duration) {
+	if !o.Enabled() {
+		return
+	}
+	o.core.met.observe(name, d)
+}
+
+// Span is one interval of the trace. The zero of *Span (nil) is a valid
+// no-op.
+type Span struct {
+	core   *core
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	ended  atomic.Bool
+}
+
+// Observer derives an observer whose spans and events nest under s. On a
+// nil span it returns nil — still a valid disabled observer.
+func (s *Span) Observer() *Observer {
+	if s == nil {
+		return nil
+	}
+	return &Observer{core: s.core, cur: s}
+}
+
+// Event records a point annotation inside the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.core.emit(Event{Kind: "event", Time: time.Now(), Span: s.id, Name: name, Attrs: attrs})
+}
+
+// End closes the span, records its duration in the histogram named
+// "span.<name>", and emits the trailing attributes. Ending twice is a
+// no-op.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(s.start)
+	s.core.met.observe("span."+s.name, d)
+	s.core.emit(Event{Kind: "span_end", Time: now, Span: s.id, Parent: s.parent, Name: s.name, Dur: d, Attrs: attrs})
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilObserverIsNoOp(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer must report disabled")
+	}
+	sp := o.Span("x", A("k", 1))
+	sp.Event("e")
+	sp.End()
+	o.Event("e")
+	o.Count("c", 1)
+	o.Observe("h", time.Millisecond)
+	if sp.Observer() != nil {
+		t.Fatal("nil span must derive nil observer")
+	}
+	if got := o.Counters(); len(got) != 0 {
+		t.Fatalf("nil observer counters = %v", got)
+	}
+	var nilSpan *Span
+	nilSpan.End()
+	nilSpan.Event("e")
+}
+
+func TestSpanHierarchyAndMemorySink(t *testing.T) {
+	m := NewMemory()
+	o := New(m)
+	root := o.Span("root", A("pages", 3))
+	child := root.Observer().Span("child")
+	child.End(A("ok", true))
+	root.Observer().Event("ev", A("n", 7))
+	root.End()
+
+	names := m.SpanNames()
+	if len(names) != 2 || names[0] != "root" || names[1] != "child" {
+		t.Fatalf("span names = %v", names)
+	}
+	evs := m.Events()
+	// root start, child start, child end, ev, root end
+	if len(evs) != 5 {
+		t.Fatalf("got %d events: %+v", len(evs), evs)
+	}
+	if evs[1].Parent != evs[0].Span {
+		t.Fatalf("child start parent = %d, want root id %d", evs[1].Parent, evs[0].Span)
+	}
+	if evs[3].Kind != "event" || evs[3].Span != evs[0].Span {
+		t.Fatalf("event not attached to root: %+v", evs[3])
+	}
+	if evs[4].Kind != "span_end" || evs[4].Dur <= 0 {
+		t.Fatalf("root end missing duration: %+v", evs[4])
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	m := NewMemory()
+	o := New(m)
+	sp := o.Span("s")
+	sp.End()
+	sp.End()
+	ends := 0
+	for _, e := range m.Events() {
+		if e.Kind == "span_end" {
+			ends++
+		}
+	}
+	if ends != 1 {
+		t.Fatalf("double End emitted %d span_end events", ends)
+	}
+}
+
+func TestCountersAndHistograms(t *testing.T) {
+	o := New()
+	o.Count("a", 2)
+	o.Count("a", 3)
+	o.Count("b", 1)
+	if got := o.Counter("a"); got != 5 {
+		t.Fatalf("counter a = %d", got)
+	}
+	o.Observe("h", 2*time.Millisecond)
+	o.Observe("h", 6*time.Millisecond)
+	hs := o.Histograms()
+	h, ok := hs["h"]
+	if !ok {
+		t.Fatal("histogram h missing")
+	}
+	if h.Count != 2 || h.Min != 2*time.Millisecond || h.Max != 6*time.Millisecond {
+		t.Fatalf("histogram h = %+v", h)
+	}
+	if h.Mean() != 4*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	counters, hists := o.MetricNames()
+	if len(counters) != 2 || len(hists) != 1 {
+		t.Fatalf("metric names = %v, %v", counters, hists)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	m := NewMemory()
+	o := New(m)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := o.Span("work")
+				sp.Observer().Event("tick", A("i", i))
+				o.Count("n", 1)
+				o.Observe("d", time.Duration(i)*time.Microsecond)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Counter("n"); got != 800 {
+		t.Fatalf("counter n = %d", got)
+	}
+	if got := o.Histograms()["d"].Count; got != 800 {
+		t.Fatalf("histogram count = %d", got)
+	}
+	// 800 starts + 800 ends + 800 events.
+	if got := len(m.Events()); got != 2400 {
+		t.Fatalf("memory sink saw %d events", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(JSONL(&buf))
+	sp := o.Span("alpha", A("k", "v"), A("n", 2))
+	sp.Observer().Event("beta", A("ok", true))
+	sp.End(A("dur_known", true))
+
+	evs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d trace events", len(evs))
+	}
+	if evs[0].Kind != "span_start" || evs[0].Name != "alpha" || evs[0].Attrs["k"] != "v" {
+		t.Fatalf("start event = %+v", evs[0])
+	}
+	if evs[1].Kind != "event" || evs[1].Name != "beta" || evs[1].Span != evs[0].Span {
+		t.Fatalf("event = %+v", evs[1])
+	}
+	if evs[2].Kind != "span_end" || evs[2].Span != evs[0].Span || evs[2].DurMS < 0 {
+		t.Fatalf("end event = %+v", evs[2])
+	}
+	if evs[2].Attrs["dur_known"] != true {
+		t.Fatalf("end attrs = %v", evs[2].Attrs)
+	}
+}
+
+func TestTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(Text(&buf))
+	sp := o.Span("gamma", A("x", 1))
+	sp.End()
+	out := buf.String()
+	if !strings.Contains(out, "span_start gamma") || !strings.Contains(out, "span_end gamma") {
+		t.Fatalf("text output missing span lines:\n%s", out)
+	}
+	if !strings.Contains(out, "x=1") {
+		t.Fatalf("text output missing attr:\n%s", out)
+	}
+}
+
+func TestMultipleSinks(t *testing.T) {
+	m1, m2 := NewMemory(), NewMemory()
+	o := New(m1, m2)
+	o.Event("e")
+	if len(m1.Events()) != 1 || len(m2.Events()) != 1 {
+		t.Fatal("event not fanned out to all sinks")
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// jsonEvent is the wire form of an Event: attributes flattened to a map,
+// duration in fractional milliseconds.
+type jsonEvent struct {
+	Kind   string         `json:"ev"`
+	TS     string         `json:"ts"`
+	Span   int64          `json:"span"`
+	Parent int64          `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	DurMS  float64        `json:"dur_ms,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+func toJSONEvent(e Event) jsonEvent {
+	je := jsonEvent{
+		Kind:   e.Kind,
+		TS:     e.Time.Format(time.RFC3339Nano),
+		Span:   e.Span,
+		Parent: e.Parent,
+		Name:   e.Name,
+	}
+	if e.Dur > 0 {
+		je.DurMS = float64(e.Dur) / float64(time.Millisecond)
+	}
+	if len(e.Attrs) > 0 {
+		je.Attrs = make(map[string]any, len(e.Attrs))
+		for _, a := range e.Attrs {
+			je.Attrs[a.Key] = a.Value
+		}
+	}
+	return je
+}
+
+// jsonlSink writes one JSON object per event.
+type jsonlSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// JSONL returns a sink writing one JSON event per line — the machine
+// -readable trace behind the CLIs' -trace flag.
+func JSONL(w io.Writer) Sink {
+	return &jsonlSink{enc: json.NewEncoder(w)}
+}
+
+func (s *jsonlSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(toJSONEvent(e))
+}
+
+// TraceEvent is one decoded line of a JSONL trace.
+type TraceEvent struct {
+	Kind   string
+	Span   int64
+	Parent int64
+	Name   string
+	DurMS  float64
+	Attrs  map[string]any
+}
+
+// ReadJSONL decodes a JSONL trace back into events (the round-trip used
+// by tests and trace tooling).
+func ReadJSONL(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal([]byte(line), &je); err != nil {
+			return nil, fmt.Errorf("obs: bad trace line %q: %w", line, err)
+		}
+		out = append(out, TraceEvent{
+			Kind: je.Kind, Span: je.Span, Parent: je.Parent,
+			Name: je.Name, DurMS: je.DurMS, Attrs: je.Attrs,
+		})
+	}
+	return out, sc.Err()
+}
+
+// textSink renders events through log/slog for humans (-v).
+type textSink struct {
+	log *slog.Logger
+}
+
+// Text returns a human-readable sink built on log/slog.
+func Text(w io.Writer) Sink {
+	return &textSink{log: slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		// The event carries its own timestamp; drop slog's.
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))}
+}
+
+func (s *textSink) Emit(e Event) {
+	args := make([]any, 0, 2*len(e.Attrs)+6)
+	args = append(args, "span", e.Span)
+	if e.Kind == "span_end" {
+		args = append(args, "dur", e.Dur.Round(time.Microsecond))
+	}
+	for _, a := range e.Attrs {
+		args = append(args, a.Key, a.Value)
+	}
+	s.log.Info(e.Kind+" "+e.Name, args...)
+}
+
+// Memory is an in-memory sink for tests.
+type Memory struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemory returns an empty in-memory sink.
+func NewMemory() *Memory { return &Memory{} }
+
+// Emit implements Sink.
+func (m *Memory) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of everything received so far.
+func (m *Memory) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// SpanNames returns the distinct names of started spans, in first-seen
+// order.
+func (m *Memory) SpanNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range m.events {
+		if e.Kind == "span_start" && !seen[e.Name] {
+			seen[e.Name] = true
+			out = append(out, e.Name)
+		}
+	}
+	return out
+}
+
+// EventsNamed returns every event (any kind) with the given name.
+func (m *Memory) EventsNamed(name string) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Event
+	for _, e := range m.events {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}

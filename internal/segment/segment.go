@@ -9,6 +9,7 @@ package segment
 
 import (
 	"objectrunner/internal/dom"
+	"objectrunner/internal/obs"
 	"objectrunner/internal/render"
 )
 
@@ -212,6 +213,12 @@ func FindByKey(doc *dom.Node, k Key) *dom.Node {
 // back to that page's own main block when the key is absent, e.g. when the
 // block structure varies). The returned slice is parallel to pages.
 func SelectMain(pages []*dom.Node, opts Options) []*dom.Node {
+	return SelectMainObserved(pages, opts, nil)
+}
+
+// SelectMainObserved is SelectMain reporting each page's central-block
+// choice and the winning vote to the observer.
+func SelectMainObserved(pages []*dom.Node, opts Options, ob *obs.Observer) []*dom.Node {
 	if len(pages) == 0 {
 		return nil
 	}
@@ -220,6 +227,11 @@ func SelectMain(pages []*dom.Node, opts Options) []*dom.Node {
 	for i, p := range pages {
 		mains[i] = MainBlock(p, opts)
 		votes[KeyOf(mains[i])]++
+		if ob.Enabled() {
+			k := KeyOf(mains[i])
+			ob.Event("segment.main", obs.A("page", i), obs.A("tag", k.Tag),
+				obs.A("path", k.Path), obs.A("text_len", len(mains[i].Text())))
+		}
 	}
 	var winner Key
 	best := -1
@@ -228,6 +240,8 @@ func SelectMain(pages []*dom.Node, opts Options) []*dom.Node {
 			winner, best = k, v
 		}
 	}
+	ob.Event("segment.winner", obs.A("tag", winner.Tag), obs.A("path", winner.Path),
+		obs.A("votes", best), obs.A("candidates", len(votes)))
 	// A winner matching several nodes on some page is one item of a
 	// repeated list (a record), not the data region: climb to its parent
 	// until the key is unique on every page.

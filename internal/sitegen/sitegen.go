@@ -80,8 +80,10 @@ type Benchmark struct {
 	Corpus  *Corpus
 }
 
-// Generate builds the benchmark.
-func Generate(cfg Config) *Benchmark {
+// Generate builds the benchmark. It returns an error when a domain's SOD
+// text does not parse (a bug in the domain table, but library code must
+// not panic on it).
+func Generate(cfg Config) (*Benchmark, error) {
 	if cfg.PagesPerSource <= 0 {
 		cfg.PagesPerSource = DefaultConfig().PagesPerSource
 	}
@@ -112,13 +114,17 @@ func Generate(cfg Config) *Benchmark {
 		if !wantDomain(spec.Name) {
 			continue
 		}
-		dd := &DomainData{Spec: spec, SOD: sod.MustParse(spec.SODText)}
+		st, err := sod.Parse(spec.SODText)
+		if err != nil {
+			return nil, fmt.Errorf("sitegen: domain %s: %w", spec.Name, err)
+		}
+		dd := &DomainData{Spec: spec, SOD: st}
 		for _, ss := range spec.Sources {
 			dd.Sources = append(dd.Sources, generateSource(spec, ss, pools, root, cfg))
 		}
 		b.Domains = append(b.Domains, dd)
 	}
-	return b
+	return b, nil
 }
 
 // generateSource renders one source's pages and golden standard.

@@ -11,9 +11,19 @@ func testConfig() Config {
 	return cfg
 }
 
+// mustGen is Generate for tests, where the built-in domain table is known
+// to parse.
+func mustGen(cfg Config) *Benchmark {
+	b, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(testConfig())
-	b := Generate(testConfig())
+	a := mustGen(testConfig())
+	b := mustGen(testConfig())
 	if len(a.Domains) != len(b.Domains) {
 		t.Fatal("domain counts differ")
 	}
@@ -33,7 +43,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateAllDomains(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	if len(b.Domains) != 5 {
 		t.Fatalf("domains = %d, want 5", len(b.Domains))
 	}
@@ -52,7 +62,7 @@ func TestGenerateAllDomains(t *testing.T) {
 }
 
 func TestGoldenMatchesRenderedPages(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	for _, d := range b.Domains {
 		for _, s := range d.Sources {
 			if s.Spec.has(QuirkUnstructured) {
@@ -75,7 +85,7 @@ func TestGoldenMatchesRenderedPages(t *testing.T) {
 }
 
 func TestDetailSourcesSingleton(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	for _, d := range b.Domains {
 		for _, s := range d.Sources {
 			if !s.Spec.Detail {
@@ -92,7 +102,7 @@ func TestDetailSourcesSingleton(t *testing.T) {
 }
 
 func TestConstantCountQuirk(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	src, _, err := b.FindSource("books", "bn")
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +123,7 @@ func TestConstantCountQuirk(t *testing.T) {
 }
 
 func TestOptionalAbsentQuirk(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	src, _, err := b.FindSource("concerts", "eventful (list)")
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +138,7 @@ func TestOptionalAbsentQuirk(t *testing.T) {
 }
 
 func TestUnstructuredSourceHasNoGolden(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	src, _, err := b.FindSource("albums", "emusic")
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +152,7 @@ func TestUnstructuredSourceHasNoGolden(t *testing.T) {
 }
 
 func TestMixedListQuirkVariesMarkup(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	src, _, err := b.FindSource("books", "amazon")
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +167,7 @@ func TestMixedListQuirkVariesMarkup(t *testing.T) {
 }
 
 func TestKBPopulated(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	if b.KB.NumFacts() == 0 {
 		t.Fatal("empty KB")
 	}
@@ -178,7 +188,7 @@ func TestKBPopulated(t *testing.T) {
 }
 
 func TestCorpusPopulated(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	if b.Corpus.NumDocuments() == 0 {
 		t.Fatal("empty corpus")
 	}
@@ -189,7 +199,7 @@ func TestCorpusPopulated(t *testing.T) {
 }
 
 func TestPoolsDistinct(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	p := b.Pools
 	for _, pool := range [][]string{p.Artists, p.Theaters, p.BookTitles, p.Authors, p.PubTitles, p.Brands} {
 		if len(pool) < 30 {
@@ -208,14 +218,14 @@ func TestPoolsDistinct(t *testing.T) {
 func TestDomainFilter(t *testing.T) {
 	cfg := testConfig()
 	cfg.Domains = []string{"cars"}
-	b := Generate(cfg)
+	b := mustGen(cfg)
 	if len(b.Domains) != 1 || b.Domains[0].Spec.Name != "cars" {
 		t.Errorf("domain filter failed: %d domains", len(b.Domains))
 	}
 }
 
 func TestFindSourceErrors(t *testing.T) {
-	b := Generate(testConfig())
+	b := mustGen(testConfig())
 	if _, _, err := b.FindSource("nosuch", "x"); err == nil {
 		t.Error("unknown domain accepted")
 	}
@@ -251,7 +261,7 @@ func TestMTurkRanking(t *testing.T) {
 
 func TestSODsParse(t *testing.T) {
 	for _, d := range Domains() {
-		b := Generate(Config{Seed: 1, PagesPerSource: 1, Domains: []string{d.Name}})
+		b := mustGen(Config{Seed: 1, PagesPerSource: 1, Domains: []string{d.Name}})
 		if b.Domains[0].SOD == nil {
 			t.Errorf("%s SOD did not parse", d.Name)
 		}

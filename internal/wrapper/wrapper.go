@@ -13,6 +13,7 @@ import (
 	"objectrunner/internal/annotate"
 	"objectrunner/internal/dom"
 	"objectrunner/internal/eqclass"
+	"objectrunner/internal/obs"
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/segment"
 	"objectrunner/internal/sod"
@@ -39,6 +40,9 @@ type Config struct {
 	RandomSample bool
 	// RandomSeed drives the baseline sampler.
 	RandomSeed uint64
+	// Obs receives spans, events and metrics from every pipeline stage.
+	// Nil (the default) disables observation at near-zero cost.
+	Obs *obs.Observer
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -86,8 +90,12 @@ type Wrapper struct {
 	// Aborted reports that the source was discarded, with the reason.
 	Aborted     bool
 	AbortReason string
+	// Report is the EXPLAIN-style account of the inference run; it is
+	// populated even when the wrapper aborted.
+	Report *Report
 
 	useSegmentation bool
+	obs             *obs.Observer
 }
 
 // Score is the wrapper quality estimate in [0, 1]: 1 for a wrapper built
@@ -101,17 +109,25 @@ func (w *Wrapper) Score() float64 {
 // not carry the targeted data come back with Aborted set.
 func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf annotate.TermFreq, cfg Config) *Wrapper {
 	cfg.Normalize()
-	w := &Wrapper{SOD: s, useSegmentation: cfg.UseSegmentation}
+	ob := cfg.Obs
+	w := &Wrapper{SOD: s, useSegmentation: cfg.UseSegmentation, obs: ob,
+		Report: &Report{Pages: len(pages), Segmentation: cfg.UseSegmentation}}
+	sp := ob.Span("pipeline.infer", obs.A("pages", len(pages)))
+	defer sp.End()
+	ob = sp.Observer()
 	if len(pages) == 0 {
-		w.Aborted, w.AbortReason = true, "no pages"
+		w.abortObserved(ob, "infer", "no pages")
 		return w
 	}
 
 	// Pre-processing: central-block scoping (VIPS-style).
 	regions := pages
 	if cfg.UseSegmentation {
-		regions = segment.SelectMain(pages, cfg.Segment)
+		segSpan := ob.Span("pipeline.segment", obs.A("pages", len(pages)))
+		regions = segment.SelectMainObserved(pages, cfg.Segment, segSpan.Observer())
 		w.BlockKey = segment.KeyOf(regions[0])
+		w.Report.BlockTag, w.Report.BlockPath = w.BlockKey.Tag, w.BlockKey.Path
+		segSpan.End(obs.A("block_tag", w.BlockKey.Tag), obs.A("block_path", w.BlockKey.Path))
 	}
 
 	// Annotation and sample selection (Algorithm 1 or the random
@@ -125,18 +141,23 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 			sampleCfg.SampleSize = 4
 		}
 	}
+	annSpan := ob.Span("pipeline.annotate",
+		obs.A("pages", len(regions)), obs.A("k", sampleCfg.SampleSize), obs.A("random", cfg.RandomSample))
 	var res *annotate.Result
 	if cfg.RandomSample {
 		res = annotate.SelectRandom(regions, recs, sampleCfg.SampleSize, cfg.RandomSeed)
 	} else {
-		res = annotate.SelectSample(regions, s, recs, tf, sampleCfg)
+		res = annotate.SelectSampleObserved(regions, s, recs, tf, sampleCfg, annSpan.Observer())
 	}
+	annSpan.End(obs.A("sample", len(res.Sample)), obs.A("aborted", res.Aborted))
+	w.Report.TypeOrder = res.TypeOrder
+	w.Report.SampleSize = len(res.Sample)
 	if res.Aborted {
-		w.Aborted, w.AbortReason = true, res.AbortReason
+		w.abortObserved(ob, "annotate", res.AbortReason)
 		return w
 	}
 	if len(res.Sample) == 0 {
-		w.Aborted, w.AbortReason = true, "empty sample"
+		w.abortObserved(ob, "annotate", "empty sample")
 		return w
 	}
 
@@ -147,6 +168,7 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 		for _, pa := range res.Sample {
 			if pa.CountType(e.Name) > 0 {
 				annotatedTypes[e.Name] = true
+				w.Report.AnnotatedTypes = append(w.Report.AnnotatedTypes, e.Name)
 				break
 			}
 		}
@@ -162,39 +184,86 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 	// with the next support value while the quality estimate (conflict
 	// count) can improve; keep the best run.
 	var best *run
+	bestVar := -1
 	for support := cfg.SupportMin; support <= cfg.SupportMax; support++ {
 		p := cfg.EQ
 		p.Support = support
+		varSpan := ob.Span("pipeline.variation", obs.A("support", support))
+		vob := varSpan.Observer()
 		// Early stopping (§III.E): abort the iteration when no partial
 		// match of the SOD into the current template tree remains
 		// possible.
 		hook := func(an *eqclass.Analysis) bool {
 			return template.PartialMatchPossible(s, an, annotatedTypes)
 		}
-		an := analyzeFresh(sample, p, hook)
+		eqSpan := vob.Span("pipeline.eqclass", obs.A("support", support))
+		an := analyzeFresh(sample, p, hook, eqSpan.Observer())
+		eqSpan.End(obs.A("eqs", len(an.EQs)), obs.A("conflicts", an.Conflicts), obs.A("iterations", an.Iterations))
+		tmplSpan := vob.Span("pipeline.template")
 		tmpl := template.Build(an)
 		matches := tmpl.MatchSOD(s)
+		tmplSpan.End(obs.A("matches", len(matches)))
 		r := &run{analysis: an, tmpl: tmpl, matches: matches, support: support}
-		if better(r, best) {
-			best = r
+		v := Variation{
+			Support: support, Conflicts: an.Conflicts, Matches: len(matches),
+			EQs: len(an.EQs), Iterations: an.Iterations,
 		}
+		switch {
+		case len(matches) == 0:
+			v.Reason = "SOD found no complete match in the template"
+		case better(r, best):
+			v.Reason = "best run so far"
+		default:
+			v.Reason = fmt.Sprintf("no improvement over support=%d", best.support)
+		}
+		if better(r, best) {
+			if bestVar >= 0 {
+				prev := &w.Report.Variations[bestVar]
+				prev.Accepted = false
+				prev.Reason = fmt.Sprintf("superseded by support=%d", support)
+			}
+			best = r
+			v.Accepted = true
+			bestVar = len(w.Report.Variations)
+		}
+		w.Report.Variations = append(w.Report.Variations, v)
+		ob.Count("wrapper.variations", 1)
+		varSpan.End(obs.A("conflicts", an.Conflicts), obs.A("matches", len(matches)),
+			obs.A("accepted", v.Accepted), obs.A("reason", v.Reason))
 		if len(matches) > 0 && an.Conflicts == 0 {
 			break // nothing left to improve
 		}
 	}
 	if best == nil || len(best.matches) == 0 {
-		w.Aborted = true
-		w.AbortReason = "SOD cannot be matched against the inferred template"
 		if best != nil {
 			w.Conflicts = best.analysis.Conflicts
 		}
+		// No variation survives a match failure: none was truly accepted.
+		for i := range w.Report.Variations {
+			w.Report.Variations[i].Accepted = false
+		}
+		w.abortObserved(ob, "match", "SOD cannot be matched against the inferred template")
 		return w
 	}
 	w.Template = best.tmpl
 	w.Matches = best.matches
 	w.Conflicts = best.analysis.Conflicts
 	w.Support = best.support
+	w.Report.ChosenSupport = best.support
+	w.Report.Conflicts = w.Conflicts
+	w.Report.Matches = len(w.Matches)
+	sp.Event("wrapper.accepted", obs.A("support", w.Support),
+		obs.A("conflicts", w.Conflicts), obs.A("matches", len(w.Matches)))
 	return w
+}
+
+// abortObserved records an abort on the wrapper, its report, and the
+// observability layer (event + per-stage counter).
+func (w *Wrapper) abortObserved(ob *obs.Observer, stage, reason string) {
+	w.abort(stage, reason)
+	ob.Count("wrapper.aborts", 1)
+	ob.Count("wrapper.aborts."+stage, 1)
+	ob.Event("wrapper.abort", obs.A("stage", stage), obs.A("reason", reason))
 }
 
 // better ranks runs: having matches beats not; fewer conflicts beats
@@ -214,7 +283,7 @@ func better(a, b *run) bool {
 }
 
 // analyzeFresh re-tokenizes occurrences (roles are mutable) and analyzes.
-func analyzeFresh(sample [][]*eqclass.Occurrence, p eqclass.Params, hook func(*eqclass.Analysis) bool) *eqclass.Analysis {
+func analyzeFresh(sample [][]*eqclass.Occurrence, p eqclass.Params, hook func(*eqclass.Analysis) bool, ob *obs.Observer) *eqclass.Analysis {
 	fresh := make([][]*eqclass.Occurrence, len(sample))
 	for i, page := range sample {
 		fresh[i] = make([]*eqclass.Occurrence, len(page))
@@ -223,7 +292,7 @@ func analyzeFresh(sample [][]*eqclass.Occurrence, p eqclass.Params, hook func(*e
 			fresh[i][j] = &cp
 		}
 	}
-	return eqclass.Analyze(fresh, p, hook)
+	return eqclass.AnalyzeObserved(fresh, p, hook, ob)
 }
 
 // run is one wrapper-generation attempt of the variation loop.
@@ -238,9 +307,10 @@ type run struct {
 // returns the extracted objects. The page is scoped to the source's
 // central block first when segmentation was used at inference time.
 func (w *Wrapper) ExtractPage(page *dom.Node) []*sod.Instance {
-	if w.Aborted || w.Template == nil {
+	if w == nil || w.Aborted || w.Template == nil {
 		return nil
 	}
+	sp := w.obs.Span("pipeline.extract")
 	region := page
 	if w.useSegmentation {
 		if n := segment.FindByKey(page, w.BlockKey); n != nil {
@@ -250,7 +320,11 @@ func (w *Wrapper) ExtractPage(page *dom.Node) []*sod.Instance {
 	toks := eqclass.TokenizePage(region, nil, 0)
 	objs := template.ExtractAll(w.SOD, w.Matches, toks)
 	// Enforce the SOD's additional restrictions (§II.A footnote 1).
-	objs, _ = w.SOD.FilterByRules(objs)
+	objs, dropped := w.SOD.FilterByRules(objs)
+	w.obs.Count("extract.pages", 1)
+	w.obs.Count("extract.objects", int64(len(objs)))
+	w.obs.Count("extract.rule_dropped", int64(dropped))
+	sp.End(obs.A("objects", len(objs)), obs.A("rule_dropped", dropped))
 	return objs
 }
 
@@ -271,7 +345,15 @@ func (w *Wrapper) ExtractPages(pages []*dom.Node) []*sod.Instance {
 // the extracted set and the existing dictionary. It returns the number of
 // new entries added.
 func EnrichDictionaries(reg *recognize.Registry, s *sod.Type, objects []*sod.Instance, wrapperScore float64) int {
-	added := 0
+	return EnrichDictionariesObserved(reg, s, objects, wrapperScore, nil)
+}
+
+// EnrichDictionariesObserved is EnrichDictionaries reporting each
+// accepted and rejected term (Eq. 4 accounting) to the observer.
+func EnrichDictionariesObserved(reg *recognize.Registry, s *sod.Type, objects []*sod.Instance, wrapperScore float64, ob *obs.Observer) int {
+	sp := ob.Span("pipeline.enrich", obs.A("objects", len(objects)), obs.A("wrapper_score", wrapperScore))
+	ob = sp.Observer()
+	added, rejected := 0, 0
 	for _, e := range s.InstanceOfTypes() {
 		dict, ok := reg.Dictionary(e.Recognizer)
 		if !ok {
@@ -292,12 +374,18 @@ func EnrichDictionaries(reg *recognize.Registry, s *sod.Type, objects []*sod.Ins
 		conf := 0.5*wrapperScore + 0.5*overlap
 		for _, v := range values {
 			if _, known := dict.Contains(v); known {
+				rejected++
+				ob.Event("enrich.known", obs.A("type", e.Name), obs.A("value", v))
 				continue
 			}
 			dict.Add(v, conf)
 			added++
+			ob.Event("enrich.add", obs.A("type", e.Name), obs.A("value", v), obs.A("confidence", conf))
 		}
 	}
+	ob.Count("enrich.added", int64(added))
+	ob.Count("enrich.rejected", int64(rejected))
+	sp.End(obs.A("added", added), obs.A("rejected", rejected))
 	return added
 }
 

@@ -26,6 +26,7 @@ package objectrunner
 
 import (
 	"fmt"
+	"io"
 
 	"objectrunner/internal/annotate"
 	"objectrunner/internal/clean"
@@ -33,6 +34,7 @@ import (
 	"objectrunner/internal/dedup"
 	"objectrunner/internal/dom"
 	"objectrunner/internal/kb"
+	"objectrunner/internal/obs"
 	"objectrunner/internal/query"
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/sod"
@@ -82,6 +84,25 @@ func NewCorpus() *Corpus { return corpus.New() }
 // DefaultConfig mirrors the paper's experimental configuration.
 func DefaultConfig() Config { return wrapper.DefaultConfig() }
 
+// Observer is the observability handle of the extraction pipeline: it
+// collects hierarchical spans, counters and duration histograms from
+// every stage and forwards trace events to its sinks. A nil *Observer
+// (the default) disables observation at near-zero cost.
+type Observer = obs.Observer
+
+// NewObserver builds an observer emitting to the given sinks (see
+// TraceSink, LogSink). With no sinks it still aggregates counters and
+// histograms, readable via Counters and Histograms.
+func NewObserver(sinks ...obs.Sink) *Observer { return obs.New(sinks...) }
+
+// TraceSink returns a sink writing a machine-readable JSONL trace (one
+// event per line) — the format behind the CLIs' -trace flag.
+func TraceSink(w io.Writer) obs.Sink { return obs.JSONL(w) }
+
+// LogSink returns a human-readable sink built on log/slog — the format
+// behind the CLIs' -v flag.
+func LogSink(w io.Writer) obs.Sink { return obs.Text(w) }
+
 // Extractor holds an SOD with its resolved recognizers and pipeline
 // configuration, ready to wrap structured Web sources.
 type Extractor struct {
@@ -90,6 +111,7 @@ type Extractor struct {
 	recs     map[string]recognize.Recognizer
 	tf       annotate.TermFreq
 	cfg      Config
+	obs      *Observer
 }
 
 // Option configures an Extractor.
@@ -100,6 +122,7 @@ type options struct {
 	static  recognize.StaticSource
 	tf      annotate.TermFreq
 	cfg     *Config
+	obs     *Observer
 }
 
 // WithKnowledgeBase adds an ontology as a gazetteer source for
@@ -147,6 +170,15 @@ func WithConfig(cfg Config) Option {
 	return func(o *options) { o.cfg = &cfg }
 }
 
+// WithObserver attaches an observability handle to the extractor: every
+// pipeline stage — cleaning, segmentation, annotation, equivalence-class
+// analysis, the token-support variation loop, template matching,
+// extraction and dictionary enrichment — emits spans, events, counters
+// and duration histograms through it.
+func WithObserver(ob *Observer) Option {
+	return func(o *options) { o.obs = ob }
+}
+
 // New builds an Extractor for the SOD given in DSL form.
 func New(sodText string, opts ...Option) (*Extractor, error) {
 	s, err := sod.Parse(sodText)
@@ -176,7 +208,10 @@ func NewFromSOD(s *SOD, opts ...Option) (*Extractor, error) {
 		cfg = *o.cfg
 		cfg.Normalize()
 	}
-	return &Extractor{sod: s, registry: reg, recs: recs, tf: o.tf, cfg: cfg}, nil
+	if o.obs != nil {
+		cfg.Obs = o.obs
+	}
+	return &Extractor{sod: s, registry: reg, recs: recs, tf: o.tf, cfg: cfg, obs: cfg.Obs}, nil
 }
 
 // SOD returns the extractor's object description.
@@ -185,7 +220,9 @@ func (e *Extractor) SOD() *SOD { return e.sod }
 // ParsePage parses and cleans one raw HTML page.
 func ParsePage(html string) *dom.Node { return clean.Page(html) }
 
-// Wrapper is an inferred extraction template for one source.
+// Wrapper is an inferred extraction template for one source. Its methods
+// are safe on a nil or aborted wrapper: extraction returns no objects and
+// Report/Describe explain why.
 type Wrapper struct {
 	inner *wrapper.Wrapper
 }
@@ -194,29 +231,44 @@ type Wrapper struct {
 // annotation, SOD-guided sample selection, equivalence-class analysis
 // with the automatic parameter-variation loop, and SOD matching.
 func (e *Extractor) Wrap(pages []string) (*Wrapper, error) {
+	sp := e.obs.Span("pipeline.clean", obs.A("pages", len(pages)))
 	parsed := make([]*dom.Node, len(pages))
 	for i, h := range pages {
 		parsed[i] = clean.Page(h)
 	}
+	e.obs.Count("clean.pages", int64(len(pages)))
+	sp.End()
 	return e.WrapParsed(parsed)
 }
 
-// WrapParsed infers a wrapper from already parsed and cleaned pages.
+// WrapParsed infers a wrapper from already parsed and cleaned pages. On
+// abort it returns a non-nil error together with the aborted wrapper, so
+// Report can explain which stage discarded the source and why.
 func (e *Extractor) WrapParsed(pages []*dom.Node) (*Wrapper, error) {
 	w := wrapper.Infer(pages, e.sod, e.recs, e.tf, e.cfg)
 	if w.Aborted {
-		return nil, fmt.Errorf("objectrunner: source discarded: %s", w.AbortReason)
+		return &Wrapper{inner: w}, fmt.Errorf("objectrunner: source discarded: %s", w.AbortReason)
 	}
 	return &Wrapper{inner: w}, nil
 }
 
-// Extract applies the wrapper to a parsed page.
+// ok reports whether the wrapper is usable for extraction.
+func (w *Wrapper) ok() bool { return w != nil && w.inner != nil && !w.inner.Aborted }
+
+// Extract applies the wrapper to a parsed page. A nil or aborted wrapper
+// yields no objects.
 func (w *Wrapper) Extract(page *dom.Node) []*Object {
+	if !w.ok() {
+		return nil
+	}
 	return w.inner.ExtractPage(page)
 }
 
 // ExtractHTML applies the wrapper to one raw HTML page.
 func (w *Wrapper) ExtractHTML(html string) []*Object {
+	if !w.ok() {
+		return nil
+	}
 	return w.inner.ExtractPage(clean.Page(html))
 }
 
@@ -230,14 +282,42 @@ func (w *Wrapper) ExtractAllHTML(pages []string) []*Object {
 }
 
 // Score is the wrapper's self-estimated quality in (0, 1]: 1 means no
-// conflicting annotations were observed while building it.
-func (w *Wrapper) Score() float64 { return w.inner.Score() }
+// conflicting annotations were observed while building it. An unusable
+// wrapper scores 0.
+func (w *Wrapper) Score() float64 {
+	if !w.ok() {
+		return 0
+	}
+	return w.inner.Score()
+}
 
-// Support is the token-support value the variation loop settled on.
-func (w *Wrapper) Support() int { return w.inner.Support }
+// Support is the token-support value the variation loop settled on (0 for
+// a nil or aborted wrapper).
+func (w *Wrapper) Support() int {
+	if !w.ok() {
+		return 0
+	}
+	return w.inner.Support
+}
 
 // Describe summarizes the wrapper.
-func (w *Wrapper) Describe() string { return w.inner.Describe() }
+func (w *Wrapper) Describe() string {
+	if w == nil || w.inner == nil {
+		return "no wrapper"
+	}
+	return w.inner.Describe()
+}
+
+// Report returns the EXPLAIN-style account of the inference run: the
+// central-block choice, the selectivity order and sample of Algorithm 1,
+// one line per token-support variation with its accept/reject reason, and
+// — for discarded sources — the aborting stage and reason.
+func (w *Wrapper) Report() string {
+	if w == nil || w.inner == nil {
+		return "no wrapper: inference was not run"
+	}
+	return w.inner.Report.String()
+}
 
 // Run is the one-shot convenience: wrap the source and extract every
 // object from all its pages.
@@ -253,7 +333,7 @@ func (e *Extractor) Run(pages []string) ([]*Object, error) {
 // dictionaries (paper Eq. 4), returning how many new instances were
 // added. Use the wrapper's Score as the quality input.
 func (e *Extractor) Enrich(objects []*Object, wrapperScore float64) int {
-	return wrapper.EnrichDictionaries(e.registry, e.sod, objects, wrapperScore)
+	return wrapper.EnrichDictionariesObserved(e.registry, e.sod, objects, wrapperScore, e.obs)
 }
 
 // Deduplicate removes exact duplicates among extracted objects
