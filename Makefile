@@ -11,13 +11,18 @@ test:
 	$(GO) test ./...
 
 # check is the extended tier-1 gate (see ROADMAP.md): vet plus the full
-# test suite under the race detector.
+# test suite under the race detector, then the parallel-pipeline tests
+# twice more under race to shake out scheduling-dependent interleavings.
 check:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 40m ./...
+	$(GO) test -race -count=2 -run 'Parallel|Determinis|ExtractBatch|ForEach|Workers' ./...
 
+# bench runs every benchmark and additionally records the parallel
+# scaling run as JSON for the perf trajectory (BENCH_parallel.json).
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
+	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchmem -run XXX . > BENCH_parallel.json
 
 # trace runs one books source end to end with a JSONL span trace and the
 # EXPLAIN report on stderr.

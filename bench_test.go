@@ -13,6 +13,8 @@ package objectrunner
 // recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -227,6 +229,71 @@ func BenchmarkAblationAlpha(b *testing.B) {
 		if len(pts) != 3 {
 			b.Fatalf("points = %d", len(pts))
 		}
+	}
+}
+
+// benchParallelExtractor builds a public-API extractor over a Table-1
+// source at the given worker count; pages come back as raw HTML so Wrap
+// includes the parse/clean front (the largest parallel fraction).
+func benchParallelExtractor(b *testing.B, workers int) (*Extractor, []string) {
+	b.Helper()
+	env := benchEnvironment(b)
+	src, dd, err := env.B.FindSource("concerts", "eventorb (list)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	ex, err := NewFromSOD(dd.SOD,
+		WithKnowledgeBase(env.B.KB),
+		WithCorpus(env.B.Corpus, 0.05),
+		WithConfig(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ex, src.HTML
+}
+
+// BenchmarkWrapParallel measures the full Wrap + ExtractBatch path on a
+// Table-1 source at increasing worker counts. On a multi-core runner the
+// per-page stages (clean, segment, annotate, tokenize, extract) scale
+// near-linearly; setup asserts the parallel output stays byte-identical
+// to the sequential path, so the sub-benchmarks compare equal work.
+func BenchmarkWrapParallel(b *testing.B) {
+	exSeq, html := benchParallelExtractor(b, 1)
+	exPar, _ := benchParallelExtractor(b, 4)
+	wSeq, err := exSeq.Wrap(html)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wPar, err := exPar.Wrap(html)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if wSeq.Report() != wPar.Report() {
+		b.Fatal("parallel inference report diverges from sequential")
+	}
+	if fmt.Sprint(wSeq.ExtractAllHTML(html)) != fmt.Sprint(wPar.ExtractAllHTML(html)) {
+		b.Fatal("parallel extraction output diverges from sequential")
+	}
+
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		ex, pages := benchParallelExtractor(b, workers)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := ex.Wrap(pages)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if batch := w.ExtractBatch(pages); len(batch) != len(pages) {
+					b.Fatalf("batch = %d slots, want %d", len(batch), len(pages))
+				}
+			}
+		})
 	}
 }
 

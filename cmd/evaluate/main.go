@@ -37,6 +37,7 @@ func run() error {
 	all := flag.Bool("all", false, "run everything")
 	seed := flag.Uint64("seed", 42, "benchmark seed")
 	pages := flag.Int("pages", 20, "pages per source")
+	workers := flag.Int("workers", 0, "worker goroutines for per-page pipeline stages (0 = one per CPU)")
 	obsCLI := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func run() error {
 		return err
 	}
 	env.Obs = observer
+	env.Workers = *workers
 	ran := false
 	if *all || *table == 1 {
 		fmt.Println(experiments.FormatTable1(env.Table1()))

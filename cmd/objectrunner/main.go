@@ -61,6 +61,7 @@ func run() error {
 	asJSON := flag.Bool("json", false, "emit objects as JSON")
 	dedupe := flag.Bool("dedup", true, "drop duplicate objects")
 	report := flag.Bool("report", false, "print the wrapper inference report to stderr")
+	workers := flag.Int("workers", 0, "worker goroutines for per-page pipeline stages (0 = one per CPU)")
 	obsCLI := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -81,12 +82,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var opts []objectrunner.Option
+	cfg := objectrunner.DefaultConfig()
+	cfg.Workers = *workers
+	opts := []objectrunner.Option{objectrunner.WithConfig(cfg)}
 	if observer != nil {
 		opts = append(opts, objectrunner.WithObserver(observer))
 	}
-	for class, file := range dicts {
-		entries, err := readDictionary(file)
+	// Sorted for a deterministic dictionary load (and error) order.
+	classes := make([]string, 0, len(dicts))
+	for class := range dicts {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		entries, err := readDictionary(dicts[class])
 		if err != nil {
 			return fmt.Errorf("dictionary %s: %w", class, err)
 		}

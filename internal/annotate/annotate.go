@@ -12,6 +12,7 @@ import (
 
 	"objectrunner/internal/dom"
 	"objectrunner/internal/obs"
+	"objectrunner/internal/parallel"
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/render"
 	"objectrunner/internal/sod"
@@ -82,8 +83,16 @@ func (pa *PageAnnotations) CountType(typeName string) int {
 // as non-whole hints. Multiple annotations may land on the same node.
 func AnnotatePage(page *dom.Node, recs map[string]recognize.Recognizer) *PageAnnotations {
 	pa := &PageAnnotations{Page: page, Anns: make(map[*dom.Node][]Ann)}
-	for name, rec := range recs {
-		AnnotateType(pa, name, rec)
+	// Sorted-name order, not map order: the per-node annotation slices
+	// keep insertion order, so iterating the map directly would reorder
+	// equal matches between runs.
+	names := make([]string, 0, len(recs))
+	for name := range recs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		AnnotateType(pa, name, recs[name])
 	}
 	propagateUp(pa, page)
 	return pa
@@ -203,8 +212,15 @@ func commonType(pa *PageAnnotations, nodes []*dom.Node) string {
 			counts[t]++
 		}
 	}
-	for t, c := range counts {
-		if c == len(nodes) {
+	// Sorted iteration: with several qualifying types, always pick the
+	// lexicographically first rather than whichever map order yields.
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		if counts[t] == len(nodes) {
 			return t
 		}
 	}
@@ -285,6 +301,11 @@ type Params struct {
 	Alpha float64
 	// Shrink is the fraction of pages kept after each annotation round.
 	Shrink float64
+	// Workers bounds the worker pool annotating pages concurrently
+	// within each round; 0 means one worker per CPU. Pages are
+	// independent (annotations attach to per-page state), and rounds
+	// stay sequential, so the outcome matches the sequential path.
+	Workers int
 }
 
 // DefaultParams mirrors the paper's experimental configuration.
@@ -339,9 +360,9 @@ func SelectSampleObserved(pages []*dom.Node, s *sod.Type, recs map[string]recogn
 	wholeOnly := s.WholeNodeFields()
 	processed := make([]string, 0, len(res.TypeOrder))
 	for _, tName := range dictTypes {
-		for _, pa := range cur {
-			AnnotateTypeRestricted(pa, tName, recs[tName], wholeOnly[tName])
-		}
+		parallel.ForEach(p.Workers, len(cur), func(i int) {
+			AnnotateTypeRestricted(cur[i], tName, recs[tName], wholeOnly[tName])
+		})
 		processed = append(processed, tName)
 		// Keep the richest pages; never go below the sample size.
 		keep := int(float64(len(cur)) * p.Shrink)
@@ -371,15 +392,17 @@ func SelectSampleObserved(pages []*dom.Node, s *sod.Type, recs map[string]recogn
 	if len(cur) > p.SampleSize {
 		cur = cur[:p.SampleSize]
 	}
-	// Predefined and regex types on the sample only.
+	// Predefined and regex types on the sample only. The type rounds must
+	// stay ordered (annotation slices append per round), so the fan-out
+	// is per page within a round.
 	for _, tName := range otherTypes {
-		for _, pa := range cur {
-			AnnotateTypeRestricted(pa, tName, recs[tName], wholeOnly[tName])
-		}
+		parallel.ForEach(p.Workers, len(cur), func(i int) {
+			AnnotateTypeRestricted(cur[i], tName, recs[tName], wholeOnly[tName])
+		})
 	}
-	for _, pa := range cur {
-		propagateUp(pa, pa.Page)
-	}
+	parallel.ForEach(p.Workers, len(cur), func(i int) {
+		propagateUp(cur[i], cur[i].Page)
+	})
 	if p.Alpha > 0 && !blockCondition(cur, p.Alpha) {
 		res.Aborted = true
 		res.AbortReason = "no visual block sustains the annotation threshold after predefined types"
@@ -416,7 +439,14 @@ func splitTypes(s *sod.Type, recs map[string]recognize.Recognizer, tf TermFreq) 
 		}
 		other = append(other, e.Name)
 	}
-	sort.SliceStable(sels, func(i, j int) bool { return sels[i].score > sels[j].score })
+	// Equal selectivity estimates tie-break on the attribute name so the
+	// greedy round order of Algorithm 1 is reproducible across runs.
+	sort.SliceStable(sels, func(i, j int) bool {
+		if sels[i].score != sels[j].score {
+			return sels[i].score > sels[j].score
+		}
+		return sels[i].name < sels[j].name
+	})
 	for _, x := range sels {
 		dict = append(dict, x.name)
 	}

@@ -1,0 +1,37 @@
+package annotate
+
+import (
+	"reflect"
+	"testing"
+
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sod"
+)
+
+// TestSplitTypesTiesBreakByName pins the selectivity-ranking tie-break:
+// dictionary types with equal Eq. 2 estimates are ordered by attribute
+// name, not by declaration (or map) order.
+func TestSplitTypesTiesBreakByName(t *testing.T) {
+	s, err := sod.Parse(`tuple { zebra: instanceOf(Z), apple: instanceOf(A), mango: instanceOf(M), when: date }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) *recognize.Dictionary {
+		d := recognize.NewDictionary(name)
+		d.Add("identical entry", 0.9) // same content => equal selectivity
+		return d
+	}
+	recs := map[string]recognize.Recognizer{
+		"zebra": mk("instanceOf(Z)"),
+		"apple": mk("instanceOf(A)"),
+		"mango": mk("instanceOf(M)"),
+		"when":  recognize.NewDate(),
+	}
+	dict, other := splitTypes(s, recs, nil)
+	if want := []string{"apple", "mango", "zebra"}; !reflect.DeepEqual(dict, want) {
+		t.Errorf("dict order = %v, want %v", dict, want)
+	}
+	if want := []string{"when"}; !reflect.DeepEqual(other, want) {
+		t.Errorf("other = %v, want %v", other, want)
+	}
+}

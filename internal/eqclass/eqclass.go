@@ -494,7 +494,25 @@ func (a *Analysis) computeScopes() [][]scope {
 			}
 		}
 	}
-	sort.Slice(gaps, func(i, j int) bool { return gaps[i].to-gaps[i].from > gaps[j].to-gaps[j].from })
+	// Wider gaps first; equal widths are fully ordered (page, position,
+	// class, slot) so that overlapping same-width gaps always paint in
+	// the same order — sort.Slice is not stable and the paint order is
+	// visible in the scopes.
+	sort.Slice(gaps, func(i, j int) bool {
+		if wi, wj := gaps[i].to-gaps[i].from, gaps[j].to-gaps[j].from; wi != wj {
+			return wi > wj
+		}
+		if gaps[i].page != gaps[j].page {
+			return gaps[i].page < gaps[j].page
+		}
+		if gaps[i].from != gaps[j].from {
+			return gaps[i].from < gaps[j].from
+		}
+		if gaps[i].sc.eq != gaps[j].sc.eq {
+			return gaps[i].sc.eq < gaps[j].sc.eq
+		}
+		return gaps[i].sc.slot < gaps[j].sc.slot
+	})
 	for _, g := range gaps {
 		row := scopes[g.page]
 		for p := g.from + 1; p < g.to; p++ {

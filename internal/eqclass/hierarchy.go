@@ -133,8 +133,20 @@ func BuildHierarchy(a *Analysis) {
 			eqs = append(eqs, e)
 		}
 	}
-	// Outer classes first.
-	sort.SliceStable(eqs, func(i, j int) bool { return eqs[i].coverage() > eqs[j].coverage() })
+	// Outer classes first; equal coverage falls back to the class id so
+	// the containment scan (and therefore parent assignment) never
+	// depends on the incoming order. Coverage is precomputed — the
+	// comparator runs O(n log n) times.
+	cov := make(map[int]int, len(eqs))
+	for _, e := range eqs {
+		cov[e.ID] = e.coverage()
+	}
+	sort.SliceStable(eqs, func(i, j int) bool {
+		if cov[eqs[i].ID] != cov[eqs[j].ID] {
+			return cov[eqs[i].ID] > cov[eqs[j].ID]
+		}
+		return eqs[i].ID < eqs[j].ID
+	})
 
 	var kept []*EQ
 	for _, b := range eqs {
@@ -263,7 +275,10 @@ func sortChildren(e *EQ) {
 		if a.ParentSlot != b.ParentSlot {
 			return a.ParentSlot < b.ParentSlot
 		}
-		return a.OrderHint < b.OrderHint
+		if a.OrderHint != b.OrderHint {
+			return a.OrderHint < b.OrderHint
+		}
+		return a.ID < b.ID
 	})
 }
 

@@ -36,6 +36,9 @@ const (
 type Env struct {
 	B    *sitegen.Benchmark
 	regs map[string]map[string]recognize.Recognizer
+	// Workers, when non-zero, overrides Config.Workers on every
+	// ObjectRunner inference the experiments run (the -workers flag).
+	Workers int
 	// Obs, when set, observes every wrapper inference the experiments run.
 	Obs *obs.Observer
 }
@@ -79,6 +82,9 @@ func (e *Env) RunOR(dd *sitegen.DomainData, src *sitegen.Source, cfg wrapper.Con
 	if e.Obs != nil {
 		cfg.Obs = e.Obs
 	}
+	if e.Workers != 0 {
+		cfg.Workers = e.Workers
+	}
 	start := time.Now()
 	w := wrapper.Infer(src.Pages, dd.SOD, recs, e.B.KB, cfg)
 	elapsed := time.Since(start).Seconds()
@@ -89,8 +95,8 @@ func (e *Env) RunOR(dd *sitegen.DomainData, src *sitegen.Source, cfg wrapper.Con
 	}
 	var extracted [][]eval.Record
 	if !w.Aborted {
-		for _, p := range src.Pages {
-			extracted = append(extracted, eval.RecordsFromInstances(w.ExtractPage(p)))
+		for _, objs := range w.ExtractBatch(src.Pages) {
+			extracted = append(extracted, eval.RecordsFromInstances(objs))
 		}
 	}
 	run.Result = eval.EvaluateSource(src.Spec.Name, dd.Spec.Attrs, src.Golden, extracted, eval.IdentityMapping(dd.Spec.Attrs))

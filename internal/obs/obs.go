@@ -15,7 +15,20 @@
 //	pipeline.eqclass    Algorithm 2 over the sample
 //	pipeline.template   template construction + SOD matching
 //	pipeline.extract    applying the wrapper to one page
+//	pipeline.extract_batch  fan-out extraction over a page batch
+//	pipeline.worker     one worker goroutine of a parallel stage
 //	pipeline.enrich     dictionary enrichment (Eq. 4)
+//
+// Counter and histogram aggregation is goroutine-safe (a single mutex in
+// metrics), sinks are required to be safe for concurrent use, and span
+// ids come from an atomic counter — so spans, events and metrics may be
+// recorded from any number of worker goroutines. Parallel stages start
+// one "pipeline.worker" span per worker (see WorkerSpan); spans opened
+// from a worker's derived observer parent under that worker's span, so
+// traces keep their hierarchy even when pages interleave across workers.
+// Event order between workers follows the actual interleaving — traces
+// are timestamped diagnostics, not part of the pipeline's deterministic
+// output surface (Report() and extraction results are).
 //
 // Usage:
 //
@@ -103,6 +116,14 @@ func (o *Observer) Span(name string, attrs ...Attr) *Span {
 	s := &Span{core: o.core, id: o.core.ids.Add(1), parent: parent, name: name, start: time.Now()}
 	o.core.emit(Event{Kind: "span_start", Time: s.start, Span: s.id, Parent: parent, Name: name, Attrs: attrs})
 	return s
+}
+
+// WorkerSpan starts the conventional per-worker span of a parallel
+// stage ("pipeline.worker" with the worker's ordinal), parented like any
+// span started from o. Work done under the returned span's Observer is
+// attributed to that worker in the trace.
+func (o *Observer) WorkerSpan(worker int) *Span {
+	return o.Span("pipeline.worker", A("worker", worker))
 }
 
 // Event records a point annotation on the observer's current span (span

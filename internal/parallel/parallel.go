@@ -1,0 +1,122 @@
+// Package parallel provides the bounded worker-pool primitive behind the
+// pipeline's per-page fan-out (ROADMAP: "runs as fast as the hardware
+// allows"). Every per-page stage — cleaning, segmentation, annotation,
+// tokenization, extraction — is embarrassingly parallel: fn(i) writes
+// only to the i-th slot of a pre-sized result slice, so results come back
+// merged in stable input order and output stays byte-identical to the
+// sequential path regardless of scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+
+	"objectrunner/internal/obs"
+)
+
+// Workers resolves a configured worker count: values <= 0 mean "one
+// worker per available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), fanning the indices out
+// across at most workers goroutines and blocking until all calls return.
+// workers <= 1 (or n <= 1) degenerates to a plain sequential loop on the
+// calling goroutine. fn must confine its writes to per-index state; a
+// panic in any fn is re-raised on the calling goroutine after the pool
+// drains.
+func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach exposing the worker ordinal (0-based) running
+// each index, for per-worker accounting.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Indices are handed out through a channel rather than pre-sliced so
+	// that skewed pages (one huge, many tiny) still balance.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					// Drain so the feeder never blocks on a dead pool.
+					for range idx {
+					}
+				}
+			}()
+			for i := range idx {
+				fn(worker, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// ForEachObserved is ForEachWorker with observability: each worker runs
+// under its own "pipeline.worker" span parented to ob (nil-safe), and fn
+// receives the worker-scoped observer so nested spans and events land
+// under the right worker. The span records the number of items the
+// worker processed.
+func ForEachObserved(ob *obs.Observer, workers, n int, fn func(wob *obs.Observer, i int)) {
+	if !ob.Enabled() {
+		ForEachWorker(workers, n, func(_, i int) { fn(nil, i) })
+		return
+	}
+	type state struct {
+		span  *obs.Span
+		wob   *obs.Observer
+		items int
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	states := make([]state, workers)
+	ForEachWorker(workers, n, func(worker, i int) {
+		st := &states[worker]
+		if st.span == nil {
+			st.span = ob.WorkerSpan(worker)
+			st.wob = st.span.Observer()
+		}
+		st.items++
+		fn(st.wob, i)
+	})
+	for i := range states {
+		if states[i].span != nil {
+			states[i].span.End(obs.A("items", states[i].items))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"objectrunner/internal/obs"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got, want := Workers(0), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers(0) = %d, want %d", got, want)
+	}
+	if got, want := Workers(-3), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers(-3) = %d, want %d", got, want)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		for _, n := range []int{0, 1, 7, 64} {
+			hits := make([]int32, n)
+			ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachWorkerOrdinalInBounds(t *testing.T) {
+	const workers, n = 4, 32
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	ForEachWorker(workers, n, func(worker, i int) {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker ordinal %d out of [0, %d)", worker, workers)
+		}
+		mu.Lock()
+		seen[worker] = true
+		mu.Unlock()
+	})
+	if len(seen) == 0 {
+		t.Fatal("no worker ran")
+	}
+}
+
+func TestForEachSequentialFastPathUsesWorkerZero(t *testing.T) {
+	ForEachWorker(1, 8, func(worker, i int) {
+		if worker != 0 {
+			t.Errorf("sequential path reported worker %d", worker)
+		}
+	})
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the worker's panic value", r)
+		}
+	}()
+	ForEach(4, 16, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+	t.Fatal("panic in a worker was swallowed")
+}
+
+func TestForEachObservedSharesMetricsAndEndsWorkerSpans(t *testing.T) {
+	ob := obs.New()
+	var total int64
+	ForEachObserved(ob, 4, 10, func(wob *obs.Observer, i int) {
+		wob.Count("test.items", 1)
+		atomic.AddInt64(&total, 1)
+	})
+	if total != 10 {
+		t.Fatalf("ran %d items, want 10", total)
+	}
+	if got := ob.Counter("test.items"); got != 10 {
+		t.Errorf("worker-scoped counter = %d, want 10", got)
+	}
+	hists := ob.Histograms()
+	ws, ok := hists["span.pipeline.worker"]
+	if !ok {
+		t.Fatal("no pipeline.worker span was recorded")
+	}
+	if ws.Count < 1 || ws.Count > 4 {
+		t.Errorf("worker span count = %d, want 1..4", ws.Count)
+	}
+}
+
+func TestForEachObservedDisabledObserver(t *testing.T) {
+	hits := make([]int32, 6)
+	ForEachObserved(nil, 3, len(hits), func(wob *obs.Observer, i int) {
+		if wob.Enabled() {
+			t.Error("disabled parent produced an enabled worker observer")
+		}
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("index %d visited %d times", i, h)
+		}
+	}
+}

@@ -46,7 +46,7 @@ func (d *Dictionary) Len() int { return d.size }
 // Add inserts an instance with its confidence. Adding an existing instance
 // keeps the higher confidence (enrichment never degrades knowledge).
 func (d *Dictionary) Add(value string, conf float64) {
-	toks := Tokenize(value)
+	toks := matchTokens(value)
 	if len(toks) == 0 {
 		return
 	}
@@ -73,7 +73,7 @@ func (d *Dictionary) AddAll(entries []Entry) {
 // Contains reports whether the phrase is a known instance and returns its
 // confidence.
 func (d *Dictionary) Contains(phrase string) (float64, bool) {
-	toks := Tokenize(phrase)
+	toks := matchTokens(phrase)
 	if len(toks) == 0 {
 		return 0, false
 	}
@@ -143,6 +143,22 @@ func (d *Dictionary) Find(text string) []Match {
 		i++
 	}
 	return out
+}
+
+// matchTokens tokenizes a phrase exactly the way Find segments and
+// normalizes page text: tokenSpans for segmentation, then
+// ToLower(normToken(...)) per token. Entries must be stored through this
+// pipeline — the general-purpose Tokenize differs at the edges (it drops
+// leading apostrophes and uses the full Unicode letter classes), so
+// entries like "’Til Tuesday" indexed through it would never match the
+// "'til" token the scanner produces.
+func matchTokens(text string) []string {
+	spans := tokenSpans(text)
+	toks := make([]string, 0, len(spans))
+	for _, sp := range spans {
+		toks = append(toks, strings.ToLower(normToken(text[sp.start:sp.end])))
+	}
+	return toks
 }
 
 type span struct{ start, end int }

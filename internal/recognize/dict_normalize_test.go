@@ -1,0 +1,51 @@
+package recognize
+
+import "testing"
+
+// TestDictionaryBuildMatchesScanNormalization pins the fix for the
+// build/match tokenization mismatch: entries must be indexed through the
+// same tokenSpans + ToLower(normToken) pipeline Find applies to page
+// text, or entries with leading apostrophes (or unusual letter ranges)
+// are stored under keys the scanner never produces.
+func TestDictionaryBuildMatchesScanNormalization(t *testing.T) {
+	d := NewDictionary("instanceOf(Artist)")
+	d.Add("’Til Tuesday", 0.9)
+	d.Add("IRON MAIDEN", 0.8)
+
+	text := "Tonight: ’Til Tuesday live, then Iron Maiden on stage."
+	ms := d.Find(text)
+	if len(ms) != 2 {
+		t.Fatalf("Find matched %d entries, want 2: %+v", len(ms), ms)
+	}
+	if ms[0].Value != "’Til Tuesday" {
+		t.Errorf("first match = %q, want the apostrophe-led entry", ms[0].Value)
+	}
+	if ms[1].Value != "Iron Maiden" {
+		t.Errorf("second match = %q", ms[1].Value)
+	}
+}
+
+func TestDictionaryContainsNormalizesLikeFind(t *testing.T) {
+	d := NewDictionary("instanceOf(Artist)")
+	d.Add("’Til Tuesday", 0.9)
+	for _, phrase := range []string{"’Til Tuesday", "'til tuesday", "’TIL TUESDAY"} {
+		if conf, ok := d.Contains(phrase); !ok || conf != 0.9 {
+			t.Errorf("Contains(%q) = (%v, %v), want (0.9, true)", phrase, conf, ok)
+		}
+	}
+	if _, ok := d.Contains("Til Tuesday"); ok {
+		t.Error("Contains matched without the apostrophe token")
+	}
+}
+
+func TestDictionaryAddDeduplicatesApostropheVariants(t *testing.T) {
+	d := NewDictionary("instanceOf(Artist)")
+	d.Add("’Til Tuesday", 0.5)
+	d.Add("'Til Tuesday", 0.8) // same tokens after normalization
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want the variants merged into 1 entry", d.Len())
+	}
+	if conf, ok := d.Contains("'til tuesday"); !ok || conf != 0.8 {
+		t.Errorf("merged confidence = (%v, %v), want the higher 0.8", conf, ok)
+	}
+}

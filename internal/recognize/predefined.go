@@ -3,6 +3,7 @@ package recognize
 import (
 	"fmt"
 	"regexp"
+	"sync"
 )
 
 // RegexRecognizer matches a user-supplied regular expression. Matches have
@@ -55,10 +56,18 @@ const (
 	streetKind = `(?:St(?:reet)?|Ave(?:nue)?|Blvd|Boulevard|R(?:oa)?d|Dr(?:ive)?|Lane|Ln|Way|Plaza|Pl(?:ace)?|Court|Ct|Square|Sq|Broadway)`
 )
 
+// The predefined recognizers are immutable once built (a compiled regexp
+// is safe for concurrent use), so each family compiles exactly once per
+// process via sync.OnceValue and every New* call returns the shared
+// instance — wrapper inference resolves recognizers per source, and
+// compiling these alternation-heavy patterns sat on that hot path.
+
 // NewDate recognizes calendar dates in the formats that dominate
 // template-generated pages: "Monday May 11, 8:00pm", "Saturday August 8,
 // 2010 8:00pm", "May 29 7:00p", "2010-05-29", "05/29/2010", "June 2011".
-func NewDate() Recognizer {
+func NewDate() Recognizer { return dateRec() }
+
+var dateRec = sync.OnceValue(func() Recognizer {
 	pat := `(?i)(?:` +
 		dayNames + `,?\s+` + monthNames + `\s+\d{1,2}\b(?:\s*,\s*\d{4})?(?:,?\s*(?:` + timeOfDay + `))?` + // Monday May 11, 8:00pm
 		`|` + monthNames + `\s+\d{4}\b` + // June 2011
@@ -68,52 +77,66 @@ func NewDate() Recognizer {
 		`|\d{1,2}/\d{1,2}/\d{2,4}` + // US slashes
 		`)`
 	return mustRegex("date", pat, 0.95)
-}
+})
 
 // NewYear recognizes four-digit years in the plausible publication range.
-func NewYear() Recognizer {
+func NewYear() Recognizer { return yearRec() }
+
+var yearRec = sync.OnceValue(func() Recognizer {
 	return mustRegex("year", `\b(?:1[89]\d{2}|20\d{2})\b`, 0.8)
-}
+})
 
 // NewPrice recognizes currency amounts: "$12.99", "USD 4,500", "£7",
 // "12.99 EUR".
-func NewPrice() Recognizer {
+func NewPrice() Recognizer { return priceRec() }
+
+var priceRec = sync.OnceValue(func() Recognizer {
 	pat := `(?:[$£€¥]\s?\d{1,3}(?:,\d{3})*(?:\.\d{2})?` +
 		`|(?:USD|EUR|GBP|AUD|CAD)\s?\d{1,3}(?:,\d{3})*(?:\.\d{2})?` +
 		`|\d{1,3}(?:,\d{3})*(?:\.\d{2})?\s?(?:USD|EUR|GBP|dollars|euros))`
 	return mustRegex("price", pat, 0.95)
-}
+})
 
 // NewPhone recognizes North-American and international phone numbers.
-func NewPhone() Recognizer {
+func NewPhone() Recognizer { return phoneRec() }
+
+var phoneRec = sync.OnceValue(func() Recognizer {
 	pat := `(?:\+?1[\s.-]?)?(?:\(\d{3}\)|\d{3})[\s.-]\d{3}[\s.-]\d{4}\b` +
 		`|\+\d{1,3}(?:[\s.-]\d{1,4}){2,6}\b`
 	return mustRegex("phone", pat, 0.9)
-}
+})
 
 // NewAddress recognizes street addresses ("237 West 42nd street",
 // "4 Penn Plaza", "Delancey St") plus city/state/zip fragments. Addresses
 // are the loosest predefined type — the paper treats them as a single
 // entity type covering several textual shapes.
-func NewAddress() Recognizer {
+func NewAddress() Recognizer { return addressRec() }
+
+var addressRec = sync.OnceValue(func() Recognizer {
 	pat := `(?i)(?:\d{1,5}\s+(?:(?:\d+(?:st|nd|rd|th)|[A-Za-z']+)\.?\s+){0,3}` + streetKind + `\b` + // 237 West 42nd street, 4 Penn Plaza
 		`|\b[A-Z][a-z]+(?:\s[A-Z][a-z]+)?\s+` + streetKind + `\b` + // Delancey St
 		`|\b[A-Z][a-z]+(?:\s[A-Z][a-z]+)*,\s*[A-Z]{2}\s+\d{5}\b` + // City, ST 12345
 		`|\b\d{5}(?:-\d{4})?\b)` // bare zip
 	return mustRegex("address", pat, 0.7)
-}
+})
 
 // NewEmail recognizes e-mail addresses.
-func NewEmail() Recognizer {
+func NewEmail() Recognizer { return emailRec() }
+
+var emailRec = sync.OnceValue(func() Recognizer {
 	return mustRegex("email", `\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b`, 0.98)
-}
+})
 
 // NewNumber recognizes decimal numbers.
-func NewNumber() Recognizer {
+func NewNumber() Recognizer { return numberRec() }
+
+var numberRec = sync.OnceValue(func() Recognizer {
 	return mustRegex("number", `\b\d+(?:\.\d+)?\b`, 0.5)
-}
+})
 
 // NewISBN recognizes 10- and 13-digit ISBNs with optional hyphens.
-func NewISBN() Recognizer {
+func NewISBN() Recognizer { return isbnRec() }
+
+var isbnRec = sync.OnceValue(func() Recognizer {
 	return mustRegex("isbn", `\b(?:97[89][- ]?)?\d{1,5}[- ]?\d{1,7}[- ]?\d{1,7}[- ]?[\dXx]\b`, 0.85)
-}
+})

@@ -3,6 +3,7 @@ package recognize
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"objectrunner/internal/sod"
 )
@@ -20,7 +21,11 @@ type GazetteerSource interface {
 // Registry resolves the recognizer references of an SOD to concrete
 // recognizers, constructing dictionary recognizers on the fly from the
 // configured gazetteer sources.
+// A Registry is safe for concurrent use: the mutex guards the predefined
+// table and the cache, so sources resolved from parallel workers share
+// one dictionary instead of racing on the map.
 type Registry struct {
+	mu         sync.Mutex
 	sources    []GazetteerSource
 	predefined map[string]func() Recognizer
 	cache      map[string]Recognizer
@@ -50,12 +55,16 @@ func NewRegistry(sources ...GazetteerSource) *Registry {
 // RegisterPredefined adds (or replaces) a named predefined recognizer
 // family.
 func (r *Registry) RegisterPredefined(kind string, ctor func() Recognizer) {
+	r.mu.Lock()
 	r.predefined[strings.ToLower(kind)] = ctor
+	r.mu.Unlock()
 }
 
 // Resolve returns the recognizer for a reference, building and caching it
 // on first use.
 func (r *Registry) Resolve(ref sod.RecognizerRef) (Recognizer, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	key := strings.ToLower(ref.Kind) + "(" + ref.Arg + ")"
 	if rec, ok := r.cache[key]; ok {
 		return rec, nil
@@ -112,6 +121,8 @@ func (r *Registry) ResolveAll(t *sod.Type) (map[string]Recognizer, error) {
 // reference, if one has been resolved; used by the enrichment loop to add
 // discovered instances back.
 func (r *Registry) Dictionary(ref sod.RecognizerRef) (*Dictionary, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	key := strings.ToLower(ref.Kind) + "(" + ref.Arg + ")"
 	d, ok := r.cache[key].(*Dictionary)
 	return d, ok

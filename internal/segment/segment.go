@@ -10,6 +10,7 @@ package segment
 import (
 	"objectrunner/internal/dom"
 	"objectrunner/internal/obs"
+	"objectrunner/internal/parallel"
 	"objectrunner/internal/render"
 )
 
@@ -78,6 +79,10 @@ type Options struct {
 	// MinTextShare is the minimum share of the page's text a candidate
 	// must retain; descending below it stops.
 	MinTextShare float64
+	// Workers bounds the worker pool computing per-page main blocks in
+	// SelectMain; 0 means one worker per CPU. The key vote and its
+	// events stay in input order, so the selection is unaffected.
+	Workers int
 }
 
 // DefaultOptions returns the thresholds used in the evaluation.
@@ -222,10 +227,14 @@ func SelectMainObserved(pages []*dom.Node, opts Options, ob *obs.Observer) []*do
 	if len(pages) == 0 {
 		return nil
 	}
+	// Layout + block-tree construction is the expensive part and purely
+	// per-page; the vote and its events run afterwards in input order.
 	mains := make([]*dom.Node, len(pages))
+	parallel.ForEach(opts.Workers, len(pages), func(i int) {
+		mains[i] = MainBlock(pages[i], opts)
+	})
 	votes := make(map[Key]int)
-	for i, p := range pages {
-		mains[i] = MainBlock(p, opts)
+	for i := range pages {
 		votes[KeyOf(mains[i])]++
 		if ob.Enabled() {
 			k := KeyOf(mains[i])
@@ -236,7 +245,9 @@ func SelectMainObserved(pages []*dom.Node, opts Options, ob *obs.Observer) []*do
 	var winner Key
 	best := -1
 	for k, v := range votes {
-		if v > best {
+		// Vote ties break on the key itself (tag, then path, then
+		// attribute signature) rather than map order.
+		if v > best || (v == best && keyLess(k, winner)) {
 			winner, best = k, v
 		}
 	}
@@ -277,6 +288,18 @@ func SelectMainObserved(pages []*dom.Node, opts Options, ob *obs.Observer) []*do
 		}
 	}
 	return out
+}
+
+// keyLess orders keys lexicographically by tag, path, attribute
+// signature — the deterministic tie-break of the main-block vote.
+func keyLess(a, b Key) bool {
+	if a.Tag != b.Tag {
+		return a.Tag < b.Tag
+	}
+	if a.Path != b.Path {
+		return a.Path < b.Path
+	}
+	return a.AttrSig < b.AttrSig
 }
 
 // countByKey counts the elements of doc matching the key exactly.

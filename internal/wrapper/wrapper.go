@@ -14,6 +14,7 @@ import (
 	"objectrunner/internal/dom"
 	"objectrunner/internal/eqclass"
 	"objectrunner/internal/obs"
+	"objectrunner/internal/parallel"
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/segment"
 	"objectrunner/internal/sod"
@@ -40,6 +41,13 @@ type Config struct {
 	RandomSample bool
 	// RandomSeed drives the baseline sampler.
 	RandomSeed uint64
+	// Workers bounds the worker pool of the per-page pipeline stages
+	// (cleaning, segmentation, annotation, tokenization, extraction).
+	// 0 (the default) means one worker per available CPU
+	// (runtime.GOMAXPROCS(0)); 1 forces the sequential path. Results are
+	// always merged in stable input order, so output is byte-identical
+	// across worker counts.
+	Workers int
 	// Obs receives spans, events and metrics from every pipeline stage.
 	// Nil (the default) disables observation at near-zero cost.
 	Obs *obs.Observer
@@ -72,6 +80,14 @@ func (c *Config) Normalize() {
 	if c.SupportMax < c.SupportMin {
 		c.SupportMax = c.SupportMin
 	}
+	c.Workers = parallel.Workers(c.Workers)
+	// The per-stage configs inherit the pool size unless set explicitly.
+	if c.Sample.Workers == 0 {
+		c.Sample.Workers = c.Workers
+	}
+	if c.Segment.Workers == 0 {
+		c.Segment.Workers = c.Workers
+	}
 }
 
 // Wrapper is an inferred extraction template for one source, applicable
@@ -95,7 +111,17 @@ type Wrapper struct {
 	Report *Report
 
 	useSegmentation bool
+	workers         int
 	obs             *obs.Observer
+}
+
+// Workers returns the resolved worker-pool size the wrapper inherited
+// from its inference Config (at least 1).
+func (w *Wrapper) Workers() int {
+	if w == nil {
+		return 1
+	}
+	return parallel.Workers(w.workers)
 }
 
 // Score is the wrapper quality estimate in [0, 1]: 1 for a wrapper built
@@ -110,7 +136,7 @@ func (w *Wrapper) Score() float64 {
 func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf annotate.TermFreq, cfg Config) *Wrapper {
 	cfg.Normalize()
 	ob := cfg.Obs
-	w := &Wrapper{SOD: s, useSegmentation: cfg.UseSegmentation, obs: ob,
+	w := &Wrapper{SOD: s, useSegmentation: cfg.UseSegmentation, workers: cfg.Workers, obs: ob,
 		Report: &Report{Pages: len(pages), Segmentation: cfg.UseSegmentation}}
 	sp := ob.Span("pipeline.infer", obs.A("pages", len(pages)))
 	defer sp.End()
@@ -174,11 +200,13 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 		}
 	}
 
-	// Tokenize the sample once.
-	var sample [][]*eqclass.Occurrence
-	for i, pa := range res.Sample {
-		sample = append(sample, eqclass.TokenizePage(pa.Page, pa, i))
-	}
+	// Tokenize the sample once. Pages tokenize independently; the slot
+	// slice keeps the result in sample order whatever the scheduling.
+	sample := make([][]*eqclass.Occurrence, len(res.Sample))
+	parallel.ForEach(cfg.Workers, len(res.Sample), func(i int) {
+		pa := res.Sample[i]
+		sample[i] = eqclass.TokenizePage(pa.Page, pa, i)
+	})
 
 	// Wrapper generation with automatic support variation: re-execute
 	// with the next support value while the quality estimate (conflict
@@ -307,10 +335,20 @@ type run struct {
 // returns the extracted objects. The page is scoped to the source's
 // central block first when segmentation was used at inference time.
 func (w *Wrapper) ExtractPage(page *dom.Node) []*sod.Instance {
+	if w == nil {
+		return nil
+	}
+	return w.extractPageObserved(page, w.obs)
+}
+
+// extractPageObserved is ExtractPage reporting to the given observer —
+// the wrapper's own for single-page calls, a worker-scoped one inside
+// ExtractBatch.
+func (w *Wrapper) extractPageObserved(page *dom.Node, ob *obs.Observer) []*sod.Instance {
 	if w == nil || w.Aborted || w.Template == nil {
 		return nil
 	}
-	sp := w.obs.Span("pipeline.extract")
+	sp := ob.Span("pipeline.extract")
 	region := page
 	if w.useSegmentation {
 		if n := segment.FindByKey(page, w.BlockKey); n != nil {
@@ -321,20 +359,45 @@ func (w *Wrapper) ExtractPage(page *dom.Node) []*sod.Instance {
 	objs := template.ExtractAll(w.SOD, w.Matches, toks)
 	// Enforce the SOD's additional restrictions (§II.A footnote 1).
 	objs, dropped := w.SOD.FilterByRules(objs)
-	w.obs.Count("extract.pages", 1)
-	w.obs.Count("extract.objects", int64(len(objs)))
-	w.obs.Count("extract.rule_dropped", int64(dropped))
+	ob.Count("extract.pages", 1)
+	ob.Count("extract.objects", int64(len(objs)))
+	ob.Count("extract.rule_dropped", int64(dropped))
 	sp.End(obs.A("objects", len(objs)), obs.A("rule_dropped", dropped))
 	return objs
 }
 
+// ExtractBatch applies the wrapper to every page concurrently (bounded
+// by the inference Config.Workers) and returns one object slice per
+// input page, in input order. Extraction is read-only on the wrapper —
+// the template, matches and block key are immutable after Infer — so
+// pages are independent and the batch output is byte-identical to
+// calling ExtractPage in a loop.
+func (w *Wrapper) ExtractBatch(pages []*dom.Node) [][]*sod.Instance {
+	out := make([][]*sod.Instance, len(pages))
+	if w == nil || w.Aborted || w.Template == nil || len(pages) == 0 {
+		return out
+	}
+	sp := w.obs.Span("pipeline.extract_batch",
+		obs.A("pages", len(pages)), obs.A("workers", parallel.Workers(w.workers)))
+	parallel.ForEachObserved(sp.Observer(), w.workers, len(pages), func(wob *obs.Observer, i int) {
+		out[i] = w.extractPageObserved(pages[i], wob)
+	})
+	total := 0
+	for _, objs := range out {
+		total += len(objs)
+	}
+	sp.End(obs.A("objects", total))
+	return out
+}
+
 // ExtractPages applies the wrapper to every page and returns the
-// concatenated objects. Per the paper, once the wrapper is constructed
-// this step is negligible in cost and needs no annotations.
+// concatenated objects, in page order. Per the paper, once the wrapper
+// is constructed this step is negligible in cost and needs no
+// annotations; it fans out across the configured workers.
 func (w *Wrapper) ExtractPages(pages []*dom.Node) []*sod.Instance {
 	var out []*sod.Instance
-	for _, p := range pages {
-		out = append(out, w.ExtractPage(p)...)
+	for _, objs := range w.ExtractBatch(pages) {
+		out = append(out, objs...)
 	}
 	return out
 }

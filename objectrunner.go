@@ -35,6 +35,7 @@ import (
 	"objectrunner/internal/dom"
 	"objectrunner/internal/kb"
 	"objectrunner/internal/obs"
+	"objectrunner/internal/parallel"
 	"objectrunner/internal/query"
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/sod"
@@ -206,11 +207,13 @@ func NewFromSOD(s *SOD, opts ...Option) (*Extractor, error) {
 	cfg := wrapper.DefaultConfig()
 	if o.cfg != nil {
 		cfg = *o.cfg
-		cfg.Normalize()
 	}
 	if o.obs != nil {
 		cfg.Obs = o.obs
 	}
+	// Always normalize, so Workers (and the rest of the defaults) are
+	// resolved even when no config option was given.
+	cfg.Normalize()
 	return &Extractor{sod: s, registry: reg, recs: recs, tf: o.tf, cfg: cfg, obs: cfg.Obs}, nil
 }
 
@@ -231,11 +234,12 @@ type Wrapper struct {
 // annotation, SOD-guided sample selection, equivalence-class analysis
 // with the automatic parameter-variation loop, and SOD matching.
 func (e *Extractor) Wrap(pages []string) (*Wrapper, error) {
-	sp := e.obs.Span("pipeline.clean", obs.A("pages", len(pages)))
+	sp := e.obs.Span("pipeline.clean",
+		obs.A("pages", len(pages)), obs.A("workers", e.cfg.Workers))
 	parsed := make([]*dom.Node, len(pages))
-	for i, h := range pages {
-		parsed[i] = clean.Page(h)
-	}
+	parallel.ForEachObserved(sp.Observer(), e.cfg.Workers, len(pages), func(_ *obs.Observer, i int) {
+		parsed[i] = clean.Page(pages[i])
+	})
 	e.obs.Count("clean.pages", int64(len(pages)))
 	sp.End()
 	return e.WrapParsed(parsed)
@@ -272,11 +276,27 @@ func (w *Wrapper) ExtractHTML(html string) []*Object {
 	return w.inner.ExtractPage(clean.Page(html))
 }
 
-// ExtractAllHTML applies the wrapper to many raw HTML pages.
+// ExtractBatch applies the wrapper to many raw HTML pages concurrently
+// (bounded by the extractor's Config.Workers) and returns one object
+// slice per input page, in input order — byte-identical to calling
+// ExtractHTML page by page.
+func (w *Wrapper) ExtractBatch(pages []string) [][]*Object {
+	if !w.ok() {
+		return make([][]*Object, len(pages))
+	}
+	parsed := make([]*dom.Node, len(pages))
+	parallel.ForEach(w.inner.Workers(), len(pages), func(i int) {
+		parsed[i] = clean.Page(pages[i])
+	})
+	return w.inner.ExtractBatch(parsed)
+}
+
+// ExtractAllHTML applies the wrapper to many raw HTML pages and returns
+// the concatenated objects, in page order.
 func (w *Wrapper) ExtractAllHTML(pages []string) []*Object {
 	var out []*Object
-	for _, h := range pages {
-		out = append(out, w.ExtractHTML(h)...)
+	for _, objs := range w.ExtractBatch(pages) {
+		out = append(out, objs...)
 	}
 	return out
 }

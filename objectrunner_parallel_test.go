@@ -1,0 +1,138 @@
+package objectrunner
+
+import (
+	"fmt"
+	"testing"
+)
+
+// workersExtractor builds the concert extractor with an explicit worker
+// count. GOMAXPROCS may be 1 on the test runner, so parallel tests force
+// Workers > 1 to actually exercise goroutine interleavings.
+func workersExtractor(t testing.TB, workers int) *Extractor {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	return concertExtractor(t, WithConfig(cfg))
+}
+
+// TestWrapDeterministicAcrossRunsAndWorkers pins the pipeline's
+// determinism contract: ten sequential runs and ten 4-worker runs over
+// the same pages must produce byte-identical inference reports and
+// extraction output.
+func TestWrapDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	pages := concertPages()
+	var wantReport, wantObjs string
+	for _, workers := range []int{1, 4} {
+		for run := 0; run < 10; run++ {
+			ex := workersExtractor(t, workers)
+			w, err := ex.Wrap(pages)
+			if err != nil {
+				t.Fatalf("workers=%d run=%d: %v", workers, run, err)
+			}
+			gotReport := w.Report()
+			gotObjs := fmt.Sprint(w.ExtractAllHTML(pages))
+			if wantReport == "" && wantObjs == "" {
+				wantReport, wantObjs = gotReport, gotObjs
+				continue
+			}
+			if gotReport != wantReport {
+				t.Fatalf("workers=%d run=%d: report diverged\n--- want ---\n%s\n--- got ---\n%s",
+					workers, run, wantReport, gotReport)
+			}
+			if gotObjs != wantObjs {
+				t.Fatalf("workers=%d run=%d: extraction diverged\n--- want ---\n%s\n--- got ---\n%s",
+					workers, run, wantObjs, gotObjs)
+			}
+		}
+	}
+}
+
+func TestExtractBatchPreservesInputOrder(t *testing.T) {
+	ex := workersExtractor(t, 4)
+	w, err := ex.Wrap(concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	training := concertPages()
+	unseen := `<html><body><li><div>The Strokes</div><div>Friday July 2, 2010 9:00pm</div><div><span><a>Terminal 5</a></span><span>610 West 56th Street</span><span>New York City</span><span>New York</span><span>10019</span></div></li></body></html>`
+	cases := []struct {
+		name  string
+		pages []string
+	}{
+		{"empty input", nil},
+		{"single page", training[:1]},
+		{"training pages", training},
+		{"unseen page", []string{unseen}},
+		{"mixed with empty, garbage and unseen", []string{
+			training[0],
+			"",
+			"<html><body><p>nothing to extract here</p></body></html>",
+			unseen,
+			training[2],
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := w.ExtractBatch(tc.pages)
+			if len(got) != len(tc.pages) {
+				t.Fatalf("len = %d, want one slot per input page (%d)", len(got), len(tc.pages))
+			}
+			for i, p := range tc.pages {
+				want := fmt.Sprint(w.ExtractHTML(p))
+				if fmt.Sprint(got[i]) != want {
+					t.Errorf("slot %d differs from sequential ExtractHTML\nwant %s\ngot  %s",
+						i, want, fmt.Sprint(got[i]))
+				}
+			}
+		})
+	}
+}
+
+func TestExtractBatchAbortedAndNilWrapper(t *testing.T) {
+	ex := workersExtractor(t, 4)
+	w, err := ex.Wrap([]string{
+		"<html><body><p>about our company and its mission</p></body></html>",
+		"<html><body><p>read the terms of service carefully</p></body></html>",
+		"<html><body><p>open positions and press contacts</p></body></html>",
+	})
+	if err == nil {
+		t.Fatal("irrelevant source not discarded")
+	}
+	pages := concertPages()
+	out := w.ExtractBatch(pages)
+	if len(out) != len(pages) {
+		t.Fatalf("aborted wrapper: len = %d, want %d", len(out), len(pages))
+	}
+	for i, objs := range out {
+		if len(objs) != 0 {
+			t.Errorf("aborted wrapper extracted %d objects from page %d", len(objs), i)
+		}
+	}
+	var nilW *Wrapper
+	out = nilW.ExtractBatch(pages)
+	if len(out) != len(pages) {
+		t.Fatalf("nil wrapper: len = %d, want %d", len(out), len(pages))
+	}
+	for i, objs := range out {
+		if len(objs) != 0 {
+			t.Errorf("nil wrapper extracted %d objects from page %d", len(objs), i)
+		}
+	}
+}
+
+// TestParallelRunMatchesSequential drives the one-shot Run entry point
+// at both worker counts and checks the end results coincide.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	pages := concertPages()
+	seq, err := workersExtractor(t, 1).Run(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := workersExtractor(t, 4).Run(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(seq) != fmt.Sprint(par) {
+		t.Fatalf("parallel Run diverged\nseq %s\npar %s", fmt.Sprint(seq), fmt.Sprint(par))
+	}
+}

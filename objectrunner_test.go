@@ -15,13 +15,9 @@ func concertPages() []string {
 	}
 }
 
-func concertExtractor(t testing.TB) *Extractor {
+func concertExtractor(t testing.TB, extra ...Option) *Extractor {
 	t.Helper()
-	ex, err := New(`tuple {
-		artist: instanceOf(Artist)
-		date: date
-		location: tuple { theater: instanceOf(Theater), address: address ? }
-	}`,
+	opts := []Option{
 		WithDictionary("Artist", []Entry{
 			{Value: "Metallica", Confidence: 0.9}, {Value: "Madonna", Confidence: 0.95},
 			{Value: "Muse", Confidence: 0.85}, {Value: "Coldplay", Confidence: 0.9},
@@ -30,7 +26,13 @@ func concertExtractor(t testing.TB) *Extractor {
 			{Value: "Madison Square Garden", Confidence: 0.9}, {Value: "The Town Hall", Confidence: 0.8},
 			{Value: "B.B King Blues and Grill", Confidence: 0.75}, {Value: "Bowery Ballroom", Confidence: 0.85},
 		}),
-	)
+	}
+	opts = append(opts, extra...)
+	ex, err := New(`tuple {
+		artist: instanceOf(Artist)
+		date: date
+		location: tuple { theater: instanceOf(Theater), address: address ? }
+	}`, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
