@@ -11,18 +11,24 @@ test:
 	$(GO) test ./...
 
 # check is the extended tier-1 gate (see ROADMAP.md): vet plus the full
-# test suite under the race detector, then the parallel-pipeline tests
-# twice more under race to shake out scheduling-dependent interleavings.
+# test suite under the race detector, then the parallel-pipeline and
+# serving-cache tests twice more under race to shake out
+# scheduling-dependent interleavings (singleflight, LRU, spill).
 check:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 40m ./...
 	$(GO) test -race -count=2 -run 'Parallel|Determinis|ExtractBatch|ForEach|Workers' ./...
+	$(GO) test -race -count=2 ./internal/store/
+	$(GO) test -race -count=2 -run 'Serve|SaveLoad|WrapContext|Persist' .
 
 # bench runs every benchmark and additionally records the parallel
-# scaling run as JSON for the perf trajectory (BENCH_parallel.json).
+# scaling run (BENCH_parallel.json) and the serving-cache economics —
+# cold wrap vs cache hit vs disk load — (BENCH_serve.json) as JSON for
+# the perf trajectory.
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchmem -run XXX . > BENCH_parallel.json
+	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchmem -run XXX . > BENCH_serve.json
 
 # trace runs one books source end to end with a JSONL span trace and the
 # EXPLAIN report on stderr.

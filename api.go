@@ -1,0 +1,141 @@
+package objectrunner
+
+import (
+	"context"
+	"fmt"
+
+	"objectrunner/internal/clean"
+	"objectrunner/internal/dom"
+	"objectrunner/internal/obs"
+	"objectrunner/internal/parallel"
+	"objectrunner/internal/wrapper"
+)
+
+// Error-honest, context-aware API surface. The original methods (Extract,
+// ExtractBatch, Run, …) stay as thin shims, but they conflate "no data on
+// this page" with "you called me on a dead wrapper" and cannot stop
+// mid-flight; the variants below return sentinel errors (errors.go) and
+// honor context cancellation down through the worker pools.
+
+// canceledErr wraps a context error so that both errors.Is(err,
+// ErrCanceled) and errors.Is(err, context.Canceled/DeadlineExceeded) hold.
+func canceledErr(err error) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, err)
+}
+
+// abortedErr wraps ErrAborted with the pipeline's abort reason.
+func abortedErr(reason string) error {
+	return fmt.Errorf("%w: %s", ErrAborted, reason)
+}
+
+// WrapContext is Wrap honoring cancellation: once ctx is canceled the
+// pipeline stops dispatching new per-page work (cleaning, segmentation,
+// annotation, tokenization) and the support-variation loop ends at its
+// next checkpoint; the returned error wraps ErrCanceled and the context's
+// own error. A discarded source comes back as an aborted wrapper plus an
+// error wrapping ErrAborted, exactly like Wrap.
+func (e *Extractor) WrapContext(ctx context.Context, pages []string) (*Wrapper, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sp := e.obs.Span("pipeline.clean",
+		obs.A("pages", len(pages)), obs.A("workers", e.cfg.Workers))
+	parsed := make([]*dom.Node, len(pages))
+	if err := parallel.ForEachObservedCtx(ctx, sp.Observer(), e.cfg.Workers, len(pages), func(_ *obs.Observer, i int) {
+		parsed[i] = clean.Page(pages[i])
+	}); err != nil {
+		sp.End(obs.A("canceled", true))
+		return nil, canceledErr(err)
+	}
+	e.obs.Count("clean.pages", int64(len(pages)))
+	sp.End()
+	return e.WrapParsedContext(ctx, parsed)
+}
+
+// WrapParsedContext is WrapParsed honoring cancellation (see WrapContext).
+func (e *Extractor) WrapParsedContext(ctx context.Context, pages []*dom.Node) (*Wrapper, error) {
+	w, err := wrapper.InferContext(ctx, pages, e.sod, e.recs, e.tf, e.cfg)
+	if err != nil {
+		return nil, canceledErr(err)
+	}
+	if w.Aborted {
+		return &Wrapper{inner: w}, abortedErr(w.AbortReason)
+	}
+	return &Wrapper{inner: w}, nil
+}
+
+// RunContext is Run honoring cancellation: wrap the source, then extract
+// every object from all its pages, stopping promptly when ctx is canceled.
+func (e *Extractor) RunContext(ctx context.Context, pages []string) ([]*Object, error) {
+	w, err := e.WrapContext(ctx, pages)
+	if err != nil {
+		return nil, err
+	}
+	per, err := w.ExtractBatchContext(ctx, pages)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Object
+	for _, objs := range per {
+		out = append(out, objs...)
+	}
+	return out, nil
+}
+
+// errIfUnusable returns the sentinel matching the wrapper's state, or nil
+// when it can extract.
+func (w *Wrapper) errIfUnusable() error {
+	if w == nil || w.inner == nil {
+		return ErrNoWrapper
+	}
+	if w.inner.Aborted {
+		return abortedErr(w.inner.AbortReason)
+	}
+	return nil
+}
+
+// ExtractErr is Extract distinguishing "no objects on this page" (empty
+// slice, nil error) from "this wrapper cannot extract" (ErrNoWrapper for a
+// wrapper that was never inferred, ErrAborted for a discarded source).
+func (w *Wrapper) ExtractErr(page *dom.Node) ([]*Object, error) {
+	if err := w.errIfUnusable(); err != nil {
+		return nil, err
+	}
+	return w.inner.ExtractPage(page), nil
+}
+
+// ExtractHTMLErr is ExtractHTML with the error contract of ExtractErr.
+func (w *Wrapper) ExtractHTMLErr(html string) ([]*Object, error) {
+	if err := w.errIfUnusable(); err != nil {
+		return nil, err
+	}
+	return w.inner.ExtractPage(clean.Page(html)), nil
+}
+
+// ExtractBatchErr is ExtractBatch with the error contract of ExtractErr.
+func (w *Wrapper) ExtractBatchErr(pages []string) ([][]*Object, error) {
+	return w.ExtractBatchContext(context.Background(), pages)
+}
+
+// ExtractBatchContext is ExtractBatchErr honoring cancellation: the
+// per-page cleaning and extraction fan-outs stop dispatching once ctx is
+// canceled and the returned error wraps ErrCanceled.
+func (w *Wrapper) ExtractBatchContext(ctx context.Context, pages []string) ([][]*Object, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := w.errIfUnusable(); err != nil {
+		return nil, err
+	}
+	parsed := make([]*dom.Node, len(pages))
+	if err := parallel.ForEachCtx(ctx, w.inner.Workers(), len(pages), func(i int) {
+		parsed[i] = clean.Page(pages[i])
+	}); err != nil {
+		return nil, canceledErr(err)
+	}
+	out, err := w.inner.ExtractBatchContext(ctx, parsed)
+	if err != nil {
+		return nil, canceledErr(err)
+	}
+	return out, nil
+}

@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -62,6 +63,10 @@ func run() error {
 	dedupe := flag.Bool("dedup", true, "drop duplicate objects")
 	report := flag.Bool("report", false, "print the wrapper inference report to stderr")
 	workers := flag.Int("workers", 0, "worker goroutines for per-page pipeline stages (0 = one per CPU)")
+	saveWrapper := flag.String("save-wrapper", "", "persist the inferred wrapper to this file")
+	loadWrapper := flag.String("load-wrapper", "", "load a persisted wrapper instead of inferring one")
+	cacheDir := flag.String("wrapper-cache-dir", "", "wrapper cache directory: infer on first run, reuse the persisted wrapper afterwards")
+	timeout := flag.Duration("timeout", 0, "abort inference and extraction after this long (0 = no limit)")
 	obsCLI := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -123,16 +128,36 @@ func run() error {
 		pages = append(pages, string(b))
 	}
 
-	w, err := ex.Wrap(pages)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	w, err := acquireWrapper(ctx, ex, pages, *loadWrapper, *cacheDir, *pagesGlob)
 	if *report && w != nil {
 		fmt.Fprintln(os.Stderr, w.Report())
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrapper inferred over %d pages: %s\n", len(pages), w.Describe())
+	fmt.Fprintf(os.Stderr, "wrapper over %d pages: %s\n", len(pages), w.Describe())
+	if *saveWrapper != "" {
+		if err := objectrunner.SaveWrapperFile(w, *saveWrapper); err != nil {
+			return fmt.Errorf("save wrapper: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrapper saved to %s\n", *saveWrapper)
+	}
 
-	objects := w.ExtractAllHTML(pages)
+	perPage, err := w.ExtractBatchContext(ctx, pages)
+	if err != nil {
+		return err
+	}
+	var objects []*objectrunner.Object
+	for _, objs := range perPage {
+		objects = append(objects, objs...)
+	}
 	if *dedupe {
 		objects = objectrunner.Deduplicate(objects)
 	}
@@ -149,6 +174,32 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "%d objects extracted\n", len(objects))
 	return nil
+}
+
+// acquireWrapper resolves the wrapper by precedence: an explicitly loaded
+// file, then the wrapper cache (keyed by the pages glob, inferring and
+// persisting on a miss), then plain context-aware inference.
+func acquireWrapper(ctx context.Context, ex *objectrunner.Extractor, pages []string, loadPath, cacheDir, sourceKey string) (*objectrunner.Wrapper, error) {
+	if loadPath != "" {
+		w, err := objectrunner.LoadWrapperFile(loadPath, ex)
+		if err != nil {
+			return nil, fmt.Errorf("load wrapper: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrapper loaded from %s\n", loadPath)
+		return w, nil
+	}
+	if cacheDir != "" {
+		svc := objectrunner.NewService(ex, objectrunner.StoreConfig{SpillDir: cacheDir})
+		w, err := svc.Wrapper(ctx, sourceKey, pages)
+		if err != nil {
+			return w, err
+		}
+		if st := svc.Stats(); st.DiskHits > 0 {
+			fmt.Fprintf(os.Stderr, "wrapper loaded from cache %s\n", cacheDir)
+		}
+		return w, nil
+	}
+	return ex.WrapContext(ctx, pages)
 }
 
 // toJSON flattens instances into maps for JSON output.

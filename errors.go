@@ -1,0 +1,47 @@
+package objectrunner
+
+import (
+	"errors"
+
+	"objectrunner/internal/wrapper"
+)
+
+// Sentinel errors of the error-honest API surface. Every error returned by
+// the Err/Context methods wraps exactly one of these, so callers branch
+// with errors.Is instead of parsing messages:
+//
+//	objs, err := w.ExtractErr(page)
+//	switch {
+//	case errors.Is(err, objectrunner.ErrNoWrapper): // never inferred
+//	case errors.Is(err, objectrunner.ErrAborted):   // source discarded
+//	case errors.Is(err, objectrunner.ErrCanceled):  // ctx canceled
+//	}
+//
+// Cancellation errors additionally wrap the underlying context error, so
+// errors.Is(err, context.Canceled) (or context.DeadlineExceeded) also
+// holds.
+var (
+	// ErrAborted reports a source discarded by the pipeline's abort
+	// conditions (no annotated block, empty sample, unmatched SOD). The
+	// wrapper's Report explains which stage gave up and why.
+	ErrAborted = errors.New("objectrunner: source discarded")
+
+	// ErrNoWrapper reports an extraction call on a nil wrapper — one that
+	// was never inferred or failed to load.
+	ErrNoWrapper = errors.New("objectrunner: no wrapper")
+
+	// ErrCanceled reports a call stopped by its context before completing.
+	ErrCanceled = errors.New("objectrunner: canceled")
+)
+
+// Persistence errors, re-exported from the wrapper layer so callers of
+// Save/LoadWrapper need only this package.
+var (
+	// ErrFormat reports a persistence stream that is not a wrapper stream,
+	// is of an unsupported format version, or fails its checksum.
+	ErrFormat = wrapper.ErrFormat
+
+	// ErrSODMismatch reports a persisted wrapper loaded into an extractor
+	// whose SOD differs from the one the wrapper was inferred for.
+	ErrSODMismatch = wrapper.ErrSODMismatch
+)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -84,7 +85,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		objects, err := ex.Run(pages)
+		objects, err := ex.RunContext(context.Background(), pages)
 		if err != nil {
 			fmt.Printf("coverage %d/%d books: source discarded (%v)\n", coverage, len(catalog), err)
 			continue

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,17 +46,24 @@ func main() {
 		page(rec("Muse", "Friday June 19, 2010 7:00pm")),
 		page(rec("Coldplay", "Saturday August 8, 2010 8:00pm") + rec("Metallica", "Tuesday May 12, 2010 8:00pm")),
 	}
-	w1, err := ex.Wrap(source1)
+	ctx := context.Background()
+	w1, err := ex.WrapContext(ctx, source1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	objs1 := w1.ExtractAllHTML(source1)
+	objs1, err := extractAll(ctx, w1, source1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("source 1: %d objects, wrapper score %.2f\n", len(objs1), w1.Score())
 
 	// Extraction discovers values the dictionaries never had (structure
 	// carries them); Eq. 4 feeds them back.
 	unseen := page(rec("The Strokes", "Friday July 2, 2010 9:00pm") + rec("Arcade Fire", "Sunday July 4, 2010 7:30pm"))
-	discovered := w1.ExtractHTML(unseen)
+	discovered, err := w1.ExtractHTMLErr(unseen)
+	if err != nil {
+		log.Fatal(err)
+	}
 	added := ex.Enrich(discovered, w1.Score())
 	fmt.Printf("enrichment: %d new dictionary entries from %d discovered objects\n", added, len(discovered))
 
@@ -66,11 +74,14 @@ func main() {
 		"<html><body><table><tr><td>Arcade Fire</td><td>Sunday July 11, 2010 7:00pm</td></tr></table></body></html>",
 		"<html><body><table><tr><td>The Strokes</td><td>Monday July 12, 2010 9:30pm</td></tr><tr><td>Madonna</td><td>Tuesday July 13, 2010 8:00pm</td></tr></table></body></html>",
 	}
-	w2, err := ex.Wrap(source2)
+	w2, err := ex.WrapContext(ctx, source2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	objs2 := w2.ExtractAllHTML(source2)
+	objs2, err := extractAll(ctx, w2, source2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("source 2 (template unseen, artists learned via enrichment): %d objects\n", len(objs2))
 
 	// 5. Merge the sources, dropping cross-source duplicates.
@@ -79,4 +90,17 @@ func main() {
 	for _, o := range merged {
 		fmt.Printf("  %-14s %s\n", o.FieldValue("artist"), o.FieldValue("date"))
 	}
+}
+
+// extractAll flattens a per-page batch extraction into one object slice.
+func extractAll(ctx context.Context, w *objectrunner.Wrapper, pages []string) ([]*objectrunner.Object, error) {
+	perPage, err := w.ExtractBatchContext(ctx, pages)
+	if err != nil {
+		return nil, err
+	}
+	var out []*objectrunner.Object
+	for _, objs := range perPage {
+		out = append(out, objs...)
+	}
+	return out, nil
 }

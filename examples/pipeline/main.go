@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -61,12 +62,20 @@ func main() {
 		if wrapped == 4 {
 			break
 		}
-		w, err := ex.Wrap(sources[r.Index])
+		w, err := ex.WrapContext(context.Background(), sources[r.Index])
 		if err != nil {
 			fmt.Printf("  %-26s discarded (%v)\n", names[r.Index], err)
 			continue
 		}
-		objs := w.ExtractAllHTML(sources[r.Index])
+		perPage, err := w.ExtractBatchErr(sources[r.Index])
+		if err != nil {
+			fmt.Printf("  %-26s extraction failed (%v)\n", names[r.Index], err)
+			continue
+		}
+		var objs []*objectrunner.Object
+		for _, pageObjs := range perPage {
+			objs = append(objs, pageObjs...)
+		}
 		fmt.Printf("  %-26s wrapper %s -> %d objects\n", names[r.Index], w.Describe(), len(objs))
 		perSource = append(perSource, objs)
 		wrapped++

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,18 +58,28 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Infer the wrapper from the source's pages and extract.
-	w, err := ex.Wrap(pages)
+	// 2. Infer the wrapper from the source's pages and extract. The
+	//    context variant stops promptly if the caller cancels;
+	//    errors.Is(err, objectrunner.ErrAborted) distinguishes "this
+	//    source does not carry the data" from real failures.
+	w, err := ex.WrapContext(context.Background(), pages)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("wrapper:", w.Describe())
 
-	objects := w.ExtractAllHTML(pages)
-	for i, o := range objects {
-		fmt.Printf("%d. artist=%q date=%q theater=%q address=%q\n",
-			i+1, o.FieldValue("artist"), o.FieldValue("date"),
-			o.FieldValue("theater"), o.FieldValue("address"))
+	perPage, err := w.ExtractBatchErr(pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	i := 0
+	for _, objs := range perPage {
+		for _, o := range objs {
+			i++
+			fmt.Printf("%d. artist=%q date=%q theater=%q address=%q\n",
+				i, o.FieldValue("artist"), o.FieldValue("date"),
+				o.FieldValue("theater"), o.FieldValue("address"))
+		}
 	}
 
 	// 3. The wrapper generalizes to unseen values: the dictionaries never
@@ -76,7 +87,11 @@ func main() {
 	unseen := page(`<li><div>The Strokes</div><div>Friday July 2, 2010 9:00pm</div>
 		<div><span><a>Terminal 5</a></span><span>610 West 56th Street</span>
 		<span>New York City</span><span>New York</span><span>10019</span></div></li>`)
-	for _, o := range w.ExtractHTML(unseen) {
+	discovered, err := w.ExtractHTMLErr(unseen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range discovered {
 		fmt.Printf("unseen page: artist=%q theater=%q\n", o.FieldValue("artist"), o.FieldValue("theater"))
 	}
 }

@@ -8,6 +8,7 @@
 package annotate
 
 import (
+	"context"
 	"sort"
 
 	"objectrunner/internal/dom"
@@ -337,6 +338,18 @@ func SelectSample(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Reco
 // the per-page Eq. 3 scores of the final sample, and the α-abort events
 // to the observer.
 func SelectSampleObserved(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf TermFreq, p Params, ob *obs.Observer) *Result {
+	res, _ := SelectSampleCtx(context.Background(), pages, s, recs, tf, p, ob)
+	return res
+}
+
+// SelectSampleCtx is SelectSampleObserved honoring cancellation: the
+// per-page annotation fan-outs stop dispatching once ctx is canceled, the
+// round loop checks ctx between types, and the context error is returned
+// with a nil result.
+func SelectSampleCtx(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf TermFreq, p Params, ob *obs.Observer) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.SampleSize <= 0 {
 		p.SampleSize = 20
 	}
@@ -360,9 +373,11 @@ func SelectSampleObserved(pages []*dom.Node, s *sod.Type, recs map[string]recogn
 	wholeOnly := s.WholeNodeFields()
 	processed := make([]string, 0, len(res.TypeOrder))
 	for _, tName := range dictTypes {
-		parallel.ForEach(p.Workers, len(cur), func(i int) {
+		if err := parallel.ForEachCtx(ctx, p.Workers, len(cur), func(i int) {
 			AnnotateTypeRestricted(cur[i], tName, recs[tName], wholeOnly[tName])
-		})
+		}); err != nil {
+			return nil, err
+		}
 		processed = append(processed, tName)
 		// Keep the richest pages; never go below the sample size.
 		keep := int(float64(len(cur)) * p.Shrink)
@@ -384,7 +399,7 @@ func SelectSampleObserved(pages []*dom.Node, s *sod.Type, recs map[string]recogn
 			res.AbortReason = "no annotated visual block after type " + tName
 			ob.Count("annotate.alpha_aborts", 1)
 			ob.Event("annotate.alpha_abort", obs.A("after_type", tName), obs.A("alpha", 0.0))
-			return res
+			return res, nil
 		}
 	}
 	// Final sample: top-k by minimum score over the dictionary types.
@@ -396,19 +411,23 @@ func SelectSampleObserved(pages []*dom.Node, s *sod.Type, recs map[string]recogn
 	// stay ordered (annotation slices append per round), so the fan-out
 	// is per page within a round.
 	for _, tName := range otherTypes {
-		parallel.ForEach(p.Workers, len(cur), func(i int) {
+		if err := parallel.ForEachCtx(ctx, p.Workers, len(cur), func(i int) {
 			AnnotateTypeRestricted(cur[i], tName, recs[tName], wholeOnly[tName])
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
-	parallel.ForEach(p.Workers, len(cur), func(i int) {
+	if err := parallel.ForEachCtx(ctx, p.Workers, len(cur), func(i int) {
 		propagateUp(cur[i], cur[i].Page)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if p.Alpha > 0 && !blockCondition(cur, p.Alpha) {
 		res.Aborted = true
 		res.AbortReason = "no visual block sustains the annotation threshold after predefined types"
 		ob.Count("annotate.alpha_aborts", 1)
 		ob.Event("annotate.alpha_abort", obs.A("after_type", "predefined"), obs.A("alpha", p.Alpha))
-		return res
+		return res, nil
 	}
 	res.Sample = cur
 	if ob.Enabled() {
@@ -420,7 +439,7 @@ func SelectSampleObserved(pages []*dom.Node, s *sod.Type, recs map[string]recogn
 				obs.A("annotations", pa.Count()))
 		}
 	}
-	return res
+	return res, nil
 }
 
 // splitTypes partitions the SOD's entity types into dictionary-backed

@@ -5,11 +5,18 @@
 // only to the i-th slot of a pre-sized result slice, so results come back
 // merged in stable input order and output stays byte-identical to the
 // sequential path regardless of scheduling.
+//
+// The Ctx variants additionally honor context cancellation: once the
+// context is canceled (or any worker panics), no further indices are
+// dispatched — each worker finishes at most the item it already holds, so
+// cancellation latency is bounded by one in-flight item per worker.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"objectrunner/internal/obs"
 )
@@ -33,11 +40,33 @@ func ForEach(workers, n int, fn func(i int)) {
 	ForEachWorker(workers, n, func(_, i int) { fn(i) })
 }
 
+// ForEachCtx is ForEach honoring cancellation: queued indices stop being
+// dispatched once ctx is canceled, and the context error is returned.
+// Indices already handed to a worker still complete, so callers must
+// treat the result slots as partially filled when a non-nil error comes
+// back. A nil ctx behaves like context.Background().
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	return ForEachWorkerCtx(ctx, workers, n, func(_, i int) { fn(i) })
+}
+
 // ForEachWorker is ForEach exposing the worker ordinal (0-based) running
 // each index, for per-worker accounting.
 func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	// The background context never cancels, so the error is always nil.
+	_ = ForEachWorkerCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachWorkerCtx is the context-aware core of the pool. Indices are
+// handed out through an unbuffered channel rather than pre-sliced so that
+// skewed pages (one huge, many tiny) still balance; the feeder stops at
+// the first of: all indices dispatched, ctx canceled, or a worker panic.
+// Remaining indices are never dispatched in the latter two cases.
+func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -45,16 +74,20 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(0, i)
 		}
-		return
+		return ctx.Err()
 	}
-	// Indices are handed out through a channel rather than pre-sliced so
-	// that skewed pages (one huge, many tiny) still balance.
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
 	var panicked any
+	// failed stops the feeder after a worker panic, so the pool never
+	// drains the whole input on behalf of a dead computation.
+	var failed atomic.Bool
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -62,6 +95,7 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 			defer func() {
 				if r := recover(); r != nil {
 					panicOnce.Do(func() { panicked = r })
+					failed.Store(true)
 					// Drain so the feeder never blocks on a dead pool.
 					for range idx {
 					}
@@ -72,14 +106,31 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 			}
 		}(w)
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		if failed.Load() {
+			break
+		}
+		// Deterministic pre-check: a select with both cases ready picks
+		// randomly, which would let extra items slip out after a cancel.
+		select {
+		case <-done:
+			break feed
+		default:
+		}
+		select {
+		case idx <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)
 	}
+	return ctx.Err()
 }
 
 // ForEachObserved is ForEachWorker with observability: each worker runs
@@ -88,9 +139,14 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 // under the right worker. The span records the number of items the
 // worker processed.
 func ForEachObserved(ob *obs.Observer, workers, n int, fn func(wob *obs.Observer, i int)) {
+	_ = ForEachObservedCtx(context.Background(), ob, workers, n, fn)
+}
+
+// ForEachObservedCtx is ForEachObserved honoring cancellation, with the
+// same partial-result contract as ForEachCtx.
+func ForEachObservedCtx(ctx context.Context, ob *obs.Observer, workers, n int, fn func(wob *obs.Observer, i int)) error {
 	if !ob.Enabled() {
-		ForEachWorker(workers, n, func(_, i int) { fn(nil, i) })
-		return
+		return ForEachWorkerCtx(ctx, workers, n, func(_, i int) { fn(nil, i) })
 	}
 	type state struct {
 		span  *obs.Span
@@ -105,7 +161,7 @@ func ForEachObserved(ob *obs.Observer, workers, n int, fn func(wob *obs.Observer
 		workers = 1
 	}
 	states := make([]state, workers)
-	ForEachWorker(workers, n, func(worker, i int) {
+	err := ForEachWorkerCtx(ctx, workers, n, func(worker, i int) {
 		st := &states[worker]
 		if st.span == nil {
 			st.span = ob.WorkerSpan(worker)
@@ -119,4 +175,5 @@ func ForEachObserved(ob *obs.Observer, workers, n int, fn func(wob *obs.Observer
 			states[i].span.End(obs.A("items", states[i].items))
 		}
 	}
+	return err
 }

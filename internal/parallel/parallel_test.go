@@ -1,10 +1,12 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"objectrunner/internal/obs"
 )
@@ -109,5 +111,90 @@ func TestForEachObservedDisabledObserver(t *testing.T) {
 		if h != 1 {
 			t.Errorf("index %d visited %d times", i, h)
 		}
+	}
+}
+
+func TestForEachCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	err := ForEachCtx(ctx, 4, 100, func(i int) { atomic.AddInt32(&ran, 1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d items ran after pre-canceled context (workers may hold at most their in-flight item)", ran)
+	}
+}
+
+func TestForEachCtxStopsDispatchOnCancel(t *testing.T) {
+	const workers, n = 4, 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForEachCtx(ctx, workers, n, func(i int) {
+		if atomic.AddInt32(&ran, 1) == workers {
+			cancel() // all workers busy once; nothing more may be dispatched
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Bounded by one in-flight item per worker around the cancel point:
+	// the feeder may have parked one extra index per worker before the
+	// cancellation was observed.
+	if got := atomic.LoadInt32(&ran); got > 2*workers {
+		t.Errorf("ran %d items after cancel, want <= %d", got, 2*workers)
+	}
+}
+
+func TestForEachCtxSequentialPathStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForEachCtx(ctx, 1, 100, func(i int) {
+		if i == 3 {
+			cancel()
+		}
+		atomic.AddInt32(&ran, 1)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 4 {
+		t.Errorf("sequential path ran %d items after cancel at index 3, want 4", ran)
+	}
+}
+
+func TestForEachStopsDispatchAfterWorkerPanic(t *testing.T) {
+	const workers, n = 2, 10000
+	var ran int32
+	func() {
+		defer func() {
+			if r := recover(); r != "die" {
+				t.Fatalf("recovered %v, want the worker's panic value", r)
+			}
+		}()
+		ForEach(workers, n, func(i int) {
+			v := atomic.AddInt32(&ran, 1)
+			if v == 1 {
+				panic("die")
+			}
+			// Let the panic win the race against healthy workers.
+			time.Sleep(100 * time.Microsecond)
+		})
+		t.Fatal("panic was swallowed")
+	}()
+	// Far below n: the feeder must stop once the panic is observed.
+	if got := atomic.LoadInt32(&ran); got > n/2 {
+		t.Errorf("ran %d of %d items after a worker panic; dispatch did not stop", got, n)
+	}
+}
+
+func TestForEachObservedCtxReturnsContextError(t *testing.T) {
+	ob := obs.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEachObservedCtx(ctx, ob, 4, 50, func(wob *obs.Observer, i int) {})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -8,6 +8,8 @@
 package segment
 
 import (
+	"context"
+
 	"objectrunner/internal/dom"
 	"objectrunner/internal/obs"
 	"objectrunner/internal/parallel"
@@ -224,15 +226,26 @@ func SelectMain(pages []*dom.Node, opts Options) []*dom.Node {
 // SelectMainObserved is SelectMain reporting each page's central-block
 // choice and the winning vote to the observer.
 func SelectMainObserved(pages []*dom.Node, opts Options, ob *obs.Observer) []*dom.Node {
+	out, _ := SelectMainCtx(context.Background(), pages, opts, ob)
+	return out
+}
+
+// SelectMainCtx is SelectMainObserved honoring cancellation: the per-page
+// layout fan-out stops dispatching once ctx is canceled, and the context
+// error is returned with a nil slice.
+func SelectMainCtx(ctx context.Context, pages []*dom.Node, opts Options, ob *obs.Observer) ([]*dom.Node, error) {
 	if len(pages) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	// Layout + block-tree construction is the expensive part and purely
 	// per-page; the vote and its events run afterwards in input order.
 	mains := make([]*dom.Node, len(pages))
-	parallel.ForEach(opts.Workers, len(pages), func(i int) {
+	err := parallel.ForEachCtx(ctx, opts.Workers, len(pages), func(i int) {
 		mains[i] = MainBlock(pages[i], opts)
 	})
+	if err != nil {
+		return nil, err
+	}
 	votes := make(map[Key]int)
 	for i := range pages {
 		votes[KeyOf(mains[i])]++
@@ -287,7 +300,7 @@ func SelectMainObserved(pages []*dom.Node, opts Options, ob *obs.Observer) []*do
 			out[i] = mains[i]
 		}
 	}
-	return out
+	return out, nil
 }
 
 // keyLess orders keys lexicographically by tag, path, attribute

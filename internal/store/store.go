@@ -1,0 +1,386 @@
+// Package store is the wrapper serving cache: a source-keyed, size-bounded
+// LRU of inferred wrappers with TTL expiry, singleflight deduplication of
+// concurrent builds, health-based invalidation, and an optional disk-spill
+// directory. One wrapper inference costs seconds of annotation and
+// equivalence-class analysis; serving traffic re-runs only extraction,
+// which the paper measures as negligible — so the cache is what turns the
+// pipeline into a long-running service: the first request for a source
+// pays for inference, every later request (and every concurrent duplicate
+// of the first) reuses the learned wrapper.
+package store
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"objectrunner/internal/obs"
+	"objectrunner/internal/wrapper"
+)
+
+// Config tunes the cache. The zero value is completed with defaults.
+type Config struct {
+	// Capacity bounds the number of wrappers held in memory; the least
+	// recently used entry is evicted beyond it. Default 64.
+	Capacity int
+	// TTL expires entries (memory and disk) after this long; 0 means no
+	// expiry.
+	TTL time.Duration
+	// HealthThreshold invalidates a wrapper whose served pages come back
+	// empty at a rate above this fraction — the source's template drifted
+	// and the wrapper no longer matches, so the next request re-infers.
+	// 0 disables health eviction.
+	HealthThreshold float64
+	// MinServedPages is the number of served pages required before the
+	// health test applies (a floor against judging on tiny samples).
+	// Default 8.
+	MinServedPages int
+	// SpillDir persists built wrappers to disk so they survive both LRU
+	// eviction and process restarts. Empty disables spilling.
+	SpillDir string
+	// Encode and Decode convert wrappers to and from their persisted
+	// stream for the spill directory. They default to the wrapper layer's
+	// own codec; the facade overrides Decode to re-bind its live SOD.
+	Encode func(w *wrapper.Wrapper, dst *os.File) error
+	// Decode is the inverse of Encode.
+	Decode func(src *os.File) (*wrapper.Wrapper, error)
+	// Obs receives the cache's counters (store.hits, store.misses,
+	// store.evictions.*, store.singleflight.shared, store.disk.*).
+	Obs *obs.Observer
+	// Clock overrides time.Now for TTL tests.
+	Clock func() time.Time
+}
+
+func (c *Config) normalize() {
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	if c.MinServedPages <= 0 {
+		c.MinServedPages = 8
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.Encode == nil {
+		c.Encode = func(w *wrapper.Wrapper, dst *os.File) error { return w.Encode(dst) }
+	}
+	if c.Decode == nil {
+		c.Decode = func(src *os.File) (*wrapper.Wrapper, error) { return wrapper.Decode(src, nil) }
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache's accounting.
+type Stats struct {
+	Len             int   // wrappers currently in memory
+	Hits            int64 // memory hits
+	DiskHits        int64 // misses served from the spill directory
+	Misses          int64 // misses that ran the build function
+	Shared          int64 // callers that piggybacked on an in-flight build
+	EvictionsLRU    int64
+	EvictionsTTL    int64
+	EvictionsHealth int64
+}
+
+// entry is one cached wrapper with its health accounting.
+type entry struct {
+	key         string
+	w           *wrapper.Wrapper
+	addedAt     time.Time
+	servedPages int
+	emptyPages  int
+}
+
+// call is one in-flight build, shared by concurrent Get calls on the key.
+type call struct {
+	done chan struct{}
+	w    *wrapper.Wrapper
+	err  error
+}
+
+// Store is the serving cache. All methods are safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used; values are *entry
+	entries  map[string]*list.Element
+	inflight map[string]*call
+	stats    Stats
+}
+
+// New builds a cache with the given configuration.
+func New(cfg Config) *Store {
+	cfg.normalize()
+	return &Store{
+		cfg:      cfg,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the wrapper cached under key, building it at most once per
+// concurrent wave of callers: the first caller runs build (after trying
+// the spill directory), every other caller waits for that result. A
+// waiter whose leader was canceled retries leadership rather than
+// inheriting the cancellation; a caller whose own ctx ends while waiting
+// returns its ctx error.
+func (s *Store) Get(ctx context.Context, key string, build func(ctx context.Context) (*wrapper.Wrapper, error)) (*wrapper.Wrapper, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if w, ok := s.lookupLocked(key); ok {
+			s.stats.Hits++
+			s.mu.Unlock()
+			s.cfg.Obs.Count("store.hits", 1)
+			return w, nil
+		}
+		if c, ok := s.inflight[key]; ok {
+			s.stats.Shared++
+			s.mu.Unlock()
+			s.cfg.Obs.Count("store.singleflight.shared", 1)
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err == nil {
+				return c.w, nil
+			}
+			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+				// The leader was canceled, not the build refused: retry,
+				// possibly becoming the next leader.
+				continue
+			}
+			return nil, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		s.inflight[key] = c
+		s.mu.Unlock()
+
+		c.w, c.err = s.buildOrLoad(ctx, key, build)
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if c.err == nil {
+			s.insertLocked(key, c.w)
+		}
+		s.mu.Unlock()
+		close(c.done)
+		return c.w, c.err
+	}
+}
+
+// buildOrLoad tries the spill directory first, then runs the build and
+// spills its result.
+func (s *Store) buildOrLoad(ctx context.Context, key string, build func(ctx context.Context) (*wrapper.Wrapper, error)) (*wrapper.Wrapper, error) {
+	if w, ok := s.loadSpill(key); ok {
+		s.mu.Lock()
+		s.stats.DiskHits++
+		s.mu.Unlock()
+		s.cfg.Obs.Count("store.hits.disk", 1)
+		return w, nil
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	s.cfg.Obs.Count("store.misses", 1)
+	w, err := build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.writeSpill(key, w)
+	return w, nil
+}
+
+// lookupLocked returns the live entry for key, expiring it by TTL.
+func (s *Store) lookupLocked(key string) (*wrapper.Wrapper, bool) {
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if s.cfg.TTL > 0 && s.cfg.Clock().Sub(e.addedAt) >= s.cfg.TTL {
+		s.removeLocked(el)
+		s.removeSpill(key)
+		s.stats.EvictionsTTL++
+		s.cfg.Obs.Count("store.evictions.ttl", 1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return e.w, true
+}
+
+// insertLocked adds the entry at the front, evicting beyond capacity. The
+// LRU eviction keeps the spill file: memory stays bounded while the disk
+// copy spares the evicted source a full re-inference.
+func (s *Store) insertLocked(key string, w *wrapper.Wrapper) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*entry).w = w
+		el.Value.(*entry).addedAt = s.cfg.Clock()
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.ll.PushFront(&entry{key: key, w: w, addedAt: s.cfg.Clock()})
+	for s.ll.Len() > s.cfg.Capacity {
+		oldest := s.ll.Back()
+		if oldest == nil {
+			break
+		}
+		s.removeLocked(oldest)
+		s.stats.EvictionsLRU++
+		s.cfg.Obs.Count("store.evictions.lru", 1)
+	}
+}
+
+func (s *Store) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.entries, e.key)
+}
+
+// RecordServe feeds health accounting back after serving pages from the
+// cached wrapper: emptyPages of totalPages yielded no objects. Once
+// enough pages were served, an empty rate above HealthThreshold evicts
+// the wrapper (memory and disk), so the next request re-infers against
+// the source's current template.
+func (s *Store) RecordServe(key string, emptyPages, totalPages int) {
+	if totalPages <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*entry)
+	e.servedPages += totalPages
+	e.emptyPages += emptyPages
+	if s.cfg.HealthThreshold <= 0 || e.servedPages < s.cfg.MinServedPages {
+		return
+	}
+	rate := float64(e.emptyPages) / float64(e.servedPages)
+	if rate <= s.cfg.HealthThreshold {
+		return
+	}
+	s.removeLocked(el)
+	s.removeSpill(key)
+	s.stats.EvictionsHealth++
+	s.cfg.Obs.Count("store.evictions.health", 1)
+	s.cfg.Obs.Event("store.health_evict", obs.A("key", key),
+		obs.A("empty_rate", rate), obs.A("served_pages", e.servedPages))
+}
+
+// Invalidate removes the key from memory and disk.
+func (s *Store) Invalidate(key string) {
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.removeLocked(el)
+	}
+	s.mu.Unlock()
+	s.removeSpill(key)
+}
+
+// Stats returns a snapshot of the cache accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Len = s.ll.Len()
+	return st
+}
+
+// spillPath maps a source key (an arbitrary string, often a URL) to a
+// fixed-length filename in the spill directory.
+func (s *Store) spillPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.cfg.SpillDir, hex.EncodeToString(sum[:16])+".wrapper")
+}
+
+// loadSpill reads the key's spilled wrapper, honoring TTL via the file's
+// modification time. Undecodable spills are deleted, not served.
+func (s *Store) loadSpill(key string) (*wrapper.Wrapper, bool) {
+	if s.cfg.SpillDir == "" {
+		return nil, false
+	}
+	path := s.spillPath(key)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	if s.cfg.TTL > 0 {
+		if fi, err := f.Stat(); err != nil || s.cfg.Clock().Sub(fi.ModTime()) >= s.cfg.TTL {
+			os.Remove(path)
+			return nil, false
+		}
+	}
+	w, err := s.cfg.Decode(f)
+	if err != nil {
+		os.Remove(path)
+		s.cfg.Obs.Count("store.disk.errors", 1)
+		s.cfg.Obs.Event("store.disk_error", obs.A("op", "decode"), obs.A("error", err.Error()))
+		return nil, false
+	}
+	return w, true
+}
+
+// writeSpill persists the wrapper under the key, atomically (temp file +
+// rename), so a crash mid-write never leaves a truncated spill. Spill
+// failures are logged, not returned: the cache degrades to memory-only.
+func (s *Store) writeSpill(key string, w *wrapper.Wrapper) {
+	if s.cfg.SpillDir == "" || w == nil {
+		return
+	}
+	path := s.spillPath(key)
+	if err := os.MkdirAll(s.cfg.SpillDir, 0o755); err != nil {
+		s.spillError("mkdir", err)
+		return
+	}
+	tmp, err := os.CreateTemp(s.cfg.SpillDir, ".spill-*")
+	if err != nil {
+		s.spillError("create", err)
+		return
+	}
+	if err := s.cfg.Encode(w, tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.spillError("encode", err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.spillError("close", err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		s.spillError("rename", err)
+		return
+	}
+	s.cfg.Obs.Count("store.disk.writes", 1)
+}
+
+func (s *Store) spillError(op string, err error) {
+	s.cfg.Obs.Count("store.disk.errors", 1)
+	s.cfg.Obs.Event("store.disk_error", obs.A("op", op), obs.A("error", err.Error()))
+}
+
+func (s *Store) removeSpill(key string) {
+	if s.cfg.SpillDir == "" {
+		return
+	}
+	os.Remove(s.spillPath(key))
+}

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"objectrunner/internal/wrapper"
+)
+
+// fakeBuilder counts build calls and hands out distinguishable wrappers.
+type fakeBuilder struct {
+	calls atomic.Int64
+}
+
+func (f *fakeBuilder) build(ctx context.Context) (*wrapper.Wrapper, error) {
+	n := f.calls.Add(1)
+	return &wrapper.Wrapper{Support: int(n)}, nil
+}
+
+func TestGetCachesResult(t *testing.T) {
+	s := New(Config{})
+	var f fakeBuilder
+	w1, err := s.Get(context.Background(), "src", f.build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.Get(context.Background(), "src", f.build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Error("second Get rebuilt instead of hitting the cache")
+	}
+	if got := f.calls.Load(); got != 1 {
+		t.Errorf("build calls = %d, want 1", got)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Len != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGetPropagatesBuildError(t *testing.T) {
+	s := New(Config{})
+	boom := errors.New("boom")
+	_, err := s.Get(context.Background(), "src", func(ctx context.Context) (*wrapper.Wrapper, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// A failed build is not cached: the next Get retries.
+	var f fakeBuilder
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != 1 {
+		t.Error("build not retried after a failed attempt")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(Config{Capacity: 2})
+	var f fakeBuilder
+	for _, key := range []string{"a", "b", "c"} {
+		if _, err := s.Get(context.Background(), key, f.build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Len != 2 || st.EvictionsLRU != 1 {
+		t.Fatalf("stats after overflow = %+v", st)
+	}
+	// "a" was the least recently used; re-getting it rebuilds.
+	if _, err := s.Get(context.Background(), "a", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.calls.Load(); got != 4 {
+		t.Errorf("build calls = %d, want 4 (a evicted and rebuilt)", got)
+	}
+	// "c" stayed resident.
+	if _, err := s.Get(context.Background(), "c", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.calls.Load(); got != 4 {
+		t.Errorf("build calls = %d, want still 4 (c cached)", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	s := New(Config{TTL: time.Minute, Clock: clock})
+	var f fakeBuilder
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	advance(30 * time.Second)
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != 1 {
+		t.Error("entry expired before its TTL")
+	}
+	advance(31 * time.Second)
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != 2 {
+		t.Error("entry not rebuilt after TTL expiry")
+	}
+	if st := s.Stats(); st.EvictionsTTL != 1 {
+		t.Errorf("stats = %+v, want one TTL eviction", st)
+	}
+}
+
+func TestHealthEviction(t *testing.T) {
+	s := New(Config{HealthThreshold: 0.5, MinServedPages: 4})
+	var f fakeBuilder
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	// Below the floor: no judgment yet.
+	s.RecordServe("src", 3, 3)
+	if st := s.Stats(); st.EvictionsHealth != 0 {
+		t.Fatalf("evicted below MinServedPages floor: %+v", st)
+	}
+	// Past the floor with 6/7 empty: evict.
+	s.RecordServe("src", 3, 4)
+	st := s.Stats()
+	if st.EvictionsHealth != 1 || st.Len != 0 {
+		t.Fatalf("stats = %+v, want health eviction", st)
+	}
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != 2 {
+		t.Error("source not re-inferred after health eviction")
+	}
+}
+
+func TestHealthyWrapperStaysCached(t *testing.T) {
+	s := New(Config{HealthThreshold: 0.5, MinServedPages: 4})
+	var f fakeBuilder
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	s.RecordServe("src", 1, 10)
+	if st := s.Stats(); st.EvictionsHealth != 0 || st.Len != 1 {
+		t.Errorf("healthy wrapper evicted: %+v", st)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	s := New(Config{})
+	var calls atomic.Int64
+	release := make(chan struct{})
+	build := func(ctx context.Context) (*wrapper.Wrapper, error) {
+		calls.Add(1)
+		<-release
+		return &wrapper.Wrapper{Support: 7}, nil
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]*wrapper.Wrapper, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Get(context.Background(), "src", build)
+		}(i)
+	}
+	// Let the callers pile up on the single in-flight build, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different wrapper", i)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("build calls = %d, want 1 (singleflight)", got)
+	}
+	if st := s.Stats(); st.Shared == 0 {
+		t.Errorf("stats = %+v, want shared flights", st)
+	}
+}
+
+func TestSingleflightWaiterRetriesAfterLeaderCanceled(t *testing.T) {
+	s := New(Config{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var calls atomic.Int64
+	build := func(ctx context.Context) (*wrapper.Wrapper, error) {
+		if calls.Add(1) == 1 {
+			close(leaderIn)
+			<-ctx.Done() // the leader's build honors its cancellation
+			return nil, ctx.Err()
+		}
+		return &wrapper.Wrapper{Support: 42}, nil
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := s.Get(leaderCtx, "src", build)
+		leaderDone <- err
+	}()
+	<-leaderIn
+
+	waiterDone := make(chan struct{})
+	var waiterW *wrapper.Wrapper
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterW, waiterErr = s.Get(context.Background(), "src", build)
+	}()
+	// Give the waiter time to join the in-flight call, then kill the
+	// leader: the waiter must take over the build, not inherit the
+	// leader's cancellation.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("leader err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-waiterDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter never completed after leader cancellation")
+	}
+	if waiterErr != nil {
+		t.Fatalf("waiter err = %v", waiterErr)
+	}
+	if waiterW == nil || waiterW.Support != 42 {
+		t.Errorf("waiter wrapper = %+v, want the retried build's result", waiterW)
+	}
+}
+
+func TestGetCanceledCaller(t *testing.T) {
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Get(ctx, "src", func(ctx context.Context) (*wrapper.Wrapper, error) {
+		t.Error("build ran despite pre-canceled ctx")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDiskSpillSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	var f fakeBuilder
+
+	s1 := New(Config{SpillDir: dir})
+	w1, err := s1.Get(context.Background(), "src", f.build)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory simulates a process restart:
+	// the wrapper loads from disk, no rebuild.
+	s2 := New(Config{SpillDir: dir})
+	w2, err := s2.Get(context.Background(), "src", f.build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != 1 {
+		t.Errorf("build calls = %d, want 1 (disk hit)", f.calls.Load())
+	}
+	if w2.Support != w1.Support {
+		t.Errorf("disk-loaded wrapper differs: %d vs %d", w2.Support, w1.Support)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want one disk hit", st)
+	}
+}
+
+func TestDiskSpillSurvivesLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Capacity: 1, SpillDir: dir})
+	var f fakeBuilder
+	if _, err := s.Get(context.Background(), "a", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(context.Background(), "b", f.build); err != nil {
+		t.Fatal(err)
+	}
+	// "a" fell out of memory but not off disk.
+	if _, err := s.Get(context.Background(), "a", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != 2 {
+		t.Errorf("build calls = %d, want 2 (a reloaded from disk)", f.calls.Load())
+	}
+}
+
+func TestInvalidateRemovesMemoryAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{SpillDir: dir})
+	var f fakeBuilder
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate("src")
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != 2 {
+		t.Errorf("build calls = %d, want 2 (invalidated entry rebuilt)", f.calls.Load())
+	}
+}
+
+func TestCorruptSpillIsRejectedAndRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{SpillDir: dir})
+	var f fakeBuilder
+	if _, err := s.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the spill, then force a disk path via a fresh store.
+	path := s.spillPath("src")
+	if err := corruptFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{SpillDir: dir})
+	if _, err := s2.Get(context.Background(), "src", f.build); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != 2 {
+		t.Errorf("build calls = %d, want 2 (corrupt spill rebuilt)", f.calls.Load())
+	}
+}
+
+// corruptFile flips bytes at the end of the file.
+func corruptFile(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for i := len(b) - 3; i < len(b); i++ {
+		if i >= 0 {
+			b[i] ^= 0xff
+		}
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -8,6 +8,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 
 	"objectrunner/internal/annotate"
@@ -134,6 +135,19 @@ func (w *Wrapper) Score() float64 {
 // trees) and returns the wrapper. It never fails hard: sources that do
 // not carry the targeted data come back with Aborted set.
 func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf annotate.TermFreq, cfg Config) *Wrapper {
+	w, _ := InferContext(context.Background(), pages, s, recs, tf, cfg)
+	return w
+}
+
+// InferContext is Infer honoring cancellation: the per-page fan-outs stop
+// dispatching once ctx is canceled, the support-variation loop checks ctx
+// between iterations, and the context error comes back with a nil wrapper.
+// A nil error with an Aborted wrapper still means "source discarded" — the
+// two failure modes stay distinct.
+func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer, tf annotate.TermFreq, cfg Config) (*Wrapper, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg.Normalize()
 	ob := cfg.Obs
 	w := &Wrapper{SOD: s, useSegmentation: cfg.UseSegmentation, workers: cfg.Workers, obs: ob,
@@ -143,14 +157,19 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 	ob = sp.Observer()
 	if len(pages) == 0 {
 		w.abortObserved(ob, "infer", "no pages")
-		return w
+		return w, nil
 	}
 
 	// Pre-processing: central-block scoping (VIPS-style).
 	regions := pages
 	if cfg.UseSegmentation {
 		segSpan := ob.Span("pipeline.segment", obs.A("pages", len(pages)))
-		regions = segment.SelectMainObserved(pages, cfg.Segment, segSpan.Observer())
+		var err error
+		regions, err = segment.SelectMainCtx(ctx, pages, cfg.Segment, segSpan.Observer())
+		if err != nil {
+			segSpan.End(obs.A("canceled", true))
+			return nil, err
+		}
 		w.BlockKey = segment.KeyOf(regions[0])
 		w.Report.BlockTag, w.Report.BlockPath = w.BlockKey.Tag, w.BlockKey.Path
 		segSpan.End(obs.A("block_tag", w.BlockKey.Tag), obs.A("block_path", w.BlockKey.Path))
@@ -173,18 +192,23 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 	if cfg.RandomSample {
 		res = annotate.SelectRandom(regions, recs, sampleCfg.SampleSize, cfg.RandomSeed)
 	} else {
-		res = annotate.SelectSampleObserved(regions, s, recs, tf, sampleCfg, annSpan.Observer())
+		var err error
+		res, err = annotate.SelectSampleCtx(ctx, regions, s, recs, tf, sampleCfg, annSpan.Observer())
+		if err != nil {
+			annSpan.End(obs.A("canceled", true))
+			return nil, err
+		}
 	}
 	annSpan.End(obs.A("sample", len(res.Sample)), obs.A("aborted", res.Aborted))
 	w.Report.TypeOrder = res.TypeOrder
 	w.Report.SampleSize = len(res.Sample)
 	if res.Aborted {
 		w.abortObserved(ob, "annotate", res.AbortReason)
-		return w
+		return w, nil
 	}
 	if len(res.Sample) == 0 {
 		w.abortObserved(ob, "annotate", "empty sample")
-		return w
+		return w, nil
 	}
 
 	// The entity types that are annotated somewhere in the sample; used
@@ -203,10 +227,12 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 	// Tokenize the sample once. Pages tokenize independently; the slot
 	// slice keeps the result in sample order whatever the scheduling.
 	sample := make([][]*eqclass.Occurrence, len(res.Sample))
-	parallel.ForEach(cfg.Workers, len(res.Sample), func(i int) {
+	if err := parallel.ForEachCtx(ctx, cfg.Workers, len(res.Sample), func(i int) {
 		pa := res.Sample[i]
 		sample[i] = eqclass.TokenizePage(pa.Page, pa, i)
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Wrapper generation with automatic support variation: re-execute
 	// with the next support value while the quality estimate (conflict
@@ -214,19 +240,31 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 	var best *run
 	bestVar := -1
 	for support := cfg.SupportMin; support <= cfg.SupportMax; support++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := cfg.EQ
 		p.Support = support
 		varSpan := ob.Span("pipeline.variation", obs.A("support", support))
 		vob := varSpan.Observer()
 		// Early stopping (§III.E): abort the iteration when no partial
 		// match of the SOD into the current template tree remains
-		// possible.
+		// possible. The hook doubles as the cancellation checkpoint inside
+		// the analysis loop — a canceled ctx stops the iteration, and the
+		// ctx check after analyzeFresh turns that into the context error.
 		hook := func(an *eqclass.Analysis) bool {
+			if ctx.Err() != nil {
+				return false
+			}
 			return template.PartialMatchPossible(s, an, annotatedTypes)
 		}
 		eqSpan := vob.Span("pipeline.eqclass", obs.A("support", support))
 		an := analyzeFresh(sample, p, hook, eqSpan.Observer())
 		eqSpan.End(obs.A("eqs", len(an.EQs)), obs.A("conflicts", an.Conflicts), obs.A("iterations", an.Iterations))
+		if err := ctx.Err(); err != nil {
+			varSpan.End(obs.A("canceled", true))
+			return nil, err
+		}
 		tmplSpan := vob.Span("pipeline.template")
 		tmpl := template.Build(an)
 		matches := tmpl.MatchSOD(s)
@@ -271,7 +309,7 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 			w.Report.Variations[i].Accepted = false
 		}
 		w.abortObserved(ob, "match", "SOD cannot be matched against the inferred template")
-		return w
+		return w, nil
 	}
 	w.Template = best.tmpl
 	w.Matches = best.matches
@@ -282,7 +320,7 @@ func Infer(pages []*dom.Node, s *sod.Type, recs map[string]recognize.Recognizer,
 	w.Report.Matches = len(w.Matches)
 	sp.Event("wrapper.accepted", obs.A("support", w.Support),
 		obs.A("conflicts", w.Conflicts), obs.A("matches", len(w.Matches)))
-	return w
+	return w, nil
 }
 
 // abortObserved records an abort on the wrapper, its report, and the
@@ -373,21 +411,35 @@ func (w *Wrapper) extractPageObserved(page *dom.Node, ob *obs.Observer) []*sod.I
 // pages are independent and the batch output is byte-identical to
 // calling ExtractPage in a loop.
 func (w *Wrapper) ExtractBatch(pages []*dom.Node) [][]*sod.Instance {
+	out, _ := w.ExtractBatchContext(context.Background(), pages)
+	return out
+}
+
+// ExtractBatchContext is ExtractBatch honoring cancellation: the per-page
+// extraction fan-out stops dispatching once ctx is canceled, and the
+// context error comes back with a nil slice.
+func (w *Wrapper) ExtractBatchContext(ctx context.Context, pages []*dom.Node) ([][]*sod.Instance, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([][]*sod.Instance, len(pages))
 	if w == nil || w.Aborted || w.Template == nil || len(pages) == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	sp := w.obs.Span("pipeline.extract_batch",
 		obs.A("pages", len(pages)), obs.A("workers", parallel.Workers(w.workers)))
-	parallel.ForEachObserved(sp.Observer(), w.workers, len(pages), func(wob *obs.Observer, i int) {
+	if err := parallel.ForEachObservedCtx(ctx, sp.Observer(), w.workers, len(pages), func(wob *obs.Observer, i int) {
 		out[i] = w.extractPageObserved(pages[i], wob)
-	})
+	}); err != nil {
+		sp.End(obs.A("canceled", true))
+		return nil, err
+	}
 	total := 0
 	for _, objs := range out {
 		total += len(objs)
 	}
 	sp.End(obs.A("objects", total))
-	return out
+	return out, nil
 }
 
 // ExtractPages applies the wrapper to every page and returns the

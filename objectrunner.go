@@ -25,6 +25,7 @@
 package objectrunner
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -35,7 +36,6 @@ import (
 	"objectrunner/internal/dom"
 	"objectrunner/internal/kb"
 	"objectrunner/internal/obs"
-	"objectrunner/internal/parallel"
 	"objectrunner/internal/query"
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/sod"
@@ -232,67 +232,64 @@ type Wrapper struct {
 
 // Wrap infers a wrapper from a source's raw HTML pages (paper §III):
 // annotation, SOD-guided sample selection, equivalence-class analysis
-// with the automatic parameter-variation loop, and SOD matching.
+// with the automatic parameter-variation loop, and SOD matching. It is
+// WrapContext with a background context. A discarded source comes back as
+// an aborted wrapper plus an error wrapping ErrAborted, so Report can
+// explain which stage gave up and why.
 func (e *Extractor) Wrap(pages []string) (*Wrapper, error) {
-	sp := e.obs.Span("pipeline.clean",
-		obs.A("pages", len(pages)), obs.A("workers", e.cfg.Workers))
-	parsed := make([]*dom.Node, len(pages))
-	parallel.ForEachObserved(sp.Observer(), e.cfg.Workers, len(pages), func(_ *obs.Observer, i int) {
-		parsed[i] = clean.Page(pages[i])
-	})
-	e.obs.Count("clean.pages", int64(len(pages)))
-	sp.End()
-	return e.WrapParsed(parsed)
+	return e.WrapContext(context.Background(), pages)
 }
 
-// WrapParsed infers a wrapper from already parsed and cleaned pages. On
-// abort it returns a non-nil error together with the aborted wrapper, so
-// Report can explain which stage discarded the source and why.
+// WrapParsed infers a wrapper from already parsed and cleaned pages. It is
+// WrapParsedContext with a background context; see Wrap for the error
+// contract.
 func (e *Extractor) WrapParsed(pages []*dom.Node) (*Wrapper, error) {
-	w := wrapper.Infer(pages, e.sod, e.recs, e.tf, e.cfg)
-	if w.Aborted {
-		return &Wrapper{inner: w}, fmt.Errorf("objectrunner: source discarded: %s", w.AbortReason)
-	}
-	return &Wrapper{inner: w}, nil
+	return e.WrapParsedContext(context.Background(), pages)
 }
 
 // ok reports whether the wrapper is usable for extraction.
 func (w *Wrapper) ok() bool { return w != nil && w.inner != nil && !w.inner.Aborted }
 
 // Extract applies the wrapper to a parsed page. A nil or aborted wrapper
-// yields no objects.
+// yields no objects, indistinguishable from a page carrying no data.
+//
+// Deprecated: use ExtractErr, which reports ErrNoWrapper and ErrAborted
+// instead of silently returning nothing.
 func (w *Wrapper) Extract(page *dom.Node) []*Object {
-	if !w.ok() {
-		return nil
-	}
-	return w.inner.ExtractPage(page)
+	objs, _ := w.ExtractErr(page)
+	return objs
 }
 
 // ExtractHTML applies the wrapper to one raw HTML page.
+//
+// Deprecated: use ExtractHTMLErr, which reports ErrNoWrapper and
+// ErrAborted instead of silently returning nothing.
 func (w *Wrapper) ExtractHTML(html string) []*Object {
-	if !w.ok() {
-		return nil
-	}
-	return w.inner.ExtractPage(clean.Page(html))
+	objs, _ := w.ExtractHTMLErr(html)
+	return objs
 }
 
 // ExtractBatch applies the wrapper to many raw HTML pages concurrently
 // (bounded by the extractor's Config.Workers) and returns one object
 // slice per input page, in input order — byte-identical to calling
 // ExtractHTML page by page.
+//
+// Deprecated: use ExtractBatchErr (or ExtractBatchContext for
+// cancellation), which report ErrNoWrapper and ErrAborted instead of
+// silently returning empty slices.
 func (w *Wrapper) ExtractBatch(pages []string) [][]*Object {
-	if !w.ok() {
+	objs, err := w.ExtractBatchErr(pages)
+	if err != nil {
 		return make([][]*Object, len(pages))
 	}
-	parsed := make([]*dom.Node, len(pages))
-	parallel.ForEach(w.inner.Workers(), len(pages), func(i int) {
-		parsed[i] = clean.Page(pages[i])
-	})
-	return w.inner.ExtractBatch(parsed)
+	return objs
 }
 
 // ExtractAllHTML applies the wrapper to many raw HTML pages and returns
 // the concatenated objects, in page order.
+//
+// Deprecated: use ExtractBatchErr and concatenate, or ServeExtract on a
+// Service; the silent variant hides a dead wrapper behind an empty result.
 func (w *Wrapper) ExtractAllHTML(pages []string) []*Object {
 	var out []*Object
 	for _, objs := range w.ExtractBatch(pages) {

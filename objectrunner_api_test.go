@@ -1,0 +1,144 @@
+package objectrunner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExtractErrSentinels(t *testing.T) {
+	var nilW *Wrapper
+	if _, err := nilW.ExtractErr(nil); !errors.Is(err, ErrNoWrapper) {
+		t.Errorf("nil wrapper: err = %v, want ErrNoWrapper", err)
+	}
+	if _, err := (&Wrapper{}).ExtractHTMLErr("<html></html>"); !errors.Is(err, ErrNoWrapper) {
+		t.Errorf("empty wrapper: err = %v, want ErrNoWrapper", err)
+	}
+	if _, err := (&Wrapper{}).ExtractBatchErr([]string{"<html></html>"}); !errors.Is(err, ErrNoWrapper) {
+		t.Errorf("batch on empty wrapper: err = %v, want ErrNoWrapper", err)
+	}
+
+	ex := concertExtractor(t)
+	aborted, err := ex.Wrap([]string{
+		"<html><body><p>about our company</p></body></html>",
+		"<html><body><p>terms of service</p></body></html>",
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("wrap err = %v, want ErrAborted", err)
+	}
+	if _, err := aborted.ExtractErr(ParsePage("<html></html>")); !errors.Is(err, ErrAborted) {
+		t.Errorf("aborted wrapper: err = %v, want ErrAborted", err)
+	}
+	// The abort reason survives into the error text for humans.
+	if _, err := aborted.ExtractErr(nil); err == nil || !strings.Contains(err.Error(), "discarded") {
+		t.Errorf("abort error lost its reason: %v", err)
+	}
+}
+
+func TestExtractErrMatchesDeprecatedShims(t *testing.T) {
+	ex := concertExtractor(t)
+	w, err := ex.Wrap(concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := concertPages()[1]
+	got, err := w.ExtractHTMLErr(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.ExtractHTML(page)
+	if len(got) != len(want) {
+		t.Fatalf("ExtractHTMLErr found %d objects, shim found %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Errorf("object %d differs: %s vs %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWrapContextPreCanceled(t *testing.T) {
+	ex := concertExtractor(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ex.WrapContext(ctx, concertPages()); !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, must also wrap context.Canceled", err)
+	}
+}
+
+func TestWrapContextCanceledMidFlightReturnsPromptly(t *testing.T) {
+	ex := concertExtractor(t)
+	// A large page pool keeps the pipeline busy long enough for the
+	// cancellation to land mid-flight; the return must then be bounded by
+	// the in-flight work (one page per worker), not by the remaining pool.
+	pages := make([]string, 0, 40*len(concertPages()))
+	for i := 0; i < 40; i++ {
+		pages = append(pages, concertPages()...)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := ex.WrapContext(ctx, pages)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, ErrCanceled) {
+			t.Errorf("err = %v, want ErrCanceled or nil (finished first)", err)
+		}
+		if elapsed := time.Since(start); elapsed > 20*time.Second {
+			t.Errorf("cancellation took %v", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("WrapContext did not return after cancellation")
+	}
+}
+
+func TestExtractBatchContextCanceled(t *testing.T) {
+	ex := concertExtractor(t)
+	w, err := ex.Wrap(concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.ExtractBatchContext(ctx, concertPages()); !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	ex := concertExtractor(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ex.RunContext(ctx, concertPages()); !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	ex := concertExtractor(t)
+	want, err := ex.Run(concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ex.RunContext(context.Background(), concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RunContext found %d objects, Run found %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Errorf("object %d differs: %s vs %s", i, got[i], want[i])
+		}
+	}
+}

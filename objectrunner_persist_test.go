@@ -1,0 +1,173 @@
+package objectrunner
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// renderAll normalizes an extraction result for byte-level comparison:
+// one rendered object per line, in page order.
+func renderAll(t *testing.T, w *Wrapper, pages []string) string {
+	t.Helper()
+	per, err := w.ExtractBatchErr(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, objs := range per {
+		for _, o := range objs {
+			sb.WriteString(o.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func TestSaveLoadRoundTripByteIdentical(t *testing.T) {
+	ex := concertExtractor(t)
+	pages := concertPages()
+	w, err := ex.Wrap(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unseen := `<html><body><li><div>The Strokes</div><div>Friday July 2, 2010 9:00pm</div><div><span><a>Terminal 5</a></span><span>610 West 56th Street</span><span>New York City</span><span>New York</span><span>10019</span></div></li></body></html>`
+	probe := append(append([]string{}, pages...), unseen)
+
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWrapper(bytes.NewReader(buf.Bytes()), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := renderAll(t, loaded, probe), renderAll(t, w, probe); got != want {
+		t.Errorf("loaded wrapper extraction differs:\n got: %s\nwant: %s", got, want)
+	}
+	if got := renderAll(t, loaded, probe); !strings.Contains(got, "The Strokes") {
+		t.Errorf("loaded wrapper does not generalize to unseen values: %s", got)
+	}
+	if loaded.Score() != w.Score() || loaded.Support() != w.Support() {
+		t.Errorf("score/support drifted: %v/%v vs %v/%v",
+			loaded.Score(), loaded.Support(), w.Score(), w.Support())
+	}
+	if loaded.Report() != w.Report() {
+		t.Errorf("report drifted:\n got: %s\nwant: %s", loaded.Report(), w.Report())
+	}
+
+	// The stream itself is deterministic: re-saving the loaded wrapper
+	// reproduces the original bytes exactly.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("save -> load -> save is not byte-identical (%d vs %d bytes)",
+			buf.Len(), buf2.Len())
+	}
+}
+
+func TestSaveLoadAbortedWrapper(t *testing.T) {
+	ex := concertExtractor(t)
+	pages := []string{
+		"<html><body><p>about our company and its mission</p></body></html>",
+		"<html><body><p>read the terms of service carefully</p></body></html>",
+		"<html><body><p>open positions and press contacts</p></body></html>",
+	}
+	w, err := ex.Wrap(pages)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("wrap err = %v, want ErrAborted", err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWrapper(&buf, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Report() != w.Report() {
+		t.Errorf("aborted report drifted:\n got: %s\nwant: %s", loaded.Report(), w.Report())
+	}
+	if _, err := loaded.ExtractErr(ParsePage(pages[0])); !errors.Is(err, ErrAborted) {
+		t.Errorf("extract on loaded aborted wrapper: err = %v, want ErrAborted", err)
+	}
+}
+
+func TestLoadRejectsBadStreams(t *testing.T) {
+	ex := concertExtractor(t)
+	w, err := ex.Wrap(concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"not a wrapper stream": "hello world\n{}",
+		"version mismatch":     strings.Replace(good, " v1 ", " v9 ", 1),
+		"corrupted payload":    good[:len(good)-2] + "xx",
+		"truncated payload":    good[:len(good)/2],
+	}
+	for name, stream := range cases {
+		if _, err := LoadWrapper(strings.NewReader(stream), ex); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+func TestLoadRejectsSODMismatch(t *testing.T) {
+	ex := concertExtractor(t)
+	w, err := ex.Wrap(concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(`tuple { artist: instanceOf(Artist), date: date }`,
+		WithDictionary("Artist", []Entry{{Value: "Metallica", Confidence: 0.9}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWrapper(&buf, other); !errors.Is(err, ErrSODMismatch) {
+		t.Errorf("err = %v, want ErrSODMismatch", err)
+	}
+}
+
+func TestSaveNilWrapper(t *testing.T) {
+	var nilW *Wrapper
+	if err := nilW.Save(&bytes.Buffer{}); !errors.Is(err, ErrNoWrapper) {
+		t.Errorf("nil wrapper: err = %v, want ErrNoWrapper", err)
+	}
+	if err := (&Wrapper{}).Save(&bytes.Buffer{}); !errors.Is(err, ErrNoWrapper) {
+		t.Errorf("empty wrapper: err = %v, want ErrNoWrapper", err)
+	}
+}
+
+func TestSaveLoadWrapperFile(t *testing.T) {
+	ex := concertExtractor(t)
+	pages := concertPages()
+	w, err := ex.Wrap(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/concerts.wrapper"
+	if err := SaveWrapperFile(w, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWrapperFile(path, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderAll(t, loaded, pages), renderAll(t, w, pages); got != want {
+		t.Errorf("file round-trip extraction differs:\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -1,0 +1,193 @@
+package objectrunner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func renderObjects(objs []*Object) string {
+	var sb strings.Builder
+	for _, o := range objs {
+		sb.WriteString(o.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestServeExtractWrapOnMissExtractOnHit(t *testing.T) {
+	ex := concertExtractor(t)
+	svc := NewService(ex, StoreConfig{})
+	pages := concertPages()
+
+	first, err := svc.ServeExtract(context.Background(), "concerts", pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 4 {
+		t.Fatalf("objects = %d, want 4", len(first))
+	}
+	second, err := svc.ServeExtract(context.Background(), "concerts", pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderObjects(first) != renderObjects(second) {
+		t.Error("cache hit served different objects than the cold path")
+	}
+	st := svc.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit", st)
+	}
+}
+
+func TestServeExtractMatchesDirectPipeline(t *testing.T) {
+	ex := concertExtractor(t)
+	pages := concertPages()
+	want, err := ex.Run(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(concertExtractor(t), StoreConfig{})
+	got, err := svc.ServeExtract(context.Background(), "concerts", pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderObjects(got) != renderObjects(want) {
+		t.Errorf("served output differs from Run:\n got: %s\nwant: %s",
+			renderObjects(got), renderObjects(want))
+	}
+}
+
+func TestServeExtractCachesAbortedSource(t *testing.T) {
+	ex := concertExtractor(t)
+	svc := NewService(ex, StoreConfig{})
+	pages := []string{
+		"<html><body><p>about our company</p></body></html>",
+		"<html><body><p>terms of service</p></body></html>",
+	}
+	if _, err := svc.ServeExtract(context.Background(), "about", pages); !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if _, err := svc.ServeExtract(context.Background(), "about", pages); !errors.Is(err, ErrAborted) {
+		t.Fatalf("second err = %v, want ErrAborted", err)
+	}
+	// The discard verdict was cached, not re-derived.
+	if st := svc.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want the aborted wrapper cached", st)
+	}
+}
+
+func TestServeExtractHealthEvictionReinfers(t *testing.T) {
+	ex := concertExtractor(t)
+	svc := NewService(ex, StoreConfig{HealthThreshold: 0.6, MinServedPages: 4})
+	pages := concertPages()
+	if _, err := svc.ServeExtract(context.Background(), "concerts", pages); err != nil {
+		t.Fatal(err)
+	}
+	// Serve pages the wrapper cannot match until the empty rate crosses
+	// the threshold: the wrapper must be evicted and re-inferred.
+	junk := []string{
+		"<html><body><p>nothing here</p></body></html>",
+		"<html><body><p>still nothing</p></body></html>",
+		"<html><body><p>empty again</p></body></html>",
+	}
+	for i := 0; i < 3; i++ {
+		// Once the eviction lands, re-inference runs against the junk
+		// pages and correctly discards them — that ErrAborted is the
+		// proof the stale wrapper was dropped.
+		if _, err := svc.ServeExtract(context.Background(), "concerts", junk); err != nil && !errors.Is(err, ErrAborted) {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.EvictionsHealth == 0 {
+		t.Errorf("stats = %+v, want a health eviction after all-empty serves", st)
+	}
+	if st.Misses < 2 {
+		t.Errorf("stats = %+v, want re-inference after the eviction", st)
+	}
+}
+
+func TestServeExtractDiskSpillAcrossServices(t *testing.T) {
+	dir := t.TempDir()
+	pages := concertPages()
+
+	svc1 := NewService(concertExtractor(t), StoreConfig{SpillDir: dir})
+	first, err := svc1.ServeExtract(context.Background(), "concerts", pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A new service over the same spill directory simulates a restart:
+	// the wrapper loads from disk and serves identical output.
+	svc2 := NewService(concertExtractor(t), StoreConfig{SpillDir: dir})
+	second, err := svc2.ServeExtract(context.Background(), "concerts", pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderObjects(first) != renderObjects(second) {
+		t.Errorf("disk-loaded wrapper served different output:\n got: %s\nwant: %s",
+			renderObjects(second), renderObjects(first))
+	}
+	if st := svc2.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want one disk hit", st)
+	}
+}
+
+func TestServeExtractSingleflight(t *testing.T) {
+	ex := concertExtractor(t)
+	svc := NewService(ex, StoreConfig{})
+	pages := concertPages()
+	const n = 8
+	var wg sync.WaitGroup
+	outs := make([]string, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			objs, err := svc.ServeExtract(context.Background(), "concerts", pages)
+			outs[i], errs[i] = renderObjects(objs), err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if outs[i] != outs[0] {
+			t.Fatalf("caller %d served different output", i)
+		}
+	}
+	if st := svc.Stats(); st.Misses != 1 {
+		t.Errorf("stats = %+v, want exactly one inference across %d concurrent calls", st, n)
+	}
+}
+
+func TestServeExtractCanceled(t *testing.T) {
+	ex := concertExtractor(t)
+	svc := NewService(ex, StoreConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.ServeExtract(ctx, "concerts", concertPages()); !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestServiceInvalidate(t *testing.T) {
+	ex := concertExtractor(t)
+	svc := NewService(ex, StoreConfig{})
+	pages := concertPages()
+	if _, err := svc.ServeExtract(context.Background(), "concerts", pages); err != nil {
+		t.Fatal(err)
+	}
+	svc.Invalidate("concerts")
+	if _, err := svc.ServeExtract(context.Background(), "concerts", pages); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Misses != 2 {
+		t.Errorf("stats = %+v, want re-inference after Invalidate", st)
+	}
+}

@@ -1,0 +1,49 @@
+package objectrunner
+
+import (
+	"fmt"
+	"io"
+
+	"objectrunner/internal/wrapper"
+)
+
+// Wrapper persistence: the full learned state of an inferred wrapper —
+// template tree, canonical SOD binding, token-role descriptor tables,
+// central-block key, support/conflict accounting and the EXPLAIN report —
+// round-trips through an io.Writer/io.Reader pair. The stream is
+// self-describing (format-version header plus SHA-256 checksum), and a
+// loaded wrapper's extraction output is byte-identical to the original's.
+//
+// The SOD's rules (arbitrary Go predicates) cannot be serialized; a
+// wrapper is therefore loaded *into* an Extractor, which re-binds its live
+// SOD after verifying the canonical signature matches (ErrSODMismatch
+// otherwise). This also re-attaches the extractor's observer and worker
+// pool, which are process state, not learned state.
+
+// Save writes the wrapper's full learned state to dst. Aborted wrappers
+// save too — their Report explains the abort — so negative results can be
+// cached across processes; a nil wrapper returns ErrNoWrapper.
+func (w *Wrapper) Save(dst io.Writer) error {
+	if w == nil || w.inner == nil {
+		return ErrNoWrapper
+	}
+	return w.inner.Encode(dst)
+}
+
+// LoadWrapper reads a wrapper persisted by Save. The extractor must carry
+// the same SOD the wrapper was inferred for (canonical-form comparison;
+// ErrSODMismatch otherwise); its rules, observer and worker configuration
+// are re-attached to the loaded wrapper. Errors from malformed, corrupted
+// or version-incompatible streams wrap ErrFormat.
+func LoadWrapper(src io.Reader, ex *Extractor) (*Wrapper, error) {
+	if ex == nil {
+		return nil, fmt.Errorf("objectrunner: LoadWrapper needs an extractor to re-bind the SOD")
+	}
+	inner, err := wrapper.Decode(src, ex.sod)
+	if err != nil {
+		return nil, err
+	}
+	inner.SetWorkers(ex.cfg.Workers)
+	inner.SetObserver(ex.obs)
+	return &Wrapper{inner: inner}, nil
+}
