@@ -1,8 +1,9 @@
 # ObjectRunner build and verification targets.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test check bench trace clean
+.PHONY: build test fmt fmt-check ci check bench bench-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -10,25 +11,53 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the extended tier-1 gate (see ROADMAP.md): vet plus the full
-# test suite under the race detector, then the parallel-pipeline and
-# serving-cache tests twice more under race to shake out
-# scheduling-dependent interleavings (singleflight, LRU, spill).
-check:
+fmt:
+	$(GOFMT) -w .
+
+# fmt-check fails (with the offending file list) if any file is not
+# gofmt-clean, so CI can gate on formatting without rewriting files.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci is the exact command set the GitHub workflow runs — keeping it in
+# the Makefile means the local gate and CI cannot drift apart.
+ci: fmt-check
+	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race -timeout 40m ./...
+
+# check is the extended tier-1 gate (see ROADMAP.md): everything ci
+# runs, then the parallel-pipeline, store-shutdown, and serving-cache
+# tests twice more under race to shake out scheduling-dependent
+# interleavings (singleflight, LRU, spill, drain).
+check: ci
 	$(GO) test -race -count=2 -run 'Parallel|Determinis|ExtractBatch|ForEach|Workers' ./...
 	$(GO) test -race -count=2 ./internal/store/
-	$(GO) test -race -count=2 -run 'Serve|SaveLoad|WrapContext|Persist' .
+	$(GO) test -race -count=2 ./internal/httpserver/
+	$(GO) test -race -count=2 -run 'Serve|SaveLoad|WrapContext|Persist|Close|Drain' .
 
 # bench runs every benchmark and additionally records the parallel
 # scaling run (BENCH_parallel.json) and the serving-cache economics —
 # cold wrap vs cache hit vs disk load — (BENCH_serve.json) as JSON for
-# the perf trajectory.
+# the perf trajectory. Each JSON file is written to a temp path and
+# renamed only on success, so a failed run never truncates the previous
+# record.
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
-	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchmem -run XXX . > BENCH_parallel.json
-	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchmem -run XXX . > BENCH_serve.json
+	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchmem -run XXX . > BENCH_parallel.json.tmp
+	mv BENCH_parallel.json.tmp BENCH_parallel.json
+	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchmem -run XXX . > BENCH_serve.json.tmp
+	mv BENCH_serve.json.tmp BENCH_serve.json
+
+# bench-smoke runs the two recorded benchmarks once each (-benchtime=1x)
+# purely to prove they still compile and complete; CI uploads the JSON
+# as an artifact but asserts nothing about the numbers.
+bench-smoke:
+	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchtime=1x -run XXX . > BENCH_parallel.json.tmp
+	mv BENCH_parallel.json.tmp BENCH_parallel.json
+	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchtime=1x -run XXX . > BENCH_serve.json.tmp
+	mv BENCH_serve.json.tmp BENCH_serve.json
 
 # trace runs one books source end to end with a JSONL span trace and the
 # EXPLAIN report on stderr.
@@ -43,3 +72,4 @@ trace: build
 
 clean:
 	rm -rf /tmp/objectrunner-bench /tmp/objectrunner-trace.jsonl
+	rm -f BENCH_parallel.json.tmp BENCH_serve.json.tmp

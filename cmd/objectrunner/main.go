@@ -167,7 +167,7 @@ func run() error {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(toJSON(objects))
+		return enc.Encode(objectrunner.FlattenObjects(objects))
 	}
 	for i, o := range objects {
 		fmt.Printf("%4d %s\n", i+1, o)
@@ -200,35 +200,6 @@ func acquireWrapper(ctx context.Context, ex *objectrunner.Extractor, pages []str
 		return w, nil
 	}
 	return ex.WrapContext(ctx, pages)
-}
-
-// toJSON flattens instances into maps for JSON output.
-func toJSON(objects []*objectrunner.Object) []map[string]any {
-	out := make([]map[string]any, 0, len(objects))
-	for _, o := range objects {
-		m := make(map[string]any)
-		var walk func(in *objectrunner.Object)
-		walk = func(in *objectrunner.Object) {
-			if in.Leaf() {
-				name := in.Type.Name
-				switch prev := m[name].(type) {
-				case nil:
-					m[name] = in.Value
-				case string:
-					m[name] = []string{prev, in.Value}
-				case []string:
-					m[name] = append(prev, in.Value)
-				}
-				return
-			}
-			for _, c := range in.Children {
-				walk(c)
-			}
-		}
-		walk(o)
-		out = append(out, m)
-	}
-	return out
 }
 
 func readDictionary(path string) ([]objectrunner.Entry, error) {

@@ -1,0 +1,127 @@
+// Command objectrunnerd is the ObjectRunner extraction daemon: a
+// long-running HTTP service that registers structured-Web sources
+// (POST /v1/wrap with an SOD, dictionaries and sample pages), serves
+// batch extraction against cached wrappers (POST /v1/extract), and
+// exposes cache introspection (/v1/sources), readiness (/healthz) and
+// metrics (/metrics). See internal/httpserver for the endpoint
+// contract.
+//
+// Usage:
+//
+//	objectrunnerd -addr :8080 -max-inflight 32 -request-timeout 2m \
+//	    -wrapper-cache-dir /var/cache/objectrunner [-trace trace.jsonl]
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting
+// requests, cancels in-flight wraps and extracts through their
+// contexts, waits for handlers to return (bounded by -drain-timeout),
+// and spills the wrapper caches to -wrapper-cache-dir so the next
+// process starts warm.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"objectrunner"
+	"objectrunner/internal/httpserver"
+	"objectrunner/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "objectrunnerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	maxInflight := flag.Int("max-inflight", 32, "concurrent wrap/extract requests before answering 429")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline for inference and extraction (0 = no limit)")
+	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes")
+	cacheDir := flag.String("wrapper-cache-dir", "", "spill directory for wrapper persistence across restarts")
+	cacheCap := flag.Int("cache-capacity", 64, "wrappers held in memory per source registry entry")
+	cacheTTL := flag.Duration("cache-ttl", 0, "wrapper expiry (0 = no expiry)")
+	healthThreshold := flag.Float64("health-threshold", 0, "empty-serve rate above which a wrapper is re-inferred (0 disables)")
+	workers := flag.Int("workers", 0, "pipeline worker goroutines per request (0 = one per CPU)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on waiting for in-flight handlers and the cache spill at shutdown")
+	obsCLI := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	observer, obsCleanup, err := obsCLI.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsCleanup(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "objectrunnerd: observability cleanup:", cerr)
+		}
+	}()
+	if observer == nil {
+		// No sink requested: still aggregate counters and histograms so
+		// /metrics has substance.
+		observer = obs.New()
+	}
+
+	srv := httpserver.New(httpserver.Config{
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *requestTimeout,
+		MaxBodyBytes:   *maxBody,
+		Workers:        *workers,
+		Store: objectrunner.StoreConfig{
+			Capacity:        *cacheCap,
+			TTL:             *cacheTTL,
+			HealthThreshold: *healthThreshold,
+			SpillDir:        *cacheDir,
+		},
+		Obs: observer,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	// The resolved address line is part of the daemon's contract: with
+	// port 0 it is how callers (and the e2e tests) learn the port.
+	fmt.Fprintf(os.Stderr, "objectrunnerd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	fmt.Fprintln(os.Stderr, "objectrunnerd: draining")
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain: refuse new work and flip /healthz to 503. Abort: cancel
+	// in-flight wraps/extracts through their contexts, so handlers
+	// answer promptly and Shutdown below returns fast.
+	srv.Drain()
+	srv.Abort()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "objectrunnerd: forced close:", err)
+		hs.Close()
+	}
+	// Spill the wrapper caches so the next process starts warm.
+	if err := srv.Close(sctx); err != nil {
+		return fmt.Errorf("cache spill: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "objectrunnerd: drained, wrapper cache spilled")
+	return nil
+}

@@ -1,0 +1,327 @@
+package objectrunner
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonEndToEnd drives the real objectrunnerd binary over HTTP: it
+// materializes a sitegen books source, registers it with POST /v1/wrap,
+// batch-extracts with POST /v1/extract (asserting output identical to
+// library-level ServeExtract), then SIGTERMs the daemon mid-wrap and
+// asserts a clean drain (exit 0, spill on disk), and finally restarts
+// over the same cache dir and observes a disk hit instead of
+// re-inference. Requires the go toolchain; skipped in -short.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "bin")
+	if err := os.MkdirAll(bin, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = "."
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	sitegen := build("sitegen")
+	daemonBin := build("objectrunnerd")
+
+	benchDir := filepath.Join(dir, "bench")
+	if out, err := exec.Command(sitegen, "-out", benchDir, "-pages", "6", "-domains", "books").CombinedOutput(); err != nil {
+		t.Fatalf("sitegen: %v\n%s", err, out)
+	}
+
+	sodText := readFileT(t, filepath.Join(benchDir, "books", "sod.txt"))
+	pages := readPagesT(t, filepath.Join(benchDir, "books", "bn", "page*.html"))
+	dicts := map[string][]wireEntry{
+		"BookTitle": readDictT(t, filepath.Join(benchDir, "dictionaries", "booktitle.txt")),
+		"Author":    readDictT(t, filepath.Join(benchDir, "dictionaries", "author.txt")),
+	}
+	cacheDir := filepath.Join(dir, "cache")
+
+	d := startDaemon(t, daemonBin, "-wrapper-cache-dir", cacheDir)
+
+	// Wrap the source over HTTP.
+	var wrapResp struct {
+		Source      string  `json:"source"`
+		Score       float64 `json:"score"`
+		Description string  `json:"description"`
+	}
+	status := postJSONT(t, d.url("/v1/wrap"), map[string]any{
+		"source": "books/bn", "sod": sodText, "pages": pages, "dictionaries": dicts,
+	}, &wrapResp)
+	if status != http.StatusOK {
+		t.Fatalf("wrap status = %d (%+v)", status, wrapResp)
+	}
+	if wrapResp.Score <= 0 {
+		t.Errorf("wrap response = %+v", wrapResp)
+	}
+
+	// Extract over HTTP and compare byte-for-byte with the library path.
+	var extResp struct {
+		Count   int              `json:"count"`
+		Objects []map[string]any `json:"objects"`
+	}
+	status = postJSONT(t, d.url("/v1/extract"), map[string]any{
+		"source": "books/bn", "pages": pages,
+	}, &extResp)
+	if status != http.StatusOK {
+		t.Fatalf("extract status = %d", status)
+	}
+	if extResp.Count == 0 {
+		t.Fatal("extracted no objects over HTTP")
+	}
+	var opts []Option
+	for class, entries := range dicts {
+		var es []Entry
+		for _, e := range entries {
+			es = append(es, Entry{Value: e.Value, Confidence: e.Confidence})
+		}
+		opts = append(opts, WithDictionary(class, es))
+	}
+	ex, err := New(sodText, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(ex, StoreConfig{})
+	objs, err := svc.ServeExtract(context.Background(), "books/bn", pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(FlattenObjects(objs))
+	got, _ := json.Marshal(extResp.Objects)
+	if !bytes.Equal(got, want) {
+		t.Errorf("HTTP extraction differs from library ServeExtract:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Kick off a slow wrap, then SIGTERM mid-flight: the daemon must
+	// cancel it, spill the cache, and exit 0.
+	slowPages := make([]string, 0, 20*len(pages))
+	for i := 0; i < 20; i++ {
+		slowPages = append(slowPages, pages...)
+	}
+	slowDone := make(chan int, 1)
+	go func() {
+		var ignore struct{}
+		status := postJSONT(t, d.url("/v1/wrap"), map[string]any{
+			"source": "books/slow", "sod": sodText, "pages": slowPages, "dictionaries": dicts,
+		}, &ignore)
+		slowDone <- status
+	}()
+	time.Sleep(300 * time.Millisecond)
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v\nstderr:\n%s", err, d.stderr())
+	}
+	select {
+	case <-slowDone: // 503 on clean cancel, or a transport error mapped to 0
+	case <-time.After(10 * time.Second):
+		t.Fatal("mid-flight wrap request never returned")
+	}
+	if !strings.Contains(d.stderr(), "drained, wrapper cache spilled") {
+		t.Errorf("no drain confirmation in stderr:\n%s", d.stderr())
+	}
+	spills, err := filepath.Glob(filepath.Join(cacheDir, "*.wrapper"))
+	if err != nil || len(spills) == 0 {
+		t.Fatalf("no wrapper spilled to %s (err %v)", cacheDir, err)
+	}
+
+	// Restart over the same cache dir: the re-registered source loads
+	// from disk, no re-inference.
+	d2 := startDaemon(t, daemonBin, "-wrapper-cache-dir", cacheDir)
+	status = postJSONT(t, d2.url("/v1/wrap"), map[string]any{
+		"source": "books/bn", "sod": sodText, "pages": pages, "dictionaries": dicts,
+	}, &wrapResp)
+	if status != http.StatusOK {
+		t.Fatalf("re-wrap status = %d", status)
+	}
+	var sources struct {
+		Sources []struct {
+			Source string `json:"source"`
+			Stats  struct {
+				DiskHits int64
+				Misses   int64
+			} `json:"stats"`
+		} `json:"sources"`
+	}
+	getJSONT(t, d2.url("/v1/sources"), &sources)
+	if len(sources.Sources) != 1 || sources.Sources[0].Stats.DiskHits != 1 || sources.Sources[0].Stats.Misses != 0 {
+		t.Errorf("sources after restart = %+v, want a pure disk hit", sources.Sources)
+	}
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Wait(); err != nil {
+		t.Fatalf("second daemon exit: %v\nstderr:\n%s", err, d2.stderr())
+	}
+}
+
+type wireEntry struct {
+	Value      string  `json:"value"`
+	Confidence float64 `json:"confidence"`
+}
+
+// daemonProc is one running objectrunnerd with its captured stderr.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	addr string
+	buf  *syncBuffer
+}
+
+func (d *daemonProc) url(path string) string { return "http://" + d.addr + path }
+func (d *daemonProc) stderr() string         { return d.buf.String() }
+
+var listenRE = regexp.MustCompile(`listening on ([\d.:\[\]]+)`)
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemonProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	buf := &syncBuffer{}
+	cmd.Stderr = buf
+	cmd.Stdout = buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemonProc{cmd: cmd, buf: buf}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(buf.String()); m != nil {
+			d.addr = m[1]
+			return d
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon never reported its address; stderr:\n%s", buf.String())
+	return nil
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func postJSONT(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		// The daemon may legitimately vanish mid-request (SIGTERM test).
+		return 0
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && resp.StatusCode == http.StatusOK {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSONT(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readFileT(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func readPagesT(t *testing.T, glob string) []string {
+	t.Helper()
+	files, err := filepath.Glob(glob)
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no pages match %q (err %v)", glob, err)
+	}
+	pages := make([]string, 0, len(files))
+	for _, f := range files {
+		pages = append(pages, readFileT(t, f))
+	}
+	return pages
+}
+
+func readDictT(t *testing.T, path string) []wireEntry {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var entries []wireEntry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		conf := 0.9
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64); err == nil {
+				conf = v
+			}
+			line = line[:i]
+		}
+		entries = append(entries, wireEntry{Value: line, Confidence: conf})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("empty dictionary %s", path)
+	}
+	return entries
+}

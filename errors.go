@@ -3,6 +3,7 @@ package objectrunner
 import (
 	"errors"
 
+	"objectrunner/internal/store"
 	"objectrunner/internal/wrapper"
 )
 
@@ -45,3 +46,7 @@ var (
 	// whose SOD differs from the one the wrapper was inferred for.
 	ErrSODMismatch = wrapper.ErrSODMismatch
 )
+
+// ErrClosed reports a request on a Service whose cache was drained with
+// Close — the serving tier is shutting down.
+var ErrClosed = store.ErrClosed

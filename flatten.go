@@ -1,0 +1,42 @@
+package objectrunner
+
+// FlattenObject converts one extracted object into a flat field→value
+// map suitable for JSON serialization: leaf fields map to their string
+// value, and a field occurring more than once (a set attribute, e.g.
+// the authors of a book) collapses to a []string in occurrence order.
+// Nested tuple structure is flattened away — field names in an SOD are
+// unique, so no information is lost. cmd/objectrunner's -json output
+// and the daemon's /v1/extract responses share this shape.
+func FlattenObject(o *Object) map[string]any {
+	m := make(map[string]any)
+	var walk func(in *Object)
+	walk = func(in *Object) {
+		if in.Leaf() {
+			name := in.Type.Name
+			switch prev := m[name].(type) {
+			case nil:
+				m[name] = in.Value
+			case string:
+				m[name] = []string{prev, in.Value}
+			case []string:
+				m[name] = append(prev, in.Value)
+			}
+			return
+		}
+		for _, c := range in.Children {
+			walk(c)
+		}
+	}
+	walk(o)
+	return m
+}
+
+// FlattenObjects maps FlattenObject over a slice of extracted objects.
+// The result is never nil, so it marshals as [] rather than null.
+func FlattenObjects(objects []*Object) []map[string]any {
+	out := make([]map[string]any, 0, len(objects))
+	for _, o := range objects {
+		out = append(out, FlattenObject(o))
+	}
+	return out
+}

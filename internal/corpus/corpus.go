@@ -149,9 +149,9 @@ func (c *Corpus) TermFrequency(phrase string) float64 {
 // Candidate is one instance extracted by Hearst patterns, with per-pattern
 // hit counts.
 type Candidate struct {
-	Value    string
-	ByPat    map[string]int
-	Total    int
+	Value string
+	ByPat map[string]int
+	Total int
 }
 
 // patternNames lists the implemented Hearst patterns. "t" stands for the

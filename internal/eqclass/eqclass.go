@@ -47,9 +47,9 @@ func (t Tuple) Last() int { return t.Positions[len(t.Positions)-1] }
 // data slots.
 type EQ struct {
 	ID     int
-	Roles  []int   // role ids in template (σ) order
-	Descs  []Desc  // page-independent descriptors of the roles
-	Vector []int   // occurrences per page
+	Roles  []int     // role ids in template (σ) order
+	Descs  []Desc    // page-independent descriptors of the roles
+	Vector []int     // occurrences per page
 	Tuples [][]Tuple // per page, the class's repetitions in order
 
 	// Hierarchy (filled by BuildHierarchy).

@@ -183,9 +183,9 @@ func (e *Env) Table1() []SourceRun {
 
 // Table2Row is one domain of Table II.
 type Table2Row struct {
-	Domain                 string
-	SelPc, SelPp           float64
-	RandPc, RandPp         float64
+	Domain         string
+	SelPc, SelPp   float64
+	RandPc, RandPp float64
 }
 
 // Table2 reproduces the paper's Table II: precision with SOD-guided
@@ -259,8 +259,8 @@ func (e *Env) Table3() []Table3Row {
 // object-classification rates (a) and incompletely-managed-source rates
 // (b) per domain and algorithm.
 type Figure6 struct {
-	Domain  string
-	Algo    Algo
+	Domain                      string
+	Algo                        Algo
 	Correct, Partial, Incorrect float64 // Figure 6(a)
 	IncompleteSources           float64 // Figure 6(b)
 }

@@ -1,0 +1,154 @@
+package httpserver
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"objectrunner"
+)
+
+// TestDrainMidFlight exercises the full shutdown sequence against a live
+// in-flight wrap: Drain refuses new work, Abort cancels the in-flight
+// inference through its request context, Close spills the cache — and
+// no goroutines outlive the server (the -race run of this test is the
+// acceptance check for leak-free drain).
+func TestDrainMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow in-flight wrap")
+	}
+	before := runtime.NumGoroutine()
+
+	dir := t.TempDir()
+	srv := New(Config{Store: objectrunner.StoreConfig{SpillDir: dir}})
+	ts := httptest.NewServer(srv.Handler())
+
+	// A cached wrapper that the drain must spill.
+	wrapConcerts(t, ts.URL, "concerts")
+
+	// A wrap slow enough to still be running when the drain starts.
+	pages := make([]string, 0, 40*3)
+	for i := 0; i < 40; i++ {
+		pages = append(pages, concertPages()...)
+	}
+	slowDone := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+			Source: "slow", SOD: concertSOD, Pages: pages, Dictionaries: concertDicts(),
+		})
+		resp.Body.Close()
+		slowDone <- resp.StatusCode
+	}()
+	waitFor(t, time.Second, func() bool { return srv.inflight.Load() >= 1 })
+
+	srv.Drain()
+	srv.Abort()
+	select {
+	case status := <-slowDone:
+		if status != http.StatusServiceUnavailable {
+			t.Errorf("aborted wrap status = %d, want 503", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight wrap did not return after Abort")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ts.Close()
+
+	// The concerts wrapper reached the spill directory.
+	spills, err := filepath.Glob(filepath.Join(dir, "*.wrapper"))
+	if err != nil || len(spills) == 0 {
+		t.Errorf("no wrapper spilled to %s (err %v)", dir, err)
+	}
+
+	// Every request goroutine (and the aborted inference's workers) must
+	// be gone; allow slack for runtime background goroutines.
+	waitFor(t, 5*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+3
+	})
+}
+
+// TestSpillServesAfterRestart closes one server mid-life and verifies a
+// fresh server over the same spill directory serves the re-registered
+// source from disk, without re-inference.
+func TestSpillServesAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := New(Config{Store: objectrunner.StoreConfig{SpillDir: dir}})
+	ts1 := httptest.NewServer(srv1.Handler())
+	wrapConcerts(t, ts1.URL, "concerts")
+	if err := srv1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	srv2 := New(Config{Store: objectrunner.StoreConfig{SpillDir: dir}})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	wrapConcerts(t, ts2.URL, "concerts")
+	st := srv2.lookup("concerts").svc.Stats()
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("stats after restart = %+v, want a pure disk hit", st)
+	}
+}
+
+// TestSaturationReturns429 drives a real request into a deliberately
+// full semaphore: the server answers 429 + Retry-After through the full
+// HTTP stack instead of queuing.
+func TestSaturationReturns429(t *testing.T) {
+	srv := New(Config{MaxInflight: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	wrapConcerts(t, ts.URL, "concerts")
+
+	// Fill the semaphore as if MaxInflight requests were running.
+	srv.sem <- struct{}{}
+	srv.sem <- struct{}{}
+	resp := postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	resp.Body.Close()
+
+	// Health and metrics stay reachable under saturation.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz under saturation = %d", hresp.StatusCode)
+	}
+	hresp.Body.Close()
+
+	// Free one slot: requests flow again.
+	<-srv.sem
+	resp = postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status after slot freed = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	<-srv.sem
+}
+
+func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v", timeout)
+}

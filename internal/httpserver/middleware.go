@@ -1,0 +1,136 @@
+package httpserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"objectrunner/internal/obs"
+)
+
+// statusWriter records the status code a handler wrote, for the request
+// span and the per-class status counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument is the outer middleware on every route: a per-request
+// trace id (echoed as X-Trace-Id and spanned through internal/obs),
+// panic recovery into a 500, the request body size limit, and the
+// request context merged with the server lifetime — Abort cancels every
+// request derived this way, which is how the drain sequence stops
+// in-flight wraps and extracts.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := fmt.Sprintf("req-%06d", s.reqID.Add(1))
+		w.Header().Set("X-Trace-Id", trace)
+		sw := &statusWriter{ResponseWriter: w}
+		sp := s.obs.Span("http.request",
+			obs.A("method", r.Method), obs.A("path", r.URL.Path), obs.A("trace", trace))
+		s.obs.Count("http.requests", 1)
+		defer func() {
+			if p := recover(); p != nil {
+				s.obs.Count("http.panics", 1)
+				sp.Event("http.panic", obs.A("value", fmt.Sprint(p)))
+				if sw.status == 0 {
+					writeJSON(sw, http.StatusInternalServerError,
+						errorResponse{Error: "internal error"})
+				}
+				// A panic after the response started cannot be converted;
+				// the connection is abandoned but the process lives on.
+			}
+			sp.End(obs.A("status", sw.status))
+			s.obs.Count(fmt.Sprintf("http.status.%dxx", sw.status/100), 1)
+		}()
+		if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stop := context.AfterFunc(s.baseCtx, cancel)
+		defer stop()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
+// limited applies the backpressure semaphore to the expensive endpoints:
+// when MaxInflight requests are already running, the request is refused
+// immediately with 429 + Retry-After instead of queuing unboundedly; a
+// draining server refuses with 503.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.obs.Count("http.drain_refused", 1)
+			s.errorf(w, http.StatusServiceUnavailable, "draining: not accepting new work")
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.obs.Count("http.throttled", 1)
+			w.Header().Set("Retry-After", "1")
+			s.errorf(w, http.StatusTooManyRequests,
+				"at capacity: %d requests in flight", cap(s.sem))
+			return
+		}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+		h(w, r)
+	}
+}
+
+// decode parses the JSON request body into dst, answering 400 on bad
+// JSON and 413 when the body limit was hit. It reports whether the
+// handler should proceed.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			s.errorf(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", maxErr.Limit)
+			return false
+		}
+		s.errorf(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) errorf(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes the response envelope; encode errors mean the client
+// is gone and are dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,441 @@
+// Package httpserver is the network tier of ObjectRunner: a JSON/HTTP
+// front-end over the objectrunner.Service serving facade, designed for
+// a long-running extraction daemon (cmd/objectrunnerd).
+//
+// Endpoints:
+//
+//	POST   /v1/wrap           register a source (SOD + dictionaries) and
+//	                          infer (or reuse) its wrapper from sample pages
+//	POST   /v1/extract        batch-extract pages against a registered
+//	                          source's cached wrapper (wrap-on-miss)
+//	GET    /v1/sources        list registered sources with cache stats
+//	DELETE /v1/sources/{key}  invalidate a source's wrapper and registration
+//	GET    /healthz           readiness (503 while draining)
+//	GET    /metrics           JSON snapshot of counters, histograms and
+//	                          per-source cache stats
+//
+// The robustness layer is the point, not the routing: per-request
+// timeouts threaded into the context-aware extraction APIs, a
+// semaphore-based concurrency limit that answers 429 + Retry-After when
+// full (backpressure instead of collapse), request-size limits, a
+// per-request trace id spanned through internal/obs, panic recovery
+// that converts to a 500 without killing the process, and a graceful
+// drain sequence (Drain → Abort → Close) that stops accepting work,
+// cancels in-flight wraps and extracts through their contexts, and
+// spills the wrapper caches to disk before exit.
+package httpserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"objectrunner"
+	"objectrunner/internal/obs"
+)
+
+// Config tunes the server. The zero value is completed with defaults.
+type Config struct {
+	// MaxInflight bounds the concurrent /v1/wrap + /v1/extract requests;
+	// excess requests are refused with 429 and a Retry-After header
+	// rather than queued. Default 32.
+	MaxInflight int
+	// RequestTimeout is the per-request deadline threaded into wrapper
+	// inference and extraction; 0 means no limit.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds a request body. Default 32 MiB.
+	MaxBodyBytes int64
+	// Workers is the per-request pipeline worker count (0 = one per CPU).
+	Workers int
+	// Store configures every registered source's wrapper cache; set
+	// Store.SpillDir to persist wrappers across restarts (the drain
+	// sequence spills there on shutdown).
+	Store objectrunner.StoreConfig
+	// Obs receives the server's spans and counters and backs /metrics.
+	// Defaults to a fresh metrics-only observer.
+	Obs *obs.Observer
+}
+
+func (c *Config) normalize() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 32
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
+	}
+}
+
+// source is one registered extraction source: its SOD (plus
+// dictionaries, canonicalized into spec) and the serving facade holding
+// its cached wrapper.
+type source struct {
+	spec string // canonical SOD + dictionary fingerprint
+	sod  string
+	svc  *objectrunner.Service
+}
+
+// Server is the HTTP extraction daemon's core. Create with New, expose
+// via Handler, and shut down with Drain/Abort/Close (or Shutdown for
+// the whole sequence).
+type Server struct {
+	cfg Config
+	obs *obs.Observer
+
+	// baseCtx spans the server's lifetime; Abort cancels it, which
+	// cancels every in-flight request context derived from it.
+	baseCtx  context.Context
+	abort    context.CancelFunc
+	draining atomic.Bool
+
+	sem      chan struct{}
+	inflight atomic.Int64
+	reqID    atomic.Int64
+
+	handler http.Handler
+
+	mu      sync.Mutex
+	sources map[string]*source
+}
+
+// New builds a server. It performs no I/O; attach Handler to an
+// http.Server (or httptest) to serve.
+func New(cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		cfg:     cfg,
+		obs:     cfg.Obs,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		sources: make(map[string]*source),
+	}
+	s.baseCtx, s.abort = context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/wrap", s.limited(s.handleWrap))
+	mux.HandleFunc("POST /v1/extract", s.limited(s.handleExtract))
+	mux.HandleFunc("GET /v1/sources", s.handleSources)
+	mux.HandleFunc("DELETE /v1/sources/{key...}", s.handleDeleteSource)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.instrument(mux)
+	return s
+}
+
+// Handler returns the server's routed and instrumented handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Drain flips the server into shutdown mode: /healthz answers 503 so
+// load balancers stop routing here, and new API requests are refused
+// with 503. In-flight requests keep running until Abort.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Abort cancels every in-flight wrap and extract through the request
+// contexts; handlers answer 503 promptly. Safe to call more than once.
+func (s *Server) Abort() { s.abort() }
+
+// Close drains every registered source's wrapper cache: in-flight
+// builds are waited for (bounded by ctx) and cached wrappers are
+// spilled to Store.SpillDir. It returns the first error.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	svcs := make([]*objectrunner.Service, 0, len(s.sources))
+	for _, src := range s.sources {
+		svcs = append(svcs, src.svc)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, svc := range svcs {
+		if err := svc.Close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Shutdown runs the full drain sequence: stop accepting (Drain), cancel
+// in-flight work (Abort), spill the caches (Close). The caller is
+// responsible for http.Server.Shutdown around it — see cmd/objectrunnerd.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	s.Abort()
+	return s.Close(ctx)
+}
+
+// Wire types. Dictionaries entries accept {"value": "...", "confidence":
+// 0.9}; a zero confidence defaults like cmd/objectrunner's -dict files.
+type entryJSON struct {
+	Value      string  `json:"value"`
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+type wrapRequest struct {
+	Source       string                 `json:"source"`
+	SOD          string                 `json:"sod"`
+	Pages        []string               `json:"pages"`
+	Dictionaries map[string][]entryJSON `json:"dictionaries,omitempty"`
+}
+
+type wrapResponse struct {
+	Source      string  `json:"source"`
+	Pages       int     `json:"pages"`
+	Score       float64 `json:"score"`
+	Support     int     `json:"support"`
+	Description string  `json:"description"`
+}
+
+type extractRequest struct {
+	Source string   `json:"source"`
+	Pages  []string `json:"pages"`
+}
+
+type extractResponse struct {
+	Source  string           `json:"source"`
+	Pages   int              `json:"pages"`
+	Count   int              `json:"count"`
+	Objects []map[string]any `json:"objects"`
+}
+
+type errorResponse struct {
+	Error  string `json:"error"`
+	Report string `json:"report,omitempty"`
+}
+
+type sourceInfo struct {
+	Source string                  `json:"source"`
+	SOD    string                  `json:"sod"`
+	Stats  objectrunner.StoreStats `json:"stats"`
+}
+
+type metricsResponse struct {
+	Counters   map[string]int64                   `json:"counters"`
+	Histograms map[string]obs.HistView            `json:"histograms"`
+	Sources    map[string]objectrunner.StoreStats `json:"sources"`
+	Inflight   int64                              `json:"inflight"`
+	Draining   bool                               `json:"draining"`
+}
+
+// specOf canonicalizes a registration: SOD text plus the dictionaries in
+// sorted class order. Re-registering a source with an identical spec
+// reuses its cached wrapper; a changed spec rebuilds the extractor and
+// invalidates the stale wrapper.
+func specOf(req *wrapRequest) string {
+	var sb strings.Builder
+	sb.WriteString(req.SOD)
+	classes := make([]string, 0, len(req.Dictionaries))
+	for class := range req.Dictionaries {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Fprintf(&sb, "\x00%s", class)
+		for _, e := range req.Dictionaries[class] {
+			fmt.Fprintf(&sb, "\x01%s\x02%g", e.Value, e.Confidence)
+		}
+	}
+	return sb.String()
+}
+
+// register resolves the wrap request to a registered source, building a
+// fresh extractor + service when the source is new or its spec changed.
+func (s *Server) register(req *wrapRequest) (*source, error) {
+	spec := specOf(req)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if src, ok := s.sources[req.Source]; ok && src.spec == spec {
+		return src, nil
+	}
+	opts := []objectrunner.Option{}
+	classes := make([]string, 0, len(req.Dictionaries))
+	for class := range req.Dictionaries {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		entries := make([]objectrunner.Entry, 0, len(req.Dictionaries[class]))
+		for _, e := range req.Dictionaries[class] {
+			conf := e.Confidence
+			if conf == 0 {
+				conf = 0.9
+			}
+			entries = append(entries, objectrunner.Entry{Value: e.Value, Confidence: conf})
+		}
+		opts = append(opts, objectrunner.WithDictionary(class, entries))
+	}
+	cfg := objectrunner.DefaultConfig()
+	cfg.Workers = s.cfg.Workers
+	opts = append(opts, objectrunner.WithConfig(cfg), objectrunner.WithObserver(s.obs))
+	ex, err := objectrunner.New(req.SOD, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if old, ok := s.sources[req.Source]; ok {
+		// The spec changed: the cached wrapper (memory and disk) was
+		// inferred under the old SOD/dictionaries and must not be served.
+		old.svc.Invalidate(req.Source)
+		s.obs.Count("http.sources.replaced", 1)
+	}
+	src := &source{spec: spec, sod: req.SOD, svc: objectrunner.NewService(ex, s.cfg.Store)}
+	s.sources[req.Source] = src
+	s.obs.Count("http.sources.registered", 1)
+	return src, nil
+}
+
+func (s *Server) lookup(key string) *source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sources[key]
+}
+
+func (s *Server) handleWrap(w http.ResponseWriter, r *http.Request) {
+	var req wrapRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" || req.SOD == "" || len(req.Pages) == 0 {
+		s.errorf(w, http.StatusBadRequest, "source, sod and pages are required")
+		return
+	}
+	src, err := s.register(&req)
+	if err != nil {
+		s.errorf(w, http.StatusBadRequest, "bad source description: %v", err)
+		return
+	}
+	wr, err := src.svc.Wrapper(r.Context(), req.Source, req.Pages)
+	if errors.Is(err, objectrunner.ErrAborted) {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:  fmt.Sprintf("source discarded: %v", err),
+			Report: wr.Report(),
+		})
+		return
+	}
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wrapResponse{
+		Source:      req.Source,
+		Pages:       len(req.Pages),
+		Score:       wr.Score(),
+		Support:     wr.Support(),
+		Description: wr.Describe(),
+	})
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	var req extractRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" || len(req.Pages) == 0 {
+		s.errorf(w, http.StatusBadRequest, "source and pages are required")
+		return
+	}
+	src := s.lookup(req.Source)
+	if src == nil {
+		s.errorf(w, http.StatusNotFound, "unknown source %q: register it with POST /v1/wrap", req.Source)
+		return
+	}
+	objs, err := src.svc.ServeExtract(r.Context(), req.Source, req.Pages)
+	if errors.Is(err, objectrunner.ErrAborted) {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error: fmt.Sprintf("source discarded: %v", err),
+		})
+		return
+	}
+	if err != nil {
+		s.serveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, extractResponse{
+		Source:  req.Source,
+		Pages:   len(req.Pages),
+		Count:   len(objs),
+		Objects: objectrunner.FlattenObjects(objs),
+	})
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.sources))
+	for k := range s.sources {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	infos := make([]sourceInfo, 0, len(keys))
+	for _, k := range keys {
+		src := s.sources[k]
+		infos = append(infos, sourceInfo{Source: k, SOD: src.sod, Stats: src.svc.Stats()})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sources": infos})
+}
+
+func (s *Server) handleDeleteSource(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	src, ok := s.sources[key]
+	if ok {
+		delete(s.sources, key)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.errorf(w, http.StatusNotFound, "unknown source %q", key)
+		return
+	}
+	src.svc.Invalidate(key)
+	s.obs.Count("http.sources.deleted", 1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.mu.Lock()
+	n := len(s.sources)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sources":  n,
+		"inflight": s.inflight.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.obs.Snapshot()
+	s.mu.Lock()
+	stats := make(map[string]objectrunner.StoreStats, len(s.sources))
+	for k, src := range s.sources {
+		stats[k] = src.svc.Stats()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Counters:   snap.Counters,
+		Histograms: snap.Histograms,
+		Sources:    stats,
+		Inflight:   s.inflight.Load(),
+		Draining:   s.draining.Load(),
+	})
+}
+
+// serveError maps a Service error to an HTTP status: deadline → 504,
+// cancellation (client gone or server draining) and a closed cache →
+// 503, anything else → 500.
+func (s *Server) serveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.errorf(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+	case errors.Is(err, objectrunner.ErrClosed), errors.Is(err, context.Canceled):
+		s.errorf(w, http.StatusServiceUnavailable, "request canceled: %v", err)
+	default:
+		s.errorf(w, http.StatusInternalServerError, "%v", err)
+	}
+}

@@ -1,0 +1,440 @@
+package httpserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"objectrunner"
+)
+
+// The paper's running example (Fig. 3) as wire-level fixtures.
+const concertSOD = `tuple {
+	artist: instanceOf(Artist)
+	date: date
+	location: tuple { theater: instanceOf(Theater), address: address ? }
+}`
+
+func concertPages() []string {
+	page := func(body string) string { return "<html><body>" + body + "</body></html>" }
+	return []string{
+		page(`<li><div>Metallica</div><div>Monday May 11, 2010 8:00pm</div><div><span><a>Madison Square Garden</a></span><span>237 West 42nd Street</span><span>New York City</span><span>New York</span><span>10036</span></div></li>`),
+		page(`<li><div>Madonna</div><div>Saturday May 29, 2010 7:00pm</div><div><span><a>The Town Hall</a></span><span>131 W 55th Street</span><span>New York City</span><span>New York</span><span>10019</span></div></li><li><div>Muse</div><div>Friday June 19, 2010 7:00pm</div><div><span><a>B.B King Blues and Grill</a></span><span>4 Penn Plaza</span><span>New York City</span><span>New York</span><span>10001</span></div></li>`),
+		page(`<li><div>Coldplay</div><div>Saturday August 8, 2010 8:00pm</div><div><span><a>Bowery Ballroom</a></span><span>6 Delancey Street</span><span>New York City</span><span>New York</span><span>10002</span></div></li>`),
+	}
+}
+
+func concertDicts() map[string][]entryJSON {
+	return map[string][]entryJSON{
+		"Artist": {
+			{Value: "Metallica", Confidence: 0.9}, {Value: "Madonna", Confidence: 0.95},
+			{Value: "Muse", Confidence: 0.85}, {Value: "Coldplay", Confidence: 0.9},
+		},
+		"Theater": {
+			{Value: "Madison Square Garden", Confidence: 0.9}, {Value: "The Town Hall", Confidence: 0.8},
+			{Value: "B.B King Blues and Grill", Confidence: 0.75}, {Value: "Bowery Ballroom", Confidence: 0.85},
+		},
+	}
+}
+
+// concertService builds the library-level twin of a wrap registration,
+// for output-identity comparisons.
+func concertService(t testing.TB) *objectrunner.Service {
+	t.Helper()
+	var opts []objectrunner.Option
+	for _, class := range []string{"Artist", "Theater"} {
+		var entries []objectrunner.Entry
+		for _, e := range concertDicts()[class] {
+			entries = append(entries, objectrunner.Entry{Value: e.Value, Confidence: e.Confidence})
+		}
+		opts = append(opts, objectrunner.WithDictionary(class, entries))
+	}
+	ex, err := objectrunner.New(concertSOD, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return objectrunner.NewService(ex, objectrunner.StoreConfig{})
+}
+
+func postJSON(t testing.TB, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t testing.TB, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func wrapConcerts(t testing.TB, baseURL, source string) wrapResponse {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/wrap", wrapRequest{
+		Source: source, SOD: concertSOD, Pages: concertPages(), Dictionaries: concertDicts(),
+	})
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("wrap status = %d: %s", resp.StatusCode, b)
+	}
+	return decodeBody[wrapResponse](t, resp)
+}
+
+func TestWrapExtractRoundTrip(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wr := wrapConcerts(t, ts.URL, "concerts")
+	if wr.Score <= 0 || wr.Pages != 3 {
+		t.Errorf("wrap response = %+v", wr)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Error("missing X-Trace-Id header")
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract status = %d", resp.StatusCode)
+	}
+	er := decodeBody[extractResponse](t, resp)
+	if er.Count != 4 {
+		t.Fatalf("extracted %d objects, want 4", er.Count)
+	}
+
+	// The HTTP response must be identical to library-level ServeExtract.
+	svc := concertService(t)
+	objs, err := svc.ServeExtract(context.Background(), "concerts", concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(objectrunner.FlattenObjects(objs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(er.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("HTTP output differs from ServeExtract:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestWrapReuseAndReplace(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wrapConcerts(t, ts.URL, "concerts")
+	wrapConcerts(t, ts.URL, "concerts") // identical spec: reuse, cache hit
+	src := srv.lookup("concerts")
+	if st := src.svc.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats after re-wrap = %+v, want 1 miss + 1 hit", st)
+	}
+
+	// A changed spec (extra dictionary entry) replaces the registration
+	// and re-infers rather than serving the stale wrapper.
+	dicts := concertDicts()
+	dicts["Artist"] = append(dicts["Artist"], entryJSON{Value: "The Strokes", Confidence: 0.9})
+	resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+		Source: "concerts", SOD: concertSOD, Pages: concertPages(), Dictionaries: dicts,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-wrap status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if src2 := srv.lookup("concerts"); src2 == src {
+		t.Error("changed spec did not replace the registration")
+	}
+}
+
+func TestExtractUnknownSource(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "nope", Pages: concertPages()})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+	er := decodeBody[errorResponse](t, resp)
+	if !strings.Contains(er.Error, "nope") {
+		t.Errorf("error = %q, want the source key named", er.Error)
+	}
+}
+
+func TestWrapValidation(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for name, tc := range map[string]struct {
+		body   string
+		status int
+	}{
+		"bad json":       {`{"source": `, http.StatusBadRequest},
+		"missing fields": {`{"source": "x"}`, http.StatusBadRequest},
+		"bad sod":        {`{"source": "x", "sod": "tuple {", "pages": ["<html></html>"]}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/wrap", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", name, resp.StatusCode, tc.status)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestWrapAbortedSourceIs422(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+		Source: "about", SOD: concertSOD, Dictionaries: concertDicts(),
+		Pages: []string{
+			"<html><body><p>about our company</p></body></html>",
+			"<html><body><p>terms of service</p></body></html>",
+		},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	er := decodeBody[errorResponse](t, resp)
+	if er.Report == "" {
+		t.Error("422 response carries no inference report")
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	srv := New(Config{MaxBodyBytes: 256})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+		Source: "concerts", SOD: concertSOD, Pages: concertPages(),
+	})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestBackpressure429(t *testing.T) {
+	srv := New(Config{MaxInflight: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	blocked := srv.limited(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+
+	first := httptest.NewRecorder()
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		blocked(first, httptest.NewRequest("POST", "/v1/extract", nil))
+	}()
+	<-entered
+
+	// The semaphore is full: the next request is refused immediately.
+	second := httptest.NewRecorder()
+	srv.limited(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("handler ran past a full semaphore")
+	})(second, httptest.NewRequest("POST", "/v1/extract", nil))
+	if second.Code != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", second.Code)
+	}
+	if second.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(release)
+	<-firstDone
+	if first.Code != http.StatusOK {
+		t.Errorf("first request status = %d", first.Code)
+	}
+	// The slot was released: the next request goes through.
+	third := httptest.NewRecorder()
+	srv.limited(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})(third, httptest.NewRequest("POST", "/v1/extract", nil))
+	if third.Code != http.StatusOK {
+		t.Errorf("post-release status = %d, want 200", third.Code)
+	}
+	if got := srv.obs.Counter("http.throttled"); got != 1 {
+		t.Errorf("http.throttled = %d, want 1", got)
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	wrapConcerts(t, ts.URL, "concerts")
+
+	srv.Drain()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz status = %d, want 503 while draining", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("extract status = %d, want 503 while draining", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestPanicRecovery(t *testing.T) {
+	srv := New(Config{})
+	h := srv.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sources", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if got := srv.obs.Counter("http.panics"); got != 1 {
+		t.Errorf("http.panics = %d, want 1", got)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	srv := New(Config{RequestTimeout: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// A page set large enough that inference cannot finish in 1ms.
+	pages := make([]string, 0, 40*3)
+	for i := 0; i < 40; i++ {
+		pages = append(pages, concertPages()...)
+	}
+	resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+		Source: "concerts", SOD: concertSOD, Pages: pages, Dictionaries: concertDicts(),
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestDeleteSource(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	wrapConcerts(t, ts.URL, "site/concerts")
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sources/site/concerts", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d, want 204", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "site/concerts", Pages: concertPages()})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("extract after delete = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/sources/site/concerts", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestSourcesAndMetrics(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	wrapConcerts(t, ts.URL, "concerts")
+	resp := postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeBody[struct {
+		Sources []sourceInfo `json:"sources"`
+	}](t, resp)
+	if len(list.Sources) != 1 || list.Sources[0].Source != "concerts" {
+		t.Fatalf("sources = %+v", list.Sources)
+	}
+	if list.Sources[0].Stats.Misses != 1 || list.Sources[0].Stats.Hits != 1 {
+		t.Errorf("source stats = %+v, want 1 miss (wrap) + 1 hit (extract)", list.Sources[0].Stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeBody[metricsResponse](t, resp)
+	if m.Counters["http.requests"] < 3 {
+		t.Errorf("http.requests = %d, want >= 3", m.Counters["http.requests"])
+	}
+	if m.Counters["http.status.2xx"] == 0 {
+		t.Error("no 2xx responses counted")
+	}
+	if _, ok := m.Histograms["span.http.request"]; !ok {
+		keys := make([]string, 0, len(m.Histograms))
+		for k := range m.Histograms {
+			keys = append(keys, k)
+		}
+		t.Errorf("no http.request histogram; have %v", keys)
+	}
+	if st, ok := m.Sources["concerts"]; !ok || st.Len != 1 {
+		t.Errorf("metrics sources = %+v", m.Sources)
+	}
+	if m.Counters["store.misses"] == 0 {
+		t.Error("store counters not flowing through the shared observer")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	h := decodeBody[map[string]any](t, resp)
+	if h["status"] != "ok" {
+		t.Errorf("healthz = %v", h)
+	}
+}

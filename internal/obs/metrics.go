@@ -144,6 +144,41 @@ func (o *Observer) MetricNames() (counters, hists []string) {
 	return counters, hists
 }
 
+// HistView is the JSON-friendly export of one duration histogram, in
+// milliseconds (durations marshal as opaque nanosecond integers, so the
+// wire format converts).
+type HistView struct {
+	Count  int64   `json:"count"`
+	SumMs  float64 `json:"sum_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MinMs  float64 `json:"min_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Snapshot is a point-in-time export of every counter and histogram,
+// shaped for JSON serialization (the daemon's /metrics endpoint and
+// expvar share it).
+type Snapshot struct {
+	Counters   map[string]int64    `json:"counters"`
+	Histograms map[string]HistView `json:"histograms"`
+}
+
+// Snapshot returns the observer's current metrics. On a disabled
+// observer both maps are empty, never nil.
+func (o *Observer) Snapshot() Snapshot {
+	snap := Snapshot{Counters: o.Counters(), Histograms: make(map[string]HistView)}
+	for k, h := range o.Histograms() {
+		snap.Histograms[k] = HistView{
+			Count:  h.Count,
+			SumMs:  float64(h.Sum) / float64(time.Millisecond),
+			MeanMs: float64(h.Mean()) / float64(time.Millisecond),
+			MinMs:  float64(h.Min) / float64(time.Millisecond),
+			MaxMs:  float64(h.Max) / float64(time.Millisecond),
+		}
+	}
+	return snap
+}
+
 // PublishExpvar exposes the observer's counters and histogram means under
 // the given expvar name (e.g. for /debug/vars). The name must be unique
 // per process — expvar panics on duplicates — so call it once.
@@ -151,23 +186,5 @@ func (o *Observer) PublishExpvar(name string) {
 	if !o.Enabled() {
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any {
-		type histView struct {
-			Count            int64
-			MeanMs, MinMs, MaxMs float64
-		}
-		view := struct {
-			Counters   map[string]int64
-			Histograms map[string]histView
-		}{Counters: o.Counters(), Histograms: make(map[string]histView)}
-		for k, h := range o.Histograms() {
-			view.Histograms[k] = histView{
-				Count:  h.Count,
-				MeanMs: float64(h.Mean()) / float64(time.Millisecond),
-				MinMs:  float64(h.Min) / float64(time.Millisecond),
-				MaxMs:  float64(h.Max) / float64(time.Millisecond),
-			}
-		}
-		return view
-	}))
+	expvar.Publish(name, expvar.Func(func() any { return o.Snapshot() }))
 }

@@ -313,9 +313,9 @@ func TestRegistryErrors(t *testing.T) {
 	r := NewRegistry()
 	for _, ref := range []sod.RecognizerRef{
 		{Kind: "nosuch"},
-		{Kind: "regex"},            // missing pattern
-		{Kind: "regex", Arg: "["},  // bad pattern
-		{Kind: "instanceOf"},       // missing class
+		{Kind: "regex"},           // missing pattern
+		{Kind: "regex", Arg: "["}, // bad pattern
+		{Kind: "instanceOf"},      // missing class
 	} {
 		if _, err := r.Resolve(ref); err == nil {
 			t.Errorf("Resolve(%v) succeeded", ref)

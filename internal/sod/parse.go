@@ -112,9 +112,9 @@ type parser struct {
 	pos  int
 }
 
-func (p *parser) peek() tok  { return p.toks[p.pos] }
-func (p *parser) next() tok  { t := p.toks[p.pos]; p.pos++; return t }
-func (p *parser) eof() bool  { return p.peek().kind == tokEOF }
+func (p *parser) peek() tok { return p.toks[p.pos] }
+func (p *parser) next() tok { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool { return p.peek().kind == tokEOF }
 
 func (p *parser) expect(val string) error {
 	t := p.next()

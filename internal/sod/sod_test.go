@@ -72,10 +72,10 @@ func TestValidate(t *testing.T) {
 		t.Errorf("book SOD invalid: %v", err)
 	}
 	bad := []*Type{
-		{Kind: KindEntity},                                    // no name
-		{Kind: KindEntity, Name: "x"},                         // no recognizer
-		{Kind: KindSet, Name: "s"},                            // no elem
-		{Kind: KindTuple, Name: "t"},                          // no fields
+		{Kind: KindEntity},            // no name
+		{Kind: KindEntity, Name: "x"}, // no recognizer
+		{Kind: KindSet, Name: "s"},    // no elem
+		{Kind: KindTuple, Name: "t"},  // no fields
 		{Kind: KindDisjunction, Name: "d", Fields: []*Type{Entity("a", RecognizerRef{Kind: "date"})}}, // one alternative
 	}
 	for i, b := range bad {
@@ -225,12 +225,12 @@ func TestParseComments(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	for _, src := range []string{
 		``,
-		`tuple {}`,            // empty tuple
-		`tuple { a: }`,        // missing recognizer
-		`set()`,               // empty set
-		`oneof(a: date)`,      // single alternative
-		`tuple { a: date } x`, // trailing
-		`set(a: date`,         // unterminated
+		`tuple {}`,                 // empty tuple
+		`tuple { a: }`,             // missing recognizer
+		`set()`,                    // empty set
+		`oneof(a: date)`,           // single alternative
+		`tuple { a: date } x`,      // trailing
+		`set(a: date`,              // unterminated
 		`tuple { a: instanceOf(X `, // unterminated arg
 	} {
 		if _, err := Parse(src); err == nil {

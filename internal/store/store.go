@@ -103,6 +103,9 @@ type call struct {
 	err  error
 }
 
+// ErrClosed reports a Get on a store that was shut down with Close.
+var ErrClosed = errors.New("store: closed")
+
 // Store is the serving cache. All methods are safe for concurrent use.
 type Store struct {
 	cfg Config
@@ -112,6 +115,7 @@ type Store struct {
 	entries  map[string]*list.Element
 	inflight map[string]*call
 	stats    Stats
+	closed   bool
 }
 
 // New builds a cache with the given configuration.
@@ -140,6 +144,10 @@ func (s *Store) Get(ctx context.Context, key string, build func(ctx context.Cont
 			return nil, err
 		}
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
 		if w, ok := s.lookupLocked(key); ok {
 			s.stats.Hits++
 			s.mu.Unlock()
@@ -173,7 +181,10 @@ func (s *Store) Get(ctx context.Context, key string, build func(ctx context.Cont
 
 		s.mu.Lock()
 		delete(s.inflight, key)
-		if c.err == nil {
+		// After Close the cache no longer accepts entries; the build's
+		// result still reaches this caller (and its waiters), and
+		// buildOrLoad already spilled it to disk.
+		if c.err == nil && !s.closed {
 			s.insertLocked(key, c.w)
 		}
 		s.mu.Unlock()
@@ -281,6 +292,53 @@ func (s *Store) RecordServe(key string, emptyPages, totalPages int) {
 	s.cfg.Obs.Count("store.evictions.health", 1)
 	s.cfg.Obs.Event("store.health_evict", obs.A("key", key),
 		obs.A("empty_rate", rate), obs.A("served_pages", e.servedPages))
+}
+
+// Close drains and shuts down the cache: new Gets fail with ErrClosed,
+// in-flight singleflight builds are waited for (bounded by ctx — their
+// own contexts decide whether they finish or cancel), and every wrapper
+// still in memory is spilled to the spill directory so a restart starts
+// warm. Close is idempotent; it returns ctx.Err() when the wait was cut
+// short (entries present at that moment are still spilled).
+func (s *Store) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	calls := make([]*call, 0, len(s.inflight))
+	for _, c := range s.inflight {
+		calls = append(calls, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	for _, c := range calls {
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		if err != nil {
+			break
+		}
+	}
+
+	s.mu.Lock()
+	entries := make([]*entry, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*entry))
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		s.writeSpill(e.key, e.w)
+	}
+	s.cfg.Obs.Event("store.close", obs.A("spilled", len(entries)), obs.A("waited", len(calls)))
+	return err
 }
 
 // Invalidate removes the key from memory and disk.

@@ -346,6 +346,103 @@ func TestCorruptSpillIsRejectedAndRebuilt(t *testing.T) {
 	}
 }
 
+func TestCloseDrainsInflightAndSpills(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{SpillDir: dir})
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	getDone := make(chan error, 1)
+	go func() {
+		_, err := s.Get(context.Background(), "src", func(ctx context.Context) (*wrapper.Wrapper, error) {
+			close(enter)
+			<-release
+			return &wrapper.Wrapper{Support: 7}, nil
+		})
+		getDone <- err
+	}()
+	<-enter
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- s.Close(context.Background()) }()
+
+	// Close must wait for the in-flight build, not race past it.
+	select {
+	case err := <-closeDone:
+		t.Fatalf("Close returned %v while a build was in flight", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	// A closing store refuses new work immediately, even mid-drain.
+	var f fakeBuilder
+	if _, err := s.Get(context.Background(), "other", f.build); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get during drain err = %v, want ErrClosed", err)
+	}
+	close(release)
+	if err := <-getDone; err != nil {
+		t.Fatalf("in-flight Get err = %v", err)
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close err = %v", err)
+	}
+	// The drained build's result reached the spill directory: a fresh
+	// store over the same directory serves it without rebuilding.
+	s2 := New(Config{SpillDir: dir})
+	w, err := s2.Get(context.Background(), "src", func(ctx context.Context) (*wrapper.Wrapper, error) {
+		return nil, errors.New("rebuilt after drain spill")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Support != 7 {
+		t.Errorf("spilled wrapper Support = %d, want 7", w.Support)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want one disk hit", st)
+	}
+}
+
+func TestCloseCutShortStillSpillsCached(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{SpillDir: dir})
+	var f fakeBuilder
+	if _, err := s.Get(context.Background(), "cached", f.build); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the spill written at build time, so only Close's final
+	// spill pass can restore it.
+	if err := os.Remove(s.spillPath("cached")); err != nil {
+		t.Fatal(err)
+	}
+
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	getDone := make(chan struct{})
+	go func() {
+		defer close(getDone)
+		_, _ = s.Get(context.Background(), "slow", func(ctx context.Context) (*wrapper.Wrapper, error) {
+			close(enter)
+			<-release
+			return nil, errors.New("too late")
+		})
+	}()
+	<-enter
+
+	// A pre-canceled ctx cuts the inflight wait short; the cached entry
+	// must be spilled anyway.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Close(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close err = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(s.spillPath("cached")); err != nil {
+		t.Errorf("cached entry not spilled by cut-short Close: %v", err)
+	}
+	close(release)
+	<-getDone
+	if err := s.Close(context.Background()); err != nil {
+		t.Errorf("second Close = %v, want idempotent nil", err)
+	}
+}
+
 // corruptFile flips bytes at the end of the file.
 func corruptFile(path string) error {
 	b, err := os.ReadFile(path)

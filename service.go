@@ -132,6 +132,13 @@ func (s *Service) ServeExtract(ctx context.Context, sourceKey string, pages []st
 // next request re-infers.
 func (s *Service) Invalidate(sourceKey string) { s.st.Invalidate(sourceKey) }
 
+// Close drains the service for shutdown: new requests fail, in-flight
+// wrapper builds are waited for (bounded by ctx), and every cached
+// wrapper is spilled to the configured SpillDir so the next process
+// starts warm. Idempotent; returns ctx.Err() when the wait was cut
+// short.
+func (s *Service) Close(ctx context.Context) error { return s.st.Close(ctx) }
+
 // StoreStats is a snapshot of the service's cache accounting.
 type StoreStats = store.Stats
 
