@@ -30,34 +30,42 @@ ci: fmt-check
 # check is the extended tier-1 gate (see ROADMAP.md): everything ci
 # runs, then the parallel-pipeline, store-shutdown, and serving-cache
 # tests twice more under race to shake out scheduling-dependent
-# interleavings (singleflight, LRU, spill, drain).
+# interleavings (singleflight, LRU, spill, drain), plus the symbol-table
+# and tokenizer suites (concurrent interning, raw-text/entity edges).
 check: ci
 	$(GO) test -race -count=2 -run 'Parallel|Determinis|ExtractBatch|ForEach|Workers' ./...
 	$(GO) test -race -count=2 ./internal/store/
 	$(GO) test -race -count=2 ./internal/httpserver/
+	$(GO) test -race -count=2 ./internal/symtab/
+	$(GO) test -race -count=2 -run 'RawText|Entit|Tokeniz' ./internal/dom/ ./internal/eqclass/
 	$(GO) test -race -count=2 -run 'Serve|SaveLoad|WrapContext|Persist|Close|Drain' .
 
 # bench runs every benchmark and additionally records the parallel
-# scaling run (BENCH_parallel.json) and the serving-cache economics —
-# cold wrap vs cache hit vs disk load — (BENCH_serve.json) as JSON for
-# the perf trajectory. Each JSON file is written to a temp path and
-# renamed only on success, so a failed run never truncates the previous
-# record.
+# scaling run (BENCH_parallel.json), the serving-cache economics — cold
+# wrap vs cache hit vs disk load — (BENCH_serve.json), and the cold
+# inference allocation profile (BENCH_alloc.json) as JSON for the perf
+# trajectory. Each JSON file is written to a temp path and renamed only
+# on success, so a failed run never truncates the previous record.
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchmem -run XXX . > BENCH_parallel.json.tmp
 	mv BENCH_parallel.json.tmp BENCH_parallel.json
 	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchmem -run XXX . > BENCH_serve.json.tmp
 	mv BENCH_serve.json.tmp BENCH_serve.json
+	$(GO) test -json -bench='^BenchmarkInferAllocs$$' -benchmem -run XXX . > BENCH_alloc.json.tmp
+	mv BENCH_alloc.json.tmp BENCH_alloc.json
 
-# bench-smoke runs the two recorded benchmarks once each (-benchtime=1x)
+# bench-smoke runs the recorded benchmarks once each (-benchtime=1x)
 # purely to prove they still compile and complete; CI uploads the JSON
-# as an artifact but asserts nothing about the numbers.
+# as an artifact but asserts nothing about the numbers. -benchmem keeps
+# allocs/op in the smoke record too.
 bench-smoke:
-	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchtime=1x -run XXX . > BENCH_parallel.json.tmp
+	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchtime=1x -benchmem -run XXX . > BENCH_parallel.json.tmp
 	mv BENCH_parallel.json.tmp BENCH_parallel.json
-	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchtime=1x -run XXX . > BENCH_serve.json.tmp
+	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchtime=1x -benchmem -run XXX . > BENCH_serve.json.tmp
 	mv BENCH_serve.json.tmp BENCH_serve.json
+	$(GO) test -json -bench='^BenchmarkInferAllocs$$' -benchtime=1x -benchmem -run XXX . > BENCH_alloc.json.tmp
+	mv BENCH_alloc.json.tmp BENCH_alloc.json
 
 # trace runs one books source end to end with a JSONL span trace and the
 # EXPLAIN report on stderr.
@@ -72,4 +80,4 @@ trace: build
 
 clean:
 	rm -rf /tmp/objectrunner-bench /tmp/objectrunner-trace.jsonl
-	rm -f BENCH_parallel.json.tmp BENCH_serve.json.tmp
+	rm -f BENCH_parallel.json.tmp BENCH_serve.json.tmp BENCH_alloc.json.tmp

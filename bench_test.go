@@ -284,6 +284,7 @@ func BenchmarkWrapParallel(b *testing.B) {
 	for _, workers := range counts {
 		ex, pages := benchParallelExtractor(b, workers)
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				w, err := ex.Wrap(pages)
 				if err != nil {

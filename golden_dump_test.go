@@ -1,0 +1,63 @@
+package objectrunner
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"objectrunner/internal/corpus"
+	"objectrunner/internal/recognize"
+	"objectrunner/internal/sitegen"
+	"objectrunner/internal/wrapper"
+)
+
+// TestGoldenDump writes a corpus-wide fingerprint (per-source EXPLAIN
+// report + every extracted object) to the path named by GOLDEN_OUT. It is
+// a refactor aid, skipped unless the env var is set.
+func TestGoldenDump(t *testing.T) {
+	out := os.Getenv("GOLDEN_OUT")
+	if out == "" {
+		t.Skip("GOLDEN_OUT not set")
+	}
+	cfg := sitegen.DefaultConfig()
+	cfg.PagesPerSource = 8
+	b, err := sitegen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make(map[string]map[string]recognize.Recognizer)
+	for _, dd := range b.Domains {
+		reg := recognize.NewRegistry(b.KB, corpus.Source{Corpus: b.Corpus, Threshold: 0.05})
+		recs, err := reg.ResolveAll(dd.SOD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[dd.Spec.Name] = recs
+	}
+	var sb strings.Builder
+	for _, workers := range []int{1, 4} {
+		for _, dd := range b.Domains {
+			for _, src := range dd.Sources {
+				wcfg := wrapper.DefaultConfig()
+				wcfg.Workers = workers
+				w := wrapper.Infer(src.Pages, dd.SOD, regs[dd.Spec.Name], b.KB, wcfg)
+				fmt.Fprintf(&sb, "=== workers=%d %s/%s aborted=%v %s\n", workers, dd.Spec.Name, src.Spec.Name, w.Aborted, w.AbortReason)
+				if w.Report != nil {
+					sb.WriteString(w.Report.String())
+				}
+				if !w.Aborted {
+					for pi, objs := range w.ExtractBatch(src.Pages) {
+						for _, o := range objs {
+							fmt.Fprintf(&sb, "p%d %s\n", pi, o.String())
+						}
+					}
+				}
+			}
+		}
+	}
+	if err := os.WriteFile(out, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d bytes to %s", sb.Len(), out)
+}

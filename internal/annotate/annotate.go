@@ -17,6 +17,7 @@ import (
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/render"
 	"objectrunner/internal/sod"
+	"objectrunner/internal/symtab"
 )
 
 // Ann is one annotation: an entity-type label attached to a DOM node whose
@@ -239,6 +240,39 @@ type constTF struct{}
 
 func (constTF) TermFrequency(string) float64 { return 1 }
 
+// tfMemo caches term frequencies under interned phrase symbols for the
+// duration of one sample selection. Both KB- and corpus-backed sources
+// normalize the phrase on every call (tokenize + join — two allocations);
+// Algorithm 1 asks for the same annotation values over and over across
+// scoring rounds, so one selection-scoped table amortizes all of it.
+// Frequencies are immutable during selection, which makes the cache
+// transparent.
+type tfMemo struct {
+	tf   TermFreq
+	tab  *symtab.Table
+	vals []float64
+}
+
+func newTFMemo(tf TermFreq) *tfMemo {
+	if tf == nil {
+		tf = constTF{}
+	}
+	return &tfMemo{tf: tf, tab: symtab.New()}
+}
+
+func (m *tfMemo) TermFrequency(phrase string) float64 {
+	sym := m.tab.Intern(phrase)
+	if int(sym) >= len(m.vals) {
+		grown := make([]float64, int(sym)+1)
+		copy(grown, m.vals)
+		m.vals = grown
+	}
+	if m.vals[sym] == 0 {
+		m.vals[sym] = m.tf.TermFrequency(phrase)
+	}
+	return m.vals[sym]
+}
+
 // TypeSelectivity computes the paper's Eq. 2 for a dictionary type:
 // score(t) = Σ_{i∈dict} score(i,t)/tf(i). High values mean few, specific
 // witness instances — those types are matched first in Algorithm 1.
@@ -356,6 +390,9 @@ func SelectSampleCtx(ctx context.Context, pages []*dom.Node, s *sod.Type, recs m
 	if p.Shrink <= 0 || p.Shrink >= 1 {
 		p.Shrink = 0.5
 	}
+	// All scoring below shares one selection-scoped frequency cache; the
+	// rounds re-score the same annotations repeatedly.
+	tf = newTFMemo(tf)
 	res := &Result{}
 	cur := make([]*PageAnnotations, 0, len(pages))
 	for _, pg := range pages {
@@ -476,21 +513,34 @@ func sortByMinScore(pas []*PageAnnotations, types []string, tf TermFreq) {
 	// Primary criterion: the paper's minimum score across processed
 	// types. With incomplete dictionaries many relevant pages tie at
 	// zero (no known instance of some type on the page), so the total
-	// annotation mass breaks ties.
-	sum := func(pa *PageAnnotations) float64 {
-		s := 0.0
-		for _, t := range types {
-			s += PageScore(pa, t, tf)
-		}
-		return s
+	// annotation mass breaks ties. Scores are computed once per page up
+	// front — the annotation scan is the expensive part, and a comparator
+	// recomputing it turns every sort into O(n log n) page scans.
+	type ranked struct {
+		pa       *PageAnnotations
+		min, sum float64
 	}
-	sort.SliceStable(pas, func(i, j int) bool {
-		mi, mj := MinScore(pas[i], types, tf), MinScore(pas[j], types, tf)
-		if mi != mj {
-			return mi > mj
+	rs := make([]ranked, len(pas))
+	for i, pa := range pas {
+		r := ranked{pa: pa}
+		for j, t := range types {
+			s := PageScore(pa, t, tf)
+			if j == 0 || s < r.min {
+				r.min = s
+			}
+			r.sum += s
 		}
-		return sum(pas[i]) > sum(pas[j])
+		rs[i] = r
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].min != rs[j].min {
+			return rs[i].min > rs[j].min
+		}
+		return rs[i].sum > rs[j].sum
 	})
+	for i := range rs {
+		pas[i] = rs[i].pa
+	}
 }
 
 // blockCondition checks the paper's abort test: for at least one visual

@@ -5,11 +5,16 @@ package dom
 // pages are frequently ill-formed (unclosed <li>, <p>, table cells, stray
 // end tags), and downstream wrapper inference requires a well-formed tree.
 
-// voidElements never take children and need no end tag.
-var voidElements = map[string]bool{
-	"area": true, "base": true, "br": true, "col": true, "embed": true,
-	"hr": true, "img": true, "input": true, "link": true, "meta": true,
-	"param": true, "source": true, "track": true, "wbr": true,
+// isVoidElement reports tags that never take children and need no end
+// tag. Consulted for every start tag; a switch keeps it off the map-hash
+// path.
+func isVoidElement(name string) bool {
+	switch name {
+	case "area", "base", "br", "col", "embed", "hr", "img", "input",
+		"link", "meta", "param", "source", "track", "wbr":
+		return true
+	}
+	return false
 }
 
 // autoClose maps a tag to the set of open tags it implicitly closes when it
@@ -30,14 +35,16 @@ var autoClose = map[string]map[string]bool{
 	"optgroup": {"option": true, "optgroup": true},
 }
 
-// blockClosesP marks block-level tags whose start implies closing an open
-// <p>.
-var blockClosesP = map[string]bool{
-	"address": true, "article": true, "aside": true, "blockquote": true,
-	"div": true, "dl": true, "fieldset": true, "footer": true, "form": true,
-	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
-	"header": true, "hr": true, "main": true, "nav": true, "ol": true,
-	"pre": true, "section": true, "table": true, "ul": true,
+// blockClosesP reports block-level tags whose start implies closing an
+// open <p>.
+func blockClosesP(name string) bool {
+	switch name {
+	case "address", "article", "aside", "blockquote", "div", "dl",
+		"fieldset", "footer", "form", "h1", "h2", "h3", "h4", "h5", "h6",
+		"header", "hr", "main", "nav", "ol", "pre", "section", "table", "ul":
+		return true
+	}
+	return false
 }
 
 // Parse builds a DOM tree from raw HTML. It never fails: malformed input
@@ -58,20 +65,20 @@ func Parse(src string) *Node {
 				stack = stack[:len(stack)-1]
 			}
 		}
-		if blockClosesP[name] {
+		if blockClosesP(name) {
 			for len(stack) > 1 && top().Data == "p" {
 				stack = stack[:len(stack)-1]
 			}
 		}
 		el := &Node{Type: ElementNode, Data: name, Attrs: tok.Attrs}
 		top().AppendChild(el)
-		if tok.Type == StartTagToken && !voidElements[name] {
+		if tok.Type == StartTagToken && !isVoidElement(name) {
 			stack = append(stack, el)
 		}
 	}
 
 	closeTag := func(name string) {
-		if voidElements[name] {
+		if isVoidElement(name) {
 			return
 		}
 		// Find the matching open element.

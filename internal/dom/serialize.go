@@ -35,7 +35,7 @@ func serialize(sb *strings.Builder, n *Node) {
 		sb.WriteString(n.Data)
 		sb.WriteString("-->")
 	case TextNode:
-		if n.Parent != nil && n.Parent.Type == ElementNode && rawTextTags[n.Parent.Data] {
+		if n.Parent != nil && n.Parent.Type == ElementNode && isRawTextTag(n.Parent.Data) {
 			sb.WriteString(n.Data)
 		} else {
 			sb.WriteString(EncodeEntities(n.Data))
@@ -51,7 +51,7 @@ func serialize(sb *strings.Builder, n *Node) {
 			sb.WriteByte('"')
 		}
 		sb.WriteByte('>')
-		if voidElements[n.Data] {
+		if isVoidElement(n.Data) {
 			return
 		}
 		for _, c := range n.Children {

@@ -48,13 +48,15 @@ func NewTokenizer(src string) *Tokenizer {
 	return &Tokenizer{src: src}
 }
 
-// rawTextTags are elements whose content is scanned verbatim until the
-// matching end tag.
-var rawTextTags = map[string]bool{
-	"script":   true,
-	"style":    true,
-	"textarea": true,
-	"title":    true,
+// isRawTextTag reports elements whose content is scanned verbatim until
+// the matching end tag. A switch compiles to direct comparisons — no map
+// hash on the per-tag hot path.
+func isRawTextTag(name string) bool {
+	switch name {
+	case "script", "style", "textarea", "title":
+		return true
+	}
+	return false
 }
 
 // Next returns the next token and true, or a zero token and false at the
@@ -233,7 +235,7 @@ func (z *Tokenizer) nextTag() (Token, bool) {
 		}
 	}
 	z.pos = j
-	if tok.Type == StartTagToken && rawTextTags[name] {
+	if tok.Type == StartTagToken && isRawTextTag(name) {
 		z.rawTag = name
 	}
 	return tok, true

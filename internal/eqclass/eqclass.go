@@ -3,9 +3,11 @@ package eqclass
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"objectrunner/internal/obs"
+	"objectrunner/internal/symtab"
 )
 
 // Params tunes Algorithm 2.
@@ -97,17 +99,36 @@ type Analysis struct {
 	Iterations int
 
 	params Params
-	// roleKeys maps role id to its structural key (diagnostics).
-	roleKeys []string
+	// tab interns token values, paths, and annotation labels for this
+	// analysis; role keys and descriptors reference its symbols.
+	tab *symtab.Table
+	// roleKeys maps role id to its structural key.
+	roleKeys []roleKey
 	// profiles holds per-class slot profiles, keyed by EQ id (filled by
 	// BuildHierarchy).
 	profiles map[int][]SlotProfile
 	// obs receives the per-step events of AnalyzeObserved.
 	obs *obs.Observer
+	// inClass and occsBuf are scratch buffers reused across validateEQ
+	// calls (role-indexed membership bitmap; per-page member collector).
+	inClass []bool
+	occsBuf []*Occurrence
 }
 
 // roleCount returns the number of distinct roles currently assigned.
 func (a *Analysis) roleCount() int { return len(a.roleKeys) }
+
+// Table returns the symbol table the analysis interned its pages into.
+func (a *Analysis) Table() *symtab.Table { return a.tab }
+
+// total returns the token count across all pages.
+func (a *Analysis) total() int {
+	n := 0
+	for _, page := range a.Pages {
+		n += len(page)
+	}
+	return n
+}
 
 // Analyze runs Algorithm 2: differentiate roles by HTML features, then
 // iterate {find EQs; differentiate by EQ positions and non-conflicting
@@ -123,6 +144,13 @@ func Analyze(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool) *Anal
 // equivalence classes, (iii) non-conflicting and (iv) conflicting
 // annotations — plus invalid-EQ salvage events, to the observer.
 func AnalyzeObserved(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool, ob *obs.Observer) *Analysis {
+	return AnalyzeTable(pages, p, hook, ob, nil)
+}
+
+// AnalyzeTable is AnalyzeObserved interning into a caller-supplied symbol
+// table (nil creates a private one). Occurrences already carrying symbols
+// must have been interned against the same table; they are not re-interned.
+func AnalyzeTable(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool, ob *obs.Observer, tab *symtab.Table) *Analysis {
 	if p.Support <= 0 {
 		p.Support = 3
 	}
@@ -132,12 +160,16 @@ func AnalyzeObserved(pages [][]*Occurrence, p Params, hook func(a *Analysis) boo
 	if p.MaxIter <= 0 {
 		p.MaxIter = 10
 	}
-	a := &Analysis{Pages: pages, params: p, obs: ob}
+	if tab == nil {
+		tab = symtab.New()
+	}
+	InternPages(tab, pages)
+	a := &Analysis{Pages: pages, params: p, obs: ob, tab: tab}
 
 	// Line 1: differentiate roles using HTML features (value + DOM path).
 	// Annotated words are shielded from template candidacy so that
 	// too-regular data ("New York") stays extractable (paper §II.C).
-	a.assignRoles(func(o *Occurrence) string { return baseKey(o) })
+	a.assignRoles(baseKey)
 	ob.Event("eqclass.step", obs.A("step", "i-html"), obs.A("roles", a.roleCount()))
 
 	aborted := false
@@ -200,9 +232,54 @@ func AnalyzeObserved(pages [][]*Occurrence, p Params, hook func(a *Analysis) boo
 	return a
 }
 
+// roleKey is the comparable role-differentiation key. kind/val/pth are
+// the HTML-feature base (criterion i); gen/eq/slot/ord record the
+// positional refinement of criterion (ii), tagged with the generation so
+// stale keys from earlier class ids cannot collide; ann is the interned
+// annotation label of criteria (iii)/(iv), symtab.None when absent.
+type roleKey struct {
+	kind          TokKind
+	val, pth      symtab.Sym
+	gen           int32
+	eq, slot, ord int32
+	ann           symtab.Sym
+}
+
+// legacyString composes the historical string form of a role key
+// ("kind|value|path" + "|g<gen>.eq<id>.s<slot>.o<ord>" + "|t:<label>").
+// Role numbering sorts distinct keys on this form: numbering order is
+// observable — the conflicting-annotation pass freezes roles through
+// class role-id sets recorded before the last renumbering, so a
+// different sort order would shift which roles those stale ids hit.
+// Composing the string once per distinct key (a few hundred per pass)
+// keeps the comparison cheap without hashing strings per occurrence.
+func (a *Analysis) legacyString(k roleKey) string {
+	b := make([]byte, 0, 64)
+	b = strconv.AppendInt(b, int64(k.kind), 10)
+	b = append(b, '|')
+	b = append(b, a.tab.StringOf(k.val)...)
+	b = append(b, '|')
+	b = append(b, a.tab.StringOf(k.pth)...)
+	if k.gen != 0 {
+		b = append(b, "|g"...)
+		b = strconv.AppendInt(b, int64(k.gen), 10)
+		b = append(b, ".eq"...)
+		b = strconv.AppendInt(b, int64(k.eq), 10)
+		b = append(b, ".s"...)
+		b = strconv.AppendInt(b, int64(k.slot), 10)
+		b = append(b, ".o"...)
+		b = strconv.AppendInt(b, int64(k.ord), 10)
+	}
+	if k.ann != symtab.None {
+		b = append(b, "|t:"...)
+		b = append(b, a.tab.StringOf(k.ann)...)
+	}
+	return string(b)
+}
+
 // baseKey is the HTML-feature role key.
-func baseKey(o *Occurrence) string {
-	return fmt.Sprintf("%d|%s|%s", o.Kind, o.Value, o.Path)
+func baseKey(o *Occurrence) roleKey {
+	return roleKey{kind: o.Kind, val: o.Val, pth: o.Pth}
 }
 
 // templateCandidate reports whether the occurrence may serve as a
@@ -219,53 +296,90 @@ func (a *Analysis) templateCandidate(o *Occurrence) bool {
 // the induced partition of occurrences changed — ids themselves may be
 // relabelled freely (keys carry generation tags), so change is detected
 // as a broken old↔new bijection. Role ids are dense and deterministic.
-func (a *Analysis) assignRoles(key func(*Occurrence) string) bool {
-	type occKey struct {
-		o *Occurrence
-		k string
-	}
-	var all []occKey
+// The key function is called exactly once per occurrence, in page and
+// position order (key functions may be stateful — ordinal counters).
+func (a *Analysis) assignRoles(key func(*Occurrence) roleKey) bool {
+	perOcc := make([]roleKey, 0, a.total())
+	id := make(map[roleKey]int, len(a.roleKeys)+16)
+	keys := make([]roleKey, 0, len(a.roleKeys)+16)
 	for _, page := range a.Pages {
 		for _, o := range page {
-			all = append(all, occKey{o, key(o)})
+			k := key(o)
+			perOcc = append(perOcc, k)
+			if _, ok := id[k]; !ok {
+				id[k] = 0
+				keys = append(keys, k)
+			}
 		}
 	}
-	keys := make([]string, 0, len(all))
-	seen := make(map[string]bool)
-	for _, ok := range all {
-		if !seen[ok.k] {
-			seen[ok.k] = true
-			keys = append(keys, ok.k)
-		}
+	legacy := make([]string, len(keys))
+	for i, k := range keys {
+		legacy[i] = a.legacyString(k)
 	}
-	sort.Strings(keys)
-	id := make(map[string]int, len(keys))
+	sort.Sort(&keySorter{keys: keys, legacy: legacy})
 	for i, k := range keys {
 		id[k] = i
 	}
+	oldRoles := len(a.roleKeys)
+	if oldRoles == 0 {
+		oldRoles = 1 // initial assignment: every occurrence has role 0
+	}
+	oldToNew := make([]int, oldRoles)
+	newToOld := make([]int, len(keys))
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for i := range newToOld {
+		newToOld[i] = -1
+	}
 	changed := false
-	oldToNew := make(map[int]int)
-	newToOld := make(map[int]int)
-	for _, ok := range all {
-		r := id[ok.k]
-		if n, seen := oldToNew[ok.o.role]; seen {
-			if n != r {
-				changed = true
+	i := 0
+	for _, page := range a.Pages {
+		for _, o := range page {
+			r := id[perOcc[i]]
+			i++
+			if n := oldToNew[o.role]; n >= 0 {
+				if n != r {
+					changed = true
+				}
+			} else {
+				oldToNew[o.role] = r
 			}
-		} else {
-			oldToNew[ok.o.role] = r
-		}
-		if old, seen := newToOld[r]; seen {
-			if old != ok.o.role {
-				changed = true
+			if old := newToOld[r]; old >= 0 {
+				if old != o.role {
+					changed = true
+				}
+			} else {
+				newToOld[r] = o.role
 			}
-		} else {
-			newToOld[r] = ok.o.role
+			o.role = r
 		}
-		ok.o.role = r
 	}
 	a.roleKeys = keys
 	return changed
+}
+
+// keySorter orders role keys with their legacy string forms in lockstep.
+type keySorter struct {
+	keys   []roleKey
+	legacy []string
+}
+
+func (s *keySorter) Len() int           { return len(s.keys) }
+func (s *keySorter) Less(i, j int) bool { return s.legacy[i] < s.legacy[j] }
+func (s *keySorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.legacy[i], s.legacy[j] = s.legacy[j], s.legacy[i]
+}
+
+// roleStat aggregates a role's occurrence vector, page coverage, and
+// occurrences (page order then position). Roles are dense, so analysis
+// passes index a flat []roleStat instead of hashing role keys.
+type roleStat struct {
+	vector []int
+	pages  int
+	occs   []*Occurrence
+	cand   bool
 }
 
 // findEQs groups template-candidate roles by occurrence vector, validates
@@ -276,38 +390,61 @@ func (a *Analysis) findEQs() []*EQ {
 	if support > np {
 		support = np
 	}
-	// Occurrence vectors and page coverage per role.
-	type roleStat struct {
-		vector []int
-		pages  int
-		occs   []*Occurrence // all occurrences, page order then position
-		cand   bool
+	// Occurrence vectors and page coverage per role: dense slices indexed
+	// by role id, with one shared backing array per field.
+	n := a.roleCount()
+	stats := make([]roleStat, n)
+	vecs := make([]int, n*np)
+	for r := range stats {
+		stats[r].vector = vecs[r*np : (r+1)*np : (r+1)*np]
+		stats[r].cand = true
 	}
-	stats := make(map[int]*roleStat)
 	for pi, page := range a.Pages {
 		for _, o := range page {
-			st, ok := stats[o.role]
-			if !ok {
-				st = &roleStat{vector: make([]int, np), cand: true}
-				stats[o.role] = st
-			}
+			st := &stats[o.role]
 			if st.vector[pi] == 0 {
 				st.pages++
 			}
 			st.vector[pi]++
-			st.occs = append(st.occs, o)
 			if !a.templateCandidate(o) {
 				st.cand = false
 			}
 		}
 	}
-	// Group candidate roles by vector.
+	// Carve per-role occurrence lists out of one arena now that counts are
+	// known, then fill them in page order.
+	counts := make([]int, n)
+	total := 0
+	for r := range stats {
+		for _, c := range stats[r].vector {
+			counts[r] += c
+		}
+		total += counts[r]
+	}
+	occArena := make([]*Occurrence, 0, total)
+	off := 0
+	for r := range stats {
+		stats[r].occs = occArena[off : off : off+counts[r]]
+		off += counts[r]
+	}
+	for _, page := range a.Pages {
+		for _, o := range page {
+			stats[o.role].occs = append(stats[o.role].occs, o)
+		}
+	}
+	// Group candidate roles by vector. The group key replicates the
+	// fmt.Sprint([]int) form "[1 2 3]" — group order is sorted on this
+	// string and determines class ids, which are visible in reports, so
+	// the historical ordering is load-bearing.
 	groups := make(map[string][]int)
-	for r, st := range stats {
+	var buf []byte
+	for r := range stats {
+		st := &stats[r]
 		if !st.cand || st.pages < support {
 			continue
 		}
-		key := fmt.Sprint(st.vector)
+		buf = appendVector(buf[:0], st.vector)
+		key := string(buf)
 		groups[key] = append(groups[key], r)
 	}
 	gkeys := make([]string, 0, len(groups))
@@ -318,14 +455,28 @@ func (a *Analysis) findEQs() []*EQ {
 
 	var eqs []*EQ
 	for _, gk := range gkeys {
+		// Roles were appended in increasing id order, so each group is
+		// already sorted.
 		roles := groups[gk]
-		sort.Ints(roles)
-		for _, eq := range a.salvageEQs(roles, stats[roles[0]].vector) {
+		for _, eq := range a.salvageEQs(roles, stats) {
 			eq.ID = len(eqs) + 1
 			eqs = append(eqs, eq)
 		}
 	}
 	return eqs
+}
+
+// appendVector formats an occurrence vector exactly like
+// fmt.Sprint([]int): "[3 3 4]".
+func appendVector(buf []byte, v []int) []byte {
+	buf = append(buf, '[')
+	for i, x := range v {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = strconv.AppendInt(buf, int64(x), 10)
+	}
+	return append(buf, ']')
 }
 
 // salvageEQs handles invalid candidate classes (Algorithm 2, "handle
@@ -334,7 +485,8 @@ func (a *Analysis) findEQs() []*EQ {
 // progressively smaller subgroups are retried: the tag tokens alone, then
 // the tag tokens partitioned by DOM path. Members excluded from a class
 // simply remain data.
-func (a *Analysis) salvageEQs(roles []int, vector []int) []*EQ {
+func (a *Analysis) salvageEQs(roles []int, stats []roleStat) []*EQ {
+	vector := stats[roles[0]].vector
 	if eq := a.validateEQ(roles, vector); eq != nil {
 		return []*EQ{eq}
 	}
@@ -342,22 +494,12 @@ func (a *Analysis) salvageEQs(roles []int, vector []int) []*EQ {
 	// ordered-and-nested test and enters progressive salvage.
 	a.obs.Count("eqclass.invalid_eqs", 1)
 	a.obs.Event("eqclass.invalid_eq", obs.A("roles", len(roles)))
-	// Locate a representative occurrence per role for kind and path.
-	rep := make(map[int]*Occurrence, len(roles))
-	want := make(map[int]bool, len(roles))
-	for _, r := range roles {
-		want[r] = true
-	}
-	for _, page := range a.Pages {
-		for _, o := range page {
-			if want[o.role] && rep[o.role] == nil {
-				rep[o.role] = o
-			}
-		}
-	}
+	// Each role's first occurrence (page order) is its representative for
+	// kind and path.
+	rep := func(r int) *Occurrence { return stats[r].occs[0] }
 	var tags []int
 	for _, r := range roles {
-		if o := rep[r]; o != nil && o.Kind != KindWord {
+		if rep(r).Kind != KindWord {
 			tags = append(tags, r)
 		}
 	}
@@ -371,7 +513,7 @@ func (a *Analysis) salvageEQs(roles []int, vector []int) []*EQ {
 	}
 	byPath := make(map[string][]int)
 	for _, r := range tags {
-		byPath[rep[r].Path] = append(byPath[rep[r].Path], r)
+		byPath[rep(r).Path] = append(byPath[rep(r).Path], r)
 	}
 	paths := make([]string, 0, len(byPath))
 	for p := range byPath {
@@ -380,9 +522,8 @@ func (a *Analysis) salvageEQs(roles []int, vector []int) []*EQ {
 	sort.Strings(paths)
 	var out []*EQ
 	for _, p := range paths {
-		sub := byPath[p]
-		sort.Ints(sub)
-		if eq := a.validateEQ(sub, vector); eq != nil {
+		// Subgroups inherit the ascending role order of tags.
+		if eq := a.validateEQ(byPath[p], vector); eq != nil {
 			out = append(out, eq)
 		}
 	}
@@ -396,20 +537,29 @@ func (a *Analysis) salvageEQs(roles []int, vector []int) []*EQ {
 // EQs").
 func (a *Analysis) validateEQ(roles []int, vector []int) *EQ {
 	k := len(roles)
-	inClass := make(map[int]bool, k)
+	if len(a.inClass) < a.roleCount() {
+		a.inClass = make([]bool, a.roleCount())
+	}
+	inClass := a.inClass
 	for _, r := range roles {
 		inClass[r] = true
 	}
+	defer func() {
+		for _, r := range roles {
+			inClass[r] = false
+		}
+	}()
 	var sigma []int
 	var sigmaOccs []*Occurrence
 	tuples := make([][]Tuple, len(a.Pages))
 	for pi, page := range a.Pages {
-		var occs []*Occurrence
+		occs := a.occsBuf[:0]
 		for _, o := range page {
 			if inClass[o.role] {
 				occs = append(occs, o)
 			}
 		}
+		a.occsBuf = occs[:0]
 		if len(occs) != k*vector[pi] {
 			return nil // should not happen; defensive
 		}
@@ -547,7 +697,20 @@ func (a *Analysis) differentiate(conflicting bool, generation int) bool {
 	// suffice to tell the roles apart (§III.C) — so the purely structural
 	// baseline (UseAnnotations=false) keeps such classes as nested
 	// iterators, exactly like ExAlg.
-	frozen := make(map[int]bool)
+	// e.Roles may hold ids from the numbering in effect when findEQs last
+	// ran — assignRoles renumbers on every differentiate call, so after a
+	// changed inner round these ids are stale (and can exceed the current
+	// role count). The legacy-string sort order in assignRoles keeps this
+	// aliasing deterministic; size the bitmap for both numberings.
+	nRoles := a.roleCount()
+	for _, e := range a.EQs {
+		for _, r := range e.Roles {
+			if r >= nRoles {
+				nRoles = r + 1
+			}
+		}
+	}
+	frozen := make([]bool, nRoles)
 	for _, e := range a.EQs {
 		freeze := true
 		if a.params.UseAnnotations && e.Parent != nil {
@@ -596,21 +759,22 @@ func (a *Analysis) differentiate(conflicting bool, generation int) bool {
 	// too: a frozen iterator class whose token occurrences carry distinct
 	// types (the classless record <div>s) must still be differentiated —
 	// freezing only shields roles from positional re-splitting.
-	annLabel := a.annotationLabels(conflicting, nil)
+	annLabel := a.annotationLabels(conflicting)
 
 	// Recompute keys: frozen roles keep their previous key modulo the
 	// annotation label; free occurrences get base + scope/ordinal +
 	// annotation label, tagged with the generation so stale keys from
 	// earlier class ids cannot collide.
-	ordinalSeen := make(map[string]int)
-	key := func(o *Occurrence) string {
+	type ordScope struct {
+		page, eq, tuple, slot, role int
+	}
+	ordinalSeen := make(map[ordScope]int)
+	key := func(o *Occurrence) roleKey {
 		if frozen[o.role] {
 			k := a.roleKeys[o.role]
-			if idx := strings.LastIndex(k, "|t:"); idx >= 0 {
-				k = k[:idx]
-			}
+			k.ann = symtab.None
 			if lbl, ok := annLabel[o]; ok {
-				k += "|t:" + lbl
+				k.ann = a.tab.Intern(lbl)
 			}
 			return k
 		}
@@ -618,16 +782,19 @@ func (a *Analysis) differentiate(conflicting bool, generation int) bool {
 		k := baseKey(o)
 		if sc.eq >= 0 {
 			m := minPerSlot[rsKey{o.role, sc.eq, sc.slot}]
-			ordKey := fmt.Sprintf("%d|%d|%d|%d|%d", o.Page, sc.eq, sc.tuple, sc.slot, o.role)
-			ordinalSeen[ordKey]++
-			ord := ordinalSeen[ordKey]
+			os := ordScope{o.Page, sc.eq, sc.tuple, sc.slot, o.role}
+			ordinalSeen[os]++
+			ord := ordinalSeen[os]
 			if ord > m {
 				ord = m + 1 // overflow bucket beyond the minimal count
 			}
-			k += fmt.Sprintf("|g%d.eq%d.s%d.o%d", generation, sc.eq, sc.slot, ord)
+			k.gen = int32(generation)
+			k.eq = int32(sc.eq)
+			k.slot = int32(sc.slot)
+			k.ord = int32(ord)
 		}
 		if lbl, ok := annLabel[o]; ok {
-			k += "|t:" + lbl
+			k.ann = a.tab.Intern(lbl)
 		}
 		return k
 	}
@@ -647,7 +814,7 @@ func (a *Analysis) differentiate(conflicting bool, generation int) bool {
 // Conflicting phase: deferred roles are resolved by majority
 // generalization at AnnThreshold; overridden or unresolved annotations
 // are counted as conflicts (the wrapper's quality estimate).
-func (a *Analysis) annotationLabels(conflicting bool, frozen map[int]bool) map[*Occurrence]string {
+func (a *Analysis) annotationLabels(conflicting bool) map[*Occurrence]string {
 	labels := make(map[*Occurrence]string)
 	if !a.params.UseAnnotations {
 		return labels
@@ -657,24 +824,33 @@ func (a *Analysis) annotationLabels(conflicting bool, frozen map[int]bool) map[*
 		// conflicting pass rather than accumulating across passes.
 		a.Conflicts = 0
 	}
-	// Group occurrences by role; when a frozen set is supplied, only free
-	// roles participate.
-	byRole := make(map[int][]*Occurrence)
+	// Group occurrences by role: count, carve from one arena, fill —
+	// roles are dense, so every pass is a slice index.
+	n := a.roleCount()
+	counts := make([]int, n)
+	total := 0
 	for _, page := range a.Pages {
+		total += len(page)
 		for _, o := range page {
-			if !frozen[o.role] {
-				byRole[o.role] = append(byRole[o.role], o)
-			}
+			counts[o.role]++
 		}
 	}
-	roles := make([]int, 0, len(byRole))
+	arena := make([]*Occurrence, 0, total)
+	byRole := make([][]*Occurrence, n)
+	off := 0
 	for r := range byRole {
-		roles = append(roles, r)
+		byRole[r] = arena[off : off : off+counts[r]]
+		off += counts[r]
 	}
-	sort.Ints(roles)
-	for _, r := range roles {
+	for _, page := range a.Pages {
+		for _, o := range page {
+			byRole[o.role] = append(byRole[o.role], o)
+		}
+	}
+	for r := 0; r < n; r++ {
 		occs := byRole[r]
 		hasMulti := false
+		sole := "" // the single type name while len(typeCounts) == 1
 		typeCounts := make(map[string]int)
 		annotated := 0
 		for _, o := range occs {
@@ -685,6 +861,9 @@ func (a *Analysis) annotationLabels(conflicting bool, frozen map[int]bool) map[*
 				annotated++
 				for _, t := range o.Types {
 					typeCounts[t]++
+				}
+				if len(typeCounts) == 1 {
+					sole = o.Types[0]
 				}
 			}
 		}
@@ -698,9 +877,8 @@ func (a *Analysis) annotationLabels(conflicting bool, frozen map[int]bool) map[*
 				// Deferred to the conflicting phase.
 			case len(typeCounts) == 1:
 				if annShare >= a.params.AnnThreshold {
-					t := singleKey(typeCounts)
 					for _, o := range occs {
-						labels[o] = t
+						labels[o] = sole
 					}
 				}
 				// Too sparse to trust: leave unlabelled rather than
@@ -720,7 +898,7 @@ func (a *Analysis) annotationLabels(conflicting bool, frozen map[int]bool) map[*
 			continue
 		}
 		// Conflicting phase: majority generalization over the role.
-		best, bestCount, total := "", 0, 0
+		best, bestCount, annTotal := "", 0, 0
 		keys := make([]string, 0, len(typeCounts))
 		for t := range typeCounts {
 			keys = append(keys, t)
@@ -728,7 +906,7 @@ func (a *Analysis) annotationLabels(conflicting bool, frozen map[int]bool) map[*
 		sort.Strings(keys)
 		for _, t := range keys {
 			c := typeCounts[t]
-			total += c
+			annTotal += c
 			if c > bestCount {
 				best, bestCount = t, c
 			}
@@ -742,22 +920,15 @@ func (a *Analysis) annotationLabels(conflicting bool, frozen map[int]bool) map[*
 			}
 			continue
 		}
-		if float64(bestCount)/float64(total) >= a.params.AnnThreshold {
-			a.Conflicts += total - bestCount
+		if float64(bestCount)/float64(annTotal) >= a.params.AnnThreshold {
+			a.Conflicts += annTotal - bestCount
 			for _, o := range occs {
 				labels[o] = best
 			}
 			continue
 		}
 		// Unresolvable: count the conflict, leave occurrences unlabeled.
-		a.Conflicts += total
+		a.Conflicts += annTotal
 	}
 	return labels
-}
-
-func singleKey(m map[string]int) string {
-	for k := range m {
-		return k
-	}
-	return ""
 }

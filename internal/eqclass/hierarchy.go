@@ -1,6 +1,10 @@
 package eqclass
 
-import "sort"
+import (
+	"sort"
+
+	"objectrunner/internal/symtab"
+)
 
 // SlotProfile summarizes the data observed in one interior slot of an
 // equivalence class across the sample: which annotation types appeared,
@@ -191,28 +195,34 @@ func BuildHierarchy(a *Analysis) {
 // annotation-differentiated roles). The most frequent index across the
 // sample's tuples wins.
 func computeDescOrdinals(a *Analysis) {
-	// Intern structural signatures once per token, per page.
-	sigID := make(map[Desc]int)
+	// Intern structural signatures once per token, per page. The key is
+	// the symbol triple, not the strings — occurrences and descriptors
+	// both carry Val/Pth from the analysis table at this point.
+	type sigKey struct {
+		kind     TokKind
+		val, pth symtab.Sym
+	}
+	sigID := make(map[sigKey]int)
 	pageSigs := make([][]int, len(a.Pages))
-	intern := func(d Desc) int {
-		if id, ok := sigID[d]; ok {
+	intern := func(k sigKey) int {
+		if id, ok := sigID[k]; ok {
 			return id
 		}
 		id := len(sigID) + 1
-		sigID[d] = id
+		sigID[k] = id
 		return id
 	}
 	for pi, page := range a.Pages {
 		pageSigs[pi] = make([]int, len(page))
 		for i, o := range page {
-			pageSigs[pi][i] = intern(Desc{Kind: o.Kind, Value: o.Value, Path: o.Path})
+			pageSigs[pi][i] = intern(sigKey{o.Kind, o.Val, o.Pth})
 		}
 	}
 	counts := make(map[int]int)
 	for _, e := range a.EQs {
 		descSig := make([]int, len(e.Descs))
 		for k, d := range e.Descs {
-			descSig[k] = intern(Desc{Kind: d.Kind, Value: d.Value, Path: d.Path})
+			descSig[k] = intern(sigKey{d.Kind, d.Val, d.Pth})
 		}
 		votes := make([]map[int]int, len(e.Descs))
 		for k := range votes {

@@ -1,5 +1,7 @@
 package eqclass
 
+import "objectrunner/internal/symtab"
+
 // Persistence of the learned token-role state (the wrapper serving-cache
 // subsystem). An equivalence class survives a restart as its
 // page-independent parts: the role ids and occurrence vector learned from
@@ -9,11 +11,17 @@ package eqclass
 // not persisted; the hierarchy links are restored by the template layer,
 // which owns the tree shape.
 
-// PersistedDesc is the persisted form of one separator descriptor.
+// PersistedDesc is the persisted form of one separator descriptor. Since
+// stream v2 the Value and Path strings are stored once in the wrapper's
+// symbol list and referenced here by id (Val/Pth); v1 payloads carry the
+// inline strings and no ids, and the reader rebuilds the symbol table
+// from them.
 type PersistedDesc struct {
 	Kind    int    `json:"kind"`
-	Value   string `json:"value"`
-	Path    string `json:"path"`
+	Value   string `json:"value,omitempty"`
+	Path    string `json:"path,omitempty"`
+	Val     int    `json:"val,omitempty"`
+	Pth     int    `json:"pth,omitempty"`
 	Ordinal int    `json:"ordinal,omitempty"`
 }
 
@@ -39,15 +47,18 @@ func (e *EQ) Persist() PersistedEQ {
 	}
 	for _, d := range e.Descs {
 		p.Descs = append(p.Descs, PersistedDesc{
-			Kind: int(d.Kind), Value: d.Value, Path: d.Path, Ordinal: d.Ordinal,
+			Kind: int(d.Kind), Val: int(d.Val), Pth: int(d.Pth), Ordinal: d.Ordinal,
 		})
 	}
 	return p
 }
 
 // Restore rebuilds the class. Parent and Children stay nil — the caller
-// re-links them from the persisted tree shape.
-func (p PersistedEQ) Restore() *EQ {
+// re-links them from the persisted tree shape. With a non-nil table (v2
+// streams) descriptor strings are resolved from their symbol ids; with a
+// nil table (v1 streams) the inline strings are taken as-is and the
+// caller re-interns the template afterwards.
+func (p PersistedEQ) Restore(tab *symtab.Table) *EQ {
 	e := &EQ{
 		ID:         p.ID,
 		Roles:      p.Roles,
@@ -56,9 +67,12 @@ func (p PersistedEQ) Restore() *EQ {
 		OrderHint:  p.OrderHint,
 	}
 	for _, d := range p.Descs {
-		e.Descs = append(e.Descs, Desc{
-			Kind: TokKind(d.Kind), Value: d.Value, Path: d.Path, Ordinal: d.Ordinal,
-		})
+		rd := Desc{Kind: TokKind(d.Kind), Value: d.Value, Path: d.Path, Ordinal: d.Ordinal}
+		if tab != nil {
+			rd.Val, rd.Pth = symtab.Sym(d.Val), symtab.Sym(d.Pth)
+			rd.Value, rd.Path = tab.StringOf(rd.Val), tab.StringOf(rd.Pth)
+		}
+		e.Descs = append(e.Descs, rd)
 	}
 	return e
 }

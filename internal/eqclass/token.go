@@ -14,6 +14,7 @@ import (
 	"objectrunner/internal/annotate"
 	"objectrunner/internal/dom"
 	"objectrunner/internal/recognize"
+	"objectrunner/internal/symtab"
 )
 
 // TokKind discriminates page tokens: words or HTML tags (paper §III.C:
@@ -56,6 +57,13 @@ type Occurrence struct {
 	Pos   int       // position in the page's token sequence
 	Types []string  // annotation types on the owning element
 
+	// Val and Pth are the interned forms of Value and Path, filled by
+	// InternPages (analysis) or LookupSyms (serving). They stay
+	// symtab.None until one of those passes runs; analysis and matching
+	// compare symbols, never the strings.
+	Val symtab.Sym
+	Pth symtab.Sym
+
 	role int // current role id, refined by Algorithm 2
 }
 
@@ -88,6 +96,13 @@ type Desc struct {
 	// classless record <div>s of the running example need it — the date
 	// div is, say, always the third div of the record.
 	Ordinal int
+
+	// Val and Pth mirror Value and Path in the owning wrapper's symbol
+	// table; extraction-time matching compares these instead of the
+	// strings. They are rebound whenever the descriptor changes tables
+	// (wrapper compaction, persistence restore).
+	Val symtab.Sym
+	Pth symtab.Sym
 }
 
 // Sig returns the structural signature (without the ordinal).
@@ -97,7 +112,7 @@ func (d Desc) Sig() string {
 
 // DescOf returns the occurrence's descriptor.
 func DescOf(o *Occurrence) Desc {
-	return Desc{Kind: o.Kind, Value: o.Value, Path: o.Path}
+	return Desc{Kind: o.Kind, Value: o.Value, Path: o.Path, Val: o.Val, Pth: o.Pth}
 }
 
 // String renders the descriptor for diagnostics.
@@ -183,21 +198,28 @@ func TagValue(n *dom.Node) string {
 // non-nil, tag occurrences inherit the annotation types of their element,
 // and word occurrences carry the types of the matched values they belong
 // to. Skipped content: comments and doctypes.
+//
+// Occurrences are laid out in one contiguous page arena: the returned
+// pointer slice indexes a single []Occurrence backing array, so a page's
+// token sequence costs two allocations instead of one per token, and
+// CopyPage can duplicate it with two more. DOM paths are built
+// incrementally during the walk (seeded from the region root's ancestry,
+// so region-scoped tokenization still yields document-rooted paths
+// identical to Node.Path()).
 func TokenizePage(root *dom.Node, pa *annotate.PageAnnotations, page int) []*Occurrence {
-	var occs []*Occurrence
-	add := func(o *Occurrence) {
-		o.Page = page
-		o.Pos = len(occs)
-		occs = append(occs, o)
+	base := ""
+	if root.Parent != nil {
+		base = root.Parent.Path()
 	}
-	var walk func(n *dom.Node)
-	walk = func(n *dom.Node) {
+	var arena []Occurrence
+	var walk func(n *dom.Node, parentPath string)
+	walk = func(n *dom.Node, parentPath string) {
 		switch n.Type {
 		case dom.TextNode:
 			parent := n.Parent
 			path := "#text"
 			if parent != nil {
-				path = parent.Path()
+				path = parentPath
 			}
 			// A word carries an annotation type only when it belongs to
 			// the matched value — template words sharing the node with a
@@ -207,8 +229,8 @@ func TokenizePage(root *dom.Node, pa *annotate.PageAnnotations, page int) []*Occ
 			if pa != nil && parent != nil {
 				wordTypes = valueWordTypes(pa.Anns[parent])
 			}
-			for _, w := range strings.Fields(dom.CollapseSpace(n.Data)) {
-				add(&Occurrence{
+			for _, w := range strings.Fields(n.Data) {
+				arena = append(arena, Occurrence{
 					Kind:  KindWord,
 					Value: strings.ToLower(w),
 					Raw:   w,
@@ -223,17 +245,72 @@ func TokenizePage(root *dom.Node, pa *annotate.PageAnnotations, page int) []*Occ
 				types = pa.Types(n)
 			}
 			v := TagValue(n)
-			add(&Occurrence{Kind: KindStartTag, Value: v, Path: n.Path(), Node: n, Types: types})
-			for _, c := range n.Children {
-				walk(c)
+			path := n.Data
+			if parentPath != "" {
+				path = parentPath + "/" + n.Data
 			}
-			add(&Occurrence{Kind: KindEndTag, Value: v, Path: n.Path(), Node: n, Types: types})
+			arena = append(arena, Occurrence{Kind: KindStartTag, Value: v, Path: path, Node: n, Types: types})
+			for _, c := range n.Children {
+				walk(c, path)
+			}
+			arena = append(arena, Occurrence{Kind: KindEndTag, Value: v, Path: path, Node: n, Types: types})
 		case dom.DocumentNode:
 			for _, c := range n.Children {
-				walk(c)
+				walk(c, parentPath)
 			}
 		}
 	}
-	walk(root)
+	walk(root, base)
+	occs := make([]*Occurrence, len(arena))
+	for i := range arena {
+		arena[i].Page = page
+		arena[i].Pos = i
+		occs[i] = &arena[i]
+	}
 	return occs
+}
+
+// CopyPage duplicates a page's occurrences into a fresh arena. The copies
+// share the immutable strings and annotation slices but have independent
+// role state, so one tokenization can feed several analysis runs.
+func CopyPage(page []*Occurrence) []*Occurrence {
+	arena := make([]Occurrence, len(page))
+	out := make([]*Occurrence, len(page))
+	for i, o := range page {
+		arena[i] = *o
+		out[i] = &arena[i]
+	}
+	return out
+}
+
+// InternPages assigns Val/Pth symbols to every occurrence that does not
+// have them yet, in page and token order, so a given sample always
+// produces the same symbol values. Call it once, sequentially, after
+// (possibly parallel) tokenization. Occurrences already carrying symbols
+// are skipped — they must have been interned against the same table.
+func InternPages(tab *symtab.Table, pages [][]*Occurrence) {
+	for _, page := range pages {
+		for _, o := range page {
+			if o.Val == symtab.None {
+				o.Val = tab.Intern(o.Value)
+			}
+			if o.Pth == symtab.None {
+				o.Pth = tab.Intern(o.Path)
+			}
+		}
+	}
+}
+
+// LookupSyms fills Val/Pth by read-only lookup against a frozen table —
+// the serving path. Tokens the wrapper never saw resolve to symtab.None,
+// which can never equal a learned descriptor's symbol, so unknown
+// vocabulary simply never matches.
+func LookupSyms(tab *symtab.Table, occs []*Occurrence) {
+	if tab == nil {
+		return
+	}
+	for _, o := range occs {
+		o.Val = tab.Lookup(o.Value)
+		o.Pth = tab.Lookup(o.Path)
+	}
 }

@@ -1,0 +1,118 @@
+// Package symtab provides a small, concurrency-safe symbol table that
+// maps token-signature strings to dense uint32 symbols. Tables are
+// scoped per wrapper (and per analysis) rather than process-global, so
+// symbol values stay small, serialize compactly, and never leak
+// vocabulary between unrelated wrappers.
+//
+// Symbol 0 (None) is reserved as "unknown": Lookup returns it for
+// strings the table has never seen, which makes read-only serving-time
+// lookups safe — an unknown token can never compare equal to a learned
+// descriptor, whose symbols are always non-zero.
+package symtab
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sym is a dense symbol identifier. The zero value is None.
+type Sym uint32
+
+// None is the reserved "unknown" symbol. Intern never returns it.
+const None Sym = 0
+
+// Table interns strings to dense symbols. Symbols are assigned in
+// insertion order starting at 1, so a fixed interning order yields a
+// deterministic table. The zero Table is not usable; call New.
+type Table struct {
+	mu   sync.RWMutex
+	ids  map[string]Sym
+	strs []string // strs[0] is the empty placeholder for None
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{
+		ids:  make(map[string]Sym),
+		strs: make([]string, 1),
+	}
+}
+
+// Intern returns the symbol for s, assigning the next dense symbol if s
+// has not been seen. Safe for concurrent use, but concurrent first
+// interns race for assignment order — callers that need deterministic
+// symbol values must intern sequentially.
+func (t *Table) Intern(s string) Sym {
+	t.mu.RLock()
+	y, ok := t.ids[s]
+	t.mu.RUnlock()
+	if ok {
+		return y
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if y, ok := t.ids[s]; ok {
+		return y
+	}
+	y = Sym(len(t.strs))
+	t.ids[s] = y
+	t.strs = append(t.strs, s)
+	return y
+}
+
+// Lookup returns the symbol for s, or None if s was never interned. It
+// never grows the table, which makes it the right call on the serving
+// path where the wrapper's table must stay frozen.
+func (t *Table) Lookup(s string) Sym {
+	t.mu.RLock()
+	y := t.ids[s]
+	t.mu.RUnlock()
+	return y
+}
+
+// StringOf returns the string a symbol was interned from. None and
+// out-of-range symbols return "".
+func (t *Table) StringOf(y Sym) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(y) >= len(t.strs) {
+		return ""
+	}
+	return t.strs[y]
+}
+
+// Len reports how many symbols have been interned (excluding None).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.strs) - 1
+}
+
+// Symbols returns the interned strings in symbol order (symbol i+1 is
+// element i). The slice is a copy and is the serialization form of the
+// table: Restore(t.Symbols()) reproduces t exactly.
+func (t *Table) Symbols() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.strs)-1)
+	copy(out, t.strs[1:])
+	return out
+}
+
+// Restore rebuilds a table from a Symbols() snapshot. Duplicate entries
+// are rejected: they could only have been produced by a corrupted
+// stream and would silently alias two symbols on lookup.
+func Restore(symbols []string) (*Table, error) {
+	t := &Table{
+		ids:  make(map[string]Sym, len(symbols)),
+		strs: make([]string, 1, len(symbols)+1),
+	}
+	for i, s := range symbols {
+		if _, dup := t.ids[s]; dup {
+			return nil, fmt.Errorf("symtab: duplicate symbol %q at index %d", s, i)
+		}
+		t.ids[s] = Sym(i + 1)
+		t.strs = append(t.strs, s)
+	}
+	return t, nil
+}

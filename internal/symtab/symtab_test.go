@@ -1,0 +1,117 @@
+package symtab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternDenseAndStable(t *testing.T) {
+	tab := New()
+	a := tab.Intern("alpha")
+	b := tab.Intern("beta")
+	if a != 1 || b != 2 {
+		t.Fatalf("expected dense symbols 1,2 got %d,%d", a, b)
+	}
+	if got := tab.Intern("alpha"); got != a {
+		t.Fatalf("re-intern changed symbol: %d vs %d", got, a)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if tab.StringOf(a) != "alpha" || tab.StringOf(b) != "beta" {
+		t.Fatalf("StringOf mismatch: %q %q", tab.StringOf(a), tab.StringOf(b))
+	}
+}
+
+func TestLookupNeverGrows(t *testing.T) {
+	tab := New()
+	tab.Intern("known")
+	if got := tab.Lookup("unknown"); got != None {
+		t.Fatalf("Lookup(unknown) = %d, want None", got)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Lookup grew the table: Len = %d", tab.Len())
+	}
+	if got := tab.Lookup("known"); got != 1 {
+		t.Fatalf("Lookup(known) = %d, want 1", got)
+	}
+}
+
+func TestNoneNeverAssigned(t *testing.T) {
+	tab := New()
+	if got := tab.Intern(""); got == None {
+		t.Fatal("Intern returned None")
+	}
+	if tab.StringOf(None) != "" {
+		t.Fatalf("StringOf(None) = %q, want empty", tab.StringOf(None))
+	}
+	if tab.StringOf(99) != "" {
+		t.Fatalf("StringOf(out of range) = %q, want empty", tab.StringOf(99))
+	}
+}
+
+func TestSymbolsRoundTrip(t *testing.T) {
+	tab := New()
+	for _, s := range []string{"div", "html/body/div", "price", ""} {
+		tab.Intern(s)
+	}
+	snap := tab.Symbols()
+	got, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tab.Len() {
+		t.Fatalf("Len after restore = %d, want %d", got.Len(), tab.Len())
+	}
+	for i, s := range snap {
+		y := Sym(i + 1)
+		if got.StringOf(y) != s {
+			t.Fatalf("StringOf(%d) = %q, want %q", y, got.StringOf(y), s)
+		}
+		if got.Lookup(s) != y {
+			t.Fatalf("Lookup(%q) = %d, want %d", s, got.Lookup(s), y)
+		}
+	}
+}
+
+func TestRestoreRejectsDuplicates(t *testing.T) {
+	if _, err := Restore([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("Restore accepted duplicate symbols")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tab := New()
+	const workers = 8
+	const n = 200
+	var wg sync.WaitGroup
+	results := make([][]Sym, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = make([]Sym, n)
+			for i := 0; i < n; i++ {
+				results[w][i] = tab.Intern(fmt.Sprintf("tok-%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tab.Len() != n {
+		t.Fatalf("Len = %d, want %d", tab.Len(), n)
+	}
+	// Every worker must agree on every symbol, and symbols must map back
+	// to the string they were interned from.
+	for i := 0; i < n; i++ {
+		want := results[0][i]
+		for w := 1; w < workers; w++ {
+			if results[w][i] != want {
+				t.Fatalf("worker %d disagrees on tok-%d: %d vs %d", w, i, results[w][i], want)
+			}
+		}
+		if s := tab.StringOf(want); s != fmt.Sprintf("tok-%d", i) {
+			t.Fatalf("StringOf(%d) = %q", want, s)
+		}
+	}
+}

@@ -14,7 +14,7 @@ import (
 
 // build runs the front of the pipeline over the sources and returns the
 // template plus the annotated sample tokens.
-func build(t *testing.T, srcs []string, recs map[string]recognize.Recognizer) (*Template, [][]*eqclass.Occurrence) {
+func build(t *testing.T, srcs []string, recs map[string]recognize.Recognizer) (*Template, [][]*eqclass.Occurrence, *eqclass.Analysis) {
 	t.Helper()
 	var sample [][]*eqclass.Occurrence
 	for i, src := range srcs {
@@ -23,7 +23,7 @@ func build(t *testing.T, srcs []string, recs map[string]recognize.Recognizer) (*
 		sample = append(sample, eqclass.TokenizePage(page, pa, i))
 	}
 	a := eqclass.Analyze(sample, eqclass.DefaultParams(), nil)
-	return Build(a), sample
+	return Build(a), sample, a
 }
 
 func sparseDicts(coverage map[string][]string) map[string]recognize.Recognizer {
@@ -64,7 +64,7 @@ func TestDeepBindingThroughNestedClasses(t *testing.T) {
 	}
 	// Only a quarter of the brands are known.
 	recs := sparseDicts(map[string][]string{"brand": {"Toyota Camry", "Mazda 6"}})
-	tmpl, sample := build(t, srcs, recs)
+	tmpl, sample, _ := build(t, srcs, recs)
 	s := sod.MustParse(`tuple { brand: instanceOf(Brand), price: price }`)
 	ms := tmpl.MatchSOD(s)
 	if len(ms) == 0 {
@@ -107,7 +107,7 @@ func TestMergedFieldsSecondaryBinding(t *testing.T) {
 		srcs = append(srcs, sb.String())
 	}
 	recs := sparseDicts(map[string][]string{"brand": {"Toyota Camry", "Honda Accord", "Ford Fusion", "Mazda 6"}})
-	tmpl, sample := build(t, srcs, recs)
+	tmpl, sample, _ := build(t, srcs, recs)
 	s := sod.MustParse(`tuple { brand: instanceOf(Brand), price: price }`)
 	ms := tmpl.MatchSOD(s)
 	if len(ms) == 0 {
@@ -156,7 +156,7 @@ func TestOrdinalSeparatorsOnClasslessRecords(t *testing.T) {
 		srcs = append(srcs, sb.String())
 	}
 	recs := sparseDicts(map[string][]string{"brand": {"Toyota Camry", "Ford Fusion", "Kia Optima"}})
-	tmpl, _ := build(t, srcs, recs)
+	tmpl, _, a := build(t, srcs, recs)
 	s := sod.MustParse(`tuple { brand: instanceOf(Brand), price: price }`)
 	ms := tmpl.MatchSOD(s)
 	if len(ms) == 0 {
@@ -166,6 +166,7 @@ func TestOrdinalSeparatorsOnClasslessRecords(t *testing.T) {
 		rec("Tesla Model 3", "$39,990") + rec("Genesis G70", "$41,000") +
 		`</ul></body></html>`)
 	toks := eqclass.TokenizePage(unseen, nil, 0)
+	eqclass.LookupSyms(a.Table(), toks)
 	objs := ExtractAll(s, ms, toks)
 	if len(objs) != 2 {
 		for _, o := range objs {

@@ -5,6 +5,7 @@ import (
 
 	"objectrunner/internal/eqclass"
 	"objectrunner/internal/sod"
+	"objectrunner/internal/symtab"
 )
 
 // Extract applies a match to one page's token sequence and returns the
@@ -135,6 +136,18 @@ func findTuples(toks []*eqclass.Occurrence, descs []eqclass.Desc, from, to int) 
 	}
 }
 
+// sig3 is the structural signature of a descriptor or token, compared as
+// interned symbols: tokens and descriptors must carry symbols from the
+// same table (the owning wrapper's). A token the table never saw holds
+// symtab.None and can never equal a descriptor's non-zero symbols.
+type sig3 struct {
+	kind     eqclass.TokKind
+	val, pth symtab.Sym
+}
+
+func sigOfTok(o *eqclass.Occurrence) sig3 { return sig3{o.Kind, o.Val, o.Pth} }
+func sigOfDesc(d *eqclass.Desc) sig3      { return sig3{d.Kind, d.Val, d.Pth} }
+
 // matchOnce finds one full descriptor sequence starting at or after i.
 // Ordinal-bearing descriptors bind to the n-th occurrence of their
 // structural signature within the tuple, counted from the anchor — this
@@ -144,25 +157,26 @@ func matchOnce(toks []*eqclass.Occurrence, descs []eqclass.Desc, i, to int) (*tu
 	if len(descs) == 0 {
 		return nil, to
 	}
-	// Signatures the tuple tracks.
-	tracked := make(map[string]bool, len(descs))
-	for _, d := range descs {
-		tracked[d.Sig()] = true
+	// Tracked signatures, with their running occurrence counts. Map
+	// membership marks "tracked"; scanning a token costs a struct hash,
+	// no per-token signature string.
+	counts := make(map[sig3]int, len(descs))
+	for di := range descs {
+		counts[sigOfDesc(&descs[di])] = 0
 	}
 	positions := make([]int, 0, len(descs))
-	counts := make(map[string]int, len(descs))
-	for di, d := range descs {
-		sig := d.Sig()
+	for di := range descs {
+		d := &descs[di]
+		sig := sigOfDesc(d)
 		want := d.Ordinal
 		if want <= 0 {
 			want = counts[sig] + 1 // "next match"
 		}
 		found := -1
 		for ; i < to; i++ {
-			o := toks[i]
-			osig := (eqclass.Desc{Kind: o.Kind, Value: o.Value, Path: o.Path}).Sig()
-			if tracked[osig] {
-				counts[osig]++
+			osig := sigOfTok(toks[i])
+			if c, tracked := counts[osig]; tracked {
+				counts[osig] = c + 1
 			}
 			if osig == sig && counts[osig] >= want {
 				found = i

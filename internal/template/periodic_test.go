@@ -123,7 +123,7 @@ func TestNestedSetChildBinding(t *testing.T) {
 		"author": {"Jane Austen", "Neil Gaiman", "Terry Pratchett"},
 	})
 	delete(recs, "price")
-	tmpl, sample := build(t, srcs, recs)
+	tmpl, sample, _ := build(t, srcs, recs)
 	s := sod.MustParse(`tuple { title: instanceOf(Title), authors: set(author: instanceOf(Author))+ }`)
 	ms := tmpl.MatchSOD(s)
 	if len(ms) == 0 {
@@ -188,7 +188,7 @@ func TestSetOfTuples(t *testing.T) {
 	})
 	delete(recs, "price")
 	recs["year"] = mustYear()
-	tmpl, sample := build(t, srcs, recs)
+	tmpl, sample, _ := build(t, srcs, recs)
 	s := sod.MustParse(`tuple { title: instanceOf(Title), authors: set(tuple { author: instanceOf(Author), year: year })+ }`)
 	ms := tmpl.MatchSOD(s)
 	if len(ms) == 0 {

@@ -6,6 +6,7 @@ import (
 
 	"objectrunner/internal/eqclass"
 	"objectrunner/internal/sod"
+	"objectrunner/internal/symtab"
 )
 
 // Persistence of the learned template state (the wrapper serving-cache
@@ -67,6 +68,29 @@ type PersistedMatch struct {
 	Sets   []PersistedSetBinding    `json:"sets,omitempty"`
 	Start  int                      `json:"start"`
 	End    int                      `json:"end"`
+}
+
+// InternDescs re-interns every descriptor of the template tree into tab,
+// rewriting the descriptors' Val/Pth symbols in place. The walk order —
+// roots pre-order, descriptors in slice order, Value before Path — is the
+// same order Persist emits descriptors in, so a wrapper's symbol table is
+// identical whether it was built at inference time, rebuilt from a v1
+// stream, or restored from a v2 symbol list.
+func InternDescs(t *Template, tab *symtab.Table) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for i := range n.EQ.Descs {
+			d := &n.EQ.Descs[i]
+			d.Val = tab.Intern(d.Value)
+			d.Pth = tab.Intern(d.Path)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
 }
 
 // Persist flattens the template tree and its matches. Types reachable
@@ -167,8 +191,11 @@ func sortedTypeKeys(keys []*sod.Type) []*sod.Type {
 }
 
 // Restore rebuilds the template tree and matches from their persisted
-// forms. types is the decoded type pool (sod.DecodeTypePool).
-func Restore(pt *PersistedTemplate, pms []*PersistedMatch, types []*sod.Type) (*Template, []*Match, error) {
+// forms. types is the decoded type pool (sod.DecodeTypePool); tab is the
+// restored symbol table for v2 streams (descriptor strings resolve from
+// their symbol ids) or nil for v1 streams (inline strings are used, and
+// the caller runs InternDescs afterwards).
+func Restore(pt *PersistedTemplate, pms []*PersistedMatch, types []*sod.Type, tab *symtab.Table) (*Template, []*Match, error) {
 	t := &Template{DominanceThreshold: pt.DominanceThreshold}
 	nodes := make([]*Node, len(pt.Nodes))
 	for i := range nodes {
@@ -182,7 +209,7 @@ func Restore(pt *PersistedTemplate, pms []*PersistedMatch, types []*sod.Type) (*
 	}
 	for i, rec := range pt.Nodes {
 		n := nodes[i]
-		n.EQ = rec.EQ.Restore()
+		n.EQ = rec.EQ.Restore(tab)
 		for _, s := range rec.Slots {
 			tm := s.Types
 			if tm == nil {

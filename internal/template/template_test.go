@@ -111,6 +111,7 @@ func TestExtractConcerts(t *testing.T) {
 	// Extract from page 1 (three records).
 	page := clean.Page(srcs[1])
 	toks := eqclass.TokenizePage(page, nil, 0)
+	eqclass.LookupSyms(a.Table(), toks)
 	objs := ExtractAll(concertSOD(), ms, toks)
 	if len(objs) != 3 {
 		for _, o := range objs {
@@ -144,6 +145,7 @@ func TestExtractOnUnseenPage(t *testing.T) {
 	})
 	page := clean.Page(unseen)
 	toks := eqclass.TokenizePage(page, nil, 0)
+	eqclass.LookupSyms(a.Table(), toks)
 	objs := ExtractAll(concertSOD(), ms, toks)
 	if len(objs) != 2 {
 		t.Fatalf("extracted %d objects from unseen page, want 2", len(objs))
@@ -169,6 +171,7 @@ func TestOptionalFieldMissingFromSource(t *testing.T) {
 	}
 	page := clean.Page(concertSources()[0])
 	toks := eqclass.TokenizePage(page, nil, 0)
+	eqclass.LookupSyms(a.Table(), toks)
 	objs := ExtractAll(sodT, ms, toks)
 	if len(objs) != 2 {
 		t.Fatalf("extracted %d, want 2", len(objs))
@@ -239,6 +242,7 @@ func TestMatchAndExtractAuthorSet(t *testing.T) {
 	}
 	page := clean.Page(srcs[0])
 	toks := eqclass.TokenizePage(page, nil, 0)
+	eqclass.LookupSyms(a.Table(), toks)
 	objs := ExtractAll(bookSOD(), ms, toks)
 	if len(objs) != 2 {
 		for _, o := range objs {
@@ -285,6 +289,7 @@ func TestTooRegularListPagesConstantCount(t *testing.T) {
 	}
 	page := clean.Page(srcs[0])
 	toks := eqclass.TokenizePage(page, nil, 0)
+	eqclass.LookupSyms(a.Table(), toks)
 	objs := ExtractAll(concertSOD(), ms, toks)
 	if len(objs) != 2 {
 		for _, o := range objs {

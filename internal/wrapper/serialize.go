@@ -15,6 +15,7 @@ import (
 	"objectrunner/internal/obs"
 	"objectrunner/internal/segment"
 	"objectrunner/internal/sod"
+	"objectrunner/internal/symtab"
 	"objectrunner/internal/template"
 )
 
@@ -38,8 +39,15 @@ import (
 // FormatMagic identifies the persistence stream.
 const FormatMagic = "objectrunner-wrapper"
 
-// FormatVersion is the current stream version.
-const FormatVersion = 1
+// FormatVersion is the current stream version. v2 introduced the
+// wrapper-scoped symbol table: descriptor Value/Path strings are stored
+// once in the Symbols list and referenced by id from the template tree.
+// v1 streams (inline strings, no symbol list) still load — the reader
+// rebuilds the table by re-interning the template in walk order.
+const FormatVersion = 2
+
+// minFormatVersion is the oldest stream version Decode accepts.
+const minFormatVersion = 1
 
 // ErrFormat reports a stream that is not a wrapper persistence stream, is
 // of an unsupported version, or fails its checksum.
@@ -64,6 +72,7 @@ type persisted struct {
 	BlockAttrSig    string                      `json:"block_attr_sig,omitempty"`
 	Report          *Report                     `json:"report,omitempty"`
 	Types           []sod.PersistedType         `json:"types,omitempty"`
+	Symbols         []string                    `json:"symbols,omitempty"`
 	Template        *template.PersistedTemplate `json:"template,omitempty"`
 	Matches         []*template.PersistedMatch  `json:"matches,omitempty"`
 }
@@ -93,6 +102,13 @@ func (w *Wrapper) Encode(dst io.Writer) error {
 		p.SOD = pool.Add(w.SOD)
 	}
 	if w.Template != nil {
+		if w.tab == nil {
+			// Hand-built wrappers: establish the symbol-table invariant
+			// before the descriptors' symbol ids are written out.
+			w.tab = symtab.New()
+			template.InternDescs(w.Template, w.tab)
+		}
+		p.Symbols = w.tab.Symbols()
 		p.Template, p.Matches = template.Persist(w.Template, w.Matches, pool)
 	}
 	p.Types = pool.Records()
@@ -127,8 +143,8 @@ func Decode(src io.Reader, rebind *sod.Type) (*Wrapper, error) {
 	if err != nil || !strings.HasPrefix(fields[1], "v") {
 		return nil, fmt.Errorf("%w: malformed version %q", ErrFormat, fields[1])
 	}
-	if version != FormatVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d (supported: %d)", ErrFormat, version, FormatVersion)
+	if version < minFormatVersion || version > FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (supported: %d through %d)", ErrFormat, version, minFormatVersion, FormatVersion)
 	}
 	wantSum, ok := strings.CutPrefix(fields[2], "sha256=")
 	if !ok {
@@ -174,12 +190,27 @@ func Decode(src io.Reader, rebind *sod.Type) (*Wrapper, error) {
 		w.SOD = rebind
 	}
 	if p.Template != nil {
-		tmpl, matches, err := template.Restore(p.Template, p.Matches, types)
+		var tab *symtab.Table
+		if version >= 2 {
+			tab, err = symtab.Restore(p.Symbols)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+		}
+		tmpl, matches, err := template.Restore(p.Template, p.Matches, types, tab)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 		}
+		if tab == nil {
+			// v1 stream: rebuild the wrapper-scoped table from the inline
+			// descriptor strings, in the same walk order Encode uses — a
+			// migrated wrapper re-saves to a canonical v2 stream.
+			tab = symtab.New()
+			template.InternDescs(tmpl, tab)
+		}
 		w.Template = tmpl
 		w.Matches = matches
+		w.tab = tab
 	}
 	return w, nil
 }

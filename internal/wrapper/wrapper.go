@@ -19,6 +19,7 @@ import (
 	"objectrunner/internal/recognize"
 	"objectrunner/internal/segment"
 	"objectrunner/internal/sod"
+	"objectrunner/internal/symtab"
 	"objectrunner/internal/template"
 )
 
@@ -114,6 +115,12 @@ type Wrapper struct {
 	useSegmentation bool
 	workers         int
 	obs             *obs.Observer
+	// tab is the wrapper-scoped symbol table: exactly the template
+	// descriptors' Value and Path strings, interned in template walk
+	// order. Extraction resolves unseen pages' tokens against it
+	// read-only; tokens outside the template vocabulary map to
+	// symtab.None and can never match a descriptor.
+	tab *symtab.Table
 }
 
 // Workers returns the resolved worker-pool size the wrapper inherited
@@ -233,6 +240,11 @@ func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[
 	}); err != nil {
 		return nil, err
 	}
+	// Intern the sample into the inference symbol table sequentially, in
+	// page and token order — symbol ids stay deterministic whatever the
+	// tokenization scheduling above.
+	tab := symtab.New()
+	eqclass.InternPages(tab, sample)
 
 	// Wrapper generation with automatic support variation: re-execute
 	// with the next support value while the quality estimate (conflict
@@ -259,7 +271,7 @@ func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[
 			return template.PartialMatchPossible(s, an, annotatedTypes)
 		}
 		eqSpan := vob.Span("pipeline.eqclass", obs.A("support", support))
-		an := analyzeFresh(sample, p, hook, eqSpan.Observer())
+		an := analyzeFresh(sample, p, hook, eqSpan.Observer(), tab)
 		eqSpan.End(obs.A("eqs", len(an.EQs)), obs.A("conflicts", an.Conflicts), obs.A("iterations", an.Iterations))
 		if err := ctx.Err(); err != nil {
 			varSpan.End(obs.A("canceled", true))
@@ -313,6 +325,13 @@ func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[
 	}
 	w.Template = best.tmpl
 	w.Matches = best.matches
+	// Re-intern the accepted template into a compact wrapper-scoped table:
+	// the inference table carries the whole sample vocabulary plus
+	// annotation labels, while serving only ever resolves the template
+	// descriptors. The walk order matches Encode's, so a wrapper saves to
+	// the same bytes whether it was inferred or loaded.
+	w.tab = symtab.New()
+	template.InternDescs(w.Template, w.tab)
 	w.Conflicts = best.analysis.Conflicts
 	w.Support = best.support
 	w.Report.ChosenSupport = best.support
@@ -348,17 +367,14 @@ func better(a, b *run) bool {
 	return false
 }
 
-// analyzeFresh re-tokenizes occurrences (roles are mutable) and analyzes.
-func analyzeFresh(sample [][]*eqclass.Occurrence, p eqclass.Params, hook func(*eqclass.Analysis) bool, ob *obs.Observer) *eqclass.Analysis {
+// analyzeFresh re-copies occurrences (roles are mutable) and analyzes
+// against the shared inference symbol table.
+func analyzeFresh(sample [][]*eqclass.Occurrence, p eqclass.Params, hook func(*eqclass.Analysis) bool, ob *obs.Observer, tab *symtab.Table) *eqclass.Analysis {
 	fresh := make([][]*eqclass.Occurrence, len(sample))
 	for i, page := range sample {
-		fresh[i] = make([]*eqclass.Occurrence, len(page))
-		for j, o := range page {
-			cp := *o
-			fresh[i][j] = &cp
-		}
+		fresh[i] = eqclass.CopyPage(page)
 	}
-	return eqclass.AnalyzeObserved(fresh, p, hook, ob)
+	return eqclass.AnalyzeTable(fresh, p, hook, ob, tab)
 }
 
 // run is one wrapper-generation attempt of the variation loop.
@@ -394,6 +410,7 @@ func (w *Wrapper) extractPageObserved(page *dom.Node, ob *obs.Observer) []*sod.I
 		}
 	}
 	toks := eqclass.TokenizePage(region, nil, 0)
+	eqclass.LookupSyms(w.tab, toks)
 	objs := template.ExtractAll(w.SOD, w.Matches, toks)
 	// Enforce the SOD's additional restrictions (§II.A footnote 1).
 	objs, dropped := w.SOD.FilterByRules(objs)

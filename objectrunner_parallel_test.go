@@ -1,6 +1,7 @@
 package objectrunner
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 )
@@ -18,11 +19,19 @@ func workersExtractor(t testing.TB, workers int) *Extractor {
 // TestWrapDeterministicAcrossRunsAndWorkers pins the pipeline's
 // determinism contract: ten sequential runs and ten 4-worker runs over
 // the same pages must produce byte-identical inference reports and
-// extraction output.
+// extraction output. The interned token model adds two things worth
+// pinning here: the wrapper-scoped symbol table must come out identical
+// on every run (asserted via the serialized bytes), and a wrapper that
+// has gone through Save→Load — whose occurrence syms are re-resolved
+// against the restored table — must extract exactly what the in-memory
+// wrapper does.
 func TestWrapDeterministicAcrossRunsAndWorkers(t *testing.T) {
 	pages := concertPages()
 	var wantReport, wantObjs string
 	for _, workers := range []int{1, 4} {
+		// The serialized stream embeds the worker-pool size (re-applied on
+		// load), so byte-identity is pinned per worker count, across runs.
+		var wantSaved string
 		for run := 0; run < 10; run++ {
 			ex := workersExtractor(t, workers)
 			w, err := ex.Wrap(pages)
@@ -31,6 +40,24 @@ func TestWrapDeterministicAcrossRunsAndWorkers(t *testing.T) {
 			}
 			gotReport := w.Report()
 			gotObjs := fmt.Sprint(w.ExtractAllHTML(pages))
+			var saved bytes.Buffer
+			if err := w.Save(&saved); err != nil {
+				t.Fatalf("workers=%d run=%d: save: %v", workers, run, err)
+			}
+			if wantSaved == "" {
+				wantSaved = saved.String()
+				loaded, err := LoadWrapper(&saved, ex)
+				if err != nil {
+					t.Fatalf("workers=%d: load saved wrapper: %v", workers, err)
+				}
+				if loadedObjs := fmt.Sprint(loaded.ExtractAllHTML(pages)); loadedObjs != gotObjs {
+					t.Fatalf("workers=%d: save→load extraction diverged\n--- in-memory ---\n%s\n--- loaded ---\n%s",
+						workers, gotObjs, loadedObjs)
+				}
+			} else if saved.String() != wantSaved {
+				t.Fatalf("workers=%d run=%d: serialized wrapper (symbol table included) diverged",
+					workers, run)
+			}
 			if wantReport == "" && wantObjs == "" {
 				wantReport, wantObjs = gotReport, gotObjs
 				continue

@@ -2,7 +2,11 @@ package objectrunner
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -111,7 +115,7 @@ func TestLoadRejectsBadStreams(t *testing.T) {
 
 	cases := map[string]string{
 		"not a wrapper stream": "hello world\n{}",
-		"version mismatch":     strings.Replace(good, " v1 ", " v9 ", 1),
+		"version mismatch":     strings.Replace(good, " v2 ", " v9 ", 1),
 		"corrupted payload":    good[:len(good)-2] + "xx",
 		"truncated payload":    good[:len(good)/2],
 	}
@@ -119,6 +123,91 @@ func TestLoadRejectsBadStreams(t *testing.T) {
 		if _, err := LoadWrapper(strings.NewReader(stream), ex); !errors.Is(err, ErrFormat) {
 			t.Errorf("%s: err = %v, want ErrFormat", name, err)
 		}
+	}
+}
+
+// TestLoadV1Stream: legacy v1 streams (inline descriptor strings, no
+// symbol list) still load, extract identically, and re-save to the
+// canonical v2 byte stream — the table rebuilt from a v1 template equals
+// the one inference produced because both intern in template walk order.
+func TestLoadV1Stream(t *testing.T) {
+	ex := concertExtractor(t)
+	pages := concertPages()
+	w, err := ex.Wrap(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	// Down-convert the canonical v2 stream to its v1 form: resolve each
+	// descriptor's symbol ids back to inline strings and drop the symbol
+	// list, exactly what a v1 writer produced.
+	nl := strings.IndexByte(good, '\n')
+	var p map[string]any
+	if err := json.Unmarshal([]byte(good[nl+1:]), &p); err != nil {
+		t.Fatal(err)
+	}
+	syms, _ := p["symbols"].([]any)
+	resolve := func(v any) string {
+		id := int(v.(float64))
+		if id < 1 || id > len(syms) {
+			t.Fatalf("symbol id %d out of range [1, %d]", id, len(syms))
+		}
+		return syms[id-1].(string)
+	}
+	delete(p, "symbols")
+	tmpl, ok := p["template"].(map[string]any)
+	if !ok {
+		t.Fatal("v2 payload has no template")
+	}
+	for _, n := range tmpl["nodes"].([]any) {
+		eq := n.(map[string]any)["eq"].(map[string]any)
+		descs, _ := eq["descs"].([]any)
+		for _, d := range descs {
+			dm := d.(map[string]any)
+			if v, ok := dm["val"]; ok {
+				if s := resolve(v); s != "" {
+					dm["value"] = s
+				}
+				delete(dm, "val")
+			}
+			if v, ok := dm["pth"]; ok {
+				if s := resolve(v); s != "" {
+					dm["path"] = s
+				}
+				delete(dm, "pth")
+			}
+		}
+	}
+	v1payload, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(v1payload)
+	v1 := fmt.Sprintf("objectrunner-wrapper v1 sha256=%s\n%s", hex.EncodeToString(sum[:]), v1payload)
+
+	loaded, err := LoadWrapper(strings.NewReader(v1), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unseen := `<html><body><li><div>The Strokes</div><div>Friday July 2, 2010 9:00pm</div><div><span><a>Terminal 5</a></span><span>610 West 56th Street</span><span>New York City</span><span>New York</span><span>10019</span></div></li></body></html>`
+	probe := append(append([]string{}, pages...), unseen)
+	if got, want := renderAll(t, loaded, probe), renderAll(t, w, probe); got != want {
+		t.Errorf("v1-loaded wrapper extraction differs:\n got: %s\nwant: %s", got, want)
+	}
+	// Migration is canonicalizing: re-saving the v1-loaded wrapper emits
+	// the exact v2 bytes the original wrapper saved.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != good {
+		t.Errorf("v1 -> load -> save is not the canonical v2 stream (%d vs %d bytes)",
+			buf2.Len(), len(good))
 	}
 }
 

@@ -19,6 +19,7 @@ func BenchmarkServeCache(b *testing.B) {
 
 	b.Run("cold_wrap", func(b *testing.B) {
 		svc := NewService(concertExtractor(b), StoreConfig{})
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			svc.Invalidate("concerts")
@@ -33,6 +34,7 @@ func BenchmarkServeCache(b *testing.B) {
 		if _, err := svc.ServeExtract(ctx, "concerts", pages); err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := svc.ServeExtract(ctx, "concerts", pages); err != nil {
@@ -51,6 +53,7 @@ func BenchmarkServeCache(b *testing.B) {
 		if _, err := prime.ServeExtract(ctx, "concerts", pages); err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			// A fresh service per iteration: every request misses memory
@@ -61,6 +64,23 @@ func BenchmarkServeCache(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkInferAllocs isolates the allocation count of one cold wrapper
+// inference on the paper's running example — the metric the interned
+// token model (symbol table + page arenas) is accountable to. `make
+// bench` records it as BENCH_alloc.json; run with -benchmem and compare
+// allocs/op across commits.
+func BenchmarkInferAllocs(b *testing.B) {
+	pages := concertPages()
+	ex := concertExtractor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Wrap(pages); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // TestServeCacheHitIsMuchFasterThanColdWrap is the acceptance guard for
