@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test fmt fmt-check ci check bench bench-smoke trace clean
+.PHONY: build test fmt fmt-check ci check bench bench-smoke bench-load trace clean
 
 build:
 	$(GO) build ./...
@@ -31,11 +31,14 @@ ci: fmt-check
 # runs, then the parallel-pipeline, store-shutdown, and serving-cache
 # tests twice more under race to shake out scheduling-dependent
 # interleavings (singleflight, LRU, spill, drain), plus the symbol-table
-# and tokenizer suites (concurrent interning, raw-text/entity edges).
+# and tokenizer suites (concurrent interning, raw-text/entity edges) and
+# the telemetry layer (labeled metrics, flight recorder) under the same
+# repeated-race regime.
 check: ci
 	$(GO) test -race -count=2 -run 'Parallel|Determinis|ExtractBatch|ForEach|Workers' ./...
 	$(GO) test -race -count=2 ./internal/store/
 	$(GO) test -race -count=2 ./internal/httpserver/
+	$(GO) test -race -count=2 ./internal/obs/
 	$(GO) test -race -count=2 ./internal/symtab/
 	$(GO) test -race -count=2 -run 'RawText|Entit|Tokeniz' ./internal/dom/ ./internal/eqclass/
 	$(GO) test -race -count=2 -run 'Serve|SaveLoad|WrapContext|Persist|Close|Drain' .
@@ -66,6 +69,14 @@ bench-smoke:
 	mv BENCH_serve.json.tmp BENCH_serve.json
 	$(GO) test -json -bench='^BenchmarkInferAllocs$$' -benchtime=1x -benchmem -run XXX . > BENCH_alloc.json.tmp
 	mv BENCH_alloc.json.tmp BENCH_alloc.json
+
+# bench-load records serving-tier latency under load: it starts a real
+# objectrunnerd over a sitegen corpus and replays it open-loop with
+# cmd/loadgen, writing BENCH_load.json (achieved RPS, error and shed
+# counts, p50/p90/p95/p99/max latency per source). Knobs via env:
+# RPS, DURATION, CONCURRENCY, PAGES, OUT (see scripts/bench_load.sh).
+bench-load:
+	sh scripts/bench_load.sh
 
 # trace runs one books source end to end with a JSONL span trace and the
 # EXPLAIN report on stderr.

@@ -1,0 +1,444 @@
+// Command loadgen is an open-loop load generator for objectrunnerd: it
+// replays a sitegen corpus (see cmd/sitegen) against a running daemon at
+// a fixed request rate and reports latency quantiles per source.
+//
+// Open loop means the dispatch schedule is independent of completions:
+// requests are launched on a fixed interval (1/rps) whether or not
+// earlier ones have returned, which is how coordinated omission is
+// avoided — a slow server cannot slow the clock that measures it. A
+// bounded worker pool caps the damage: when all -concurrency slots are
+// busy at a tick, the request is counted as shed rather than queued.
+//
+// Usage:
+//
+//	sitegen -out ./bench -pages 8
+//	objectrunnerd -addr :8080 &
+//	loadgen -addr http://127.0.0.1:8080 -corpus ./bench \
+//	    -rps 50 -concurrency 16 -duration 10s -out BENCH_load.json
+//
+// The run has two phases: a warmup that registers every discovered
+// source with POST /v1/wrap (wrapper inference happens once, here), then
+// the timed extraction replay against POST /v1/extract. The report —
+// achieved RPS, error/shed counts, overall and per-source latency
+// p50/p90/p95/p99/max — is written to -out via tmp+rename, so a
+// half-written file is never observed.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"objectrunner/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr        string
+	corpus      string
+	rps         float64
+	concurrency int
+	duration    time.Duration
+	pagesPerReq int
+	seed        int64
+	out         string
+	timeout     time.Duration
+}
+
+func run(argv []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "daemon base URL")
+	fs.StringVar(&cfg.corpus, "corpus", "bench", "sitegen corpus directory")
+	fs.Float64Var(&cfg.rps, "rps", 50, "extract requests per second (open loop)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 16, "in-flight request cap; requests hitting the cap are shed, not queued")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "replay duration")
+	fs.IntVar(&cfg.pagesPerReq, "pages-per-request", 3, "pages per extract request")
+	fs.Int64Var(&cfg.seed, "seed", 1, "page-selection seed")
+	fs.StringVar(&cfg.out, "out", "BENCH_load.json", "report path (written via tmp+rename)")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if cfg.rps <= 0 || cfg.concurrency <= 0 || cfg.duration <= 0 {
+		return fmt.Errorf("rps, concurrency and duration must be positive")
+	}
+
+	corpus, err := discoverCorpus(cfg.corpus)
+	if err != nil {
+		return err
+	}
+	if len(corpus) == 0 {
+		return fmt.Errorf("no sources found under %s (expected <domain>/sod.txt with <domain>/<source>/page*.html)", cfg.corpus)
+	}
+	fmt.Fprintf(stderr, "loadgen: %d sources discovered under %s\n", len(corpus), cfg.corpus)
+
+	client := &http.Client{Timeout: cfg.timeout}
+	for _, src := range corpus {
+		if err := warmup(client, cfg.addr, src); err != nil {
+			return fmt.Errorf("warmup %s: %w", src.key, err)
+		}
+		fmt.Fprintf(stderr, "loadgen: warmed %s (%d pages)\n", src.key, len(src.pages))
+	}
+
+	rep := replay(client, cfg, corpus)
+	if err := writeReport(cfg.out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "loadgen: %d sent, %d ok, %d errors, %d shed in %.1fs (%.1f rps achieved) -> %s\n",
+		rep.Sent, rep.Completed, rep.Errors, rep.Shed, rep.WallSeconds, rep.AchievedRPS, cfg.out)
+	return nil
+}
+
+// sourceCorpus is one replayable source: its registration payload and
+// the page bodies to extract from.
+type sourceCorpus struct {
+	key   string
+	sod   string
+	dicts map[string][]dictEntry
+	pages []string
+}
+
+type dictEntry struct {
+	Value      string  `json:"value"`
+	Confidence float64 `json:"confidence"`
+}
+
+var instanceOfRE = regexp.MustCompile(`instanceOf\(([A-Za-z0-9_]+)\)`)
+
+// discoverCorpus walks a sitegen output directory: every <domain> with a
+// sod.txt contributes one source per page-bearing subdirectory, and the
+// SOD's instanceOf(Class) references resolve to dictionaries/<class>.txt
+// (KB class names are normalized to lower case, hence the file name).
+func discoverCorpus(root string) ([]sourceCorpus, error) {
+	domains, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []sourceCorpus
+	for _, dom := range domains {
+		if !dom.IsDir() || dom.Name() == "dictionaries" {
+			continue
+		}
+		sodPath := filepath.Join(root, dom.Name(), "sod.txt")
+		sodBytes, err := os.ReadFile(sodPath)
+		if err != nil {
+			continue // not a domain directory
+		}
+		sod := string(sodBytes)
+		dicts := make(map[string][]dictEntry)
+		for _, m := range instanceOfRE.FindAllStringSubmatch(sod, -1) {
+			class := m[1]
+			if _, ok := dicts[class]; ok {
+				continue
+			}
+			entries, err := readDict(filepath.Join(root, "dictionaries", strings.ToLower(class)+".txt"))
+			if err != nil {
+				continue // classes without a KB dictionary are fine
+			}
+			dicts[class] = entries
+		}
+		srcs, err := os.ReadDir(filepath.Join(root, dom.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range srcs {
+			if !src.IsDir() {
+				continue
+			}
+			pages, err := readPages(filepath.Join(root, dom.Name(), src.Name()))
+			if err != nil {
+				return nil, err
+			}
+			if len(pages) == 0 {
+				continue
+			}
+			out = append(out, sourceCorpus{
+				key:   dom.Name() + "/" + src.Name(),
+				sod:   sod,
+				dicts: dicts,
+				pages: pages,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out, nil
+}
+
+func readPages(dir string) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "page*.html"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	pages := make([]string, 0, len(names))
+	for _, name := range names {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, string(b))
+	}
+	return pages, nil
+}
+
+// readDict parses a sitegen dictionary file: one "value\tconfidence" per
+// line, confidence optional.
+func readDict(path string) ([]dictEntry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []dictEntry
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		value, confStr, _ := strings.Cut(line, "\t")
+		conf := 0.9
+		if confStr != "" {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(confStr), 64); err == nil {
+				conf = f
+			}
+		}
+		entries = append(entries, dictEntry{Value: value, Confidence: conf})
+	}
+	return entries, nil
+}
+
+// warmup registers a source and infers its wrapper with POST /v1/wrap,
+// so the timed replay measures serving, not inference.
+func warmup(client *http.Client, addr string, src sourceCorpus) error {
+	status, body, err := postJSON(client, addr+"/v1/wrap", map[string]any{
+		"source":       src.key,
+		"sod":          src.sod,
+		"pages":        src.pages,
+		"dictionaries": src.dicts,
+	})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("status %d: %s", status, body)
+	}
+	return nil
+}
+
+// report is the BENCH_load.json shape.
+type report struct {
+	Config struct {
+		RPS         float64 `json:"rps"`
+		Concurrency int     `json:"concurrency"`
+		DurationSec float64 `json:"duration_seconds"`
+		PagesPerReq int     `json:"pages_per_request"`
+		Sources     int     `json:"sources"`
+	} `json:"config"`
+	Sent        int64   `json:"sent"`
+	Completed   int64   `json:"completed"`
+	Errors      int64   `json:"errors"`
+	Shed        int64   `json:"shed"`
+	WallSeconds float64 `json:"wall_seconds"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Objects     int64   `json:"objects"`
+	Latency     latency `json:"latency"`
+	// PerSource holds one latency summary per source key.
+	PerSource map[string]latency `json:"per_source"`
+}
+
+type latency struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+func toLatency(h obs.HistSnapshot) latency {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return latency{
+		Count: h.Count,
+		P50Ms: ms(h.Quantile(0.50)),
+		P90Ms: ms(h.Quantile(0.90)),
+		P95Ms: ms(h.Quantile(0.95)),
+		P99Ms: ms(h.Quantile(0.99)),
+		MaxMs: ms(h.Max),
+	}
+}
+
+// replay drives the open loop: one dispatch per 1/rps interval over the
+// requested duration, round-robin across sources, random page windows,
+// shedding (not queueing) when the concurrency cap is reached.
+func replay(client *http.Client, cfg config, corpus []sourceCorpus) *report {
+	met := obs.New()
+	rng := rand.New(rand.NewSource(cfg.seed))
+	sem := make(chan struct{}, cfg.concurrency)
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+
+	var sent, shed, completed, errs, objects int64
+	results := make(chan struct {
+		src     string
+		dur     time.Duration
+		objects int64
+		err     bool
+	}, cfg.concurrency)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for r := range results {
+			completed++
+			if r.err {
+				errs++
+			} else {
+				objects += r.objects
+				met.Observe("load.extract", r.dur)
+				met.ObserveL("load.extract.by_source", r.dur, obs.L("source", r.src))
+			}
+		}
+	}()
+
+	begin := time.Now()
+	deadline := begin.Add(cfg.duration)
+	next := begin
+	var wg sync.WaitGroup
+	for i := 0; ; i++ {
+		now := time.Now()
+		if now.After(deadline) {
+			break
+		}
+		if d := next.Sub(now); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		src := corpus[i%len(corpus)]
+		lo := 0
+		if n := len(src.pages) - cfg.pagesPerReq; n > 0 {
+			lo = rng.Intn(n + 1)
+		}
+		hi := lo + cfg.pagesPerReq
+		if hi > len(src.pages) {
+			hi = len(src.pages)
+		}
+		pages := src.pages[lo:hi]
+		select {
+		case sem <- struct{}{}:
+		default:
+			shed++
+			continue
+		}
+		sent++
+		wg.Add(1)
+		go func(key string, pages []string) {
+			defer func() { <-sem; wg.Done() }()
+			start := time.Now()
+			status, body, err := postJSON(client, cfg.addr+"/v1/extract", map[string]any{
+				"source": key, "pages": pages,
+			})
+			d := time.Since(start)
+			var objs int64
+			bad := err != nil || status != http.StatusOK
+			if !bad {
+				var resp struct {
+					Count int64 `json:"count"`
+				}
+				if json.Unmarshal(body, &resp) == nil {
+					objs = resp.Count
+				}
+			}
+			results <- struct {
+				src     string
+				dur     time.Duration
+				objects int64
+				err     bool
+			}{key, d, objs, bad}
+		}(src.key, pages)
+	}
+	wg.Wait()
+	close(results)
+	<-collectorDone
+	wall := time.Since(begin)
+
+	rep := &report{PerSource: make(map[string]latency)}
+	rep.Config.RPS = cfg.rps
+	rep.Config.Concurrency = cfg.concurrency
+	rep.Config.DurationSec = cfg.duration.Seconds()
+	rep.Config.PagesPerReq = cfg.pagesPerReq
+	rep.Config.Sources = len(corpus)
+	rep.Sent = sent
+	rep.Completed = completed
+	rep.Errors = errs
+	rep.Shed = shed
+	rep.Objects = objects
+	rep.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		rep.AchievedRPS = float64(sent) / wall.Seconds()
+	}
+	rep.Latency = toLatency(met.Histogram("load.extract"))
+	for key, h := range met.Histograms() {
+		name, labels := obs.SplitSeries(key)
+		if name != "load.extract.by_source" || len(labels) != 1 {
+			continue
+		}
+		rep.PerSource[labels[0].Value] = toLatency(h)
+	}
+	return rep
+}
+
+func postJSON(client *http.Client, url string, payload any) (int, []byte, error) {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+// writeReport writes the JSON report atomically: tmp file in the target
+// directory, then rename.
+func writeReport(path string, rep *report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".loadgen-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"objectrunner/internal/httpserver"
+	"objectrunner/internal/sitegen"
+)
+
+// materializeCorpus writes a small sitegen benchmark to dir in the same
+// layout cmd/sitegen produces: <domain>/sod.txt, <domain>/<source>/
+// page%03d.html, dictionaries/<class>.txt.
+func materializeCorpus(t *testing.T, dir string) {
+	t.Helper()
+	cfg := sitegen.DefaultConfig()
+	cfg.PagesPerSource = 6
+	cfg.Domains = []string{"books"}
+	b, err := sitegen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dd := range b.Domains {
+		domDir := filepath.Join(dir, dd.Spec.Name)
+		// One source is enough: warmup infers a wrapper per source and
+		// dominates the test's wall clock.
+		src := dd.Sources[0]
+		srcDir := filepath.Join(domDir, "src0")
+		if err := os.MkdirAll(srcDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(domDir, "sod.txt"), []byte(dd.Spec.SODText+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for i, html := range src.HTML {
+			if err := os.WriteFile(filepath.Join(srcDir, fmt.Sprintf("page%03d.html", i)), []byte(html), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dictDir := filepath.Join(dir, "dictionaries")
+	if err := os.MkdirAll(dictDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range b.KB.Classes() {
+		var sb strings.Builder
+		for _, e := range b.KB.Instances(class) {
+			fmt.Fprintf(&sb, "%s\t%.3f\n", e.Value, e.Confidence)
+		}
+		if sb.Len() == 0 {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dictDir, class+".txt"), []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDiscoverCorpus(t *testing.T) {
+	dir := t.TempDir()
+	materializeCorpus(t, dir)
+	corpus, err := discoverCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 1 {
+		t.Fatalf("discovered %d sources, want 1", len(corpus))
+	}
+	src := corpus[0]
+	if src.key != "books/src0" {
+		t.Errorf("source key = %q", src.key)
+	}
+	// PagesPerSource on-template pages plus the junk pages sitegen mixes
+	// in (JunkFraction).
+	if len(src.pages) < 6 {
+		t.Errorf("pages = %d, want >= 6", len(src.pages))
+	}
+	if src.sod == "" {
+		t.Error("empty SOD")
+	}
+	// The books SOD references BookTitle and Author; both have KB
+	// dictionaries.
+	for _, class := range []string{"BookTitle", "Author"} {
+		if len(src.dicts[class]) == 0 {
+			t.Errorf("dictionary %s empty or missing (have %v)", class, dictClasses(src))
+		}
+	}
+}
+
+func dictClasses(src sourceCorpus) []string {
+	out := make([]string, 0, len(src.dicts))
+	for c := range src.dicts {
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestLoadgenEndToEnd replays the corpus against an in-process server
+// and checks the report: everything sent either completed or was shed,
+// no errors, and latency quantiles are populated and ordered.
+func TestLoadgenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs wrapper inference and a timed replay")
+	}
+	dir := t.TempDir()
+	materializeCorpus(t, dir)
+
+	srv := httpserver.New(httpserver.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(dir, "BENCH_load.json")
+	err := run([]string{
+		"-addr", ts.URL,
+		"-corpus", dir,
+		"-rps", "40",
+		"-concurrency", "8",
+		"-duration", "1s",
+		"-pages-per-request", "2",
+		"-out", out,
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, b)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if rep.Completed != rep.Sent {
+		t.Errorf("completed %d != sent %d", rep.Completed, rep.Sent)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	if rep.Objects == 0 {
+		t.Error("no objects extracted during replay")
+	}
+	lat := rep.Latency
+	if lat.Count != rep.Sent-rep.Errors {
+		t.Errorf("latency count = %d, want %d", lat.Count, rep.Sent)
+	}
+	if lat.P50Ms <= 0 || lat.P50Ms > lat.P99Ms || lat.P99Ms > lat.MaxMs {
+		t.Errorf("latency quantiles not ordered: %+v", lat)
+	}
+	perSrc, ok := rep.PerSource["books/src0"]
+	if !ok {
+		t.Fatalf("per-source latency missing: %+v", rep.PerSource)
+	}
+	if perSrc.Count == 0 || perSrc.P50Ms <= 0 {
+		t.Errorf("per-source latency = %+v", perSrc)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Errorf("achieved rps = %v", rep.AchievedRPS)
+	}
+	if rep.Config.Sources != 1 {
+		t.Errorf("config sources = %d", rep.Config.Sources)
+	}
+}
+
+func TestWriteReportAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_load.json")
+	rep := &report{Sent: 3, PerSource: map[string]latency{}}
+	if err := writeReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	// No tmp leftovers.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "BENCH_load.json" {
+		t.Errorf("unexpected directory contents: %v", entries)
+	}
+	var got report
+	b, _ := os.ReadFile(path)
+	if err := json.Unmarshal(b, &got); err != nil || got.Sent != 3 {
+		t.Errorf("round trip failed: %v %+v", err, got)
+	}
+}

@@ -53,6 +53,8 @@ func run() error {
 	healthThreshold := flag.Float64("health-threshold", 0, "empty-serve rate above which a wrapper is re-inferred (0 disables)")
 	workers := flag.Int("workers", 0, "pipeline worker goroutines per request (0 = one per CPU)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on waiting for in-flight handlers and the cache spill at shutdown")
+	flightTraces := flag.Int("flight-traces", 64, "request traces kept by the flight recorder (N most recent + N slowest, GET /v1/debug/traces)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: exposes process internals)")
 	obsCLI := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -82,7 +84,9 @@ func run() error {
 			HealthThreshold: *healthThreshold,
 			SpillDir:        *cacheDir,
 		},
-		Obs: observer,
+		Obs:                observer,
+		FlightRecorderSize: *flightTraces,
+		EnablePprof:        *enablePprof,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

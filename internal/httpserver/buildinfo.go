@@ -1,0 +1,28 @@
+package httpserver
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// buildInfo returns the process's Go version and VCS revision, read once
+// from the binary's embedded build info. Binaries built outside a VCS
+// checkout (go test, plain go build of a dirty tree) report "unknown".
+var buildInfo = sync.OnceValues(func() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	revision = "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return goVersion, revision
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+		}
+	}
+	return goVersion, revision
+})

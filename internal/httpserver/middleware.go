@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
+	"time"
 
 	"objectrunner/internal/obs"
 )
@@ -31,16 +33,65 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// maxTraceIDLen caps an inbound X-Trace-Id: longer ids are truncated, so
+// a hostile caller cannot grow the trace ring or the span attributes.
+const maxTraceIDLen = 64
+
+// sanitizeTraceID filters an inbound trace id down to [0-9A-Za-z._-],
+// capped at maxTraceIDLen bytes. An empty result means "mint one".
+func sanitizeTraceID(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s) && sb.Len() < maxTraceIDLen; i++ {
+		c := s[i]
+		if c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c == '.' || c == '_' || c == '-' {
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// routeLabel maps a request path to a bounded label value. Raw paths
+// must never become labels — the label set has to stay low-cardinality
+// (see DESIGN.md §13) — so unknown paths collapse into "other".
+func routeLabel(path string) string {
+	switch {
+	case path == "/v1/wrap":
+		return "wrap"
+	case path == "/v1/extract":
+		return "extract"
+	case path == "/v1/sources" || strings.HasPrefix(path, "/v1/sources/"):
+		return "sources"
+	case path == "/v1/debug/traces":
+		return "traces"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "pprof"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
 // instrument is the outer middleware on every route: a per-request
-// trace id (echoed as X-Trace-Id and spanned through internal/obs),
-// panic recovery into a 500, the request body size limit, and the
-// request context merged with the server lifetime — Abort cancels every
-// request derived this way, which is how the drain sequence stops
-// in-flight wraps and extracts.
+// trace id (the sanitized inbound X-Trace-Id when the caller sent one —
+// daemon traces join caller traces — else minted, echoed back either
+// way and spanned through internal/obs), labeled request metrics and the
+// flight recorder, panic recovery into a 500, the request body size
+// limit, and the request context merged with the server lifetime —
+// Abort cancels every request derived this way, which is how the drain
+// sequence stops in-flight wraps and extracts.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		trace := fmt.Sprintf("req-%06d", s.reqID.Add(1))
+		trace := sanitizeTraceID(r.Header.Get("X-Trace-Id"))
+		if trace == "" {
+			trace = fmt.Sprintf("req-%06d", s.reqID.Add(1))
+		}
 		w.Header().Set("X-Trace-Id", trace)
+		route := routeLabel(r.URL.Path)
+		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		sp := s.obs.Span("http.request",
 			obs.A("method", r.Method), obs.A("path", r.URL.Path), obs.A("trace", trace))
@@ -57,7 +108,20 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				// the connection is abandoned but the process lives on.
 			}
 			sp.End(obs.A("status", sw.status))
-			s.obs.Count(fmt.Sprintf("http.status.%dxx", sw.status/100), 1)
+			d := time.Since(start)
+			class := fmt.Sprintf("%dxx", sw.status/100)
+			s.obs.Count("http.status."+class, 1)
+			s.obs.CountL("http.requests_by_route", 1,
+				obs.L("route", route), obs.L("status", class))
+			s.obs.ObserveL("http.request", d, obs.L("route", route))
+			s.flight.Record(obs.Trace{
+				ID:     trace,
+				Name:   r.Method + " " + r.URL.Path,
+				Start:  start,
+				Dur:    d,
+				Status: sw.status,
+				Labels: map[string]string{"route": route},
+			})
 		}()
 		if r.Body != nil && s.cfg.MaxBodyBytes > 0 {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)

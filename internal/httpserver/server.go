@@ -11,8 +11,13 @@
 //	GET    /v1/sources        list registered sources with cache stats
 //	DELETE /v1/sources/{key}  invalidate a source's wrapper and registration
 //	GET    /healthz           readiness (503 while draining)
-//	GET    /metrics           JSON snapshot of counters, histograms and
-//	                          per-source cache stats
+//	GET    /metrics           counters, gauges (uptime, build info) and
+//	                          quantile-bearing histograms, per-source
+//	                          labeled; JSON by default, Prometheus text
+//	                          exposition under `Accept: text/plain`
+//	GET    /v1/debug/traces   the request flight recorder: the N most
+//	                          recent and N slowest requests
+//	GET    /debug/pprof/...   net/http/pprof, only with Config.EnablePprof
 //
 // The robustness layer is the point, not the routing: per-request
 // timeouts threaded into the context-aware extraction APIs, a
@@ -30,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -60,6 +66,14 @@ type Config struct {
 	// Obs receives the server's spans and counters and backs /metrics.
 	// Defaults to a fresh metrics-only observer.
 	Obs *obs.Observer
+	// FlightRecorderSize is the per-kind capacity of the request flight
+	// recorder behind GET /v1/debug/traces (N most recent + N slowest
+	// requests). Default 64.
+	FlightRecorderSize int
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/. Off by default: the profiling endpoints expose
+	// process internals and cost CPU while sampling, so they are opt-in.
+	EnablePprof bool
 }
 
 func (c *Config) normalize() {
@@ -71,6 +85,9 @@ func (c *Config) normalize() {
 	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
+	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 64
 	}
 }
 
@@ -100,6 +117,9 @@ type Server struct {
 	inflight atomic.Int64
 	reqID    atomic.Int64
 
+	flight *obs.FlightRecorder
+	start  time.Time
+
 	handler http.Handler
 
 	mu      sync.Mutex
@@ -114,6 +134,8 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		obs:     cfg.Obs,
 		sem:     make(chan struct{}, cfg.MaxInflight),
+		flight:  obs.NewFlightRecorder(cfg.FlightRecorderSize),
+		start:   time.Now(),
 		sources: make(map[string]*source),
 	}
 	s.baseCtx, s.abort = context.WithCancel(context.Background())
@@ -124,6 +146,15 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/sources/{key...}", s.handleDeleteSource)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.handler = s.instrument(mux)
 	return s
 }
@@ -214,11 +245,29 @@ type sourceInfo struct {
 }
 
 type metricsResponse struct {
-	Counters   map[string]int64                   `json:"counters"`
-	Histograms map[string]obs.HistView            `json:"histograms"`
-	Sources    map[string]objectrunner.StoreStats `json:"sources"`
-	Inflight   int64                              `json:"inflight"`
-	Draining   bool                               `json:"draining"`
+	Counters      map[string]int64                   `json:"counters"`
+	Gauges        map[string]float64                 `json:"gauges"`
+	Histograms    map[string]obs.HistView            `json:"histograms"`
+	Sources       map[string]objectrunner.StoreStats `json:"sources"`
+	Inflight      int64                              `json:"inflight"`
+	Draining      bool                               `json:"draining"`
+	UptimeSeconds float64                            `json:"uptime_seconds"`
+	Build         buildJSON                          `json:"build"`
+}
+
+type buildJSON struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+}
+
+type traceJSON struct {
+	ID     string            `json:"id"`
+	Name   string            `json:"name"`
+	Start  time.Time         `json:"start"`
+	DurMs  float64           `json:"dur_ms"`
+	Status int               `json:"status"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Error  string            `json:"error,omitempty"`
 }
 
 // specOf canonicalizes a registration: SOD text plus the dictionaries in
@@ -409,21 +458,97 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// wantsPrometheus reports whether the Accept header asks for the text
+// exposition format. JSON stays the default (*/*, no header, or
+// application/json), so existing scrapers keep working; Prometheus
+// itself and `curl -H 'Accept: text/plain'` get the exposition format.
+// The first recognized media type in listed order wins.
+func wantsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/json":
+			return false
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot assembles the full metrics view: the observer's counters and
+// histograms (per-source serve and store series included), plus
+// process-level gauges — uptime, build info, inflight/draining, and the
+// per-source cache occupancy.
+func (s *Server) snapshot() (obs.Snapshot, map[string]objectrunner.StoreStats) {
 	snap := s.obs.Snapshot()
+	goVersion, revision := buildInfo()
+	snap.SetGauge("uptime_seconds", time.Since(s.start).Seconds())
+	snap.SetGauge("objectrunner_build_info", 1,
+		obs.L("go_version", goVersion), obs.L("revision", revision))
+	snap.SetGauge("http_inflight", float64(s.inflight.Load()))
+	draining := 0.0
+	if s.draining.Load() {
+		draining = 1
+	}
+	snap.SetGauge("http_draining", draining)
 	s.mu.Lock()
 	stats := make(map[string]objectrunner.StoreStats, len(s.sources))
 	for k, src := range s.sources {
-		stats[k] = src.svc.Stats()
+		st := src.svc.Stats()
+		stats[k] = st
+		snap.SetGauge("store_wrappers", float64(st.Len), obs.L("source", k))
 	}
 	s.mu.Unlock()
+	return snap, stats
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap, stats := s.snapshot()
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WritePrometheus(w)
+		return
+	}
+	goVersion, revision := buildInfo()
 	writeJSON(w, http.StatusOK, metricsResponse{
-		Counters:   snap.Counters,
-		Histograms: snap.Histograms,
-		Sources:    stats,
-		Inflight:   s.inflight.Load(),
-		Draining:   s.draining.Load(),
+		Counters:      snap.Counters,
+		Gauges:        snap.Gauges,
+		Histograms:    snap.Histograms,
+		Sources:       stats,
+		Inflight:      s.inflight.Load(),
+		Draining:      s.draining.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         buildJSON{GoVersion: goVersion, Revision: revision},
 	})
+}
+
+// handleTraces serves the flight recorder: the most recent requests
+// (newest first) and the slowest since startup (slowest first), each as
+// a compact trace record.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	recent, slowest := s.flight.Snapshot()
+	writeJSON(w, http.StatusOK, map[string][]traceJSON{
+		"recent":  tracesJSON(recent),
+		"slowest": tracesJSON(slowest),
+	})
+}
+
+func tracesJSON(ts []obs.Trace) []traceJSON {
+	out := make([]traceJSON, len(ts))
+	for i, t := range ts {
+		out[i] = traceJSON{
+			ID:     t.ID,
+			Name:   t.Name,
+			Start:  t.Start,
+			DurMs:  float64(t.Dur) / float64(time.Millisecond),
+			Status: t.Status,
+			Labels: t.Labels,
+			Error:  t.Err,
+		}
+	}
+	return out
 }
 
 // serveError maps a Service error to an HTTP status: deadline → 504,

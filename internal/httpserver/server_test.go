@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"objectrunner"
+	"objectrunner/internal/obs"
 )
 
 // The paper's running example (Fig. 3) as wire-level fixtures.
@@ -417,8 +418,17 @@ func TestSourcesAndMetrics(t *testing.T) {
 	if st, ok := m.Sources["concerts"]; !ok || st.Len != 1 {
 		t.Errorf("metrics sources = %+v", m.Sources)
 	}
-	if m.Counters["store.misses"] == 0 {
+	if m.Counters[obs.SeriesKey("store.misses", obs.L("source", "concerts"))] == 0 {
 		t.Error("store counters not flowing through the shared observer")
+	}
+	if m.Counters[obs.SeriesKey("serve.pages", obs.L("source", "concerts"))] == 0 {
+		t.Error("per-source serve counters not flowing through the shared observer")
+	}
+	if m.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", m.UptimeSeconds)
+	}
+	if m.Build.GoVersion == "" || m.Build.Revision == "" {
+		t.Errorf("build info = %+v, want go version and revision", m.Build)
 	}
 }
 

@@ -1,0 +1,266 @@
+package httpserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"objectrunner/internal/obs"
+)
+
+func TestTraceIDPropagation(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(traceID string) string {
+		req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+		if traceID != "" {
+			req.Header.Set("X-Trace-Id", traceID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.Header.Get("X-Trace-Id")
+	}
+
+	// Inbound ids are propagated and echoed back.
+	if got := get("caller-abc.123"); got != "caller-abc.123" {
+		t.Errorf("inbound trace id not propagated: got %q", got)
+	}
+	// Hostile characters are stripped; length is capped. (Characters the
+	// http client itself refuses, like \n, are covered by
+	// TestSanitizeTraceID below.)
+	if got := get("evil\"id with spaces"); got != "evilidwithspaces" {
+		t.Errorf("sanitized trace id = %q", got)
+	}
+	long := strings.Repeat("x", 200)
+	if got := get(long); got != strings.Repeat("x", 64) {
+		t.Errorf("long trace id not capped: %d bytes", len(get(long)))
+	}
+	// A fully-hostile id (nothing survives) gets a minted one.
+	if got := get("!! @@ ##"); !strings.HasPrefix(got, "req-") {
+		t.Errorf("expected minted id, got %q", got)
+	}
+	// No header at all also mints.
+	if got := get(""); !strings.HasPrefix(got, "req-") {
+		t.Errorf("expected minted id, got %q", got)
+	}
+}
+
+func TestSanitizeTraceID(t *testing.T) {
+	for in, want := range map[string]string{
+		"abc-123_X.y": "abc-123_X.y",
+		"a b\tc":      "abc",
+		`x"y\z`:       "xyz",
+		"":            "",
+		"héllo":       "hllo",
+	} {
+		if got := sanitizeTraceID(in); got != want {
+			t.Errorf("sanitizeTraceID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	for path, want := range map[string]string{
+		"/v1/wrap":              "wrap",
+		"/v1/extract":           "extract",
+		"/v1/sources":           "sources",
+		"/v1/sources/books/bn":  "sources",
+		"/v1/debug/traces":      "traces",
+		"/debug/pprof/heap":     "pprof",
+		"/healthz":              "healthz",
+		"/metrics":              "metrics",
+		"/anything/else":        "other",
+		"/v1/wrap/../../secret": "other",
+	} {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestMetricsPrometheusExposition(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Generate some labeled traffic first.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", got, obs.PromContentType)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_by_route_total{route="healthz",status="2xx"} 3`,
+		"# TYPE http_request_seconds summary",
+		`http_request_seconds{route="healthz",quantile="0.5"}`,
+		`http_request_seconds{route="healthz",quantile="0.99"}`,
+		`http_request_seconds_count{route="healthz"} 3`,
+		"# TYPE http_request_seconds_max gauge",
+		"# TYPE uptime_seconds gauge",
+		`objectrunner_build_info{go_version="go`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "http.request") {
+		t.Errorf("unsanitized metric name leaked into exposition:\n%s", text)
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		accept   string
+		wantJSON bool
+	}{
+		{"", true},
+		{"*/*", true},
+		{"application/json", true},
+		{"text/plain", false},
+		{"text/plain; version=0.0.4", false},
+		{"application/openmetrics-text; version=1.0.0", false},
+		{"application/json, text/plain", true}, // first recognized wins
+		{"text/plain, application/json", false},
+	} {
+		req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		isJSON := strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json")
+		if isJSON != tc.wantJSON {
+			t.Errorf("Accept=%q: got Content-Type %q, want JSON=%v",
+				tc.accept, resp.Header.Get("Content-Type"), tc.wantJSON)
+		}
+		if tc.wantJSON {
+			var m metricsResponse
+			if err := json.Unmarshal(body, &m); err != nil {
+				t.Errorf("Accept=%q: bad JSON: %v", tc.accept, err)
+			}
+		}
+	}
+}
+
+func TestDebugTraces(t *testing.T) {
+	srv := New(Config{FlightRecorderSize: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Issue a request with a known trace id, then read the recorder.
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Trace-Id", "trace-known-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Recent  []traceJSON `json:"recent"`
+		Slowest []traceJSON `json:"slowest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Recent) == 0 || len(out.Slowest) == 0 {
+		t.Fatalf("empty flight recorder: recent=%d slowest=%d", len(out.Recent), len(out.Slowest))
+	}
+	var found *traceJSON
+	for i := range out.Recent {
+		if out.Recent[i].ID == "trace-known-1" {
+			found = &out.Recent[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("known trace id not in recent traces: %+v", out.Recent)
+	}
+	if found.Name != "GET /healthz" {
+		t.Errorf("trace name = %q, want %q", found.Name, "GET /healthz")
+	}
+	if found.Status != http.StatusOK {
+		t.Errorf("trace status = %d, want 200", found.Status)
+	}
+	if found.Labels["route"] != "healthz" {
+		t.Errorf("trace route label = %q", found.Labels["route"])
+	}
+	if found.DurMs < 0 {
+		t.Errorf("trace dur_ms = %v", found.DurMs)
+	}
+	if found.Start.After(time.Now()) {
+		t.Errorf("trace start in the future: %v", found.Start)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	// Off by default.
+	off := httptest.NewServer(New(Config{}).Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+
+	// Mounted when enabled.
+	on := httptest.NewServer(New(Config{EnablePprof: true}).Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with EnablePprof: status %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index missing profile listing")
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is one completed request captured by the flight recorder: who it
+// was (the trace id), what it did, how long it took and how it ended.
+// Labels carry bounded dimensions (route, source); Err the terminal
+// error text, if any.
+type Trace struct {
+	ID     string
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Status int
+	Labels map[string]string
+	Err    string
+}
+
+// FlightRecorder keeps the N most recent and the N slowest traces in
+// bounded memory, safe for concurrent use. Recording is O(log N) (a ring
+// write plus one min-heap fixup) and never blocks on readers longer than
+// a snapshot copy; memory is 2N traces regardless of traffic. A nil
+// recorder is a valid no-op, like a nil Observer.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	cap     int
+	recent  []Trace // ring buffer; head is the next write position
+	head    int
+	n       int
+	slowest []Trace // min-heap ordered by Dur; root is the fastest kept
+}
+
+// NewFlightRecorder builds a recorder keeping n recent and n slowest
+// traces (default 64 when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = 64
+	}
+	return &FlightRecorder{cap: n, recent: make([]Trace, n)}
+}
+
+// Record adds one trace: it always enters the recent ring (displacing
+// the oldest) and enters the slowest set when it outlasts the fastest
+// trace kept there.
+func (f *FlightRecorder) Record(t Trace) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.recent[f.head] = t
+	f.head = (f.head + 1) % f.cap
+	if f.n < f.cap {
+		f.n++
+	}
+	switch {
+	case len(f.slowest) < f.cap:
+		f.slowest = append(f.slowest, t)
+		f.siftUp(len(f.slowest) - 1)
+	case t.Dur > f.slowest[0].Dur:
+		f.slowest[0] = t
+		f.siftDown(0)
+	}
+	f.mu.Unlock()
+}
+
+// Snapshot returns copies of the recorded traces: recent newest-first,
+// slowest in descending duration order.
+func (f *FlightRecorder) Snapshot() (recent, slowest []Trace) {
+	if f == nil {
+		return nil, nil
+	}
+	f.mu.Lock()
+	recent = make([]Trace, 0, f.n)
+	for i := 1; i <= f.n; i++ {
+		recent = append(recent, f.recent[(f.head-i+f.cap)%f.cap])
+	}
+	slowest = make([]Trace, len(f.slowest))
+	copy(slowest, f.slowest)
+	f.mu.Unlock()
+	sort.SliceStable(slowest, func(i, j int) bool {
+		if slowest[i].Dur != slowest[j].Dur {
+			return slowest[i].Dur > slowest[j].Dur
+		}
+		return slowest[i].Start.Before(slowest[j].Start)
+	})
+	return recent, slowest
+}
+
+func (f *FlightRecorder) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if f.slowest[parent].Dur <= f.slowest[i].Dur {
+			return
+		}
+		f.slowest[parent], f.slowest[i] = f.slowest[i], f.slowest[parent]
+		i = parent
+	}
+}
+
+func (f *FlightRecorder) siftDown(i int) {
+	n := len(f.slowest)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && f.slowest[l].Dur < f.slowest[least].Dur {
+			least = l
+		}
+		if r := 2*i + 2; r < n && f.slowest[r].Dur < f.slowest[least].Dur {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		f.slowest[i], f.slowest[least] = f.slowest[least], f.slowest[i]
+		i = least
+	}
+}

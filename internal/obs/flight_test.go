@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRecent(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 1; i <= 6; i++ {
+		f.Record(Trace{ID: fmt.Sprintf("t%d", i), Dur: time.Duration(i) * time.Millisecond})
+	}
+	recent, _ := f.Snapshot()
+	if len(recent) != 4 {
+		t.Fatalf("recent len = %d, want 4", len(recent))
+	}
+	// Newest first; the two oldest (t1, t2) were displaced.
+	for i, want := range []string{"t6", "t5", "t4", "t3"} {
+		if recent[i].ID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].ID, want)
+		}
+	}
+}
+
+func TestFlightRecorderSlowest(t *testing.T) {
+	f := NewFlightRecorder(3)
+	// Interleave so the slowest are not simply the most recent.
+	durs := []time.Duration{5, 50, 2, 40, 9, 30, 1, 8} // ms
+	for i, d := range durs {
+		f.Record(Trace{
+			ID:    fmt.Sprintf("t%d", i),
+			Start: time.Unix(int64(i), 0),
+			Dur:   d * time.Millisecond,
+		})
+	}
+	_, slowest := f.Snapshot()
+	if len(slowest) != 3 {
+		t.Fatalf("slowest len = %d, want 3", len(slowest))
+	}
+	for i, want := range []time.Duration{50, 40, 30} {
+		if slowest[i].Dur != want*time.Millisecond {
+			t.Errorf("slowest[%d].Dur = %v, want %v", i, slowest[i].Dur, want*time.Millisecond)
+		}
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(Trace{ID: "only", Dur: time.Millisecond})
+	recent, slowest := f.Snapshot()
+	if len(recent) != 1 || recent[0].ID != "only" {
+		t.Errorf("recent = %+v", recent)
+	}
+	if len(slowest) != 1 || slowest[0].ID != "only" {
+		t.Errorf("slowest = %+v", slowest)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(Trace{ID: "x"}) // must not panic
+	recent, slowest := f.Snapshot()
+	if recent != nil || slowest != nil {
+		t.Errorf("nil recorder snapshot = %v, %v", recent, slowest)
+	}
+}
+
+func TestFlightRecorderDefaultCap(t *testing.T) {
+	f := NewFlightRecorder(0)
+	for i := 0; i < 100; i++ {
+		f.Record(Trace{Dur: time.Duration(i) * time.Microsecond})
+	}
+	recent, slowest := f.Snapshot()
+	if len(recent) != 64 || len(slowest) != 64 {
+		t.Errorf("default cap: recent=%d slowest=%d, want 64/64", len(recent), len(slowest))
+	}
+}
+
+// TestFlightRecorderConcurrent hammers the recorder from writers and
+// readers at once; run under -race (make check does, with -count=2) it
+// proves the ring and heap are data-race free and stay within bounds.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				f.Record(Trace{
+					ID:     fmt.Sprintf("w%d-%d", w, i),
+					Dur:    time.Duration(i%500) * time.Microsecond,
+					Status: 200,
+					Labels: map[string]string{"route": "extract"},
+				})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recent, slowest := f.Snapshot()
+				if len(recent) > 32 || len(slowest) > 32 {
+					t.Errorf("bounds exceeded: recent=%d slowest=%d", len(recent), len(slowest))
+					return
+				}
+				for i := 1; i < len(slowest); i++ {
+					if slowest[i].Dur > slowest[i-1].Dur {
+						t.Errorf("slowest not sorted at %d: %v > %v", i, slowest[i].Dur, slowest[i-1].Dur)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	recent, slowest := f.Snapshot()
+	if len(recent) != 32 || len(slowest) != 32 {
+		t.Fatalf("final sizes: recent=%d slowest=%d, want 32/32", len(recent), len(slowest))
+	}
+	// The slowest set must hold the true maxima: 32 traces of 499..468µs
+	// were recorded by every writer.
+	if slowest[0].Dur != 499*time.Microsecond {
+		t.Errorf("slowest[0].Dur = %v, want 499µs", slowest[0].Dur)
+	}
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeriesKeyCanonical(t *testing.T) {
+	// Label order must not matter: both orders render the same series.
+	a := seriesKey("m", []Label{L("b", "2"), L("a", "1")})
+	b := seriesKey("m", []Label{L("a", "1"), L("b", "2")})
+	if a != b {
+		t.Fatalf("series keys differ by label order: %q vs %q", a, b)
+	}
+	if want := `m{a="1",b="2"}`; a != want {
+		t.Fatalf("series key = %q, want %q", a, want)
+	}
+	if got := seriesKey("m", nil); got != "m" {
+		t.Fatalf("label-less series key = %q", got)
+	}
+}
+
+func TestSeriesKeyEscaping(t *testing.T) {
+	key := seriesKey("m", []Label{L("k", "a\"b\\c\nd")})
+	if want := `m{k="a\"b\\c\nd"}`; key != want {
+		t.Fatalf("escaped key = %q, want %q", key, want)
+	}
+	name, labels := SplitSeries(key)
+	if name != "m" || len(labels) != 1 || labels[0].Key != "k" || labels[0].Value != "a\"b\\c\nd" {
+		t.Fatalf("SplitSeries(%q) = %q, %+v", key, name, labels)
+	}
+}
+
+func TestSplitSeriesRoundTrip(t *testing.T) {
+	for _, labels := range [][]Label{
+		nil,
+		{L("source", "books/bn")},
+		{L("route", "extract"), L("status", "2xx")},
+		{L("v", `quoted "x" and \slash`)},
+	} {
+		key := seriesKey("serve.extract", labels)
+		name, got := SplitSeries(key)
+		if name != "serve.extract" {
+			t.Fatalf("name = %q", name)
+		}
+		want := make([]Label, len(labels))
+		copy(want, labels)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+		if len(got) != len(want) {
+			t.Fatalf("labels = %+v, want %+v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("label %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLabeledCounters(t *testing.T) {
+	o := New()
+	o.CountL("serve.pages", 3, L("source", "a"))
+	o.CountL("serve.pages", 2, L("source", "a"))
+	o.CountL("serve.pages", 7, L("source", "b"))
+	o.Count("serve.pages", 1) // the unlabeled series is independent
+
+	if got := o.Counter(SeriesKey("serve.pages", L("source", "a"))); got != 5 {
+		t.Errorf(`serve.pages{source="a"} = %d, want 5`, got)
+	}
+	if got := o.Counter(SeriesKey("serve.pages", L("source", "b"))); got != 7 {
+		t.Errorf(`serve.pages{source="b"} = %d, want 7`, got)
+	}
+	if got := o.Counter("serve.pages"); got != 1 {
+		t.Errorf("unlabeled serve.pages = %d, want 1", got)
+	}
+}
+
+func TestLabeledHistograms(t *testing.T) {
+	o := New()
+	o.ObserveL("h", 2*time.Millisecond, L("route", "x"))
+	o.ObserveL("h", 4*time.Millisecond, L("route", "x"))
+	o.ObserveL("h", 8*time.Millisecond, L("route", "y"))
+	hx := o.Histogram(SeriesKey("h", L("route", "x")))
+	if hx.Count != 2 || hx.Min != 2*time.Millisecond || hx.Max != 4*time.Millisecond {
+		t.Errorf(`h{route="x"} = %+v`, hx)
+	}
+	hy := o.Histogram(SeriesKey("h", L("route", "y")))
+	if hy.Count != 1 {
+		t.Errorf(`h{route="y"} = %+v`, hy)
+	}
+}
+
+func TestVecHandles(t *testing.T) {
+	o := New()
+	cv := o.CounterVec("http.by_route", "route", "status")
+	cv.Add(1, "extract", "2xx")
+	cv.Add(1, "extract", "2xx")
+	cv.Add(1, "wrap", "5xx")
+	if got := o.Counter(SeriesKey("http.by_route", L("route", "extract"), L("status", "2xx"))); got != 2 {
+		t.Errorf("vec counter = %d, want 2", got)
+	}
+	// Missing values render empty, extra values are ignored.
+	cv.Add(1, "healthz")
+	if got := o.Counter(SeriesKey("http.by_route", L("route", "healthz"), L("status", ""))); got != 1 {
+		t.Errorf("padded vec counter = %d, want 1", got)
+	}
+
+	hv := o.HistVec("lat", "route")
+	hv.Observe(time.Millisecond, "extract")
+	if got := o.Histogram(SeriesKey("lat", L("route", "extract"))); got.Count != 1 {
+		t.Errorf("vec histogram = %+v", got)
+	}
+
+	// Disabled observers yield nil, no-op vecs.
+	var disabled *Observer
+	disabled.CounterVec("x", "l").Add(1, "v")
+	disabled.HistVec("x", "l").Observe(time.Second, "v")
+}
+
+func TestSeriesCardinalityCap(t *testing.T) {
+	o := New()
+	for i := 0; i < maxSeriesPerMetric+10; i++ {
+		o.CountL("hot", 1, L("id", fmt.Sprintf("v%04d", i)))
+	}
+	if got := o.Counter(SeriesKey("hot", L("overflow", "true"))); got != 10 {
+		t.Errorf("overflow series = %d, want 10", got)
+	}
+	if got := o.Counter("obs.series_overflow"); got != 10 {
+		t.Errorf("obs.series_overflow = %d, want 10", got)
+	}
+	// Existing series keep counting after the cap.
+	o.CountL("hot", 1, L("id", "v0000"))
+	if got := o.Counter(SeriesKey("hot", L("id", "v0000"))); got != 2 {
+		t.Errorf("pre-cap series after cap = %d, want 2", got)
+	}
+	// Other metric names are unaffected.
+	o.CountL("cold", 1, L("id", "x"))
+	if got := o.Counter(SeriesKey("cold", L("id", "x"))); got != 1 {
+		t.Errorf("fresh metric counted %d, want 1", got)
+	}
+}
+
+func TestQuantileExactEdges(t *testing.T) {
+	var h HistSnapshot
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	o := New()
+	o.Observe("h", 700*time.Microsecond)
+	one := o.Histogram("h")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 700*time.Microsecond {
+			t.Errorf("single-observation Quantile(%v) = %v, want 700µs", q, got)
+		}
+	}
+}
+
+func TestQuantileKnownDistributions(t *testing.T) {
+	// Uniform 1..N ms: every log-bucket estimate must land within the
+	// true value's bucket, i.e. within a factor of 2.
+	o := New()
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		o.Observe("uniform", time.Duration(i)*time.Millisecond)
+	}
+	h := o.Histogram("uniform")
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		ratio := float64(got) / float64(tc.want)
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("uniform Quantile(%v) = %v, want within 2x of %v", tc.q, got, tc.want)
+		}
+	}
+	if h.Quantile(0) != h.Min || h.Quantile(1) != h.Max {
+		t.Errorf("quantile edges: q0=%v min=%v, q1=%v max=%v",
+			h.Quantile(0), h.Min, h.Quantile(1), h.Max)
+	}
+
+	// Exponential-ish distribution: quantiles must be monotone in q.
+	rng := rand.New(rand.NewSource(7))
+	o2 := New()
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(math.Min(rng.ExpFloat64()*2000, 1e6)) * time.Microsecond
+		o2.Observe("exp", d)
+	}
+	he := o2.Histogram("exp")
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		cur := he.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantiles not monotone: Quantile(%v) = %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+	if he.Quantile(0.5) < he.Min || he.Quantile(0.5) > he.Max {
+		t.Errorf("median %v outside [min %v, max %v]", he.Quantile(0.5), he.Min, he.Max)
+	}
+}
+
+func TestQuantileBucketResolution(t *testing.T) {
+	// A bimodal distribution: 90 fast (~100µs) and 10 slow (~50ms)
+	// observations. p50 must report the fast mode and p99 the slow one —
+	// this is what the millisecond-resolution layout could not do.
+	o := New()
+	for i := 0; i < 90; i++ {
+		o.Observe("bimodal", 100*time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		o.Observe("bimodal", 50*time.Millisecond)
+	}
+	h := o.Histogram("bimodal")
+	if p50 := h.Quantile(0.5); p50 > time.Millisecond {
+		t.Errorf("p50 = %v, want sub-millisecond (fast mode)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 10*time.Millisecond {
+		t.Errorf("p99 = %v, want tens of ms (slow mode)", p99)
+	}
+}
+
+func TestHistViewQuantiles(t *testing.T) {
+	o := New()
+	for i := 1; i <= 100; i++ {
+		o.Observe("v", time.Duration(i)*time.Millisecond)
+	}
+	view := o.Snapshot().Histograms["v"]
+	if view.P50Ms <= 0 || view.P90Ms < view.P50Ms || view.P95Ms < view.P90Ms || view.P99Ms < view.P95Ms {
+		t.Errorf("view quantiles not ordered: %+v", view)
+	}
+	if view.MaxMs != 100 {
+		t.Errorf("view max = %v, want 100", view.MaxMs)
+	}
+}
+
+func TestSnapshotGauges(t *testing.T) {
+	o := New()
+	o.Count("c", 1)
+	snap := o.Snapshot()
+	snap.SetGauge("uptime_seconds", 12.5)
+	snap.SetGauge("build_info", 1, L("go_version", "go1.24.0"))
+	if snap.Gauges["uptime_seconds"] != 12.5 {
+		t.Errorf("gauges = %+v", snap.Gauges)
+	}
+	if snap.Gauges[SeriesKey("build_info", L("go_version", "go1.24.0"))] != 1 {
+		t.Errorf("labeled gauge missing: %+v", snap.Gauges)
+	}
+}
+
+func TestLabeledMetricsConcurrent(t *testing.T) {
+	o := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := fmt.Sprintf("s%d", g%4)
+			for i := 0; i < 250; i++ {
+				o.CountL("c", 1, L("source", src))
+				o.ObserveL("h", time.Duration(i)*time.Microsecond, L("source", src))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for k, v := range o.Counters() {
+		if strings.HasPrefix(k, "c{") {
+			total += v
+		}
+	}
+	if total != 2000 {
+		t.Fatalf("labeled counter total = %d, want 2000", total)
+	}
+	var hTotal int64
+	for k, h := range o.Histograms() {
+		if strings.HasPrefix(k, "h{") {
+			hTotal += h.Count
+		}
+	}
+	if hTotal != 2000 {
+		t.Fatalf("labeled histogram total = %d, want 2000", hTotal)
+	}
+}

@@ -144,7 +144,17 @@ func (o *Observer) Count(name string, delta int64) {
 	if !o.Enabled() {
 		return
 	}
-	o.core.met.count(name, delta)
+	o.core.met.count(name, delta, nil)
+}
+
+// CountL adds delta to the labeled counter series. Same-name calls with
+// different label sets are independent series; labels must stay
+// low-cardinality (see Label).
+func (o *Observer) CountL(name string, delta int64, labels ...Label) {
+	if !o.Enabled() {
+		return
+	}
+	o.core.met.count(name, delta, labels)
 }
 
 // Observe records one duration into the named histogram.
@@ -152,7 +162,15 @@ func (o *Observer) Observe(name string, d time.Duration) {
 	if !o.Enabled() {
 		return
 	}
-	o.core.met.observe(name, d)
+	o.core.met.observe(name, d, nil)
+}
+
+// ObserveL records one duration into the labeled histogram series.
+func (o *Observer) ObserveL(name string, d time.Duration, labels ...Label) {
+	if !o.Enabled() {
+		return
+	}
+	o.core.met.observe(name, d, labels)
 }
 
 // Span is one interval of the trace. The zero of *Span (nil) is a valid
@@ -183,6 +201,68 @@ func (s *Span) Event(name string, attrs ...Attr) {
 	s.core.emit(Event{Kind: "event", Time: time.Now(), Span: s.id, Name: name, Attrs: attrs})
 }
 
+// CounterVec is a labeled counter family: the label names are bound
+// once, each Add supplies the matching values. A nil vec (from a
+// disabled observer) is a valid no-op.
+type CounterVec struct {
+	o     *Observer
+	name  string
+	names []string
+}
+
+// CounterVec binds a counter family with fixed label names.
+func (o *Observer) CounterVec(name string, labelNames ...string) *CounterVec {
+	if !o.Enabled() {
+		return nil
+	}
+	return &CounterVec{o: o, name: name, names: labelNames}
+}
+
+// Add increments the series identified by the label values (paired with
+// the vec's label names positionally; missing values render empty).
+func (v *CounterVec) Add(delta int64, labelValues ...string) {
+	if v == nil {
+		return
+	}
+	v.o.CountL(v.name, delta, pairLabels(v.names, labelValues)...)
+}
+
+// HistVec is a labeled duration-histogram family, the histogram
+// counterpart of CounterVec.
+type HistVec struct {
+	o     *Observer
+	name  string
+	names []string
+}
+
+// HistVec binds a histogram family with fixed label names.
+func (o *Observer) HistVec(name string, labelNames ...string) *HistVec {
+	if !o.Enabled() {
+		return nil
+	}
+	return &HistVec{o: o, name: name, names: labelNames}
+}
+
+// Observe records one duration into the series identified by the label
+// values.
+func (v *HistVec) Observe(d time.Duration, labelValues ...string) {
+	if v == nil {
+		return
+	}
+	v.o.ObserveL(v.name, d, pairLabels(v.names, labelValues)...)
+}
+
+func pairLabels(names, values []string) []Label {
+	ls := make([]Label, len(names))
+	for i, n := range names {
+		ls[i].Key = n
+		if i < len(values) {
+			ls[i].Value = values[i]
+		}
+	}
+	return ls
+}
+
 // End closes the span, records its duration in the histogram named
 // "span.<name>", and emits the trailing attributes. Ending twice is a
 // no-op.
@@ -192,6 +272,6 @@ func (s *Span) End(attrs ...Attr) {
 	}
 	now := time.Now()
 	d := now.Sub(s.start)
-	s.core.met.observe("span."+s.name, d)
+	s.core.met.observe("span."+s.name, d, nil)
 	s.core.emit(Event{Kind: "span_end", Time: now, Span: s.id, Parent: s.parent, Name: s.name, Dur: d, Attrs: attrs})
 }

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// family ordering, series ordering, name sanitization, label escaping,
+// counter/gauge/summary rendering and second-based units.
+func TestWritePrometheusGolden(t *testing.T) {
+	o := New()
+	o.Count("http.requests", 12)
+	o.CountL("store.hits", 3, L("source", "books/bn"))
+	o.CountL("store.hits", 1, L("source", `weird"src\x`))
+	// One histogram with a single observation: every quantile equals it,
+	// so the golden values are exact.
+	o.ObserveL("serve.extract", 2*time.Millisecond, L("source", "books/bn"))
+
+	snap := o.Snapshot()
+	snap.SetGauge("uptime_seconds", 42.5)
+	snap.SetGauge("objectrunner_build_info", 1,
+		L("go_version", "go1.24.0"), L("revision", "deadbeef"))
+
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE http_requests_total counter
+http_requests_total 12
+# TYPE store_hits_total counter
+store_hits_total{source="books/bn"} 3
+store_hits_total{source="weird\"src\\x"} 1
+# TYPE objectrunner_build_info gauge
+objectrunner_build_info{go_version="go1.24.0",revision="deadbeef"} 1
+# TYPE uptime_seconds gauge
+uptime_seconds 42.5
+# TYPE serve_extract_seconds summary
+serve_extract_seconds{source="books/bn",quantile="0.5"} 0.002
+serve_extract_seconds{source="books/bn",quantile="0.9"} 0.002
+serve_extract_seconds{source="books/bn",quantile="0.95"} 0.002
+serve_extract_seconds{source="books/bn",quantile="0.99"} 0.002
+serve_extract_seconds_sum{source="books/bn"} 0.002
+serve_extract_seconds_count{source="books/bn"} 1
+# TYPE serve_extract_seconds_max gauge
+serve_extract_seconds_max{source="books/bn"} 0.002
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition differs:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusStableOrdering(t *testing.T) {
+	// Repeated renders of the same snapshot must be byte-identical —
+	// map iteration order must never leak into the output.
+	o := New()
+	for _, src := range []string{"zeta", "alpha", "mid"} {
+		o.CountL("store.hits", 1, L("source", src))
+		o.ObserveL("serve.extract", time.Millisecond, L("source", src))
+	}
+	o.Count("http.requests", 1)
+	snap := o.Snapshot()
+	var first string
+	for i := 0; i < 5; i++ {
+		var sb strings.Builder
+		if err := snap.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = sb.String()
+			continue
+		}
+		if sb.String() != first {
+			t.Fatalf("render %d differs from first:\n%s\nvs\n%s", i, sb.String(), first)
+		}
+	}
+	// Series within a family are sorted.
+	alpha := strings.Index(first, `store_hits_total{source="alpha"}`)
+	mid := strings.Index(first, `store_hits_total{source="mid"}`)
+	zeta := strings.Index(first, `store_hits_total{source="zeta"}`)
+	if alpha < 0 || mid < 0 || zeta < 0 || !(alpha < mid && mid < zeta) {
+		t.Errorf("series not sorted: alpha@%d mid@%d zeta@%d\n%s", alpha, mid, zeta, first)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"store.hits":        "store_hits",
+		"span.http.request": "span_http_request",
+		"9lives":            "_lives",
+		"a-b c":             "a_b_c",
+		"ok_name:sub":       "ok_name:sub",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -51,7 +51,9 @@ type Config struct {
 	// Decode is the inverse of Encode.
 	Decode func(src *os.File) (*wrapper.Wrapper, error)
 	// Obs receives the cache's counters (store.hits, store.misses,
-	// store.evictions.*, store.singleflight.shared, store.disk.*).
+	// store.evictions.*, store.singleflight.shared, store.disk.*), each
+	// labeled with the source key — per-source hit/miss and eviction
+	// rates are queryable straight off the observer's snapshot.
 	Obs *obs.Observer
 	// Clock overrides time.Now for TTL tests.
 	Clock func() time.Time
@@ -151,13 +153,13 @@ func (s *Store) Get(ctx context.Context, key string, build func(ctx context.Cont
 		if w, ok := s.lookupLocked(key); ok {
 			s.stats.Hits++
 			s.mu.Unlock()
-			s.cfg.Obs.Count("store.hits", 1)
+			s.cfg.Obs.CountL("store.hits", 1, obs.L("source", key))
 			return w, nil
 		}
 		if c, ok := s.inflight[key]; ok {
 			s.stats.Shared++
 			s.mu.Unlock()
-			s.cfg.Obs.Count("store.singleflight.shared", 1)
+			s.cfg.Obs.CountL("store.singleflight.shared", 1, obs.L("source", key))
 			select {
 			case <-c.done:
 			case <-ctx.Done():
@@ -200,13 +202,13 @@ func (s *Store) buildOrLoad(ctx context.Context, key string, build func(ctx cont
 		s.mu.Lock()
 		s.stats.DiskHits++
 		s.mu.Unlock()
-		s.cfg.Obs.Count("store.hits.disk", 1)
+		s.cfg.Obs.CountL("store.hits.disk", 1, obs.L("source", key))
 		return w, nil
 	}
 	s.mu.Lock()
 	s.stats.Misses++
 	s.mu.Unlock()
-	s.cfg.Obs.Count("store.misses", 1)
+	s.cfg.Obs.CountL("store.misses", 1, obs.L("source", key))
 	w, err := build(ctx)
 	if err != nil {
 		return nil, err
@@ -226,7 +228,7 @@ func (s *Store) lookupLocked(key string) (*wrapper.Wrapper, bool) {
 		s.removeLocked(el)
 		s.removeSpill(key)
 		s.stats.EvictionsTTL++
-		s.cfg.Obs.Count("store.evictions.ttl", 1)
+		s.cfg.Obs.CountL("store.evictions.ttl", 1, obs.L("source", key))
 		return nil, false
 	}
 	s.ll.MoveToFront(el)
@@ -249,9 +251,10 @@ func (s *Store) insertLocked(key string, w *wrapper.Wrapper) {
 		if oldest == nil {
 			break
 		}
+		evicted := oldest.Value.(*entry).key
 		s.removeLocked(oldest)
 		s.stats.EvictionsLRU++
-		s.cfg.Obs.Count("store.evictions.lru", 1)
+		s.cfg.Obs.CountL("store.evictions.lru", 1, obs.L("source", evicted))
 	}
 }
 
@@ -289,7 +292,7 @@ func (s *Store) RecordServe(key string, emptyPages, totalPages int) {
 	s.removeLocked(el)
 	s.removeSpill(key)
 	s.stats.EvictionsHealth++
-	s.cfg.Obs.Count("store.evictions.health", 1)
+	s.cfg.Obs.CountL("store.evictions.health", 1, obs.L("source", key))
 	s.cfg.Obs.Event("store.health_evict", obs.A("key", key),
 		obs.A("empty_rate", rate), obs.A("served_pages", e.servedPages))
 }
@@ -428,7 +431,7 @@ func (s *Store) writeSpill(key string, w *wrapper.Wrapper) {
 		s.spillError("rename", err)
 		return
 	}
-	s.cfg.Obs.Count("store.disk.writes", 1)
+	s.cfg.Obs.CountL("store.disk.writes", 1, obs.L("source", key))
 }
 
 func (s *Store) spillError(op string, err error) {

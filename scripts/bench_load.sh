@@ -1,0 +1,62 @@
+#!/bin/sh
+# bench_load.sh — record serving-tier latency under load (BENCH_load.json).
+#
+# Builds sitegen, objectrunnerd and loadgen; generates a small books
+# corpus; starts the daemon on an ephemeral port; replays the corpus
+# open-loop at a modest rate; and leaves the latency report (RPS,
+# error/shed counts, p50/p90/p95/p99/max per source) at $OUT. The knobs
+# are environment variables so CI can keep the run short:
+#
+#   RPS=25 DURATION=3s CONCURRENCY=8 PAGES=6 OUT=BENCH_load.json
+set -eu
+
+RPS=${RPS:-25}
+DURATION=${DURATION:-3s}
+CONCURRENCY=${CONCURRENCY:-8}
+PAGES=${PAGES:-6}
+OUT=${OUT:-BENCH_load.json}
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/sitegen" ./cmd/sitegen
+go build -o "$workdir/objectrunnerd" ./cmd/objectrunnerd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+"$workdir/sitegen" -out "$workdir/bench" -pages "$PAGES" -domains books >/dev/null
+
+"$workdir/objectrunnerd" -addr 127.0.0.1:0 2>"$workdir/daemon.log" &
+daemon_pid=$!
+
+# The daemon prints "listening on ADDR" to stderr once the socket is
+# bound — that line is its startup contract (see cmd/objectrunnerd).
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/.*listening on \(.*\)/\1/p' "$workdir/daemon.log")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "bench_load: daemon exited during startup:" >&2
+        cat "$workdir/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "bench_load: daemon never reported its address" >&2
+    exit 1
+fi
+
+"$workdir/loadgen" -addr "http://$addr" -corpus "$workdir/bench" \
+    -rps "$RPS" -concurrency "$CONCURRENCY" -duration "$DURATION" -out "$OUT"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+echo "bench_load: report at $OUT"

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"objectrunner/internal/obs"
 	"objectrunner/internal/store"
 	"objectrunner/internal/wrapper"
 )
@@ -101,19 +102,32 @@ func (s *Service) Wrapper(ctx context.Context, sourceKey string, pages []string)
 // carry the targeted data returns ErrAborted. The per-page empty rate
 // feeds the cache's health accounting, so a wrapper that stops matching
 // its source is re-inferred after HealthThreshold is crossed.
+//
+// Every serve also feeds per-source telemetry on the extractor's
+// observer: the serve.extract duration histogram and the serve.pages /
+// serve.pages.empty / serve.objects / serve.errors counters, each
+// labeled with the source key — match rate and empty-serve rate per
+// source are (pages - pages.empty) / pages over any scrape interval.
 func (s *Service) ServeExtract(ctx context.Context, sourceKey string, pages []string) ([]*Object, error) {
+	start := time.Now()
+	src := obs.L("source", sourceKey)
 	w, err := s.Wrapper(ctx, sourceKey, pages)
 	if errors.Is(err, ErrAborted) {
 		// Aborted serves count as all-empty: a healthy source that was
 		// discarded by a transient bad page set heals via eviction.
 		s.st.RecordServe(sourceKey, len(pages), len(pages))
+		s.ex.obs.CountL("serve.pages", int64(len(pages)), src)
+		s.ex.obs.CountL("serve.pages.empty", int64(len(pages)), src)
+		s.ex.obs.CountL("serve.errors", 1, src, obs.L("kind", "aborted"))
 		return nil, err
 	}
 	if err != nil {
+		s.ex.obs.CountL("serve.errors", 1, src, obs.L("kind", errKind(err)))
 		return nil, err
 	}
 	per, err := w.ExtractBatchContext(ctx, pages)
 	if err != nil {
+		s.ex.obs.CountL("serve.errors", 1, src, obs.L("kind", errKind(err)))
 		return nil, err
 	}
 	empty := 0
@@ -125,7 +139,25 @@ func (s *Service) ServeExtract(ctx context.Context, sourceKey string, pages []st
 		out = append(out, objs...)
 	}
 	s.st.RecordServe(sourceKey, empty, len(pages))
+	s.ex.obs.ObserveL("serve.extract", time.Since(start), src)
+	s.ex.obs.CountL("serve.pages", int64(len(pages)), src)
+	s.ex.obs.CountL("serve.pages.empty", int64(empty), src)
+	s.ex.obs.CountL("serve.objects", int64(len(out)), src)
 	return out, nil
+}
+
+// errKind buckets a serve error into a bounded label value.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	default:
+		return "error"
+	}
 }
 
 // Invalidate drops the source's cached wrapper (memory and disk); the
