@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test fmt fmt-check ci check bench bench-smoke bench-load trace clean
+.PHONY: build test fmt fmt-check ci check bench bench-smoke bench-load bench-guard bench-baseline trace clean
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ ci: fmt-check
 # the telemetry layer (labeled metrics, flight recorder) under the same
 # repeated-race regime.
 check: ci
-	$(GO) test -race -count=2 -run 'Parallel|Determinis|ExtractBatch|ForEach|Workers' ./...
+	$(GO) test -race -count=2 -run 'Parallel|Determinis|ExtractBatch|ForEach|Workers|Chunks|Merge|Remap|SmallCorpus' ./...
 	$(GO) test -race -count=2 ./internal/store/
 	$(GO) test -race -count=2 ./internal/httpserver/
 	$(GO) test -race -count=2 ./internal/obs/
@@ -70,6 +70,36 @@ bench-smoke:
 	$(GO) test -json -bench='^BenchmarkInferAllocs$$' -benchtime=1x -benchmem -run XXX . > BENCH_alloc.json.tmp
 	mv BENCH_alloc.json.tmp BENCH_alloc.json
 
+# bench-guard is the perf regression gate: it re-records the parallel
+# scaling and serving-cache benchmarks (tmp+rename, like bench) and
+# compares them against the committed baselines under bench/baseline/
+# with cmd/benchguard, failing on any >20% ns/op regression (or a
+# vanished benchmark). A fixed iteration budget repeated GUARD_COUNT
+# times keeps wall time in seconds; benchguard takes the minimum across
+# repeats, so a single noisy run cannot fail the gate on its own.
+# Knobs: GUARD_BENCHTIME, GUARD_COUNT, GUARD_TOLERANCE.
+GUARD_BENCHTIME ?= 20x
+GUARD_COUNT ?= 3
+GUARD_TOLERANCE ?= 0.20
+
+bench-guard:
+	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > BENCH_parallel.json.tmp
+	mv BENCH_parallel.json.tmp BENCH_parallel.json
+	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > BENCH_serve.json.tmp
+	mv BENCH_serve.json.tmp BENCH_serve.json
+	$(GO) run ./cmd/benchguard -tolerance $(GUARD_TOLERANCE) \
+		bench/baseline/BENCH_parallel.json:BENCH_parallel.json \
+		bench/baseline/BENCH_serve.json:BENCH_serve.json
+
+# bench-baseline re-records the guard benchmarks and commits them as the
+# new baselines (run after a PR that legitimately moves the numbers, on
+# the machine whose numbers the guard should trust).
+bench-baseline:
+	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > bench/baseline/BENCH_parallel.json.tmp
+	mv bench/baseline/BENCH_parallel.json.tmp bench/baseline/BENCH_parallel.json
+	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > bench/baseline/BENCH_serve.json.tmp
+	mv bench/baseline/BENCH_serve.json.tmp bench/baseline/BENCH_serve.json
+
 # bench-load records serving-tier latency under load: it starts a real
 # objectrunnerd over a sitegen corpus and replays it open-loop with
 # cmd/loadgen, writing BENCH_load.json (achieved RPS, error and shed
@@ -92,3 +122,4 @@ trace: build
 clean:
 	rm -rf /tmp/objectrunner-bench /tmp/objectrunner-trace.jsonl
 	rm -f BENCH_parallel.json.tmp BENCH_serve.json.tmp BENCH_alloc.json.tmp
+	rm -f bench/baseline/BENCH_parallel.json.tmp bench/baseline/BENCH_serve.json.tmp

@@ -1,0 +1,201 @@
+// Command benchguard compares a fresh benchmark run against a committed
+// baseline and fails when any benchmark regressed past the tolerance —
+// the regression gate behind `make bench-guard`.
+//
+// Both sides are `go test -json` streams as written by the Makefile's
+// bench targets (BENCH_parallel.json, BENCH_serve.json): every "output"
+// event whose text is a benchmark result line like
+//
+//	BenchmarkWrapParallel/workers=4-8   	     100	  14752310 ns/op	...
+//
+// is parsed into (name, ns/op). The trailing -N GOMAXPROCS suffix is
+// stripped so records compare across machines, and when a stream carries
+// several results for one benchmark (-count > 1), the minimum ns/op is
+// kept — the fastest observed run is the least noisy estimate of what
+// the code can do, which is the right basis on loaded CI runners.
+//
+// Usage:
+//
+//	benchguard [-tolerance 0.20] baseline.json:fresh.json [more pairs...]
+//
+// Exit status 1 when any benchmark present in a baseline is missing from
+// its fresh run or slower than baseline*(1+tolerance); benchmarks only
+// present in the fresh run are reported but do not fail (they gate once
+// they enter the baseline). The diff table always prints, pass or fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// test2json splits one logical benchmark result across output events:
+// the name lands in its own event ("BenchmarkWrapParallel/workers=1 \t")
+// and the numbers in the next ("      20\t  14713999 ns/op\t..."), so
+// the reader recognizes three shapes and stitches name→result pairs.
+// The trailing -N GOMAXPROCS suffix is stripped from names.
+var (
+	// A complete result on one line (plain `go test -bench` output).
+	fullLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	// A name-only line announcing the benchmark the next result belongs to.
+	nameLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s*$`)
+	// A result-only line: iteration count then ns/op.
+	resultLine = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
+)
+
+// testEvent is the subset of the `go test -json` event stream we read.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// readBench parses a `go test -json` stream into name → best (minimum)
+// ns/op.
+func readBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	record := func(name string, nsText string) {
+		ns, err := strconv.ParseFloat(nsText, 64)
+		if err != nil {
+			return
+		}
+		if best, ok := out[name]; !ok || ns < best {
+			out[name] = ns
+		}
+	}
+	// Name of the last name-only output event, waiting for its numbers.
+	pending := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerate stray non-JSON lines (e.g. a plain `go test` dump);
+			// try to parse the raw line as a benchmark result instead.
+			ev = testEvent{Action: "output", Output: sc.Text()}
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		line := strings.TrimRight(ev.Output, " \t\n")
+		switch {
+		case fullLine.MatchString(line):
+			m := fullLine.FindStringSubmatch(line)
+			record(m[1], m[2])
+			pending = ""
+		case nameLine.MatchString(line):
+			pending = nameLine.FindStringSubmatch(line)[1]
+		case resultLine.MatchString(line):
+			// Prefer the stitched name; fall back to the event's Test
+			// attribution (present on the first result per benchmark, and
+			// never carrying the -N GOMAXPROCS suffix).
+			name := pending
+			if name == "" {
+				name = ev.Test
+			}
+			if name != "" {
+				record(name, resultLine.FindStringSubmatch(line)[1])
+			}
+			pending = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func human(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.4gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.4gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", ns)
+	}
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression before failing (0.20 = +20%)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchguard [-tolerance 0.20] baseline.json:fresh.json [more pairs...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pair := range flag.Args() {
+		basePath, freshPath, ok := strings.Cut(pair, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: argument %q is not baseline:fresh\n", pair)
+			os.Exit(2)
+		}
+		base, err := readBench(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: baseline %v (regenerate with `make bench-baseline`)\n", err)
+			os.Exit(2)
+		}
+		fresh, err := readBench(freshPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: fresh run %v\n", err)
+			os.Exit(2)
+		}
+
+		names := make([]string, 0, len(base))
+		for name := range base {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("%s vs %s (tolerance +%.0f%%)\n", basePath, freshPath, *tolerance*100)
+		for _, name := range names {
+			b := base[name]
+			f, ok := fresh[name]
+			if !ok {
+				fmt.Printf("  FAIL %-50s baseline %10s  fresh: missing\n", name, human(b))
+				failed = true
+				continue
+			}
+			delta := (f - b) / b * 100
+			verdict := "ok  "
+			if f > b*(1+*tolerance) {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("  %s %-50s baseline %10s  fresh %10s  %+6.1f%%\n",
+				verdict, name, human(b), human(f), delta)
+		}
+		for name, f := range fresh {
+			if _, ok := base[name]; !ok {
+				fmt.Printf("  new  %-50s fresh %10s (not in baseline; add via `make bench-baseline`)\n", name, human(f))
+			}
+		}
+	}
+	if failed {
+		fmt.Println("bench-guard: FAILED — ns/op regressed past tolerance (or a benchmark disappeared)")
+		os.Exit(1)
+	}
+	fmt.Println("bench-guard: ok")
+}

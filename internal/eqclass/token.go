@@ -58,9 +58,10 @@ type Occurrence struct {
 	Types []string  // annotation types on the owning element
 
 	// Val and Pth are the interned forms of Value and Path, filled by
-	// InternPages (analysis) or LookupSyms (serving). They stay
-	// symtab.None until one of those passes runs; analysis and matching
-	// compare symbols, never the strings.
+	// TokenizeInternPage/InternPages (analysis) or
+	// TokenizeLookupPage/LookupSyms (serving). They stay symtab.None
+	// until one of those passes runs; analysis and matching compare
+	// symbols, never the strings.
 	Val symtab.Sym
 	Pth symtab.Sym
 
@@ -207,6 +208,44 @@ func TagValue(n *dom.Node) string {
 // so region-scoped tokenization still yields document-rooted paths
 // identical to Node.Path()).
 func TokenizePage(root *dom.Node, pa *annotate.PageAnnotations, page int) []*Occurrence {
+	return finishArena(tokenizeArena(root, pa), page)
+}
+
+// TokenizeInternPage is TokenizePage fused with symbol interning: the
+// page's Val/Pth symbols are assigned against tab in document order while
+// the arena is still hot, instead of by a separate InternPages pass over
+// all pages later. This is the per-worker half of the fused parallel
+// tokenize→intern stage: each worker interns its pages into a
+// worker-local table with zero cross-worker lock traffic, and the local
+// tables are merged deterministically afterwards (symtab.Table.Merge).
+func TokenizeInternPage(tab *symtab.Table, root *dom.Node, pa *annotate.PageAnnotations, page int) []*Occurrence {
+	arena := tokenizeArena(root, pa)
+	for i := range arena {
+		arena[i].Val = tab.Intern(arena[i].Value)
+		arena[i].Pth = tab.Intern(arena[i].Path)
+	}
+	return finishArena(arena, page)
+}
+
+// TokenizeLookupPage is TokenizePage fused with the serving path's
+// read-only symbol resolution (LookupSyms): tokens are resolved against
+// the frozen wrapper table in the same pass that lays out the arena.
+// Unknown tokens resolve to symtab.None and can never match a learned
+// descriptor. A nil table leaves the symbols at None, like TokenizePage.
+func TokenizeLookupPage(tab *symtab.Table, root *dom.Node, page int) []*Occurrence {
+	arena := tokenizeArena(root, nil)
+	if tab != nil {
+		for i := range arena {
+			arena[i].Val = tab.Lookup(arena[i].Value)
+			arena[i].Pth = tab.Lookup(arena[i].Path)
+		}
+	}
+	return finishArena(arena, page)
+}
+
+// tokenizeArena walks the region and lays the token occurrences out in
+// one contiguous arena, leaving Page/Pos/Val/Pth for the caller to fill.
+func tokenizeArena(root *dom.Node, pa *annotate.PageAnnotations) []Occurrence {
 	base := ""
 	if root.Parent != nil {
 		base = root.Parent.Path()
@@ -261,6 +300,12 @@ func TokenizePage(root *dom.Node, pa *annotate.PageAnnotations, page int) []*Occ
 		}
 	}
 	walk(root, base)
+	return arena
+}
+
+// finishArena stamps page/position ids and builds the pointer slice over
+// the arena.
+func finishArena(arena []Occurrence, page int) []*Occurrence {
 	occs := make([]*Occurrence, len(arena))
 	for i := range arena {
 		arena[i].Page = page
@@ -298,6 +343,19 @@ func InternPages(tab *symtab.Table, pages [][]*Occurrence) {
 				o.Pth = tab.Intern(o.Path)
 			}
 		}
+	}
+}
+
+// RemapSyms rewrites a page's Val/Pth symbols through a Merge remap
+// (remap[localSym] = canonicalSym), converting occurrences interned
+// against a worker-local table to the canonical merged numbering. Every
+// occurrence must carry symbols assigned by the table the remap was built
+// from; pages whose remap is the identity (symtab.IdentityRemap) need no
+// pass at all.
+func RemapSyms(remap []symtab.Sym, page []*Occurrence) {
+	for _, o := range page {
+		o.Val = remap[o.Val]
+		o.Pth = remap[o.Pth]
 	}
 }
 

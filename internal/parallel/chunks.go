@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// Chunk is a contiguous half-open index range [Lo, Hi) owned by one
+// worker of a chunked fan-out.
+type Chunk struct{ Lo, Hi int }
+
+// Len returns the number of indices in the chunk.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// Chunks partitions [0, n) into at most `workers` contiguous chunks whose
+// sizes differ by at most one, larger chunks first. The partition is a
+// pure function of (workers, n): two calls with the same arguments always
+// return the same boundaries, which is what lets a second fan-out (e.g.
+// the symbol remap pass) revisit exactly the ranges a first fan-out
+// produced per-worker state for. Empty chunks are never returned: with
+// workers > n the result has n single-index chunks.
+func Chunks(workers, n int) []Chunk {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]Chunk, workers)
+	size, rem := n/workers, n%workers
+	lo := 0
+	for w := range out {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		out[w] = Chunk{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
+}
+
+// MapWorkersCtx is the fused per-worker primitive: it partitions [0, n)
+// into the deterministic contiguous Chunks(workers, n), runs fn once per
+// chunk — concurrently, one goroutine per chunk — and returns the
+// per-chunk results in chunk order. Unlike ForEach, which balances
+// per-index over a channel, a chunk is owned start-to-finish by a single
+// worker, so fn can accumulate worker-local state (a local symbol table,
+// a local buffer) across its whole range with zero cross-worker
+// synchronization, and the caller can merge the returned states in a
+// deterministic left-to-right pass.
+//
+// fn receives ctx and is responsible for its own cancellation checks
+// between items; MapWorkersCtx itself only refuses to start work on an
+// already-canceled context. The first non-nil error in chunk order is
+// returned with a nil result slice. A panic in any chunk is re-raised on
+// the calling goroutine after all chunks finish. workers <= 1 (or a
+// single chunk) runs on the calling goroutine with no goroutines at all.
+func MapWorkersCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, worker int, c Chunk) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	chunks := Chunks(workers, n)
+	if len(chunks) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]T, len(chunks))
+	errs := make([]error, len(chunks))
+	if len(chunks) == 1 {
+		var err error
+		results[0], err = fn(ctx, 0, chunks[0])
+		if err != nil {
+			return nil, err
+		}
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w, c := range chunks {
+		wg.Add(1)
+		go func(worker int, c Chunk) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			results[worker], errs[worker] = fn(ctx, worker, c)
+		}(w, c)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

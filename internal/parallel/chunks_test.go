@@ -1,0 +1,180 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunksPartitionContiguousAndDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 100} {
+		for _, n := range []int{0, 1, 2, 5, 7, 64, 101} {
+			a, b := Chunks(workers, n), Chunks(workers, n)
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("workers=%d n=%d: Chunks not deterministic: %v vs %v", workers, n, a, b)
+			}
+			if n == 0 {
+				if len(a) != 0 {
+					t.Errorf("workers=%d n=0: got %d chunks, want none", workers, len(a))
+				}
+				continue
+			}
+			if want := min(workers, n); len(a) != want {
+				t.Errorf("workers=%d n=%d: %d chunks, want %d", workers, n, len(a), want)
+			}
+			lo := 0
+			for i, c := range a {
+				if c.Lo != lo {
+					t.Errorf("workers=%d n=%d: chunk %d starts at %d, want %d (contiguous)", workers, n, i, c.Lo, lo)
+				}
+				if c.Len() <= 0 {
+					t.Errorf("workers=%d n=%d: chunk %d is empty", workers, n, i)
+				}
+				lo = c.Hi
+			}
+			if lo != n {
+				t.Errorf("workers=%d n=%d: chunks end at %d, want %d", workers, n, lo, n)
+			}
+			// Balanced: sizes differ by at most one.
+			minLen, maxLen := n, 0
+			for _, c := range a {
+				minLen, maxLen = min(minLen, c.Len()), max(maxLen, c.Len())
+			}
+			if maxLen-minLen > 1 {
+				t.Errorf("workers=%d n=%d: chunk sizes range %d..%d, want spread <= 1", workers, n, minLen, maxLen)
+			}
+		}
+	}
+}
+
+func TestMapWorkersCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		for _, n := range []int{0, 1, 7, 64} {
+			hits := make([]int32, n)
+			states, err := MapWorkersCtx(context.Background(), workers, n,
+				func(_ context.Context, worker int, c Chunk) (int, error) {
+					count := 0
+					for i := c.Lo; i < c.Hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+						count++
+					}
+					return count, nil
+				})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+			total := 0
+			for _, s := range states {
+				total += s
+			}
+			if total != n {
+				t.Errorf("workers=%d n=%d: per-worker states sum to %d items", workers, n, total)
+			}
+		}
+	}
+}
+
+// TestMapWorkersStateOrderMatchesChunkOrder pins the property the fused
+// tokenize→intern stage depends on: the returned per-worker states come
+// back in chunk (= input range) order, whatever the goroutine scheduling,
+// so a left-to-right merge over them is deterministic.
+func TestMapWorkersStateOrderMatchesChunkOrder(t *testing.T) {
+	const workers, n = 4, 17
+	want := Chunks(workers, n)
+	for run := 0; run < 20; run++ {
+		got, err := MapWorkersCtx(context.Background(), workers, n,
+			func(_ context.Context, worker int, c Chunk) (Chunk, error) {
+				return c, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("run %d: states %v, want chunk order %v", run, got, want)
+		}
+	}
+}
+
+func TestMapWorkersFirstErrorInChunkOrder(t *testing.T) {
+	errA, errB := errors.New("chunk 1 failed"), errors.New("chunk 3 failed")
+	_, err := MapWorkersCtx(context.Background(), 4, 16,
+		func(_ context.Context, worker int, c Chunk) (struct{}, error) {
+			switch worker {
+			case 1:
+				return struct{}{}, errA
+			case 3:
+				return struct{}{}, errB
+			}
+			return struct{}{}, nil
+		})
+	if err != errA {
+		t.Fatalf("err = %v, want the first failing chunk's error %v", err, errA)
+	}
+}
+
+func TestMapWorkersCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	_, err := MapWorkersCtx(ctx, 4, 16, func(_ context.Context, worker int, c Chunk) (struct{}, error) {
+		atomic.AddInt32(&ran, 1)
+		return struct{}{}, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d chunks ran on a pre-canceled context", ran)
+	}
+}
+
+func TestMapWorkersEmptyInput(t *testing.T) {
+	states, err := MapWorkersCtx(context.Background(), 4, 0,
+		func(_ context.Context, worker int, c Chunk) (int, error) { return 1, nil })
+	if err != nil || len(states) != 0 {
+		t.Fatalf("empty input: states=%v err=%v, want none and nil", states, err)
+	}
+}
+
+func TestMapWorkersPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the chunk's panic value", r)
+		}
+	}()
+	_, _ = MapWorkersCtx(context.Background(), 4, 16,
+		func(_ context.Context, worker int, c Chunk) (struct{}, error) {
+			if worker == 2 {
+				panic("boom")
+			}
+			return struct{}{}, nil
+		})
+	t.Fatal("panic in a chunk was swallowed")
+}
+
+func TestMapWorkersSequentialFastPath(t *testing.T) {
+	order := []int{}
+	_, err := MapWorkersCtx(context.Background(), 1, 5,
+		func(_ context.Context, worker int, c Chunk) (struct{}, error) {
+			if worker != 0 {
+				t.Errorf("sequential path reported worker %d", worker)
+			}
+			for i := c.Lo; i < c.Hi; i++ {
+				order = append(order, i) // no goroutines: plain append is safe
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[0 1 2 3 4]" {
+		t.Fatalf("sequential order = %v", order)
+	}
+}

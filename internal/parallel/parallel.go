@@ -61,12 +61,18 @@ func ForEachWorker(workers, n int, fn func(worker, i int)) {
 // skewed pages (one huge, many tiny) still balance; the feeder stops at
 // the first of: all indices dispatched, ctx canceled, or a worker panic.
 // Remaining indices are never dispatched in the latter two cases.
+//
+// The error reports whether the input was fully processed, not whether
+// the context is canceled now: when every index was dispatched and
+// completed, the return is nil even if a cancellation raced the final
+// items — callers own a fully-populated result slice and must not
+// discard it.
 func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if n <= 0 {
-		return ctx.Err()
+		return nil
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -79,7 +85,9 @@ func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int
 			}
 			fn(0, i)
 		}
-		return ctx.Err()
+		// Every index ran: the work is complete whatever the context
+		// did while the last item was in flight.
+		return nil
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -107,6 +115,7 @@ func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int
 		}(w)
 	}
 	done := ctx.Done()
+	dispatched := 0
 feed:
 	for i := 0; i < n; i++ {
 		if failed.Load() {
@@ -121,6 +130,7 @@ feed:
 		}
 		select {
 		case idx <- i:
+			dispatched++
 		case <-done:
 			break feed
 		}
@@ -129,6 +139,11 @@ feed:
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)
+	}
+	if dispatched == n {
+		// A dispatched index is a completed index once wg.Wait returns;
+		// all n completed, so the caller's result slice is whole.
+		return nil
 	}
 	return ctx.Err()
 }

@@ -189,6 +189,60 @@ func TestForEachStopsDispatchAfterWorkerPanic(t *testing.T) {
 	}
 }
 
+// TestForEachCtxNilAfterAllIndicesCompleted is the regression test for
+// the cancel-vs-completion race: a context canceled while (or after) the
+// final items run must NOT surface as an error when every index was
+// dispatched and completed — callers own a fully-populated result slice
+// and would wrongly discard it.
+func TestForEachCtxNilAfterAllIndicesCompleted(t *testing.T) {
+	const workers, n = 4, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int32
+	// The feeder hands out indices in order over an unbuffered channel,
+	// so when fn(n-1) runs every index has been dispatched; canceling
+	// there guarantees the cancel races (and loses to) full dispatch.
+	err := ForEachCtx(ctx, workers, n, func(i int) {
+		if i == n-1 {
+			cancel()
+		}
+		atomic.AddInt32(&ran, 1)
+	})
+	if err != nil {
+		t.Fatalf("err = %v after all %d indices completed, want nil", err, n)
+	}
+	if got := atomic.LoadInt32(&ran); got != n {
+		t.Fatalf("ran %d of %d items", got, n)
+	}
+}
+
+func TestForEachCtxSequentialNilAfterAllIndicesCompleted(t *testing.T) {
+	const n = 5
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int32
+	err := ForEachCtx(ctx, 1, n, func(i int) {
+		if i == n-1 {
+			cancel() // races the return of the final item on the sequential path
+		}
+		atomic.AddInt32(&ran, 1)
+	})
+	if err != nil {
+		t.Fatalf("err = %v after all %d indices completed, want nil", err, n)
+	}
+	if ran != n {
+		t.Fatalf("ran %d of %d items", ran, n)
+	}
+}
+
+func TestForEachCtxEmptyInputReturnsNil(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEachCtx(ctx, 4, 0, func(i int) {}); err != nil {
+		t.Fatalf("err = %v for n=0 (vacuously complete), want nil", err)
+	}
+}
+
 func TestForEachObservedCtxReturnsContextError(t *testing.T) {
 	ob := obs.New()
 	ctx, cancel := context.WithCancel(context.Background())

@@ -99,6 +99,43 @@ func (t *Table) Symbols() []string {
 	return out
 }
 
+// Merge interns every symbol of local into t, in local symbol order, and
+// returns the remap table: remap[s] is t's symbol for local symbol s
+// (remap[None] = None, and len(remap) = local.Len()+1). Symbols t already
+// knows keep their existing ids; new ones are appended densely.
+//
+// Merging worker-local tables in worker order — where worker w interned
+// the tokens of a contiguous page chunk in page-then-token order —
+// reproduces exactly the numbering a single sequential page-then-token
+// pass over all pages would assign: a symbol first appearing in chunk w
+// is absent from every earlier chunk's table, so the left-to-right merge
+// assigns it an id after all symbols first seen in chunks 0..w-1 and
+// before all symbols first seen later, in its first-appearance position
+// within chunk w. That makes downstream symbol ids — and everything
+// serialized from them — independent of the worker count.
+func (t *Table) Merge(local *Table) []Sym {
+	local.mu.RLock()
+	defer local.mu.RUnlock()
+	remap := make([]Sym, len(local.strs))
+	for s := 1; s < len(local.strs); s++ {
+		remap[s] = t.Intern(local.strs[s])
+	}
+	return remap
+}
+
+// IdentityRemap reports whether a Merge remap maps every symbol to
+// itself, letting callers skip the occurrence-rewrite pass for chunks
+// whose local numbering already matches the canonical table (always true
+// for the first table merged into an empty one).
+func IdentityRemap(remap []Sym) bool {
+	for s, y := range remap {
+		if y != Sym(s) {
+			return false
+		}
+	}
+	return true
+}
+
 // Restore rebuilds a table from a Symbols() snapshot. Duplicate entries
 // are rejected: they could only have been produced by a corrupted
 // stream and would silently alias two symbols on lookup.

@@ -81,6 +81,109 @@ func TestRestoreRejectsDuplicates(t *testing.T) {
 	}
 }
 
+// TestMergeReproducesSequentialNumbering is the core determinism claim
+// of the fused parallel intern stage: splitting a token stream into
+// contiguous chunks, interning each into its own local table, and
+// merging the locals left-to-right must assign every string exactly the
+// id a single sequential pass over the whole stream would have.
+func TestMergeReproducesSequentialNumbering(t *testing.T) {
+	// A stream with heavy cross-chunk repetition (collisions) and some
+	// chunk-local vocabulary.
+	stream := []string{
+		"div", "span", "div", "price", "a", "div", // chunk 1
+		"span", "title", "div", "price", "b", "a", // chunk 2
+		"em", "div", "title", "z", "span", "em", // chunk 3
+	}
+	seq := New()
+	for _, s := range stream {
+		seq.Intern(s)
+	}
+	for _, sizes := range [][]int{{18}, {6, 6, 6}, {1, 17}, {9, 9}, {5, 5, 5, 3}} {
+		canon := New()
+		lo := 0
+		for _, size := range sizes {
+			local := New()
+			for _, s := range stream[lo : lo+size] {
+				local.Intern(s)
+			}
+			remap := canon.Merge(local)
+			// Every local symbol must land on the sequential table's id.
+			for s := 1; s <= local.Len(); s++ {
+				str := local.StringOf(Sym(s))
+				if got, want := remap[s], seq.Lookup(str); got != want {
+					t.Fatalf("chunks %v: %q remapped to %d, want sequential id %d", sizes, str, got, want)
+				}
+			}
+			lo += size
+		}
+		if canon.Len() != seq.Len() {
+			t.Fatalf("chunks %v: merged table has %d symbols, want %d", sizes, canon.Len(), seq.Len())
+		}
+		for s := 1; s <= seq.Len(); s++ {
+			if canon.StringOf(Sym(s)) != seq.StringOf(Sym(s)) {
+				t.Fatalf("chunks %v: symbol %d = %q, want %q", sizes, s, canon.StringOf(Sym(s)), seq.StringOf(Sym(s)))
+			}
+		}
+	}
+}
+
+// TestMergeCollisionRemap pins the remap for symbols both tables know:
+// the local id loses, the canonical id wins.
+func TestMergeCollisionRemap(t *testing.T) {
+	canon := New()
+	canon.Intern("div")  // 1
+	canon.Intern("span") // 2
+	local := New()
+	local.Intern("span")  // local 1 — collides, canonical 2
+	local.Intern("price") // local 2 — new, canonical 3
+	local.Intern("div")   // local 3 — collides, canonical 1
+	remap := canon.Merge(local)
+	if len(remap) != 4 {
+		t.Fatalf("len(remap) = %d, want local.Len()+1 = 4", len(remap))
+	}
+	if remap[0] != None {
+		t.Fatalf("remap[None] = %d, want None", remap[0])
+	}
+	for s, want := range map[Sym]Sym{1: 2, 2: 3, 3: 1} {
+		if remap[s] != want {
+			t.Errorf("remap[%d] = %d, want %d", s, remap[s], want)
+		}
+	}
+	if canon.Len() != 3 {
+		t.Errorf("canonical table grew to %d symbols, want 3", canon.Len())
+	}
+}
+
+// TestMergeEmptyAndIdentity covers the degenerate worker shapes: a
+// worker that saw no pages merges as a no-op, and the first worker's
+// merge into an empty canonical table is the identity, so callers can
+// skip its remap pass.
+func TestMergeEmptyAndIdentity(t *testing.T) {
+	canon := New()
+	empty := New()
+	remap := canon.Merge(empty)
+	if len(remap) != 1 || remap[0] != None {
+		t.Fatalf("merging an empty table: remap = %v, want [None]", remap)
+	}
+	if !IdentityRemap(remap) {
+		t.Error("empty merge remap is not the identity")
+	}
+	first := New()
+	first.Intern("div")
+	first.Intern("span")
+	remap = canon.Merge(first)
+	if !IdentityRemap(remap) {
+		t.Errorf("first merge into an empty table: remap = %v, want identity", remap)
+	}
+	second := New()
+	second.Intern("price")
+	second.Intern("div")
+	remap = canon.Merge(second)
+	if IdentityRemap(remap) {
+		t.Errorf("colliding merge reported as identity: %v", remap)
+	}
+}
+
 func TestConcurrentIntern(t *testing.T) {
 	tab := New()
 	const workers = 8

@@ -192,6 +192,12 @@ func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[
 		if sampleCfg.SampleSize < 4 {
 			sampleCfg.SampleSize = 4
 		}
+		// The floor of 4 exists so mid-sized pools keep enough sample to
+		// vote on; on tiny corpora it must not push the sample past the
+		// page pool itself.
+		if sampleCfg.SampleSize > len(regions) {
+			sampleCfg.SampleSize = len(regions)
+		}
 	}
 	annSpan := ob.Span("pipeline.annotate",
 		obs.A("pages", len(regions)), obs.A("k", sampleCfg.SampleSize), obs.A("random", cfg.RandomSample))
@@ -231,20 +237,58 @@ func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[
 		}
 	}
 
-	// Tokenize the sample once. Pages tokenize independently; the slot
-	// slice keeps the result in sample order whatever the scheduling.
+	// Fused tokenize→intern. Each worker owns a contiguous chunk of the
+	// sample and runs tokenization and interning for its pages against a
+	// worker-local symbol table — no barrier between the stages and no
+	// cross-worker lock traffic. The local tables are then merged into
+	// the canonical inference table in worker order: contiguous chunks +
+	// left-to-right merge reproduce exactly the symbol numbering a single
+	// sequential page-then-token pass would assign (see symtab.Merge), so
+	// symbol ids — and all downstream analysis, reports and serialized
+	// wrappers — stay byte-identical at any worker count. Finally each
+	// chunk rewrites its occurrences to the canonical numbering; chunk 0
+	// merges into an empty table, so its remap is always the identity and
+	// the pass is skipped.
 	sample := make([][]*eqclass.Occurrence, len(res.Sample))
-	if err := parallel.ForEachCtx(ctx, cfg.Workers, len(res.Sample), func(i int) {
-		pa := res.Sample[i]
-		sample[i] = eqclass.TokenizePage(pa.Page, pa, i)
-	}); err != nil {
+	tokSpan := ob.Span("pipeline.tokenize",
+		obs.A("pages", len(res.Sample)), obs.A("workers", cfg.Workers))
+	locals, err := parallel.MapWorkersCtx(ctx, cfg.Workers, len(res.Sample),
+		func(ctx context.Context, _ int, c parallel.Chunk) (*symtab.Table, error) {
+			lt := symtab.New()
+			for i := c.Lo; i < c.Hi; i++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				pa := res.Sample[i]
+				sample[i] = eqclass.TokenizeInternPage(lt, pa.Page, pa, i)
+			}
+			return lt, nil
+		})
+	if err != nil {
+		tokSpan.End(obs.A("canceled", true))
 		return nil, err
 	}
-	// Intern the sample into the inference symbol table sequentially, in
-	// page and token order — symbol ids stay deterministic whatever the
-	// tokenization scheduling above.
 	tab := symtab.New()
-	eqclass.InternPages(tab, sample)
+	remaps := make([][]symtab.Sym, len(locals))
+	for i, lt := range locals {
+		remaps[i] = tab.Merge(lt)
+	}
+	if _, err := parallel.MapWorkersCtx(ctx, cfg.Workers, len(sample),
+		func(_ context.Context, worker int, c parallel.Chunk) (struct{}, error) {
+			// Chunks(workers, n) is deterministic, so this fan-out sees the
+			// same ranges the tokenize fan-out produced local tables for.
+			if symtab.IdentityRemap(remaps[worker]) {
+				return struct{}{}, nil
+			}
+			for i := c.Lo; i < c.Hi; i++ {
+				eqclass.RemapSyms(remaps[worker], sample[i])
+			}
+			return struct{}{}, nil
+		}); err != nil {
+		tokSpan.End(obs.A("canceled", true))
+		return nil, err
+	}
+	tokSpan.End(obs.A("symbols", tab.Len()))
 
 	// Wrapper generation with automatic support variation: re-execute
 	// with the next support value while the quality estimate (conflict
@@ -271,7 +315,7 @@ func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[
 			return template.PartialMatchPossible(s, an, annotatedTypes)
 		}
 		eqSpan := vob.Span("pipeline.eqclass", obs.A("support", support))
-		an := analyzeFresh(sample, p, hook, eqSpan.Observer(), tab)
+		an := analyzeFresh(sample, p, hook, eqSpan.Observer(), tab, cfg.Workers)
 		eqSpan.End(obs.A("eqs", len(an.EQs)), obs.A("conflicts", an.Conflicts), obs.A("iterations", an.Iterations))
 		if err := ctx.Err(); err != nil {
 			varSpan.End(obs.A("canceled", true))
@@ -368,12 +412,15 @@ func better(a, b *run) bool {
 }
 
 // analyzeFresh re-copies occurrences (roles are mutable) and analyzes
-// against the shared inference symbol table.
-func analyzeFresh(sample [][]*eqclass.Occurrence, p eqclass.Params, hook func(*eqclass.Analysis) bool, ob *obs.Observer, tab *symtab.Table) *eqclass.Analysis {
+// against the shared inference symbol table. The copies are independent
+// per-page arena duplications, so they fan out across the worker pool —
+// the variation loop re-copies the whole sample once per support value,
+// which would otherwise be a sequential stretch between parallel stages.
+func analyzeFresh(sample [][]*eqclass.Occurrence, p eqclass.Params, hook func(*eqclass.Analysis) bool, ob *obs.Observer, tab *symtab.Table, workers int) *eqclass.Analysis {
 	fresh := make([][]*eqclass.Occurrence, len(sample))
-	for i, page := range sample {
-		fresh[i] = eqclass.CopyPage(page)
-	}
+	parallel.ForEach(workers, len(sample), func(i int) {
+		fresh[i] = eqclass.CopyPage(sample[i])
+	})
 	return eqclass.AnalyzeTable(fresh, p, hook, ob, tab)
 }
 
@@ -409,8 +456,7 @@ func (w *Wrapper) extractPageObserved(page *dom.Node, ob *obs.Observer) []*sod.I
 			region = n
 		}
 	}
-	toks := eqclass.TokenizePage(region, nil, 0)
-	eqclass.LookupSyms(w.tab, toks)
+	toks := eqclass.TokenizeLookupPage(w.tab, region, 0)
 	objs := template.ExtractAll(w.SOD, w.Matches, toks)
 	// Enforce the SOD's additional restrictions (§II.A footnote 1).
 	objs, dropped := w.SOD.FilterByRules(objs)

@@ -118,6 +118,28 @@ func TestInferAbortsOnIrrelevantSource(t *testing.T) {
 	}
 }
 
+// TestSmallCorpusSampleClamp pins the sample-size clamp on tiny corpora:
+// the floor of 4 the mid-size clamp applies must never push the
+// effective sample size above the page pool itself (it used to ask
+// Algorithm 1 for a 4-page sample out of a 2- or 3-page corpus).
+func TestSmallCorpusSampleClamp(t *testing.T) {
+	recs, _ := concertRecs()
+	for _, pages := range []int{2, 3, 5} {
+		ps := site(pages, rotating(2))
+		w := Infer(ps, concertSOD(), recs, nil, DefaultConfig())
+		if w.Report.SampleSize > pages {
+			t.Errorf("pages=%d: effective sample %d exceeds the page pool", pages, w.Report.SampleSize)
+		}
+		if w.Aborted {
+			t.Errorf("pages=%d: inference aborted on a tiny but clean corpus: %s", pages, w.AbortReason)
+			continue
+		}
+		if objs := w.ExtractPages(ps); len(objs) == 0 {
+			t.Errorf("pages=%d: no objects extracted", pages)
+		}
+	}
+}
+
 func TestInferNoPages(t *testing.T) {
 	recs, _ := concertRecs()
 	w := Infer(nil, concertSOD(), recs, nil, DefaultConfig())
