@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test fmt fmt-check ci check bench bench-smoke bench-load bench-guard bench-baseline trace clean
+.PHONY: build test fmt fmt-check ci check bench bench-smoke bench-load bench-cluster bench-guard bench-baseline trace clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,8 @@ check: ci
 	$(GO) test -race -count=2 -run 'Parallel|Determinis|ExtractBatch|ForEach|Workers|Chunks|Merge|Remap|SmallCorpus' ./...
 	$(GO) test -race -count=2 ./internal/store/
 	$(GO) test -race -count=2 ./internal/httpserver/
+	$(GO) test -race -count=2 ./internal/cluster/
+	$(GO) test -race -count=2 ./api/v1/...
 	$(GO) test -race -count=2 ./internal/obs/
 	$(GO) test -race -count=2 ./internal/symtab/
 	$(GO) test -race -count=2 -run 'RawText|Entit|Tokeniz' ./internal/dom/ ./internal/eqclass/
@@ -107,6 +109,15 @@ bench-baseline:
 # RPS, DURATION, CONCURRENCY, PAGES, OUT (see scripts/bench_load.sh).
 bench-load:
 	sh scripts/bench_load.sh
+
+# bench-cluster records the sharded serving tier under load: two real
+# objectrunnerd nodes on one consistent-hash ring over a shared wrapper
+# spill, replayed open-loop against both — so about half the requests
+# cross the forwarding hop — writing BENCH_cluster.json with per-node
+# request counts next to the latency quantiles. Same env knobs as
+# bench-load (RPS, DURATION, CONCURRENCY, PAGES, OUT).
+bench-cluster:
+	sh scripts/bench_cluster.sh
 
 # trace runs one books source end to end with a JSONL span trace and the
 # EXPLAIN report on stderr.

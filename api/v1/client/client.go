@@ -1,0 +1,271 @@
+// Package client is the typed Go client for the ObjectRunner extraction
+// daemon's /v1 API (see api/v1 for the wire contract and
+// internal/httpserver for the server).
+//
+// The client is a thin, dependency-free wrapper over net/http with the
+// operational behaviors a daemon caller needs baked in:
+//
+//   - Context support on every call: cancellation and deadlines reach
+//     the wire request.
+//   - Backpressure handling: a 429 from the daemon's inflight limiter is
+//     retried up to Retries times, honoring the Retry-After header
+//     (capped by MaxRetryWait) with a doubling fallback backoff.
+//   - Trace-id propagation: a per-client TraceID option or a per-call
+//     WithTraceID context is sent as X-Trace-Id, and the id the server
+//     echoed (or minted) is recorded on every *APIError.
+//
+// Non-2xx responses become *APIError carrying the decoded error
+// envelope, so callers can switch on StatusCode and read the inference
+// Report of a rejected source.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	apiv1 "objectrunner/api/v1"
+)
+
+// Client talks to one daemon (or, in a cluster, any node of it — the
+// ring forwards to the owner transparently). The zero value is not
+// usable; construct with New.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	maxWait time.Duration
+	traceID string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default has a 60s timeout.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a 429 response is retried before
+// being surfaced as an *APIError. Default 3; 0 disables retrying.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the fallback wait before a 429 retry when the
+// server sent no Retry-After header; it doubles per attempt. Default
+// 100ms.
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithMaxRetryWait caps a single retry wait, whatever Retry-After
+// asked for. Default 5s.
+func WithMaxRetryWait(d time.Duration) Option { return func(c *Client) { c.maxWait = d } }
+
+// WithTraceID sets a fixed X-Trace-Id sent on every request from this
+// client. A per-call WithTraceID context takes precedence.
+func WithTraceID(id string) Option { return func(c *Client) { c.traceID = id } }
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 60 * time.Second},
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+		maxWait: 5 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// BaseURL returns the daemon base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// traceKey is the context key of a per-call trace id.
+type traceKey struct{}
+
+// WithTraceIDContext returns a context whose requests carry the given
+// X-Trace-Id, overriding the client-level id for that call.
+func WithTraceIDContext(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// APIError is a non-2xx /v1 response: the decoded error envelope plus
+// the HTTP status and the trace id the server echoed or minted, so a
+// failed call can be found in the daemon's flight recorder
+// (GET /v1/debug/traces) by id.
+type APIError struct {
+	StatusCode int
+	Message    string
+	Report     string
+	TraceID    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("daemon: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// IsRetryable reports whether the error is the daemon's backpressure
+// signal (HTTP 429) — the one status the client retries internally.
+func (e *APIError) IsRetryable() bool { return e.StatusCode == http.StatusTooManyRequests }
+
+// Wrap registers a source and infers (or reuses) its wrapper.
+func (c *Client) Wrap(ctx context.Context, req apiv1.WrapRequest) (*apiv1.WrapResponse, error) {
+	var resp apiv1.WrapResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/wrap", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Extract batch-extracts pages against a registered source.
+func (c *Client) Extract(ctx context.Context, req apiv1.ExtractRequest) (*apiv1.ExtractResponse, error) {
+	var resp apiv1.ExtractResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/extract", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sources lists the answering node's registered sources with cache
+// stats, ring ownership and forwarded-hit counts.
+func (c *Client) Sources(ctx context.Context) (*apiv1.SourcesResponse, error) {
+	var resp apiv1.SourcesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sources", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeleteSource invalidates a source's wrapper and registration; in a
+// cluster the invalidation fans out to the peers.
+func (c *Client) DeleteSource(ctx context.Context, key string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sources/"+escapeKey(key), nil, nil)
+}
+
+// Health reports readiness. A draining daemon answers with an
+// *APIError (HTTP 503) whose envelope still decodes into the response.
+func (c *Client) Health(ctx context.Context) (*apiv1.HealthResponse, error) {
+	var resp apiv1.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// escapeKey escapes a source key for the /v1/sources/{key} path while
+// keeping its slashes: keys like "books/bn" address nested path
+// segments by contract (the server routes with a {key...} wildcard).
+func escapeKey(key string) string {
+	parts := strings.Split(key, "/")
+	for i, p := range parts {
+		parts[i] = url.PathEscape(p)
+	}
+	return strings.Join(parts, "/")
+}
+
+// do runs one API call: marshal, send, retry on 429, decode into out
+// (out == nil discards the body). Non-2xx statuses return *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("encode %s: %w", path, err)
+		}
+	}
+	trace := c.traceID
+	if id, ok := ctx.Value(traceKey{}).(string); ok && id != "" {
+		trace = id
+	}
+	wait := c.backoff
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if trace != "" {
+			req.Header.Set(apiv1.HeaderTraceID, trace)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		apiErr := c.finish(resp, out)
+		if apiErr == nil {
+			return nil
+		}
+		if !apiErr.IsRetryable() || attempt >= c.retries {
+			return apiErr
+		}
+		d := retryWait(resp.Header.Get("Retry-After"), wait)
+		if d > c.maxWait {
+			d = c.maxWait
+		}
+		wait *= 2
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// finish consumes one response: 2xx decodes into out and returns nil,
+// anything else becomes an *APIError. The body is always drained so
+// the connection can be reused.
+func (c *Client) finish(resp *http.Response, out any) *APIError {
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out != nil && resp.StatusCode != http.StatusNoContent {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return &APIError{
+					StatusCode: resp.StatusCode,
+					Message:    fmt.Sprintf("bad response body: %v", err),
+					TraceID:    resp.Header.Get(apiv1.HeaderTraceID),
+				}
+			}
+		}
+		return nil
+	}
+	apiErr := &APIError{
+		StatusCode: resp.StatusCode,
+		Message:    resp.Status,
+		TraceID:    resp.Header.Get(apiv1.HeaderTraceID),
+	}
+	var envelope apiv1.Error
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error != "" {
+		apiErr.Message = envelope.Error
+		apiErr.Report = envelope.Report
+	}
+	return apiErr
+}
+
+// retryWait resolves the wait before a 429 retry: the server's
+// Retry-After (seconds) when parseable, else the fallback.
+func retryWait(retryAfter string, fallback time.Duration) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	apiv1 "objectrunner/api/v1"
+)
+
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var sawTrace atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawTrace.Store(r.Header.Get(apiv1.HeaderTraceID))
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"at capacity"}`))
+			return
+		}
+		w.Write([]byte(`{"source":"s","count":1}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(3), WithTraceID("trace-42"))
+	resp, err := c.Extract(context.Background(), apiv1.ExtractRequest{Source: "s", Pages: []string{"<html></html>"}})
+	if err != nil {
+		t.Fatalf("Extract after retries: %v", err)
+	}
+	if resp.Count != 1 {
+		t.Errorf("count = %d, want 1", resp.Count)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 throttled + 1 ok)", got)
+	}
+	if got := sawTrace.Load(); got != "trace-42" {
+		t.Errorf("trace id on retried request = %q, want %q", got, "trace-42")
+	}
+}
+
+func TestRetriesExhaustedSurfaceAPIError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.Header().Set(apiv1.HeaderTraceID, "trace-x")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"at capacity: 4 requests in flight"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2))
+	_, err := c.Extract(context.Background(), apiv1.ExtractRequest{Source: "s", Pages: []string{"x"}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v (%T), want *APIError", err, err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests || !apiErr.IsRetryable() {
+		t.Errorf("apiErr = %+v, want a retryable 429", apiErr)
+	}
+	if apiErr.TraceID != "trace-x" {
+		t.Errorf("trace id = %q, want the server echo", apiErr.TraceID)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 1 + 2 retries", got)
+	}
+}
+
+func TestNoRetryOnNon429(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"unknown source \"nope\""}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(5))
+	_, err := c.Extract(context.Background(), apiv1.ExtractRequest{Source: "nope", Pages: []string{"x"}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want a 404 *APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want exactly 1 (no retry on 404)", got)
+	}
+}
+
+func TestContextCancelsRetryWait(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	// MaxRetryWait far beyond the context deadline: the wait must end on
+	// cancellation, not on the timer.
+	c := New(ts.URL, WithRetries(1), WithMaxRetryWait(time.Minute))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Extract(ctx, apiv1.ExtractRequest{Source: "s", Pages: []string{"x"}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, the Retry-After timer won", elapsed)
+	}
+}
+
+func TestPerCallTraceIDOverridesClientID(t *testing.T) {
+	var sawTrace atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawTrace.Store(r.Header.Get(apiv1.HeaderTraceID))
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithTraceID("client-level"))
+	ctx := WithTraceIDContext(context.Background(), "call-level")
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := sawTrace.Load(); got != "call-level" {
+		t.Errorf("trace id = %q, want the per-call override", got)
+	}
+}
+
+func TestDeleteSourceKeepsSlashes(t *testing.T) {
+	var sawPath atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawPath.Store(r.URL.Path)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	if err := c.DeleteSource(context.Background(), "books/bn"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sawPath.Load(); got != "/v1/sources/books/bn" {
+		t.Errorf("path = %q, want slashes preserved", got)
+	}
+}
+
+func TestErrorEnvelopeCarriesReport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"error":"source discarded","report":"segment: no repeated region"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	_, err := c.Wrap(context.Background(), apiv1.WrapRequest{Source: "s", SOD: "tuple {}", Pages: []string{"x"}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Report == "" {
+		t.Errorf("APIError lost the inference report: %+v", apiErr)
+	}
+}

@@ -13,6 +13,7 @@ package objectrunner
 // recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -273,7 +274,7 @@ func BenchmarkWrapParallel(b *testing.B) {
 	if wSeq.Report() != wPar.Report() {
 		b.Fatal("parallel inference report diverges from sequential")
 	}
-	if fmt.Sprint(wSeq.ExtractAllHTML(html)) != fmt.Sprint(wPar.ExtractAllHTML(html)) {
+	if fmt.Sprint(extractAll(b, wSeq, html)) != fmt.Sprint(extractAll(b, wPar, html)) {
 		b.Fatal("parallel extraction output diverges from sequential")
 	}
 
@@ -290,7 +291,11 @@ func BenchmarkWrapParallel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if batch := w.ExtractBatch(pages); len(batch) != len(pages) {
+				batch, err := w.ExtractBatchErr(pages)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(batch) != len(pages) {
 					b.Fatalf("batch = %d slots, want %d", len(batch), len(pages))
 				}
 			}
@@ -419,7 +424,7 @@ func BenchmarkPublicAPIRun(b *testing.B) {
 	pages := concertPages()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		objs, err := ex.Run(pages)
+		objs, err := ex.RunContext(context.Background(), pages)
 		if err != nil {
 			b.Fatal(err)
 		}

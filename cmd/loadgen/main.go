@@ -1,6 +1,7 @@
 // Command loadgen is an open-loop load generator for objectrunnerd: it
-// replays a sitegen corpus (see cmd/sitegen) against a running daemon at
-// a fixed request rate and reports latency quantiles per source.
+// replays a sitegen corpus (see cmd/sitegen) against one or more running
+// daemons at a fixed request rate and reports latency quantiles per
+// source.
 //
 // Open loop means the dispatch schedule is independent of completions:
 // requests are launched on a fixed interval (1/rps) whether or not
@@ -16,16 +17,21 @@
 //	loadgen -addr http://127.0.0.1:8080 -corpus ./bench \
 //	    -rps 50 -concurrency 16 -duration 10s -out BENCH_load.json
 //
+// -addr takes a comma-separated list of daemons; requests round-robin
+// across them, which is how a multi-node cluster is driven (each node
+// forwards what it does not own — the loadgen needs no ring knowledge).
+//
 // The run has two phases: a warmup that registers every discovered
 // source with POST /v1/wrap (wrapper inference happens once, here), then
-// the timed extraction replay against POST /v1/extract. The report —
-// achieved RPS, error/shed counts, overall and per-source latency
-// p50/p90/p95/p99/max — is written to -out via tmp+rename, so a
-// half-written file is never observed.
+// the timed extraction replay against POST /v1/extract. All wire traffic
+// goes through the typed api/v1 client. The report — achieved RPS,
+// error/shed counts, overall and per-source latency p50/p90/p95/p99/max
+// — is written to -out via tmp+rename, so a half-written file is never
+// observed.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,6 +47,8 @@ import (
 	"sync"
 	"time"
 
+	apiv1 "objectrunner/api/v1"
+	client "objectrunner/api/v1/client"
 	"objectrunner/internal/obs"
 )
 
@@ -52,7 +60,7 @@ func main() {
 }
 
 type config struct {
-	addr        string
+	addrs       []string
 	corpus      string
 	rps         float64
 	concurrency int
@@ -67,7 +75,7 @@ func run(argv []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var cfg config
-	fs.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "daemon base URL")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL(s), comma-separated; requests round-robin across them")
 	fs.StringVar(&cfg.corpus, "corpus", "bench", "sitegen corpus directory")
 	fs.Float64Var(&cfg.rps, "rps", 50, "extract requests per second (open loop)")
 	fs.IntVar(&cfg.concurrency, "concurrency", 16, "in-flight request cap; requests hitting the cap are shed, not queued")
@@ -78,6 +86,14 @@ func run(argv []string, stderr io.Writer) error {
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout")
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			cfg.addrs = append(cfg.addrs, a)
+		}
+	}
+	if len(cfg.addrs) == 0 {
+		return fmt.Errorf("-addr must name at least one daemon")
 	}
 	if cfg.rps <= 0 || cfg.concurrency <= 0 || cfg.duration <= 0 {
 		return fmt.Errorf("rps, concurrency and duration must be positive")
@@ -90,17 +106,32 @@ func run(argv []string, stderr io.Writer) error {
 	if len(corpus) == 0 {
 		return fmt.Errorf("no sources found under %s (expected <domain>/sod.txt with <domain>/<source>/page*.html)", cfg.corpus)
 	}
-	fmt.Fprintf(stderr, "loadgen: %d sources discovered under %s\n", len(corpus), cfg.corpus)
+	fmt.Fprintf(stderr, "loadgen: %d sources discovered under %s, %d target(s)\n",
+		len(corpus), cfg.corpus, len(cfg.addrs))
 
-	client := &http.Client{Timeout: cfg.timeout}
-	for _, src := range corpus {
-		if err := warmup(client, cfg.addr, src); err != nil {
-			return fmt.Errorf("warmup %s: %w", src.key, err)
+	// One typed client per target. The load generator measures shedding
+	// itself (open loop), so the client's own 429 retry is disabled —
+	// a throttled request must count as an error, not hide in a retry.
+	hc := &http.Client{Timeout: cfg.timeout}
+	clients := make([]*client.Client, len(cfg.addrs))
+	for i, a := range cfg.addrs {
+		clients[i] = client.New(a, client.WithHTTPClient(hc), client.WithRetries(0))
+	}
+
+	ctx := context.Background()
+	for i, src := range corpus {
+		// Round-robin the warmups too: in a cluster this exercises the
+		// forwarding path (the receiving node proxies to the ring owner).
+		cl := clients[i%len(clients)]
+		if _, err := cl.Wrap(ctx, apiv1.WrapRequest{
+			Source: src.key, SOD: src.sod, Pages: src.pages, Dictionaries: src.dicts,
+		}); err != nil {
+			return fmt.Errorf("warmup %s via %s: %w", src.key, cl.BaseURL(), err)
 		}
 		fmt.Fprintf(stderr, "loadgen: warmed %s (%d pages)\n", src.key, len(src.pages))
 	}
 
-	rep := replay(client, cfg, corpus)
+	rep := replay(clients, cfg, corpus)
 	if err := writeReport(cfg.out, rep); err != nil {
 		return err
 	}
@@ -114,13 +145,8 @@ func run(argv []string, stderr io.Writer) error {
 type sourceCorpus struct {
 	key   string
 	sod   string
-	dicts map[string][]dictEntry
+	dicts map[string][]apiv1.Entry
 	pages []string
-}
-
-type dictEntry struct {
-	Value      string  `json:"value"`
-	Confidence float64 `json:"confidence"`
 }
 
 var instanceOfRE = regexp.MustCompile(`instanceOf\(([A-Za-z0-9_]+)\)`)
@@ -145,7 +171,7 @@ func discoverCorpus(root string) ([]sourceCorpus, error) {
 			continue // not a domain directory
 		}
 		sod := string(sodBytes)
-		dicts := make(map[string][]dictEntry)
+		dicts := make(map[string][]apiv1.Entry)
 		for _, m := range instanceOfRE.FindAllStringSubmatch(sod, -1) {
 			class := m[1]
 			if _, ok := dicts[class]; ok {
@@ -203,12 +229,12 @@ func readPages(dir string) ([]string, error) {
 
 // readDict parses a sitegen dictionary file: one "value\tconfidence" per
 // line, confidence optional.
-func readDict(path string) ([]dictEntry, error) {
+func readDict(path string) ([]apiv1.Entry, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var entries []dictEntry
+	var entries []apiv1.Entry
 	for _, line := range strings.Split(string(b), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -221,27 +247,9 @@ func readDict(path string) ([]dictEntry, error) {
 				conf = f
 			}
 		}
-		entries = append(entries, dictEntry{Value: value, Confidence: conf})
+		entries = append(entries, apiv1.Entry{Value: value, Confidence: conf})
 	}
 	return entries, nil
-}
-
-// warmup registers a source and infers its wrapper with POST /v1/wrap,
-// so the timed replay measures serving, not inference.
-func warmup(client *http.Client, addr string, src sourceCorpus) error {
-	status, body, err := postJSON(client, addr+"/v1/wrap", map[string]any{
-		"source":       src.key,
-		"sod":          src.sod,
-		"pages":        src.pages,
-		"dictionaries": src.dicts,
-	})
-	if err != nil {
-		return err
-	}
-	if status != http.StatusOK {
-		return fmt.Errorf("status %d: %s", status, body)
-	}
-	return nil
 }
 
 // report is the BENCH_load.json shape.
@@ -252,6 +260,7 @@ type report struct {
 		DurationSec float64 `json:"duration_seconds"`
 		PagesPerReq int     `json:"pages_per_request"`
 		Sources     int     `json:"sources"`
+		Targets     int     `json:"targets"`
 	} `json:"config"`
 	Sent        int64   `json:"sent"`
 	Completed   int64   `json:"completed"`
@@ -263,6 +272,9 @@ type report struct {
 	Latency     latency `json:"latency"`
 	// PerSource holds one latency summary per source key.
 	PerSource map[string]latency `json:"per_source"`
+	// PerNode counts which node actually served each completed extract
+	// (the response's node field — the ring owner, not the target hit).
+	PerNode map[string]int64 `json:"per_node,omitempty"`
 }
 
 type latency struct {
@@ -287,17 +299,20 @@ func toLatency(h obs.HistSnapshot) latency {
 }
 
 // replay drives the open loop: one dispatch per 1/rps interval over the
-// requested duration, round-robin across sources, random page windows,
-// shedding (not queueing) when the concurrency cap is reached.
-func replay(client *http.Client, cfg config, corpus []sourceCorpus) *report {
+// requested duration, round-robin across sources and targets, random
+// page windows, shedding (not queueing) when the concurrency cap is
+// reached.
+func replay(clients []*client.Client, cfg config, corpus []sourceCorpus) *report {
 	met := obs.New()
 	rng := rand.New(rand.NewSource(cfg.seed))
 	sem := make(chan struct{}, cfg.concurrency)
 	interval := time.Duration(float64(time.Second) / cfg.rps)
 
 	var sent, shed, completed, errs, objects int64
+	perNode := make(map[string]int64)
 	results := make(chan struct {
 		src     string
+		node    string
 		dur     time.Duration
 		objects int64
 		err     bool
@@ -311,6 +326,9 @@ func replay(client *http.Client, cfg config, corpus []sourceCorpus) *report {
 				errs++
 			} else {
 				objects += r.objects
+				if r.node != "" {
+					perNode[r.node]++
+				}
 				met.Observe("load.extract", r.dur)
 				met.ObserveL("load.extract.by_source", r.dur, obs.L("source", r.src))
 			}
@@ -331,6 +349,7 @@ func replay(client *http.Client, cfg config, corpus []sourceCorpus) *report {
 		}
 		next = next.Add(interval)
 		src := corpus[i%len(corpus)]
+		cl := clients[i%len(clients)]
 		lo := 0
 		if n := len(src.pages) - cfg.pagesPerReq; n > 0 {
 			lo = rng.Intn(n + 1)
@@ -348,30 +367,25 @@ func replay(client *http.Client, cfg config, corpus []sourceCorpus) *report {
 		}
 		sent++
 		wg.Add(1)
-		go func(key string, pages []string) {
+		go func(key string, pages []string, cl *client.Client) {
 			defer func() { <-sem; wg.Done() }()
 			start := time.Now()
-			status, body, err := postJSON(client, cfg.addr+"/v1/extract", map[string]any{
-				"source": key, "pages": pages,
-			})
+			resp, err := cl.Extract(context.Background(), apiv1.ExtractRequest{Source: key, Pages: pages})
 			d := time.Since(start)
 			var objs int64
-			bad := err != nil || status != http.StatusOK
-			if !bad {
-				var resp struct {
-					Count int64 `json:"count"`
-				}
-				if json.Unmarshal(body, &resp) == nil {
-					objs = resp.Count
-				}
+			var node string
+			if err == nil {
+				objs = int64(resp.Count)
+				node = resp.Node
 			}
 			results <- struct {
 				src     string
+				node    string
 				dur     time.Duration
 				objects int64
 				err     bool
-			}{key, d, objs, bad}
-		}(src.key, pages)
+			}{key, node, d, objs, err != nil}
+		}(src.key, pages, cl)
 	}
 	wg.Wait()
 	close(results)
@@ -384,6 +398,7 @@ func replay(client *http.Client, cfg config, corpus []sourceCorpus) *report {
 	rep.Config.DurationSec = cfg.duration.Seconds()
 	rep.Config.PagesPerReq = cfg.pagesPerReq
 	rep.Config.Sources = len(corpus)
+	rep.Config.Targets = len(clients)
 	rep.Sent = sent
 	rep.Completed = completed
 	rep.Errors = errs
@@ -392,6 +407,9 @@ func replay(client *http.Client, cfg config, corpus []sourceCorpus) *report {
 	rep.WallSeconds = wall.Seconds()
 	if wall > 0 {
 		rep.AchievedRPS = float64(sent) / wall.Seconds()
+	}
+	if len(perNode) > 0 {
+		rep.PerNode = perNode
 	}
 	rep.Latency = toLatency(met.Histogram("load.extract"))
 	for key, h := range met.Histograms() {
@@ -402,20 +420,6 @@ func replay(client *http.Client, cfg config, corpus []sourceCorpus) *report {
 		rep.PerSource[labels[0].Value] = toLatency(h)
 	}
 	return rep
-}
-
-func postJSON(client *http.Client, url string, payload any) (int, []byte, error) {
-	b, err := json.Marshal(payload)
-	if err != nil {
-		return 0, nil, err
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	return resp.StatusCode, body, err
 }
 
 // writeReport writes the JSON report atomically: tmp file in the target

@@ -16,6 +16,18 @@
 // contexts, waits for handlers to return (bounded by -drain-timeout),
 // and spills the wrapper caches to -wrapper-cache-dir so the next
 // process starts warm.
+//
+// Multi-node mode: start each daemon with -node-id and the full -peers
+// roster (id=url pairs, the daemon's own id without a url) and point
+// them at a shared -wrapper-cache-dir. A consistent-hash ring assigns
+// every source key an owner; requests landing on the wrong node are
+// transparently forwarded, and when the owner is down its sources are
+// served from the shared spill:
+//
+//	objectrunnerd -addr :8080 -node-id n1 \
+//	    -peers 'n1,n2=http://10.0.0.2:8080' -wrapper-cache-dir /shared
+//	objectrunnerd -addr :8080 -node-id n2 \
+//	    -peers 'n1=http://10.0.0.1:8080,n2' -wrapper-cache-dir /shared
 package main
 
 import (
@@ -31,6 +43,7 @@ import (
 	"time"
 
 	"objectrunner"
+	"objectrunner/internal/cluster"
 	"objectrunner/internal/httpserver"
 	"objectrunner/internal/obs"
 )
@@ -55,6 +68,8 @@ func run() error {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on waiting for in-flight handlers and the cache spill at shutdown")
 	flightTraces := flag.Int("flight-traces", 64, "request traces kept by the flight recorder (N most recent + N slowest, GET /v1/debug/traces)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: exposes process internals)")
+	nodeID := flag.String("node-id", "", "this daemon's id in a multi-node cluster (labels its metrics; required with -peers)")
+	peers := flag.String("peers", "", "full cluster roster as id=url pairs, comma-separated, own id without url (e.g. 'n1,n2=http://10.0.0.2:8080'); enables ring-based forwarding")
 	obsCLI := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -72,6 +87,29 @@ func run() error {
 		// /metrics has substance.
 		observer = obs.New()
 	}
+	if *nodeID != "" {
+		// Every metric series this process emits carries its node id, so
+		// a shared scrape of the cluster stays attributable.
+		observer.SetBaseLabels(obs.L("node", *nodeID))
+	}
+
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *nodeID == "" {
+			return fmt.Errorf("-peers requires -node-id")
+		}
+		nodes, err := cluster.ParseNodes(*peers)
+		if err != nil {
+			return fmt.Errorf("bad -peers: %w", err)
+		}
+		cl, err = cluster.New(*nodeID, nodes, 0)
+		if err != nil {
+			return fmt.Errorf("bad cluster config: %w", err)
+		}
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "objectrunnerd: warning: multi-node mode without -wrapper-cache-dir; peers cannot serve from a shared spill when this node is down")
+		}
+	}
 
 	srv := httpserver.New(httpserver.Config{
 		MaxInflight:    *maxInflight,
@@ -87,6 +125,7 @@ func run() error {
 		Obs:                observer,
 		FlightRecorderSize: *flightTraces,
 		EnablePprof:        *enablePprof,
+		Cluster:            cl,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

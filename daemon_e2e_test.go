@@ -5,7 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"net/http"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -16,15 +16,18 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	apiv1 "objectrunner/api/v1"
+	client "objectrunner/api/v1/client"
 )
 
-// TestDaemonEndToEnd drives the real objectrunnerd binary over HTTP: it
-// materializes a sitegen books source, registers it with POST /v1/wrap,
-// batch-extracts with POST /v1/extract (asserting output identical to
-// library-level ServeExtract), then SIGTERMs the daemon mid-wrap and
-// asserts a clean drain (exit 0, spill on disk), and finally restarts
-// over the same cache dir and observes a disk hit instead of
-// re-inference. Requires the go toolchain; skipped in -short.
+// TestDaemonEndToEnd drives the real objectrunnerd binary over HTTP
+// through the typed api/v1 client: it materializes a sitegen books
+// source, registers it with Wrap, batch-extracts with Extract (asserting
+// output identical to library-level ServeExtract), then SIGTERMs the
+// daemon mid-wrap and asserts a clean drain (exit 0, spill on disk), and
+// finally restarts over the same cache dir and observes a disk hit
+// instead of re-inference. Requires the go toolchain; skipped in -short.
 func TestDaemonEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the daemon binary")
@@ -53,40 +56,31 @@ func TestDaemonEndToEnd(t *testing.T) {
 
 	sodText := readFileT(t, filepath.Join(benchDir, "books", "sod.txt"))
 	pages := readPagesT(t, filepath.Join(benchDir, "books", "bn", "page*.html"))
-	dicts := map[string][]wireEntry{
+	dicts := map[string][]apiv1.Entry{
 		"BookTitle": readDictT(t, filepath.Join(benchDir, "dictionaries", "booktitle.txt")),
 		"Author":    readDictT(t, filepath.Join(benchDir, "dictionaries", "author.txt")),
 	}
 	cacheDir := filepath.Join(dir, "cache")
+	ctx := context.Background()
 
 	d := startDaemon(t, daemonBin, "-wrapper-cache-dir", cacheDir)
+	cl := client.New(d.baseURL())
 
 	// Wrap the source over HTTP.
-	var wrapResp struct {
-		Source      string  `json:"source"`
-		Score       float64 `json:"score"`
-		Description string  `json:"description"`
-	}
-	status := postJSONT(t, d.url("/v1/wrap"), map[string]any{
-		"source": "books/bn", "sod": sodText, "pages": pages, "dictionaries": dicts,
-	}, &wrapResp)
-	if status != http.StatusOK {
-		t.Fatalf("wrap status = %d (%+v)", status, wrapResp)
+	wrapResp, err := cl.Wrap(ctx, apiv1.WrapRequest{
+		Source: "books/bn", SOD: sodText, Pages: pages, Dictionaries: dicts,
+	})
+	if err != nil {
+		t.Fatalf("wrap: %v", err)
 	}
 	if wrapResp.Score <= 0 {
 		t.Errorf("wrap response = %+v", wrapResp)
 	}
 
 	// Extract over HTTP and compare byte-for-byte with the library path.
-	var extResp struct {
-		Count   int              `json:"count"`
-		Objects []map[string]any `json:"objects"`
-	}
-	status = postJSONT(t, d.url("/v1/extract"), map[string]any{
-		"source": "books/bn", "pages": pages,
-	}, &extResp)
-	if status != http.StatusOK {
-		t.Fatalf("extract status = %d", status)
+	extResp, err := cl.Extract(ctx, apiv1.ExtractRequest{Source: "books/bn", Pages: pages})
+	if err != nil {
+		t.Fatalf("extract: %v", err)
 	}
 	if extResp.Count == 0 {
 		t.Fatal("extracted no objects over HTTP")
@@ -104,7 +98,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	svc := NewService(ex, StoreConfig{})
-	objs, err := svc.ServeExtract(context.Background(), "books/bn", pages)
+	objs, err := svc.ServeExtract(ctx, "books/bn", pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,13 +114,14 @@ func TestDaemonEndToEnd(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		slowPages = append(slowPages, pages...)
 	}
-	slowDone := make(chan int, 1)
+	slowDone := make(chan error, 1)
 	go func() {
-		var ignore struct{}
-		status := postJSONT(t, d.url("/v1/wrap"), map[string]any{
-			"source": "books/slow", "sod": sodText, "pages": slowPages, "dictionaries": dicts,
-		}, &ignore)
-		slowDone <- status
+		// The daemon legitimately vanishes mid-request here; any error —
+		// a 503 on clean cancel or a transport error — is acceptable.
+		_, err := cl.Wrap(ctx, apiv1.WrapRequest{
+			Source: "books/slow", SOD: sodText, Pages: slowPages, Dictionaries: dicts,
+		})
+		slowDone <- err
 	}()
 	time.Sleep(300 * time.Millisecond)
 	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -136,7 +131,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("daemon exit after SIGTERM: %v\nstderr:\n%s", err, d.stderr())
 	}
 	select {
-	case <-slowDone: // 503 on clean cancel, or a transport error mapped to 0
+	case <-slowDone:
 	case <-time.After(10 * time.Second):
 		t.Fatal("mid-flight wrap request never returned")
 	}
@@ -151,22 +146,16 @@ func TestDaemonEndToEnd(t *testing.T) {
 	// Restart over the same cache dir: the re-registered source loads
 	// from disk, no re-inference.
 	d2 := startDaemon(t, daemonBin, "-wrapper-cache-dir", cacheDir)
-	status = postJSONT(t, d2.url("/v1/wrap"), map[string]any{
-		"source": "books/bn", "sod": sodText, "pages": pages, "dictionaries": dicts,
-	}, &wrapResp)
-	if status != http.StatusOK {
-		t.Fatalf("re-wrap status = %d", status)
+	cl2 := client.New(d2.baseURL())
+	if _, err := cl2.Wrap(ctx, apiv1.WrapRequest{
+		Source: "books/bn", SOD: sodText, Pages: pages, Dictionaries: dicts,
+	}); err != nil {
+		t.Fatalf("re-wrap: %v", err)
 	}
-	var sources struct {
-		Sources []struct {
-			Source string `json:"source"`
-			Stats  struct {
-				DiskHits int64
-				Misses   int64
-			} `json:"stats"`
-		} `json:"sources"`
+	sources, err := cl2.Sources(ctx)
+	if err != nil {
+		t.Fatal(err)
 	}
-	getJSONT(t, d2.url("/v1/sources"), &sources)
 	if len(sources.Sources) != 1 || sources.Sources[0].Stats.DiskHits != 1 || sources.Sources[0].Stats.Misses != 0 {
 		t.Errorf("sources after restart = %+v, want a pure disk hit", sources.Sources)
 	}
@@ -178,9 +167,141 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
-type wireEntry struct {
-	Value      string  `json:"value"`
-	Confidence float64 `json:"confidence"`
+// TestDaemonClusterEndToEnd boots a real two-daemon cluster over a
+// shared cache dir and proves the client-visible sharding behavior: a
+// request to either node yields byte-identical output (the non-owner
+// forwards), GET /v1/sources attributes ownership, and killing the owner
+// leaves the source servable via the survivor's spill fallback.
+// Skipped in -short.
+func TestDaemonClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "bin")
+	if err := os.MkdirAll(bin, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = "."
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	sitegen := build("sitegen")
+	daemonBin := build("objectrunnerd")
+
+	benchDir := filepath.Join(dir, "bench")
+	if out, err := exec.Command(sitegen, "-out", benchDir, "-pages", "6", "-domains", "books").CombinedOutput(); err != nil {
+		t.Fatalf("sitegen: %v\n%s", err, out)
+	}
+	sodText := readFileT(t, filepath.Join(benchDir, "books", "sod.txt"))
+	pages := readPagesT(t, filepath.Join(benchDir, "books", "bn", "page*.html"))
+	dicts := map[string][]apiv1.Entry{
+		"BookTitle": readDictT(t, filepath.Join(benchDir, "dictionaries", "booktitle.txt")),
+		"Author":    readDictT(t, filepath.Join(benchDir, "dictionaries", "author.txt")),
+	}
+	cacheDir := filepath.Join(dir, "cache")
+	ctx := context.Background()
+
+	// Pre-reserve two loopback ports so each daemon can be started with
+	// the complete, correct roster (the bind-then-close window is racy in
+	// principle but fine for a test on loopback).
+	freeAddr := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := l.Addr().String()
+		l.Close()
+		return addr
+	}
+	addr1, addr2 := freeAddr(), freeAddr()
+	roster := func(self string) string {
+		if self == "n1" {
+			return "n1,n2=http://" + addr2
+		}
+		return "n1=http://" + addr1 + ",n2"
+	}
+	d1 := startDaemon(t, daemonBin, "-addr", addr1, "-wrapper-cache-dir", cacheDir,
+		"-node-id", "n1", "-peers", roster("n1"))
+	d2 := startDaemon(t, daemonBin, "-addr", addr2, "-wrapper-cache-dir", cacheDir,
+		"-node-id", "n2", "-peers", roster("n2"))
+	cl1 := client.New(d1.baseURL())
+	cl2 := client.New(d2.baseURL())
+
+	// Wrap through n2; the ring decides the owner and n2 forwards if it
+	// is not n2 itself. Orient the rest of the test around the answer.
+	key := "books/bn"
+	wr, err := cl2.Wrap(ctx, apiv1.WrapRequest{Source: key, SOD: sodText, Pages: pages, Dictionaries: dicts})
+	if err != nil {
+		t.Fatalf("wrap via n2: %v", err)
+	}
+	owner := wr.Node
+	ownerDaemon, ownerClient, peerClient := d1, cl1, cl2
+	switch owner {
+	case "n1":
+	case "n2":
+		ownerDaemon, ownerClient, peerClient = d2, cl2, cl1
+	default:
+		t.Fatalf("wrap served by %q, want n1 or n2", owner)
+	}
+
+	viaOwner, err := ownerClient.Extract(ctx, apiv1.ExtractRequest{Source: key, Pages: pages})
+	if err != nil {
+		t.Fatalf("extract via owner: %v", err)
+	}
+	if viaOwner.Node != owner {
+		t.Errorf("owner-side extract served by %q, want %q", viaOwner.Node, owner)
+	}
+	viaPeer, err := peerClient.Extract(ctx, apiv1.ExtractRequest{Source: key, Pages: pages})
+	if err != nil {
+		t.Fatalf("extract via peer: %v", err)
+	}
+	if viaPeer.Node != owner {
+		t.Errorf("peer-side extract served by %q, want the owner %q", viaPeer.Node, owner)
+	}
+	want, _ := json.Marshal(viaOwner.Objects)
+	got, _ := json.Marshal(viaPeer.Objects)
+	if !bytes.Equal(got, want) {
+		t.Errorf("peer-side output differs from owner-side:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Ownership is attributed in the owner's sources listing.
+	sources, err := ownerClient.Sources(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources.Sources) != 1 || sources.Sources[0].Owner != owner {
+		t.Errorf("owner sources = %+v", sources.Sources)
+	}
+
+	// Kill the owner; the survivor serves the source from the shared
+	// spill after a fallback wrap.
+	if err := ownerDaemon.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := ownerDaemon.cmd.Wait(); err != nil {
+		t.Fatalf("owner exit: %v\nstderr:\n%s", err, ownerDaemon.stderr())
+	}
+	fwr, err := peerClient.Wrap(ctx, apiv1.WrapRequest{Source: key, SOD: sodText, Pages: pages, Dictionaries: dicts})
+	if err != nil {
+		t.Fatalf("fallback wrap via survivor: %v", err)
+	}
+	if fwr.Node == owner {
+		t.Fatalf("fallback wrap claims the dead owner %q served it", fwr.Node)
+	}
+	surv, err := peerClient.Extract(ctx, apiv1.ExtractRequest{Source: key, Pages: pages})
+	if err != nil {
+		t.Fatalf("extract via survivor: %v", err)
+	}
+	got2, _ := json.Marshal(surv.Objects)
+	if !bytes.Equal(got2, want) {
+		t.Errorf("survivor output differs from the owner's:\n got: %s\nwant: %s", got2, want)
+	}
 }
 
 // daemonProc is one running objectrunnerd with its captured stderr.
@@ -190,8 +311,8 @@ type daemonProc struct {
 	buf  *syncBuffer
 }
 
-func (d *daemonProc) url(path string) string { return "http://" + d.addr + path }
-func (d *daemonProc) stderr() string         { return d.buf.String() }
+func (d *daemonProc) baseURL() string { return "http://" + d.addr }
+func (d *daemonProc) stderr() string  { return d.buf.String() }
 
 var listenRE = regexp.MustCompile(`listening on ([\d.:\[\]]+)`)
 
@@ -240,38 +361,6 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-func postJSONT(t *testing.T, url string, body any, out any) int {
-	t.Helper()
-	b, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		// The daemon may legitimately vanish mid-request (SIGTERM test).
-		return 0
-	}
-	defer resp.Body.Close()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && resp.StatusCode == http.StatusOK {
-			t.Fatalf("decode %s: %v", url, err)
-		}
-	}
-	return resp.StatusCode
-}
-
-func getJSONT(t *testing.T, url string, out any) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		t.Fatal(err)
-	}
-}
-
 func readFileT(t *testing.T, path string) string {
 	t.Helper()
 	b, err := os.ReadFile(path)
@@ -294,14 +383,14 @@ func readPagesT(t *testing.T, glob string) []string {
 	return pages
 }
 
-func readDictT(t *testing.T, path string) []wireEntry {
+func readDictT(t *testing.T, path string) []apiv1.Entry {
 	t.Helper()
 	f, err := os.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	var entries []wireEntry
+	var entries []apiv1.Entry
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -315,7 +404,7 @@ func readDictT(t *testing.T, path string) []wireEntry {
 			}
 			line = line[:i]
 		}
-		entries = append(entries, wireEntry{Value: line, Confidence: conf})
+		entries = append(entries, apiv1.Entry{Value: line, Confidence: conf})
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)

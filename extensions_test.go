@@ -1,6 +1,7 @@
 package objectrunner
 
 import (
+	"context"
 	"testing"
 )
 
@@ -34,7 +35,7 @@ func TestSeedInstancesExpandViaKB(t *testing.T) {
 		`<html><body><li><div>Coldplay</div><div>Friday June 19, 2010 7:00pm</div></li></body></html>`,
 		`<html><body><li><div>Madonna</div><div>Saturday August 8, 2010 8:00pm</div></li><li><div>Metallica</div><div>Sunday August 9, 2010 9:00pm</div></li></body></html>`,
 	}
-	objs, err := ex.Run(pages)
+	objs, err := ex.RunContext(context.Background(), pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSeedInstancesWithoutKB(t *testing.T) {
 		`<html><body><li><i>Beta Duo</i><u>Saturday May 29, 2010 7:00pm</u></li></body></html>`,
 		`<html><body><li><i>Gamma Trio</i><u>Friday June 19, 2010 7:00pm</u></li></body></html>`,
 	}
-	objs, err := ex.Run(pages)
+	objs, err := ex.RunContext(context.Background(), pages)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,19 @@
+package objectrunner
+
+import "testing"
+
+// extractAll concatenates ExtractBatchErr output across pages — the
+// test-side stand-in for the removed ExtractAllHTML convenience, on the
+// error-honest API.
+func extractAll(tb testing.TB, w *Wrapper, pages []string) []*Object {
+	tb.Helper()
+	batches, err := w.ExtractBatchErr(pages)
+	if err != nil {
+		tb.Fatalf("extract batch: %v", err)
+	}
+	var out []*Object
+	for _, objs := range batches {
+		out = append(out, objs...)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Node is one daemon instance: its ring id and the base URL peers use
+// to reach it.
+type Node struct {
+	ID  string
+	URL string
+}
+
+// Cluster is one node's view of the ring: who it is, who the peers
+// are, and which node owns a given source key. Immutable after New;
+// safe for concurrent use.
+type Cluster struct {
+	self Node
+	ring *Ring
+	byID map[string]Node
+}
+
+// New builds a cluster view. nodes must include self (the daemon's own
+// id); every node needs a base URL except self, whose URL peers know
+// but the node itself never dials.
+func New(selfID string, nodes []Node, vnodes int) (*Cluster, error) {
+	byID := make(map[string]Node, len(nodes))
+	ids := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if _, ok := byID[n.ID]; ok {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		if n.ID != selfID && n.URL == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no URL", n.ID)
+		}
+		if n.URL != "" {
+			if _, err := url.Parse(n.URL); err != nil {
+				return nil, fmt.Errorf("cluster: peer %q URL: %w", n.ID, err)
+			}
+			n.URL = strings.TrimRight(n.URL, "/")
+		}
+		byID[n.ID] = n
+		ids = append(ids, n.ID)
+	}
+	self, ok := byID[selfID]
+	if !ok {
+		return nil, fmt.Errorf("cluster: self id %q not in the node list", selfID)
+	}
+	ring, err := NewRing(ids, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{self: self, ring: ring, byID: byID}, nil
+}
+
+// ParseNodes parses the -peers flag format: a comma-separated list of
+// id=url entries, e.g. "a=http://10.0.0.1:8080,b=http://10.0.0.2:8080".
+// The self entry's URL may be omitted ("a,b=http://...").
+func ParseNodes(spec string) ([]Node, error) {
+	var nodes []Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, _ := strings.Cut(part, "=")
+		id = strings.TrimSpace(id)
+		if id == "" {
+			return nil, fmt.Errorf("cluster: node entry %q has no id", part)
+		}
+		nodes = append(nodes, Node{ID: id, URL: strings.TrimSpace(u)})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty node list")
+	}
+	return nodes, nil
+}
+
+// Self returns this node.
+func (c *Cluster) Self() Node { return c.self }
+
+// Owner returns the node owning the source key.
+func (c *Cluster) Owner(key string) Node { return c.byID[c.ring.Owner(key)] }
+
+// IsLocal reports whether this node owns the key.
+func (c *Cluster) IsLocal(key string) bool { return c.ring.Owner(key) == c.self.ID }
+
+// Peers returns every node except self, in id order.
+func (c *Cluster) Peers() []Node {
+	out := make([]Node, 0, len(c.byID)-1)
+	for _, id := range c.ring.Nodes() {
+		if id != c.self.ID {
+			out = append(out, c.byID[id])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Size returns the cluster's node count.
+func (c *Cluster) Size() int { return len(c.byID) }

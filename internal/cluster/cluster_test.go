@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"objectrunner/internal/obs"
+)
+
+func TestClusterNew(t *testing.T) {
+	c, err := New("a", []Node{
+		{ID: "a"}, // self needs no URL
+		{ID: "b", URL: "http://peer-b:8080/"},
+	}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Self().ID != "a" || c.Size() != 2 {
+		t.Errorf("self = %+v, size = %d", c.Self(), c.Size())
+	}
+	peers := c.Peers()
+	if len(peers) != 1 || peers[0].ID != "b" || peers[0].URL != "http://peer-b:8080" {
+		t.Errorf("peers = %+v (URL must be trimmed of the trailing slash)", peers)
+	}
+	// Ownership is total: every key has exactly one owner in the set.
+	for _, k := range testKeys(200) {
+		owner := c.Owner(k)
+		if owner.ID != "a" && owner.ID != "b" {
+			t.Fatalf("owner of %q = %+v", k, owner)
+		}
+		if c.IsLocal(k) != (owner.ID == "a") {
+			t.Fatalf("IsLocal(%q) disagrees with Owner", k)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New("x", []Node{{ID: "a", URL: "http://a"}}, 0); err == nil {
+		t.Error("self missing from node list accepted")
+	}
+	if _, err := New("a", []Node{{ID: "a"}, {ID: "b"}}, 0); err == nil {
+		t.Error("peer without URL accepted")
+	}
+	if _, err := New("a", []Node{{ID: "a"}, {ID: "a", URL: "http://x"}}, 0); err == nil {
+		t.Error("duplicate node id accepted")
+	}
+}
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := ParseNodes("a, b=http://10.0.0.2:8080 ,c=http://10.0.0.3:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || nodes[0].ID != "a" || nodes[0].URL != "" ||
+		nodes[1].ID != "b" || nodes[1].URL != "http://10.0.0.2:8080" {
+		t.Errorf("nodes = %+v", nodes)
+	}
+	if _, err := ParseNodes(""); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := ParseNodes("=http://x"); err == nil {
+		t.Error("entry without id accepted")
+	}
+}
+
+func TestForwardSetsLoopGuardAndTrace(t *testing.T) {
+	var gotForwardedBy, gotTrace atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotForwardedBy.Store(r.Header.Get(HeaderForwardedBy))
+		gotTrace.Store(r.Header.Get(HeaderTraceID))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	f := NewForwarder("node-a", ForwarderConfig{Obs: obs.New()})
+	res, err := f.Forward(context.Background(), Node{ID: "node-b", URL: ts.URL},
+		http.MethodPost, "/v1/extract", []byte(`{}`), "trace-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || string(res.Body) != `{"ok":true}` {
+		t.Errorf("result = %+v", res)
+	}
+	if res.ContentType != "application/json" {
+		t.Errorf("content type = %q", res.ContentType)
+	}
+	if gotForwardedBy.Load() != "node-a" {
+		t.Errorf("X-Forwarded-By = %q, want the forwarding node's id", gotForwardedBy.Load())
+	}
+	if gotTrace.Load() != "trace-7" {
+		t.Errorf("X-Trace-Id = %q, want propagation", gotTrace.Load())
+	}
+}
+
+func TestForwardRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	met := obs.New()
+	f := NewForwarder("a", ForwarderConfig{Retries: 2, Backoff: time.Millisecond, Obs: met})
+	res, err := f.Forward(context.Background(), Node{ID: "b", URL: ts.URL},
+		http.MethodPost, "/v1/extract", nil, "")
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("owner saw %d calls, want 2 (one 503 + one retry)", calls.Load())
+	}
+	if met.Counter(obs.SeriesKey("cluster.forward_retries", obs.L("owner", "b"))) != 1 {
+		t.Error("cluster.forward_retries not counted")
+	}
+	if met.Counter(obs.SeriesKey("cluster.forwarded", obs.L("owner", "b"))) != 1 {
+		t.Error("cluster.forwarded not counted")
+	}
+}
+
+func TestForwardOwnerDownAfterRetries(t *testing.T) {
+	// A peer that is down at the transport level: connection refused.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	met := obs.New()
+	f := NewForwarder("a", ForwarderConfig{Retries: 1, Backoff: time.Millisecond, Obs: met})
+	_, err := f.Forward(context.Background(), Node{ID: "b", URL: url},
+		http.MethodPost, "/v1/extract", []byte(`{}`), "")
+	if err == nil {
+		t.Fatal("forward to a dead peer returned no error")
+	}
+	if met.Counter(obs.SeriesKey("cluster.forward_errors",
+		obs.L("kind", "network"), obs.L("owner", "b"))) != 2 {
+		t.Errorf("network forward errors not counted per attempt: %v", met.Counters())
+	}
+}
+
+func TestForwardDrainingOwnerReturnsLastResponse(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"draining"}`))
+	}))
+	defer ts.Close()
+
+	f := NewForwarder("a", ForwarderConfig{Retries: 1, Backoff: time.Millisecond, Obs: obs.New()})
+	res, err := f.Forward(context.Background(), Node{ID: "b", URL: ts.URL},
+		http.MethodPost, "/v1/extract", nil, "")
+	if err != nil {
+		t.Fatalf("a reachable-but-draining owner must yield its response, got err %v", err)
+	}
+	if !res.OwnerDown() {
+		t.Errorf("OwnerDown() = false for a 503 response")
+	}
+}
+
+func TestForwardCanceledContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Second)
+	}))
+	defer ts.Close()
+
+	f := NewForwarder("a", ForwarderConfig{Obs: obs.New()})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := f.Forward(ctx, Node{ID: "b", URL: ts.URL}, http.MethodPost, "/v1/extract", nil, "")
+	if err == nil {
+		t.Fatal("canceled forward returned no error")
+	}
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"objectrunner/internal/obs"
+)
+
+// Forward headers (mirrored in api/v1; duplicated here so the internal
+// sharding layer does not depend on the public wire package).
+const (
+	// HeaderForwardedBy marks a proxied request with the forwarding
+	// node's id. A node receiving it always serves locally — the loop
+	// guard that makes ring-view disagreement (mid-rollout config skew)
+	// degrade into one extra hop instead of a forwarding cycle.
+	HeaderForwardedBy = "X-Forwarded-By"
+	// HeaderTraceID is propagated onto the forwarded request so the
+	// owner's spans and flight recorder join the original trace.
+	HeaderTraceID = "X-Trace-Id"
+)
+
+// maxForwardResponse caps a peer response body read (64 MiB, matching
+// the server's default request-body cap, since a forwarded response
+// mostly carries extracted objects from request-sized inputs).
+const maxForwardResponse = 64 << 20
+
+// ForwarderConfig tunes a Forwarder; the zero value is completed with
+// defaults.
+type ForwarderConfig struct {
+	// Client is the HTTP client used toward peers. The default has a
+	// 2-minute timeout (wrapper inference on a cold owner is the slow
+	// path a forward must survive).
+	Client *http.Client
+	// Retries is how many times a failed forward is re-attempted
+	// (transport errors and 502/503/504 — peer down, restarting or
+	// draining). Default 2, so one request costs at most 3 attempts.
+	Retries int
+	// Backoff is the wait before the first retry; it doubles per
+	// attempt. Default 50ms.
+	Backoff time.Duration
+	// Obs receives the forwarding counters (cluster.forwarded,
+	// cluster.forward_errors{kind}, cluster.forward_retries).
+	Obs *obs.Observer
+}
+
+// Forwarder proxies a request to the node owning its source key. Safe
+// for concurrent use.
+type Forwarder struct {
+	self    string
+	client  *http.Client
+	retries int
+	backoff time.Duration
+	obs     *obs.Observer
+}
+
+// NewForwarder builds the forwarding client for the node with id self.
+func NewForwarder(self string, cfg ForwarderConfig) *Forwarder {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 2
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	return &Forwarder{
+		self:    self,
+		client:  cfg.Client,
+		retries: cfg.Retries,
+		backoff: cfg.Backoff,
+		obs:     cfg.Obs,
+	}
+}
+
+// Result is a completed forward: the owner's response, to be relayed
+// to the client verbatim.
+type Result struct {
+	Status      int
+	Body        []byte
+	ContentType string
+}
+
+// OwnerDown reports whether the response says the owner cannot serve
+// right now (it answered but is draining, restarting or proxied-to by
+// a dead upstream) — the caller should fall back to serving locally
+// from the shared spill, exactly as it does on a transport error.
+func (r *Result) OwnerDown() bool {
+	switch r.Status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Forward sends the request to the owner node and returns its response.
+// Transport errors and owner-down statuses are retried with doubling
+// backoff up to Retries times; a non-nil error means no usable HTTP
+// response was obtained (the caller should fall back or answer 503).
+// The forwarded request carries X-Forwarded-By: self (loop guard) and
+// the original trace id.
+func (f *Forwarder) Forward(ctx context.Context, node Node, method, path string, body []byte, traceID string) (*Result, error) {
+	owner := obs.L("owner", node.ID)
+	wait := f.backoff
+	var lastErr error
+	var last *Result
+	for attempt := 0; attempt <= f.retries; attempt++ {
+		if attempt > 0 {
+			f.obs.CountL("cluster.forward_retries", 1, owner)
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				f.obs.CountL("cluster.forward_errors", 1, owner, obs.L("kind", "canceled"))
+				return nil, ctx.Err()
+			}
+			wait *= 2
+		}
+		res, err := f.once(ctx, node, method, path, body, traceID)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				f.obs.CountL("cluster.forward_errors", 1, owner, obs.L("kind", "canceled"))
+				return nil, err
+			}
+			f.obs.CountL("cluster.forward_errors", 1, owner, obs.L("kind", "network"))
+			lastErr = err
+			continue
+		}
+		if res.OwnerDown() {
+			f.obs.CountL("cluster.forward_errors", 1, owner, obs.L("kind", "owner_down"))
+			last, lastErr = res, nil
+			continue
+		}
+		f.obs.CountL("cluster.forwarded", 1, owner)
+		return res, nil
+	}
+	if last != nil {
+		// Every attempt reached the owner but it is down; hand the last
+		// response back so the caller can fall back (or relay the 503).
+		return last, nil
+	}
+	return nil, fmt.Errorf("cluster: forward to %s (%s) failed: %w", node.ID, node.URL, lastErr)
+}
+
+// once runs a single forward attempt.
+func (f *Forwarder) once(ctx context.Context, node Node, method, path string, body []byte, traceID string) (*Result, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, node.URL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(HeaderForwardedBy, f.self)
+	if traceID != "" {
+		req.Header.Set(HeaderTraceID, traceID)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardResponse))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Status:      resp.StatusCode,
+		Body:        b,
+		ContentType: resp.Header.Get("Content-Type"),
+	}, nil
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// testKeys returns n synthetic source keys shaped like real ones
+// (domain/source paths).
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("domain%d/source-%d", i%7, i)
+	}
+	return keys
+}
+
+func nodeIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%c", 'a'+i)
+	}
+	return ids
+}
+
+// TestRingUniformity checks the key distribution across 3, 5 and 8
+// nodes with a chi-square-style bound on sum((observed-expected)^2 /
+// expected) over node buckets. The null model is the ring's own
+// geometry, not multinomial sampling: with V vnodes per node the
+// per-node share has std ≈ 1/(n·sqrt(V)), which puts the statistic's
+// expectation near K/V for K keys (independent of n). The limit is 4x
+// that — a broken hash or vnode layout skews it by orders of
+// magnitude — plus a 25% cap on any single node's deviation from the
+// fair share.
+func TestRingUniformity(t *testing.T) {
+	keys := testKeys(10000)
+	for _, n := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+			ring, err := NewRing(nodeIDs(n), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make(map[string]int, n)
+			for _, k := range keys {
+				counts[ring.Owner(k)]++
+			}
+			if len(counts) != n {
+				t.Fatalf("only %d of %d nodes own keys: %v", len(counts), n, counts)
+			}
+			expected := float64(len(keys)) / float64(n)
+			var chi2 float64
+			for node, c := range counts {
+				dev := float64(c) - expected
+				chi2 += dev * dev / expected
+				if frac := math.Abs(dev) / expected; frac > 0.25 {
+					t.Errorf("node %s owns %d keys, %.0f%% off the fair share %.0f",
+						node, c, frac*100, expected)
+				}
+			}
+			limit := 4 * float64(len(keys)) / float64(DefaultVirtualNodes)
+			if chi2 > limit {
+				t.Errorf("chi-square statistic %.1f exceeds %.1f: %v", chi2, limit, counts)
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovement checks the consistent-hashing contract: when
+// a node joins (or leaves), only the keys adjacent to its vnode points
+// move — about 1/n of the keyspace — and every moved key lands on (or
+// leaves) exactly the changed node.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := testKeys(10000)
+	for _, n := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("join_%d_to_%d", n, n+1), func(t *testing.T) {
+			before, err := NewRing(nodeIDs(n), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := NewRing(nodeIDs(n+1), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			joined := nodeIDs(n + 1)[n]
+			moved := 0
+			for _, k := range keys {
+				o1, o2 := before.Owner(k), after.Owner(k)
+				if o1 == o2 {
+					continue
+				}
+				moved++
+				if o2 != joined {
+					t.Fatalf("key %q moved %s -> %s, but only %s joined", k, o1, o2, joined)
+				}
+			}
+			// Expected movement is 1/(n+1) of the keys; allow 2x slack for
+			// vnode variance but fail on wholesale reshuffling.
+			frac := float64(moved) / float64(len(keys))
+			want := 1.0 / float64(n+1)
+			if frac > 2*want {
+				t.Errorf("join moved %.1f%% of keys, want about %.1f%%", frac*100, want*100)
+			}
+			if moved == 0 {
+				t.Error("join moved no keys at all")
+			}
+
+			// Leave is the mirror image: removing the node must move back
+			// exactly the keys it owned.
+			for _, k := range keys {
+				if after.Owner(k) != joined && before.Owner(k) != after.Owner(k) {
+					t.Fatalf("key %q not owned by the leaving node changed owner", k)
+				}
+			}
+		})
+	}
+}
+
+// TestRingDeterministic asserts placement is a pure function of the
+// node set: same inputs give identical owners across builds, and node
+// list order does not matter.
+func TestRingDeterministic(t *testing.T) {
+	keys := testKeys(500)
+	r1, err := NewRing([]string{"a", "b", "c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"c", "a", "b"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %q differs across node orderings: %s vs %s",
+				k, r1.Owner(k), r2.Owner(k))
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate node id accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty node id accepted")
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	ring, err := NewRing([]string{"solo"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(100) {
+		if ring.Owner(k) != "solo" {
+			t.Fatalf("single-node ring sent %q elsewhere", k)
+		}
+	}
+}

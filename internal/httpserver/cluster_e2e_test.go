@@ -1,0 +1,272 @@
+package httpserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"objectrunner"
+	apiv1 "objectrunner/api/v1"
+	"objectrunner/internal/cluster"
+	"objectrunner/internal/obs"
+)
+
+// twoNodes boots a two-node in-process cluster sharing one spill
+// directory, with real listeners so the nodes can forward to each other
+// over loopback. It returns the servers, their base URLs, and a teardown.
+func twoNodes(t *testing.T, spillDir string) (s1, s2 *Server, url1, url2 string, stop func()) {
+	t.Helper()
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url1 = "http://" + l1.Addr().String()
+	url2 = "http://" + l2.Addr().String()
+
+	c1, err := cluster.New("n1", []cluster.Node{{ID: "n1"}, {ID: "n2", URL: url2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cluster.New("n2", []cluster.Node{{ID: "n1", URL: url1}, {ID: "n2"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := cluster.ForwarderConfig{Retries: 1, Backoff: time.Millisecond,
+		Client: &http.Client{Timeout: 30 * time.Second}}
+	s1 = New(Config{Cluster: c1, Forward: fwd,
+		Store: objectrunner.StoreConfig{SpillDir: spillDir}})
+	s2 = New(Config{Cluster: c2, Forward: fwd,
+		Store: objectrunner.StoreConfig{SpillDir: spillDir}})
+
+	ts1 := &httptest.Server{Listener: l1, Config: &http.Server{Handler: s1.Handler()}}
+	ts2 := &httptest.Server{Listener: l2, Config: &http.Server{Handler: s2.Handler()}}
+	ts1.Start()
+	ts2.Start()
+	return s1, s2, url1, url2, func() { ts1.Close(); ts2.Close() }
+}
+
+// ownedBy picks a concert-like source key owned by the wanted node.
+func ownedBy(t *testing.T, c *cluster.Cluster, want string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		key := "site" + string(rune('a'+i%26)) + "/concerts-" + string(rune('0'+i%10)) + string(rune('0'+i/10%10))
+		if c.Owner(key).ID == want {
+			return key
+		}
+	}
+	t.Fatal("no key found for node " + want)
+	return ""
+}
+
+func forwardedPost(t *testing.T, url string, by string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HeaderForwardedBy, by)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestClusterForwardingByteIdentity is the tentpole e2e: a two-node
+// cluster produces byte-identical extraction output no matter which
+// node receives the request — forwarded to the owner, or (loop guard)
+// forced local on the non-owner.
+func TestClusterForwardingByteIdentity(t *testing.T) {
+	s1, _, url1, url2, stop := twoNodes(t, t.TempDir())
+	defer stop()
+
+	key := ownedBy(t, s1.cluster, "n1")
+
+	// Wrap through the NON-owner: transparently forwarded to n1.
+	wr := wrapConcerts(t, url2, key)
+	if wr.Node != "n1" {
+		t.Fatalf("wrap served by %q, want the owner n1", wr.Node)
+	}
+
+	extract := func(base string) apiv1.ExtractResponse {
+		resp := postJSON(t, base+"/v1/extract", apiv1.ExtractRequest{Source: key, Pages: concertPages()})
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("extract via %s = %d: %s", base, resp.StatusCode, b)
+		}
+		return decodeBody[apiv1.ExtractResponse](t, resp)
+	}
+
+	// Extract via both nodes: n2 forwards, n1 serves locally.
+	viaOwner := extract(url1)
+	viaPeer := extract(url2)
+	if viaOwner.Node != "n1" || viaPeer.Node != "n1" {
+		t.Errorf("served by %q and %q, want both n1", viaOwner.Node, viaPeer.Node)
+	}
+
+	// Loop guard: a request already marked forwarded is served locally by
+	// n2, which registers the source itself (payload is self-contained).
+	resp := forwardedPost(t, url2+"/v1/wrap", "n1", apiv1.WrapRequest{
+		Source: key, SOD: concertSOD, Pages: concertPages(), Dictionaries: concertDicts(),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded wrap = %d", resp.StatusCode)
+	}
+	fwr := decodeBody[apiv1.WrapResponse](t, resp)
+	if fwr.Node != "n2" {
+		t.Fatalf("forwarded wrap served by %q, want n2 (loop guard forces local serve)", fwr.Node)
+	}
+	resp = forwardedPost(t, url2+"/v1/extract", "n1", apiv1.ExtractRequest{Source: key, Pages: concertPages()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded extract = %d", resp.StatusCode)
+	}
+	viaGuard := decodeBody[apiv1.ExtractResponse](t, resp)
+	if viaGuard.Node != "n2" {
+		t.Errorf("forwarded extract served by %q, want n2", viaGuard.Node)
+	}
+
+	// Byte-identity across all three serving paths.
+	want, err := json.Marshal(viaOwner.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, er := range map[string]apiv1.ExtractResponse{"via-peer": viaPeer, "loop-guard": viaGuard} {
+		got, err := json.Marshal(er.Objects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s output differs from owner's:\n got: %s\nwant: %s", name, got, want)
+		}
+	}
+
+	// The owner's sources listing attributes the forwarded traffic.
+	resp, err2 := http.Get(url1 + "/v1/sources")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	list := decodeBody[apiv1.SourcesResponse](t, resp)
+	if list.Node != "n1" || len(list.Sources) != 1 {
+		t.Fatalf("sources on n1 = %+v", list)
+	}
+	if info := list.Sources[0]; info.Owner != "n1" || info.ForwardedHits < 2 {
+		t.Errorf("source info = %+v, want owner n1 and >= 2 forwarded hits (wrap + extract)", info)
+	}
+
+	// Forwarding counters on the proxying node.
+	if got := s1.obs.Counter("cluster.forwarded"); got != 0 {
+		t.Errorf("owner n1 counted %d forwards of its own", got)
+	}
+}
+
+// TestClusterOwnerDownFallback proves the availability story: when the
+// owner dies, the surviving node serves the source locally from the
+// shared spill directory, byte-identically.
+func TestClusterOwnerDownFallback(t *testing.T) {
+	spill := t.TempDir()
+	s1, s2, url1, url2, stop := twoNodes(t, spill)
+	defer stop()
+
+	key := ownedBy(t, s1.cluster, "n1")
+	wrapConcerts(t, url2, key) // forwarded to n1, wrapper cached there
+
+	// The reference output, served by the owner while it is alive.
+	resp := postJSON(t, url1+"/v1/extract", apiv1.ExtractRequest{Source: key, Pages: concertPages()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract via owner = %d", resp.StatusCode)
+	}
+	want := decodeBody[apiv1.ExtractResponse](t, resp)
+
+	// Kill the owner: spill its cache, drain, stop accepting work.
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// n2 has no registration for the key yet, so a bare extract cannot
+	// be served: forwarding fails, fallback finds nothing → 503, not 404.
+	resp = postJSON(t, url2+"/v1/extract", apiv1.ExtractRequest{Source: key, Pages: concertPages()})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("extract with owner down and no local registration = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// A wrap is self-contained: n2 falls back to registering locally and
+	// warms the wrapper from the shared spill instead of re-inferring.
+	wr2 := wrapConcerts(t, url2, key)
+	if wr2.Node != "n2" {
+		t.Fatalf("fallback wrap served by %q, want n2", wr2.Node)
+	}
+	src := s2.lookup(key)
+	if src == nil {
+		t.Fatal("fallback wrap did not register locally on n2")
+	}
+	if st := src.svc.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats after fallback wrap = %+v, want 1 disk hit (shared spill warm)", st)
+	}
+	if got := s2.obs.Counter(obs.SeriesKey("cluster.fallback_local", obs.L("owner", "n1"))); got < 1 {
+		t.Errorf("cluster.fallback_local{owner=n1} = %d, want >= 1", got)
+	}
+
+	// Now extraction works on the survivor and matches the owner's bytes.
+	resp = postJSON(t, url2+"/v1/extract", apiv1.ExtractRequest{Source: key, Pages: concertPages()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract after fallback wrap = %d", resp.StatusCode)
+	}
+	got := decodeBody[apiv1.ExtractResponse](t, resp)
+	if got.Node != "n2" {
+		t.Errorf("fallback extract served by %q, want n2", got.Node)
+	}
+	wantB, _ := json.Marshal(want.Objects)
+	gotB, _ := json.Marshal(got.Objects)
+	if !bytes.Equal(gotB, wantB) {
+		t.Errorf("fallback output differs from the owner's:\n got: %s\nwant: %s", gotB, wantB)
+	}
+}
+
+// TestClusterDeleteFansOut checks DELETE /v1/sources/{key} invalidates
+// the source on every node, not just the one answering.
+func TestClusterDeleteFansOut(t *testing.T) {
+	s1, s2, url1, url2, stop := twoNodes(t, t.TempDir())
+	defer stop()
+
+	key := ownedBy(t, s1.cluster, "n1")
+	wrapConcerts(t, url1, key) // registered on the owner n1
+	// Register on n2 too, as a forwarded (loop-guarded) wrap would.
+	resp := forwardedPost(t, url2+"/v1/wrap", "n1", apiv1.WrapRequest{
+		Source: key, SOD: concertSOD, Pages: concertPages(), Dictionaries: concertDicts(),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wrap on n2 = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, url2+"/v1/sources/"+key, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d, want 204", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+
+	if s1.lookup(key) != nil || s2.lookup(key) != nil {
+		t.Error("delete did not fan out: source still registered on a node")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"objectrunner"
+	apiv1 "objectrunner/api/v1"
 )
 
 // TestDrainMidFlight exercises the full shutdown sequence against a live
@@ -37,7 +38,7 @@ func TestDrainMidFlight(t *testing.T) {
 	}
 	slowDone := make(chan int, 1)
 	go func() {
-		resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+		resp := postJSON(t, ts.URL+"/v1/wrap", apiv1.WrapRequest{
 			Source: "slow", SOD: concertSOD, Pages: pages, Dictionaries: concertDicts(),
 		})
 		resp.Body.Close()
@@ -112,7 +113,7 @@ func TestSaturationReturns429(t *testing.T) {
 	// Fill the semaphore as if MaxInflight requests were running.
 	srv.sem <- struct{}{}
 	srv.sem <- struct{}{}
-	resp := postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	resp := postJSON(t, ts.URL+"/v1/extract", apiv1.ExtractRequest{Source: "concerts", Pages: concertPages()})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}
@@ -133,7 +134,7 @@ func TestSaturationReturns429(t *testing.T) {
 
 	// Free one slot: requests flow again.
 	<-srv.sem
-	resp = postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	resp = postJSON(t, ts.URL+"/v1/extract", apiv1.ExtractRequest{Source: "concerts", Pages: concertPages()})
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("status after slot freed = %d, want 200", resp.StatusCode)
 	}

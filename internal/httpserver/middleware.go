@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	apiv1 "objectrunner/api/v1"
 	"objectrunner/internal/obs"
 )
 
@@ -102,7 +103,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				sp.Event("http.panic", obs.A("value", fmt.Sprint(p)))
 				if sw.status == 0 {
 					writeJSON(sw, http.StatusInternalServerError,
-						errorResponse{Error: "internal error"})
+						apiv1.Error{Error: "internal error"})
 				}
 				// A panic after the response started cannot be converted;
 				// the connection is abandoned but the process lives on.
@@ -188,7 +189,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 func (s *Server) errorf(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, apiv1.Error{Error: fmt.Sprintf(format, args...)})
 }
 
 // writeJSON writes the response envelope; encode errors mean the client

@@ -28,6 +28,11 @@
 // drain sequence (Drain → Abort → Close) that stops accepting work,
 // cancels in-flight wraps and extracts through their contexts, and
 // spills the wrapper caches to disk before exit.
+//
+// The wire types live in api/v1 — the single shared contract between
+// this server, the typed client (api/v1/client), cmd/loadgen and the
+// e2e tests. In multi-node mode (Config.Cluster) the server forwards
+// requests for peer-owned sources to their owner; see cluster.go.
 package httpserver
 
 import (
@@ -43,6 +48,8 @@ import (
 	"time"
 
 	"objectrunner"
+	apiv1 "objectrunner/api/v1"
+	"objectrunner/internal/cluster"
 	"objectrunner/internal/obs"
 )
 
@@ -74,6 +81,14 @@ type Config struct {
 	// /debug/pprof/. Off by default: the profiling endpoints expose
 	// process internals and cost CPU while sampling, so they are opt-in.
 	EnablePprof bool
+	// Cluster enables multi-node mode: the consistent-hash ring decides
+	// which node owns each source key, and requests for peer-owned
+	// sources are transparently forwarded to the owner (see cluster.go).
+	// nil means single-node — no forwarding, no node labels.
+	Cluster *cluster.Cluster
+	// Forward tunes the peer-forwarding client (retries, backoff, HTTP
+	// client); its Obs field is ignored — the server's observer is used.
+	Forward cluster.ForwarderConfig
 }
 
 func (c *Config) normalize() {
@@ -98,6 +113,10 @@ type source struct {
 	spec string // canonical SOD + dictionary fingerprint
 	sod  string
 	svc  *objectrunner.Service
+	// forwardedHits counts requests for this source that arrived via
+	// peer forwarding (X-Forwarded-By set) — the ring's share of this
+	// node's traffic for the source, surfaced in GET /v1/sources.
+	forwardedHits atomic.Int64
 }
 
 // Server is the HTTP extraction daemon's core. Create with New, expose
@@ -120,6 +139,11 @@ type Server struct {
 	flight *obs.FlightRecorder
 	start  time.Time
 
+	// Multi-node mode (nil / empty in single-node mode).
+	cluster *cluster.Cluster
+	fwd     *cluster.Forwarder
+	nodeID  string
+
 	handler http.Handler
 
 	mu      sync.Mutex
@@ -136,7 +160,14 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		flight:  obs.NewFlightRecorder(cfg.FlightRecorderSize),
 		start:   time.Now(),
+		cluster: cfg.Cluster,
 		sources: make(map[string]*source),
+	}
+	if cfg.Cluster != nil {
+		s.nodeID = cfg.Cluster.Self().ID
+		fcfg := cfg.Forward
+		fcfg.Obs = s.obs
+		s.fwd = cluster.NewForwarder(s.nodeID, fcfg)
 	}
 	s.baseCtx, s.abort = context.WithCancel(context.Background())
 	mux := http.NewServeMux()
@@ -199,49 +230,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.Close(ctx)
 }
 
-// Wire types. Dictionaries entries accept {"value": "...", "confidence":
-// 0.9}; a zero confidence defaults like cmd/objectrunner's -dict files.
-type entryJSON struct {
-	Value      string  `json:"value"`
-	Confidence float64 `json:"confidence,omitempty"`
-}
+// The /v1 wire types live in api/v1 (the one shared contract between
+// server, client, loadgen and the e2e tests); only the observability
+// payloads below — which expose internal types like obs.HistView — stay
+// private to the server.
 
-type wrapRequest struct {
-	Source       string                 `json:"source"`
-	SOD          string                 `json:"sod"`
-	Pages        []string               `json:"pages"`
-	Dictionaries map[string][]entryJSON `json:"dictionaries,omitempty"`
-}
-
-type wrapResponse struct {
-	Source      string  `json:"source"`
-	Pages       int     `json:"pages"`
-	Score       float64 `json:"score"`
-	Support     int     `json:"support"`
-	Description string  `json:"description"`
-}
-
-type extractRequest struct {
-	Source string   `json:"source"`
-	Pages  []string `json:"pages"`
-}
-
-type extractResponse struct {
-	Source  string           `json:"source"`
-	Pages   int              `json:"pages"`
-	Count   int              `json:"count"`
-	Objects []map[string]any `json:"objects"`
-}
-
-type errorResponse struct {
-	Error  string `json:"error"`
-	Report string `json:"report,omitempty"`
-}
-
-type sourceInfo struct {
-	Source string                  `json:"source"`
-	SOD    string                  `json:"sod"`
-	Stats  objectrunner.StoreStats `json:"stats"`
+// statsWire converts the store's accounting into its api/v1 view.
+func statsWire(st objectrunner.StoreStats) apiv1.SourceStats {
+	return apiv1.SourceStats{
+		Len:             st.Len,
+		Hits:            st.Hits,
+		DiskHits:        st.DiskHits,
+		Misses:          st.Misses,
+		Shared:          st.Shared,
+		EvictionsLRU:    st.EvictionsLRU,
+		EvictionsTTL:    st.EvictionsTTL,
+		EvictionsHealth: st.EvictionsHealth,
+	}
 }
 
 type metricsResponse struct {
@@ -274,7 +279,7 @@ type traceJSON struct {
 // sorted class order. Re-registering a source with an identical spec
 // reuses its cached wrapper; a changed spec rebuilds the extractor and
 // invalidates the stale wrapper.
-func specOf(req *wrapRequest) string {
+func specOf(req *apiv1.WrapRequest) string {
 	var sb strings.Builder
 	sb.WriteString(req.SOD)
 	classes := make([]string, 0, len(req.Dictionaries))
@@ -293,7 +298,7 @@ func specOf(req *wrapRequest) string {
 
 // register resolves the wrap request to a registered source, building a
 // fresh extractor + service when the source is new or its spec changed.
-func (s *Server) register(req *wrapRequest) (*source, error) {
+func (s *Server) register(req *apiv1.WrapRequest) (*source, error) {
 	spec := specOf(req)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -343,7 +348,7 @@ func (s *Server) lookup(key string) *source {
 }
 
 func (s *Server) handleWrap(w http.ResponseWriter, r *http.Request) {
-	var req wrapRequest
+	var req apiv1.WrapRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -351,14 +356,20 @@ func (s *Server) handleWrap(w http.ResponseWriter, r *http.Request) {
 		s.errorf(w, http.StatusBadRequest, "source, sod and pages are required")
 		return
 	}
+	// Wrap is always locally servable on fallback: the payload carries
+	// the full registration (SOD, dictionaries, pages).
+	if handled, _ := s.routeToOwner(w, r, req.Source, "/v1/wrap", &req); handled {
+		return
+	}
 	src, err := s.register(&req)
 	if err != nil {
 		s.errorf(w, http.StatusBadRequest, "bad source description: %v", err)
 		return
 	}
+	s.countForwarded(r, src)
 	wr, err := src.svc.Wrapper(r.Context(), req.Source, req.Pages)
 	if errors.Is(err, objectrunner.ErrAborted) {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+		writeJSON(w, http.StatusUnprocessableEntity, apiv1.Error{
 			Error:  fmt.Sprintf("source discarded: %v", err),
 			Report: wr.Report(),
 		})
@@ -368,17 +379,18 @@ func (s *Server) handleWrap(w http.ResponseWriter, r *http.Request) {
 		s.serveError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wrapResponse{
+	writeJSON(w, http.StatusOK, apiv1.WrapResponse{
 		Source:      req.Source,
 		Pages:       len(req.Pages),
 		Score:       wr.Score(),
 		Support:     wr.Support(),
 		Description: wr.Describe(),
+		Node:        s.nodeID,
 	})
 }
 
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
-	var req extractRequest
+	var req apiv1.ExtractRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -386,14 +398,26 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		s.errorf(w, http.StatusBadRequest, "source and pages are required")
 		return
 	}
+	handled, fallback := s.routeToOwner(w, r, req.Source, "/v1/extract", &req)
+	if handled {
+		return
+	}
 	src := s.lookup(req.Source)
 	if src == nil {
+		if fallback {
+			// The owner is down and this node has no registration to
+			// serve from: backpressure, don't 404 a source that exists.
+			s.errorf(w, http.StatusServiceUnavailable,
+				"owner of %q is unreachable and the source is not registered locally", req.Source)
+			return
+		}
 		s.errorf(w, http.StatusNotFound, "unknown source %q: register it with POST /v1/wrap", req.Source)
 		return
 	}
+	s.countForwarded(r, src)
 	objs, err := src.svc.ServeExtract(r.Context(), req.Source, req.Pages)
 	if errors.Is(err, objectrunner.ErrAborted) {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+		writeJSON(w, http.StatusUnprocessableEntity, apiv1.Error{
 			Error: fmt.Sprintf("source discarded: %v", err),
 		})
 		return
@@ -402,11 +426,12 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		s.serveError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, extractResponse{
+	writeJSON(w, http.StatusOK, apiv1.ExtractResponse{
 		Source:  req.Source,
 		Pages:   len(req.Pages),
 		Count:   len(objs),
 		Objects: objectrunner.FlattenObjects(objs),
+		Node:    s.nodeID,
 	})
 }
 
@@ -417,13 +442,22 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	infos := make([]sourceInfo, 0, len(keys))
+	infos := make([]apiv1.SourceInfo, 0, len(keys))
 	for _, k := range keys {
 		src := s.sources[k]
-		infos = append(infos, sourceInfo{Source: k, SOD: src.sod, Stats: src.svc.Stats()})
+		info := apiv1.SourceInfo{
+			Source:        k,
+			SOD:           src.sod,
+			ForwardedHits: src.forwardedHits.Load(),
+			Stats:         statsWire(src.svc.Stats()),
+		}
+		if s.cluster != nil {
+			info.Owner = s.cluster.Owner(k).ID
+		}
+		infos = append(infos, info)
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"sources": infos})
+	writeJSON(w, http.StatusOK, apiv1.SourcesResponse{Node: s.nodeID, Sources: infos})
 }
 
 func (s *Server) handleDeleteSource(w http.ResponseWriter, r *http.Request) {
@@ -434,27 +468,35 @@ func (s *Server) handleDeleteSource(w http.ResponseWriter, r *http.Request) {
 		delete(s.sources, key)
 	}
 	s.mu.Unlock()
-	if !ok {
+	if ok {
+		src.svc.Invalidate(key)
+		s.obs.Count("http.sources.deleted", 1)
+	}
+	// In a cluster the invalidation fans out to every peer (the owner
+	// holds the authoritative wrapper, but fallback serves may have
+	// warmed copies elsewhere); a forwarded delete stays local.
+	peersDeleted := s.fanoutDelete(r, key)
+	if !ok && !peersDeleted {
 		s.errorf(w, http.StatusNotFound, "unknown source %q", key)
 		return
 	}
-	src.svc.Invalidate(key)
-	s.obs.Count("http.sources.deleted", 1)
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable,
+			apiv1.HealthResponse{Status: "draining", Node: s.nodeID})
 		return
 	}
 	s.mu.Lock()
 	n := len(s.sources)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"sources":  n,
-		"inflight": s.inflight.Load(),
+	writeJSON(w, http.StatusOK, apiv1.HealthResponse{
+		Status:   "ok",
+		Sources:  n,
+		Inflight: s.inflight.Load(),
+		Node:     s.nodeID,
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"objectrunner"
+	apiv1 "objectrunner/api/v1"
 	"objectrunner/internal/obs"
 )
 
@@ -31,8 +32,8 @@ func concertPages() []string {
 	}
 }
 
-func concertDicts() map[string][]entryJSON {
-	return map[string][]entryJSON{
+func concertDicts() map[string][]apiv1.Entry {
+	return map[string][]apiv1.Entry{
 		"Artist": {
 			{Value: "Metallica", Confidence: 0.9}, {Value: "Madonna", Confidence: 0.95},
 			{Value: "Muse", Confidence: 0.85}, {Value: "Coldplay", Confidence: 0.9},
@@ -86,9 +87,9 @@ func decodeBody[T any](t testing.TB, resp *http.Response) T {
 	return v
 }
 
-func wrapConcerts(t testing.TB, baseURL, source string) wrapResponse {
+func wrapConcerts(t testing.TB, baseURL, source string) apiv1.WrapResponse {
 	t.Helper()
-	resp := postJSON(t, baseURL+"/v1/wrap", wrapRequest{
+	resp := postJSON(t, baseURL+"/v1/wrap", apiv1.WrapRequest{
 		Source: source, SOD: concertSOD, Pages: concertPages(), Dictionaries: concertDicts(),
 	})
 	if resp.StatusCode != http.StatusOK {
@@ -96,7 +97,7 @@ func wrapConcerts(t testing.TB, baseURL, source string) wrapResponse {
 		resp.Body.Close()
 		t.Fatalf("wrap status = %d: %s", resp.StatusCode, b)
 	}
-	return decodeBody[wrapResponse](t, resp)
+	return decodeBody[apiv1.WrapResponse](t, resp)
 }
 
 func TestWrapExtractRoundTrip(t *testing.T) {
@@ -109,14 +110,14 @@ func TestWrapExtractRoundTrip(t *testing.T) {
 		t.Errorf("wrap response = %+v", wr)
 	}
 
-	resp := postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	resp := postJSON(t, ts.URL+"/v1/extract", apiv1.ExtractRequest{Source: "concerts", Pages: concertPages()})
 	if resp.Header.Get("X-Trace-Id") == "" {
 		t.Error("missing X-Trace-Id header")
 	}
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("extract status = %d", resp.StatusCode)
 	}
-	er := decodeBody[extractResponse](t, resp)
+	er := decodeBody[apiv1.ExtractResponse](t, resp)
 	if er.Count != 4 {
 		t.Fatalf("extracted %d objects, want 4", er.Count)
 	}
@@ -155,8 +156,8 @@ func TestWrapReuseAndReplace(t *testing.T) {
 	// A changed spec (extra dictionary entry) replaces the registration
 	// and re-infers rather than serving the stale wrapper.
 	dicts := concertDicts()
-	dicts["Artist"] = append(dicts["Artist"], entryJSON{Value: "The Strokes", Confidence: 0.9})
-	resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+	dicts["Artist"] = append(dicts["Artist"], apiv1.Entry{Value: "The Strokes", Confidence: 0.9})
+	resp := postJSON(t, ts.URL+"/v1/wrap", apiv1.WrapRequest{
 		Source: "concerts", SOD: concertSOD, Pages: concertPages(), Dictionaries: dicts,
 	})
 	if resp.StatusCode != http.StatusOK {
@@ -172,11 +173,11 @@ func TestExtractUnknownSource(t *testing.T) {
 	srv := New(Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	resp := postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "nope", Pages: concertPages()})
+	resp := postJSON(t, ts.URL+"/v1/extract", apiv1.ExtractRequest{Source: "nope", Pages: concertPages()})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("status = %d, want 404", resp.StatusCode)
 	}
-	er := decodeBody[errorResponse](t, resp)
+	er := decodeBody[apiv1.Error](t, resp)
 	if !strings.Contains(er.Error, "nope") {
 		t.Errorf("error = %q, want the source key named", er.Error)
 	}
@@ -210,7 +211,7 @@ func TestWrapAbortedSourceIs422(t *testing.T) {
 	srv := New(Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+	resp := postJSON(t, ts.URL+"/v1/wrap", apiv1.WrapRequest{
 		Source: "about", SOD: concertSOD, Dictionaries: concertDicts(),
 		Pages: []string{
 			"<html><body><p>about our company</p></body></html>",
@@ -220,7 +221,7 @@ func TestWrapAbortedSourceIs422(t *testing.T) {
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("status = %d, want 422", resp.StatusCode)
 	}
-	er := decodeBody[errorResponse](t, resp)
+	er := decodeBody[apiv1.Error](t, resp)
 	if er.Report == "" {
 		t.Error("422 response carries no inference report")
 	}
@@ -230,7 +231,7 @@ func TestBodyLimit(t *testing.T) {
 	srv := New(Config{MaxBodyBytes: 256})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+	resp := postJSON(t, ts.URL+"/v1/wrap", apiv1.WrapRequest{
 		Source: "concerts", SOD: concertSOD, Pages: concertPages(),
 	})
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
@@ -302,7 +303,7 @@ func TestDrainRefusesNewWork(t *testing.T) {
 		t.Errorf("healthz status = %d, want 503 while draining", resp.StatusCode)
 	}
 	resp.Body.Close()
-	resp = postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	resp = postJSON(t, ts.URL+"/v1/extract", apiv1.ExtractRequest{Source: "concerts", Pages: concertPages()})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("extract status = %d, want 503 while draining", resp.StatusCode)
 	}
@@ -333,7 +334,7 @@ func TestRequestTimeout(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		pages = append(pages, concertPages()...)
 	}
-	resp := postJSON(t, ts.URL+"/v1/wrap", wrapRequest{
+	resp := postJSON(t, ts.URL+"/v1/wrap", apiv1.WrapRequest{
 		Source: "concerts", SOD: concertSOD, Pages: pages, Dictionaries: concertDicts(),
 	})
 	if resp.StatusCode != http.StatusGatewayTimeout {
@@ -358,7 +359,7 @@ func TestDeleteSource(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	resp = postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "site/concerts", Pages: concertPages()})
+	resp = postJSON(t, ts.URL+"/v1/extract", apiv1.ExtractRequest{Source: "site/concerts", Pages: concertPages()})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("extract after delete = %d, want 404", resp.StatusCode)
 	}
@@ -380,7 +381,7 @@ func TestSourcesAndMetrics(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	wrapConcerts(t, ts.URL, "concerts")
-	resp := postJSON(t, ts.URL+"/v1/extract", extractRequest{Source: "concerts", Pages: concertPages()})
+	resp := postJSON(t, ts.URL+"/v1/extract", apiv1.ExtractRequest{Source: "concerts", Pages: concertPages()})
 	resp.Body.Close()
 
 	resp, err := http.Get(ts.URL + "/v1/sources")
@@ -388,7 +389,7 @@ func TestSourcesAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	list := decodeBody[struct {
-		Sources []sourceInfo `json:"sources"`
+		Sources []apiv1.SourceInfo `json:"sources"`
 	}](t, resp)
 	if len(list.Sources) != 1 || list.Sources[0].Source != "concerts" {
 		t.Fatalf("sources = %+v", list.Sources)

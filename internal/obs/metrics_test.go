@@ -293,3 +293,51 @@ func TestLabeledMetricsConcurrent(t *testing.T) {
 		t.Fatalf("labeled histogram total = %d, want 2000", hTotal)
 	}
 }
+
+func TestBaseLabels(t *testing.T) {
+	o := New()
+	o.SetBaseLabels(L("node", "a"))
+
+	o.Count("plain", 1)
+	o.CountL("labeled", 2, L("source", "s1"))
+	o.Observe("dur", time.Millisecond)
+	o.ObserveL("durl", time.Millisecond, L("source", "s1"))
+	sp := o.Span("stage")
+	sp.End()
+
+	counters := o.Counters()
+	if counters[SeriesKey("plain", L("node", "a"))] != 1 {
+		t.Errorf("plain counter missing the base label: %v", counters)
+	}
+	// Base labels merge with call labels in canonical sorted order.
+	if counters[SeriesKey("labeled", L("source", "s1"), L("node", "a"))] != 2 {
+		t.Errorf("labeled counter missing merged labels: %v", counters)
+	}
+	hists := o.Histograms()
+	for _, name := range []string{
+		SeriesKey("dur", L("node", "a")),
+		SeriesKey("durl", L("source", "s1"), L("node", "a")),
+		SeriesKey("span.stage", L("node", "a")),
+	} {
+		if hists[name].Count != 1 {
+			t.Errorf("histogram %q missing (have %d keys)", name, len(hists))
+		}
+	}
+
+	// A span-derived observer shares the core and therefore the base.
+	o2 := New()
+	o2.SetBaseLabels(L("node", "b"))
+	sp2 := o2.Span("outer")
+	sp2.Observer().Count("inner", 1)
+	sp2.End()
+	if o2.Counters()[SeriesKey("inner", L("node", "b"))] != 1 {
+		t.Error("derived observer dropped the base labels")
+	}
+
+	// Without base labels nothing changes: series names stay bare.
+	o3 := New()
+	o3.Count("bare", 1)
+	if o3.Counter("bare") != 1 {
+		t.Error("bare counter renamed without base labels")
+	}
+}

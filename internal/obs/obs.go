@@ -85,6 +85,9 @@ type core struct {
 	sinks []Sink
 	ids   atomic.Int64
 	met   metrics
+	// base labels are appended to every counter and histogram series
+	// (see SetBaseLabels). Written once before the observer is shared.
+	base []Label
 }
 
 // New returns an enabled observer emitting to the given sinks. With no
@@ -95,6 +98,30 @@ func New(sinks ...Sink) *Observer {
 
 // Enabled reports whether the observer records anything.
 func (o *Observer) Enabled() bool { return o != nil && o.core != nil }
+
+// SetBaseLabels sets labels appended to every counter and histogram
+// series recorded through this observer and all its derivations (spans,
+// worker observers) — the per-process identity labels of a multi-node
+// deployment, e.g. obs.L("node", nodeID). Call once, before the
+// observer is shared across goroutines; later metric series carry the
+// labels in canonical sorted order like any other label.
+func (o *Observer) SetBaseLabels(labels ...Label) {
+	if !o.Enabled() {
+		return
+	}
+	o.core.base = append([]Label(nil), labels...)
+}
+
+// withBase merges the core's base labels into a call's labels. The
+// common case (no base labels) returns the input untouched.
+func (c *core) withBase(labels []Label) []Label {
+	if len(c.base) == 0 {
+		return labels
+	}
+	merged := make([]Label, 0, len(labels)+len(c.base))
+	merged = append(merged, labels...)
+	return append(merged, c.base...)
+}
 
 func (c *core) emit(e Event) {
 	for _, s := range c.sinks {
@@ -144,7 +171,7 @@ func (o *Observer) Count(name string, delta int64) {
 	if !o.Enabled() {
 		return
 	}
-	o.core.met.count(name, delta, nil)
+	o.core.met.count(name, delta, o.core.withBase(nil))
 }
 
 // CountL adds delta to the labeled counter series. Same-name calls with
@@ -154,7 +181,7 @@ func (o *Observer) CountL(name string, delta int64, labels ...Label) {
 	if !o.Enabled() {
 		return
 	}
-	o.core.met.count(name, delta, labels)
+	o.core.met.count(name, delta, o.core.withBase(labels))
 }
 
 // Observe records one duration into the named histogram.
@@ -162,7 +189,7 @@ func (o *Observer) Observe(name string, d time.Duration) {
 	if !o.Enabled() {
 		return
 	}
-	o.core.met.observe(name, d, nil)
+	o.core.met.observe(name, d, o.core.withBase(nil))
 }
 
 // ObserveL records one duration into the labeled histogram series.
@@ -170,7 +197,7 @@ func (o *Observer) ObserveL(name string, d time.Duration, labels ...Label) {
 	if !o.Enabled() {
 		return
 	}
-	o.core.met.observe(name, d, labels)
+	o.core.met.observe(name, d, o.core.withBase(labels))
 }
 
 // Span is one interval of the trace. The zero of *Span (nil) is a valid
@@ -272,6 +299,6 @@ func (s *Span) End(attrs ...Attr) {
 	}
 	now := time.Now()
 	d := now.Sub(s.start)
-	s.core.met.observe("span."+s.name, d, nil)
+	s.core.met.observe("span."+s.name, d, s.core.withBase(nil))
 	s.core.emit(Event{Kind: "span_end", Time: now, Span: s.id, Parent: s.parent, Name: s.name, Dur: d, Attrs: attrs})
 }

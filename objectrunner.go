@@ -21,7 +21,7 @@
 //		objectrunner.WithDictionary("Theater", theaters))
 //	...
 //	w, err := ex.Wrap(pages) // pages: []string of raw HTML
-//	objects := w.ExtractHTML(newPage)
+//	objects, err := w.ExtractHTMLErr(newPage)
 package objectrunner
 
 import (
@@ -250,54 +250,6 @@ func (e *Extractor) WrapParsed(pages []*dom.Node) (*Wrapper, error) {
 // ok reports whether the wrapper is usable for extraction.
 func (w *Wrapper) ok() bool { return w != nil && w.inner != nil && !w.inner.Aborted }
 
-// Extract applies the wrapper to a parsed page. A nil or aborted wrapper
-// yields no objects, indistinguishable from a page carrying no data.
-//
-// Deprecated: use ExtractErr, which reports ErrNoWrapper and ErrAborted
-// instead of silently returning nothing.
-func (w *Wrapper) Extract(page *dom.Node) []*Object {
-	objs, _ := w.ExtractErr(page)
-	return objs
-}
-
-// ExtractHTML applies the wrapper to one raw HTML page.
-//
-// Deprecated: use ExtractHTMLErr, which reports ErrNoWrapper and
-// ErrAborted instead of silently returning nothing.
-func (w *Wrapper) ExtractHTML(html string) []*Object {
-	objs, _ := w.ExtractHTMLErr(html)
-	return objs
-}
-
-// ExtractBatch applies the wrapper to many raw HTML pages concurrently
-// (bounded by the extractor's Config.Workers) and returns one object
-// slice per input page, in input order — byte-identical to calling
-// ExtractHTML page by page.
-//
-// Deprecated: use ExtractBatchErr (or ExtractBatchContext for
-// cancellation), which report ErrNoWrapper and ErrAborted instead of
-// silently returning empty slices.
-func (w *Wrapper) ExtractBatch(pages []string) [][]*Object {
-	objs, err := w.ExtractBatchErr(pages)
-	if err != nil {
-		return make([][]*Object, len(pages))
-	}
-	return objs
-}
-
-// ExtractAllHTML applies the wrapper to many raw HTML pages and returns
-// the concatenated objects, in page order.
-//
-// Deprecated: use ExtractBatchErr and concatenate, or ServeExtract on a
-// Service; the silent variant hides a dead wrapper behind an empty result.
-func (w *Wrapper) ExtractAllHTML(pages []string) []*Object {
-	var out []*Object
-	for _, objs := range w.ExtractBatch(pages) {
-		out = append(out, objs...)
-	}
-	return out
-}
-
 // Score is the wrapper's self-estimated quality in (0, 1]: 1 means no
 // conflicting annotations were observed while building it. An unusable
 // wrapper scores 0.
@@ -334,16 +286,6 @@ func (w *Wrapper) Report() string {
 		return "no wrapper: inference was not run"
 	}
 	return w.inner.Report.String()
-}
-
-// Run is the one-shot convenience: wrap the source and extract every
-// object from all its pages.
-func (e *Extractor) Run(pages []string) ([]*Object, error) {
-	w, err := e.Wrap(pages)
-	if err != nil {
-		return nil, err
-	}
-	return w.ExtractAllHTML(pages), nil
 }
 
 // Enrich feeds extracted objects back into the extractor's isInstanceOf

@@ -37,24 +37,39 @@ func TestExtractErrSentinels(t *testing.T) {
 	}
 }
 
-func TestExtractErrMatchesDeprecatedShims(t *testing.T) {
+// TestExtractErrFormsAgree pins the *Err entry points to each other now
+// that the silent shims are gone: raw-HTML, parsed-page and batch
+// extraction of the same page must yield identical objects.
+func TestExtractErrFormsAgree(t *testing.T) {
 	ex := concertExtractor(t)
 	w, err := ex.Wrap(concertPages())
 	if err != nil {
 		t.Fatal(err)
 	}
 	page := concertPages()[1]
-	got, err := w.ExtractHTMLErr(page)
+	fromHTML, err := w.ExtractHTMLErr(page)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := w.ExtractHTML(page)
-	if len(got) != len(want) {
-		t.Fatalf("ExtractHTMLErr found %d objects, shim found %d", len(got), len(want))
+	fromParsed, err := w.ExtractErr(ParsePage(page))
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range got {
-		if got[i].String() != want[i].String() {
-			t.Errorf("object %d differs: %s vs %s", i, got[i], want[i])
+	batches, err := w.ExtractBatchErr([]string{page})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("batch slots = %d, want 1", len(batches))
+	}
+	for name, got := range map[string][]*Object{"ExtractErr": fromParsed, "ExtractBatchErr": batches[0]} {
+		if len(got) != len(fromHTML) {
+			t.Fatalf("%s found %d objects, ExtractHTMLErr found %d", name, len(got), len(fromHTML))
+		}
+		for i := range got {
+			if got[i].String() != fromHTML[i].String() {
+				t.Errorf("%s object %d differs: %s vs %s", name, i, got[i], fromHTML[i])
+			}
 		}
 	}
 }
@@ -123,18 +138,30 @@ func TestRunContextCanceled(t *testing.T) {
 	}
 }
 
-func TestRunContextMatchesRun(t *testing.T) {
+// TestRunContextMatchesWrapExtract pins the one-shot RunContext to its
+// two-step decomposition: WrapContext followed by batch extraction over
+// the same pages.
+func TestRunContextMatchesWrapExtract(t *testing.T) {
 	ex := concertExtractor(t)
-	want, err := ex.Run(concertPages())
+	ctx := context.Background()
+	got, err := ex.RunContext(ctx, concertPages())
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ex.RunContext(context.Background(), concertPages())
+	w, err := ex.WrapContext(ctx, concertPages())
 	if err != nil {
 		t.Fatal(err)
+	}
+	batches, err := w.ExtractBatchContext(ctx, concertPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*Object
+	for _, objs := range batches {
+		want = append(want, objs...)
 	}
 	if len(got) != len(want) {
-		t.Fatalf("RunContext found %d objects, Run found %d", len(got), len(want))
+		t.Fatalf("RunContext found %d objects, wrap+extract found %d", len(got), len(want))
 	}
 	for i := range got {
 		if got[i].String() != want[i].String() {

@@ -2,6 +2,8 @@ package objectrunner
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -44,7 +46,7 @@ func TestPipelineEmitsAllStageSpans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	objects := w.ExtractAllHTML(concertPages())
+	objects := extractAll(t, w, concertPages())
 	if len(objects) == 0 {
 		t.Fatal("no objects extracted")
 	}
@@ -127,8 +129,8 @@ func TestAbortedWrapperIsSafe(t *testing.T) {
 	if w == nil {
 		t.Fatal("aborted Wrap must still return the wrapper for Report")
 	}
-	if got := w.ExtractAllHTML(concertPages()); len(got) != 0 {
-		t.Errorf("aborted wrapper extracted %d objects", len(got))
+	if _, err := w.ExtractBatchErr(concertPages()); !errors.Is(err, ErrAborted) {
+		t.Errorf("aborted wrapper batch err = %v, want ErrAborted", err)
 	}
 	if w.Score() != 0 || w.Support() != 0 {
 		t.Errorf("aborted wrapper Score=%v Support=%d, want zeros", w.Score(), w.Support())
@@ -139,8 +141,11 @@ func TestAbortedWrapperIsSafe(t *testing.T) {
 	}
 
 	var nilW *Wrapper
-	if nilW.Extract(nil) != nil || nilW.Score() != 0 || nilW.Support() != 0 {
-		t.Error("nil wrapper methods must be no-ops")
+	if objs, err := nilW.ExtractErr(nil); objs != nil || !errors.Is(err, ErrNoWrapper) {
+		t.Errorf("nil wrapper ExtractErr = %v, %v; want nil, ErrNoWrapper", objs, err)
+	}
+	if nilW.Score() != 0 || nilW.Support() != 0 {
+		t.Error("nil wrapper Score/Support must be zero")
 	}
 	if !strings.Contains(nilW.Report(), "no wrapper") {
 		t.Errorf("nil wrapper report = %q", nilW.Report())
@@ -155,7 +160,7 @@ func TestTraceSinkProducesJSONL(t *testing.T) {
 	var buf bytes.Buffer
 	ob := NewObserver(TraceSink(&buf))
 	ex := observedConcertExtractor(t, ob)
-	if _, err := ex.Run(concertPages()); err != nil {
+	if _, err := ex.RunContext(context.Background(), concertPages()); err != nil {
 		t.Fatal(err)
 	}
 	evs, err := obs.ReadJSONL(&buf)

@@ -2,6 +2,8 @@ package objectrunner
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -42,7 +44,7 @@ func TestWrapDeterministicAcrossRunsAndWorkers(t *testing.T) {
 				t.Fatalf("workers=%d run=%d: %v", workers, run, err)
 			}
 			gotReport := w.Report()
-			gotObjs := fmt.Sprint(w.ExtractAllHTML(pages))
+			gotObjs := fmt.Sprint(extractAll(t, w, pages))
 			var saved bytes.Buffer
 			if err := w.Save(&saved); err != nil {
 				t.Fatalf("workers=%d run=%d: save: %v", workers, run, err)
@@ -53,7 +55,7 @@ func TestWrapDeterministicAcrossRunsAndWorkers(t *testing.T) {
 				if err != nil {
 					t.Fatalf("workers=%d: load saved wrapper: %v", workers, err)
 				}
-				if loadedObjs := fmt.Sprint(loaded.ExtractAllHTML(pages)); loadedObjs != gotObjs {
+				if loadedObjs := fmt.Sprint(extractAll(t, loaded, pages)); loadedObjs != gotObjs {
 					t.Fatalf("workers=%d: save→load extraction diverged\n--- in-memory ---\n%s\n--- loaded ---\n%s",
 						workers, gotObjs, loadedObjs)
 				}
@@ -119,14 +121,21 @@ func TestExtractBatchPreservesInputOrder(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := w.ExtractBatch(tc.pages)
+			got, err := w.ExtractBatchErr(tc.pages)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(got) != len(tc.pages) {
 				t.Fatalf("len = %d, want one slot per input page (%d)", len(got), len(tc.pages))
 			}
 			for i, p := range tc.pages {
-				want := fmt.Sprint(w.ExtractHTML(p))
+				seq, err := w.ExtractHTMLErr(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := fmt.Sprint(seq)
 				if fmt.Sprint(got[i]) != want {
-					t.Errorf("slot %d differs from sequential ExtractHTML\nwant %s\ngot  %s",
+					t.Errorf("slot %d differs from sequential ExtractHTMLErr\nwant %s\ngot  %s",
 						i, want, fmt.Sprint(got[i]))
 				}
 			}
@@ -145,24 +154,12 @@ func TestExtractBatchAbortedAndNilWrapper(t *testing.T) {
 		t.Fatal("irrelevant source not discarded")
 	}
 	pages := concertPages()
-	out := w.ExtractBatch(pages)
-	if len(out) != len(pages) {
-		t.Fatalf("aborted wrapper: len = %d, want %d", len(out), len(pages))
-	}
-	for i, objs := range out {
-		if len(objs) != 0 {
-			t.Errorf("aborted wrapper extracted %d objects from page %d", len(objs), i)
-		}
+	if _, err := w.ExtractBatchErr(pages); !errors.Is(err, ErrAborted) {
+		t.Errorf("aborted wrapper batch err = %v, want ErrAborted", err)
 	}
 	var nilW *Wrapper
-	out = nilW.ExtractBatch(pages)
-	if len(out) != len(pages) {
-		t.Fatalf("nil wrapper: len = %d, want %d", len(out), len(pages))
-	}
-	for i, objs := range out {
-		if len(objs) != 0 {
-			t.Errorf("nil wrapper extracted %d objects from page %d", len(objs), i)
-		}
+	if _, err := nilW.ExtractBatchErr(pages); !errors.Is(err, ErrNoWrapper) {
+		t.Errorf("nil wrapper batch err = %v, want ErrNoWrapper", err)
 	}
 }
 
@@ -170,11 +167,11 @@ func TestExtractBatchAbortedAndNilWrapper(t *testing.T) {
 // at both worker counts and checks the end results coincide.
 func TestParallelRunMatchesSequential(t *testing.T) {
 	pages := concertPages()
-	seq, err := workersExtractor(t, 1).Run(pages)
+	seq, err := workersExtractor(t, 1).RunContext(context.Background(), pages)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := workersExtractor(t, 4).Run(pages)
+	par, err := workersExtractor(t, 4).RunContext(context.Background(), pages)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,7 +45,7 @@ func TestServeExtractWrapOnMissExtractOnHit(t *testing.T) {
 func TestServeExtractMatchesDirectPipeline(t *testing.T) {
 	ex := concertExtractor(t)
 	pages := concertPages()
-	want, err := ex.Run(pages)
+	want, err := ex.RunContext(context.Background(), pages)
 	if err != nil {
 		t.Fatal(err)
 	}

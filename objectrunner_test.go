@@ -1,6 +1,7 @@
 package objectrunner
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -41,7 +42,7 @@ func concertExtractor(t testing.TB, extra ...Option) *Extractor {
 
 func TestRunningExampleEndToEnd(t *testing.T) {
 	ex := concertExtractor(t)
-	objects, err := ex.Run(concertPages())
+	objects, err := ex.RunContext(context.Background(), concertPages())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,10 @@ func TestWrapperGeneralizesToUnseenValues(t *testing.T) {
 		t.Fatal(err)
 	}
 	unseen := `<html><body><li><div>The Strokes</div><div>Friday July 2, 2010 9:00pm</div><div><span><a>Terminal 5</a></span><span>610 West 56th Street</span><span>New York City</span><span>New York</span><span>10019</span></div></li></body></html>`
-	objs := w.ExtractHTML(unseen)
+	objs, err := w.ExtractHTMLErr(unseen)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(objs) != 1 {
 		t.Fatalf("objects = %d", len(objs))
 	}
@@ -123,7 +127,7 @@ func TestKnowledgeBaseGazetteer(t *testing.T) {
 		`<html><body><li><div>Muse</div><div>Friday June 19, 2010 7:00pm</div></li></body></html>`,
 		`<html><body><li><div>Coldplay</div><div>Saturday August 8, 2010 8:00pm</div></li><li><div>Madonna</div><div>Sunday May 30, 2010 6:00pm</div></li></body></html>`,
 	}
-	objs, err := ex.Run(pages)
+	objs, err := ex.RunContext(context.Background(), pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +149,7 @@ func TestCorpusGazetteer(t *testing.T) {
 		`<html><body><li><div>Muse</div><div>Friday June 19, 2010 7:00pm</div></li><li><div>Madonna</div><div>Saturday May 29, 2010 7:00pm</div></li></body></html>`,
 		`<html><body><li><div>Coldplay</div><div>Saturday August 8, 2010 8:00pm</div></li></body></html>`,
 	}
-	objs, err := ex.Run(pages)
+	objs, err := ex.RunContext(context.Background(), pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +165,10 @@ func TestEnrichFeedbackLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	unseen := `<html><body><li><div>Arcade Fire</div><div>Sunday July 4, 2010 7:30pm</div><div><span><a>Radio City</a></span><span>1260 Sixth Avenue</span><span>New York City</span><span>New York</span><span>10020</span></div></li></body></html>`
-	objs := w.ExtractHTML(unseen)
+	objs, err := w.ExtractHTMLErr(unseen)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(objs) != 1 {
 		t.Fatalf("objects = %d", len(objs))
 	}
@@ -178,7 +185,7 @@ func TestDeduplicateAndMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	objs := w.ExtractAllHTML(pages)
+	objs := extractAll(t, w, pages)
 	doubled := append(append([]*Object{}, objs...), objs...)
 	if got := Deduplicate(doubled); len(got) != len(objs) {
 		t.Errorf("dedup: %d, want %d", len(got), len(objs))
@@ -217,7 +224,7 @@ func TestBooksWithAuthorSets(t *testing.T) {
 		page(rec("Norse Mythology", "Neil Gaiman", "$14.00") + rec("Good Omens", "Neil Gaiman, Terry Pratchett", "$11.25")),
 		page(rec("Pride and Prejudice", "Jane Austen", "$8.75")),
 	}
-	objs, err := ex.Run(pages)
+	objs, err := ex.RunContext(context.Background(), pages)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +264,7 @@ func TestConfigOverride(t *testing.T) {
 		`<html><body><li><div>Muse</div><div>Friday June 19, 2010 7:00pm</div></li></body></html>`,
 		`<html><body><li><div>Madonna</div><div>Saturday May 29, 2010 7:00pm</div></li></body></html>`,
 	}
-	if _, err := ex.Run(pages); err != nil {
+	if _, err := ex.RunContext(context.Background(), pages); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package objectrunner
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestRulesDropViolatingObjects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	objs := w.ExtractAllHTML(concertPages())
+	objs := extractAll(t, w, concertPages())
 	if len(objs) != 1 {
 		for _, o := range objs {
 			t.Logf("obj: %s", o)
@@ -31,7 +32,7 @@ func TestRulesDropViolatingObjects(t *testing.T) {
 // the extracted collection.
 func TestPhaseTwoQuerying(t *testing.T) {
 	ex := concertExtractor(t)
-	objs, err := ex.Run(concertPages())
+	objs, err := ex.RunContext(context.Background(), concertPages())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestNumericQueryOnPrices(t *testing.T) {
 		`<html><body><li><b>Gamma Album</b><i>$14.50</i></li></body></html>`,
 		`<html><body><li><b>Alpha Album</b><i>$8.49</i></li></body></html>`,
 	}
-	objs, err := ex.Run(pages)
+	objs, err := ex.RunContext(context.Background(), pages)
 	if err != nil {
 		t.Fatal(err)
 	}

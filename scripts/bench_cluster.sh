@@ -1,0 +1,105 @@
+#!/bin/sh
+# bench_cluster.sh — record sharded serving-tier latency (BENCH_cluster.json).
+#
+# Builds sitegen, objectrunnerd and loadgen; generates a small books
+# corpus; starts a TWO-NODE cluster (consistent-hash ring, shared
+# wrapper spill) on ephemeral ports; and replays the corpus open-loop
+# against BOTH daemons, so roughly half the requests arrive at the
+# non-owner and cross the forwarding path. The report at $OUT carries
+# per-node request counts alongside the usual latency quantiles. Knobs
+# are environment variables so CI can keep the run short:
+#
+#   RPS=25 DURATION=3s CONCURRENCY=8 PAGES=6 OUT=BENCH_cluster.json
+set -eu
+
+RPS=${RPS:-25}
+DURATION=${DURATION:-3s}
+CONCURRENCY=${CONCURRENCY:-8}
+PAGES=${PAGES:-6}
+OUT=${OUT:-BENCH_cluster.json}
+
+workdir=$(mktemp -d)
+pid1=""
+pid2=""
+cleanup() {
+    [ -n "$pid1" ] && kill "$pid1" 2>/dev/null || true
+    [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/sitegen" ./cmd/sitegen
+go build -o "$workdir/objectrunnerd" ./cmd/objectrunnerd
+go build -o "$workdir/loadgen" ./cmd/loadgen
+
+"$workdir/sitegen" -out "$workdir/bench" -pages "$PAGES" -domains books >/dev/null
+
+# Each daemon needs the other's address in its -peers roster before
+# either has bound a socket, so ephemeral bind-then-read won't do.
+# Reserve two free ports the same way the e2e tests do: bind :0, read
+# the port, close. The window between close and the daemon's own bind
+# is a benign race on a bench box.
+cat > "$workdir/freeport.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer l.Close()
+	fmt.Println(l.Addr().(*net.TCPAddr).Port)
+}
+EOF
+port1=$(go run "$workdir/freeport.go")
+port2=$(go run "$workdir/freeport.go")
+addr1="127.0.0.1:$port1"
+addr2="127.0.0.1:$port2"
+
+mkdir -p "$workdir/spill"
+"$workdir/objectrunnerd" -addr "$addr1" -node-id n1 \
+    -peers "n1,n2=http://$addr2" -wrapper-cache-dir "$workdir/spill" \
+    2>"$workdir/n1.log" &
+pid1=$!
+"$workdir/objectrunnerd" -addr "$addr2" -node-id n2 \
+    -peers "n1=http://$addr1,n2" -wrapper-cache-dir "$workdir/spill" \
+    2>"$workdir/n2.log" &
+pid2=$!
+
+# The daemons print "listening on ADDR" to stderr once bound — that
+# line is their startup contract (see cmd/objectrunnerd).
+for node in n1 n2; do
+    i=0
+    while [ $i -lt 100 ]; do
+        grep -q 'listening on' "$workdir/$node.log" && break
+        eval "pid=\$pid${node#n}"
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "bench_cluster: $node exited during startup:" >&2
+            cat "$workdir/$node.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if ! grep -q 'listening on' "$workdir/$node.log"; then
+        echo "bench_cluster: $node never reported its address" >&2
+        exit 1
+    fi
+done
+
+"$workdir/loadgen" -addr "http://$addr1,http://$addr2" -corpus "$workdir/bench" \
+    -rps "$RPS" -concurrency "$CONCURRENCY" -duration "$DURATION" -out "$OUT"
+
+kill -TERM "$pid1" "$pid2"
+wait "$pid1" || true
+wait "$pid2" || true
+pid1=""
+pid2=""
+echo "bench_cluster: report at $OUT"
