@@ -42,8 +42,8 @@ check: ci
 	$(GO) test -race -count=2 ./api/v1/...
 	$(GO) test -race -count=2 ./internal/obs/
 	$(GO) test -race -count=2 ./internal/symtab/
-	$(GO) test -race -count=2 -run 'RawText|Entit|Tokeniz' ./internal/dom/ ./internal/eqclass/
-	$(GO) test -race -count=2 -run 'Serve|SaveLoad|WrapContext|Persist|Close|Drain' .
+	$(GO) test -race -count=2 -run 'RawText|Entit|Tokeniz|Stream' ./internal/dom/ ./internal/eqclass/
+	$(GO) test -race -count=2 -run 'Serve|SaveLoad|WrapContext|Persist|Close|Drain|StreamVsTreeExtract' .
 
 # bench runs every benchmark and additionally records the parallel
 # scaling run (BENCH_parallel.json), the serving-cache economics — cold
@@ -79,17 +79,22 @@ bench-smoke:
 # vanished benchmark). A fixed iteration budget repeated GUARD_COUNT
 # times keeps wall time in seconds; benchguard takes the minimum across
 # repeats, so a single noisy run cannot fail the gate on its own.
-# Knobs: GUARD_BENCHTIME, GUARD_COUNT, GUARD_TOLERANCE.
+# allocs/op gates separately (GUARD_ALLOC_TOLERANCE, default strict:
+# any increase over a baseline that recorded allocs fails — allocation
+# counts are deterministic, unlike wall time).
+# Knobs: GUARD_BENCHTIME, GUARD_COUNT, GUARD_TOLERANCE,
+# GUARD_ALLOC_TOLERANCE.
 GUARD_BENCHTIME ?= 20x
 GUARD_COUNT ?= 3
 GUARD_TOLERANCE ?= 0.20
+GUARD_ALLOC_TOLERANCE ?= 0
 
 bench-guard:
 	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > BENCH_parallel.json.tmp
 	mv BENCH_parallel.json.tmp BENCH_parallel.json
 	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > BENCH_serve.json.tmp
 	mv BENCH_serve.json.tmp BENCH_serve.json
-	$(GO) run ./cmd/benchguard -tolerance $(GUARD_TOLERANCE) \
+	$(GO) run ./cmd/benchguard -tolerance $(GUARD_TOLERANCE) -alloc-tolerance $(GUARD_ALLOC_TOLERANCE) \
 		bench/baseline/BENCH_parallel.json:BENCH_parallel.json \
 		bench/baseline/BENCH_serve.json:BENCH_serve.json
 
@@ -133,4 +138,5 @@ trace: build
 clean:
 	rm -rf /tmp/objectrunner-bench /tmp/objectrunner-trace.jsonl
 	rm -f BENCH_parallel.json.tmp BENCH_serve.json.tmp BENCH_alloc.json.tmp
+	rm -f BENCH_load.json.tmp BENCH_cluster.json.tmp
 	rm -f bench/baseline/BENCH_parallel.json.tmp bench/baseline/BENCH_serve.json.tmp

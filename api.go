@@ -139,3 +139,23 @@ func (w *Wrapper) ExtractBatchContext(ctx context.Context, pages []string) ([][]
 	}
 	return out, nil
 }
+
+// ExtractStreamBatchContext is ExtractBatchContext on the streaming
+// path: extraction runs directly over each page's raw token stream —
+// no DOM tree, no cleaning pass — with pooled per-worker scratch.
+// Pages whose structure the streaming tokenizer cannot faithfully
+// reproduce fall back to the tree path per page, so the output is
+// byte-identical to ExtractBatchContext on every input.
+func (w *Wrapper) ExtractStreamBatchContext(ctx context.Context, pages []string) ([][]*Object, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := w.errIfUnusable(); err != nil {
+		return nil, err
+	}
+	out, err := w.inner.ExtractStreamBatchContext(ctx, pages)
+	if err != nil {
+		return nil, canceledErr(err)
+	}
+	return out, nil
+}

@@ -6,22 +6,26 @@
 // bench targets (BENCH_parallel.json, BENCH_serve.json): every "output"
 // event whose text is a benchmark result line like
 //
-//	BenchmarkWrapParallel/workers=4-8   	     100	  14752310 ns/op	...
+//	BenchmarkWrapParallel/workers=4-8   	     100	  14752310 ns/op	  123456 B/op	  789 allocs/op
 //
-// is parsed into (name, ns/op). The trailing -N GOMAXPROCS suffix is
-// stripped so records compare across machines, and when a stream carries
-// several results for one benchmark (-count > 1), the minimum ns/op is
-// kept — the fastest observed run is the least noisy estimate of what
-// the code can do, which is the right basis on loaded CI runners.
+// is parsed into (name, ns/op, allocs/op). The trailing -N GOMAXPROCS
+// suffix is stripped so records compare across machines, and when a
+// stream carries several results for one benchmark (-count > 1), the
+// minimum of each measure is kept — the fastest observed run is the
+// least noisy estimate of what the code can do, which is the right
+// basis on loaded CI runners.
 //
 // Usage:
 //
-//	benchguard [-tolerance 0.20] baseline.json:fresh.json [more pairs...]
+//	benchguard [-tolerance 0.20] [-alloc-tolerance 0] baseline.json:fresh.json [more pairs...]
 //
 // Exit status 1 when any benchmark present in a baseline is missing from
-// its fresh run or slower than baseline*(1+tolerance); benchmarks only
-// present in the fresh run are reported but do not fail (they gate once
-// they enter the baseline). The diff table always prints, pass or fail.
+// its fresh run, slower than baseline*(1+tolerance), or allocating more
+// than baseline*(1+alloc-tolerance); benchmarks only present in the
+// fresh run are reported but do not fail (they gate once they enter the
+// baseline). allocs/op gates only where the baseline recorded it (runs
+// with -benchmem), so pre-benchmem baselines stay usable. The diff table
+// always prints, pass or fail.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -43,12 +48,22 @@ import (
 // The trailing -N GOMAXPROCS suffix is stripped from names.
 var (
 	// A complete result on one line (plain `go test -bench` output).
-	fullLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	fullLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 	// A name-only line announcing the benchmark the next result belongs to.
 	nameLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s*$`)
 	// A result-only line: iteration count then ns/op.
-	resultLine = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
+	resultLine = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op(.*)$`)
+	// The -benchmem tail of a result line.
+	allocsPart = regexp.MustCompile(`\s([0-9.]+) allocs/op`)
 )
+
+// result is the per-benchmark record the guard compares: minimum ns/op
+// across repeats, and minimum allocs/op where -benchmem was on.
+type result struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
+}
 
 // testEvent is the subset of the `go test -json` event stream we read.
 type testEvent struct {
@@ -57,27 +72,33 @@ type testEvent struct {
 	Output string `json:"Output"`
 }
 
-// readBench parses a `go test -json` stream into name → best (minimum)
-// ns/op.
-func readBench(path string) (map[string]float64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	out := make(map[string]float64)
-	record := func(name string, nsText string) {
+// parseStream reads a `go test -json` (or plain `go test -bench`) stream
+// into name → best result. An empty stream is an error: a gate that
+// compared nothing must not pass.
+func parseStream(r io.Reader, label string) (map[string]result, error) {
+	out := make(map[string]result)
+	record := func(name, nsText, tail string) {
 		ns, err := strconv.ParseFloat(nsText, 64)
 		if err != nil {
 			return
 		}
-		if best, ok := out[name]; !ok || ns < best {
-			out[name] = ns
+		cur, seen := out[name]
+		if !seen || ns < cur.ns {
+			cur.ns = ns
 		}
+		if m := allocsPart.FindStringSubmatch(tail); m != nil {
+			if al, err := strconv.ParseFloat(m[1], 64); err == nil {
+				if !cur.hasAllocs || al < cur.allocs {
+					cur.allocs = al
+					cur.hasAllocs = true
+				}
+			}
+		}
+		out[name] = cur
 	}
 	// Name of the last name-only output event, waiting for its numbers.
 	pending := ""
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		var ev testEvent
@@ -93,7 +114,7 @@ func readBench(path string) (map[string]float64, error) {
 		switch {
 		case fullLine.MatchString(line):
 			m := fullLine.FindStringSubmatch(line)
-			record(m[1], m[2])
+			record(m[1], m[2], m[3])
 			pending = ""
 		case nameLine.MatchString(line):
 			pending = nameLine.FindStringSubmatch(line)[1]
@@ -106,7 +127,8 @@ func readBench(path string) (map[string]float64, error) {
 				name = ev.Test
 			}
 			if name != "" {
-				record(name, resultLine.FindStringSubmatch(line)[1])
+				m := resultLine.FindStringSubmatch(line)
+				record(name, m[1], m[2])
 			}
 			pending = ""
 		}
@@ -115,9 +137,19 @@ func readBench(path string) (map[string]float64, error) {
 		return nil, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark results found", path)
+		return nil, fmt.Errorf("%s: no benchmark results found", label)
 	}
 	return out, nil
+}
+
+// readBench parses the stream at path.
+func readBench(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseStream(f, path)
 }
 
 func human(ns float64) string {
@@ -133,11 +165,63 @@ func human(ns float64) string {
 	}
 }
 
+// comparePair prints the diff table for one baseline:fresh pair and
+// reports whether anything regressed past the tolerances.
+func comparePair(w io.Writer, basePath, freshPath string, base, fresh map[string]result, tolerance, allocTolerance float64) (failed bool) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%s vs %s (tolerance +%.0f%%, allocs +%.0f%%)\n", basePath, freshPath, tolerance*100, allocTolerance*100)
+	for _, name := range names {
+		b := base[name]
+		f, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(w, "  FAIL %-50s baseline %10s  fresh: missing\n", name, human(b.ns))
+			failed = true
+			continue
+		}
+		delta := (f.ns - b.ns) / b.ns * 100
+		verdict := "ok  "
+		if f.ns > b.ns*(1+tolerance) {
+			verdict = "FAIL"
+			failed = true
+		}
+		alloc := ""
+		if b.hasAllocs {
+			switch {
+			case !f.hasAllocs:
+				// The baseline gates allocs but the fresh run did not
+				// record them: treat as a regression, not a silent skip.
+				verdict = "FAIL"
+				failed = true
+				alloc = fmt.Sprintf("  allocs %.0f → missing", b.allocs)
+			case f.allocs > b.allocs*(1+allocTolerance):
+				verdict = "FAIL"
+				failed = true
+				alloc = fmt.Sprintf("  allocs %.0f → %.0f", b.allocs, f.allocs)
+			default:
+				alloc = fmt.Sprintf("  allocs %.0f → %.0f", b.allocs, f.allocs)
+			}
+		}
+		fmt.Fprintf(w, "  %s %-50s baseline %10s  fresh %10s  %+6.1f%%%s\n",
+			verdict, name, human(b.ns), human(f.ns), delta, alloc)
+	}
+	for name, f := range fresh {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(w, "  new  %-50s fresh %10s (not in baseline; add via `make bench-baseline`)\n", name, human(f.ns))
+		}
+	}
+	return failed
+}
+
 func main() {
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression before failing (0.20 = +20%)")
+	allocTolerance := flag.Float64("alloc-tolerance", 0, "allowed fractional allocs/op regression before failing (0 = any increase fails; gates only benchmarks whose baseline recorded allocs)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: benchguard [-tolerance 0.20] baseline.json:fresh.json [more pairs...]\n")
+			"usage: benchguard [-tolerance 0.20] [-alloc-tolerance 0] baseline.json:fresh.json [more pairs...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -163,38 +247,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchguard: fresh run %v\n", err)
 			os.Exit(2)
 		}
-
-		names := make([]string, 0, len(base))
-		for name := range base {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		fmt.Printf("%s vs %s (tolerance +%.0f%%)\n", basePath, freshPath, *tolerance*100)
-		for _, name := range names {
-			b := base[name]
-			f, ok := fresh[name]
-			if !ok {
-				fmt.Printf("  FAIL %-50s baseline %10s  fresh: missing\n", name, human(b))
-				failed = true
-				continue
-			}
-			delta := (f - b) / b * 100
-			verdict := "ok  "
-			if f > b*(1+*tolerance) {
-				verdict = "FAIL"
-				failed = true
-			}
-			fmt.Printf("  %s %-50s baseline %10s  fresh %10s  %+6.1f%%\n",
-				verdict, name, human(b), human(f), delta)
-		}
-		for name, f := range fresh {
-			if _, ok := base[name]; !ok {
-				fmt.Printf("  new  %-50s fresh %10s (not in baseline; add via `make bench-baseline`)\n", name, human(f))
-			}
+		if comparePair(os.Stdout, basePath, freshPath, base, fresh, *tolerance, *allocTolerance) {
+			failed = true
 		}
 	}
 	if failed {
-		fmt.Println("bench-guard: FAILED — ns/op regressed past tolerance (or a benchmark disappeared)")
+		fmt.Println("bench-guard: FAILED — ns/op or allocs/op regressed past tolerance (or a benchmark disappeared)")
 		os.Exit(1)
 	}
 	fmt.Println("bench-guard: ok")

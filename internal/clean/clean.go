@@ -181,6 +181,54 @@ var contentBearing = map[string]bool{
 	"td": true, "th": true, // empty cells preserve table geometry
 }
 
+// DroppedTag reports whether DefaultOptions removes elements with this
+// tag name outright — scripts and embeds, styles, head furniture, and
+// form controls. It is the tag-name half of isUnwanted, exported for the
+// streaming tokenizer, which replays the cleaning passes without a tree.
+func DroppedTag(name string) bool {
+	switch name {
+	case "script", "noscript", "iframe", "object", "embed",
+		"style",
+		"head", "meta", "link", "base",
+		"input", "select", "button", "option", "textarea":
+		return true
+	}
+	return false
+}
+
+// HiddenAttrs is isHidden evaluated over a raw attribute list before any
+// tree is built. Like Node.Attr, only the first occurrence of a repeated
+// attribute name counts.
+func HiddenAttrs(attrs []dom.Attr) bool {
+	typeSeen, styleSeen := false, false
+	for _, a := range attrs {
+		switch a.Name {
+		case "hidden":
+			return true
+		case "type":
+			if !typeSeen {
+				typeSeen = true
+				if strings.EqualFold(a.Value, "hidden") {
+					return true
+				}
+			}
+		case "style":
+			if !styleSeen {
+				styleSeen = true
+				style := strings.ToLower(strings.ReplaceAll(a.Value, " ", ""))
+				if strings.Contains(style, "display:none") || strings.Contains(style, "visibility:hidden") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ContentBearing reports elements that DropEmpty keeps even when
+// childless (the exported form of the contentBearing set).
+func ContentBearing(name string) bool { return contentBearing[name] }
+
 // dropEmpty removes one generation of empty leaf elements and reports
 // whether anything was removed.
 func dropEmpty(n *dom.Node) bool {

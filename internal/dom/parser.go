@@ -47,6 +47,23 @@ func blockClosesP(name string) bool {
 	return false
 }
 
+// VoidElement reports tags that never take children and need no end tag
+// — the exported form of isVoidElement for callers (the streaming
+// tokenizer) that replay the parser's stack discipline without a tree.
+func VoidElement(name string) bool { return isVoidElement(name) }
+
+// ClosesImplicitly reports whether an opening <next> tag implies closing
+// a currently open <open> element. It combines the parser's autoClose
+// and blockClosesP rules into one predicate; because no tag appears in
+// both rule sets, popping open elements while ClosesImplicitly holds is
+// exactly equivalent to the parser's two sequential repair loops.
+func ClosesImplicitly(next, open string) bool {
+	if close, ok := autoClose[next]; ok && close[open] {
+		return true
+	}
+	return open == "p" && blockClosesP(next)
+}
+
 // Parse builds a DOM tree from raw HTML. It never fails: malformed input
 // yields the best-effort repaired tree. The returned node has type
 // DocumentNode.

@@ -60,35 +60,57 @@ func isRawTextTag(name string) bool {
 }
 
 // Next returns the next token and true, or a zero token and false at the
-// end of input.
+// end of input. The returned token owns its Attrs slice — callers (the
+// tree parser) may retain it.
 func (z *Tokenizer) Next() (Token, bool) {
-	if z.pos >= len(z.src) {
+	var tok Token
+	if !z.NextInto(&tok) {
 		return Token{}, false
 	}
+	return tok, true
+}
+
+// NextInto lexes the next token into *tok, reusing tok.Attrs' backing
+// array so a caller that recycles one Token across the whole document
+// pays no per-tag allocation. The written Attrs (and any strings shared
+// with the source) are only valid until the next NextInto call on the
+// same Token. Returns false at end of input, leaving *tok zeroed except
+// for the recycled Attrs backing.
+func (z *Tokenizer) NextInto(tok *Token) bool {
+	attrs := tok.Attrs[:0]
+	*tok = Token{Attrs: attrs}
+	if z.pos >= len(z.src) {
+		return false
+	}
 	if z.rawTag != "" {
-		return z.nextRawText()
+		z.nextRawText(tok)
+		return true
 	}
 	if z.src[z.pos] == '<' {
-		if tok, ok := z.nextTag(); ok {
-			return tok, true
+		if z.nextTag(tok) {
+			return true
 		}
 		// A lone '<' that does not begin a valid construct is text.
 		start := z.pos
 		z.pos++
-		return Token{Type: TextToken, Data: z.src[start:z.pos]}, true
+		tok.Type = TextToken
+		tok.Data = z.src[start:z.pos]
+		return true
 	}
-	return z.nextText()
+	z.nextText(tok)
+	return true
 }
 
-func (z *Tokenizer) nextText() (Token, bool) {
+func (z *Tokenizer) nextText(tok *Token) {
 	start := z.pos
 	for z.pos < len(z.src) && z.src[z.pos] != '<' {
 		z.pos++
 	}
-	return Token{Type: TextToken, Data: DecodeEntities(z.src[start:z.pos])}, true
+	tok.Type = TextToken
+	tok.Data = DecodeEntities(z.src[start:z.pos])
 }
 
-func (z *Tokenizer) nextRawText() (Token, bool) {
+func (z *Tokenizer) nextRawText(tok *Token) {
 	end := "</" + z.rawTag
 	low := strings.ToLower(z.src[z.pos:])
 	idx := strings.Index(low, end)
@@ -97,7 +119,9 @@ func (z *Tokenizer) nextRawText() (Token, bool) {
 		text := z.src[z.pos:]
 		z.pos = len(z.src)
 		z.rawTag = ""
-		return Token{Type: TextToken, Data: text}, true
+		tok.Type = TextToken
+		tok.Data = text
+		return
 	}
 	if idx == 0 {
 		// At the end tag itself; emit it.
@@ -111,35 +135,47 @@ func (z *Tokenizer) nextRawText() (Token, bool) {
 		if z.pos < len(z.src) {
 			z.pos++
 		}
-		return Token{Type: EndTagToken, Data: tag}, true
+		tok.Type = EndTagToken
+		tok.Data = tag
+		return
 	}
 	text := z.src[z.pos : z.pos+idx]
 	z.pos += idx
-	return Token{Type: TextToken, Data: text}, true
+	tok.Type = TextToken
+	tok.Data = text
 }
 
-// nextTag attempts to lex a tag, comment or doctype at the current '<'.
-func (z *Tokenizer) nextTag() (Token, bool) {
+// nextTag attempts to lex a tag, comment or doctype at the current '<',
+// writing into *tok. It reports false (without consuming input or
+// touching *tok beyond Attrs truncation) when the '<' starts none of
+// those constructs.
+func (z *Tokenizer) nextTag(tok *Token) bool {
 	s := z.src
 	i := z.pos
 	if strings.HasPrefix(s[i:], "<!--") {
 		end := strings.Index(s[i+4:], "-->")
+		tok.Type = CommentToken
 		if end < 0 {
 			z.pos = len(s)
-			return Token{Type: CommentToken, Data: s[i+4:]}, true
+			tok.Data = s[i+4:]
+			return true
 		}
 		z.pos = i + 4 + end + 3
-		return Token{Type: CommentToken, Data: s[i+4 : i+4+end]}, true
+		tok.Data = s[i+4 : i+4+end]
+		return true
 	}
 	if len(s) > i+1 && (s[i+1] == '!' || s[i+1] == '?') {
 		// Doctype or processing instruction: skip to '>'.
 		end := strings.IndexByte(s[i:], '>')
+		tok.Type = DoctypeToken
 		if end < 0 {
 			z.pos = len(s)
-			return Token{Type: DoctypeToken, Data: s[i+2:]}, true
+			tok.Data = s[i+2:]
+			return true
 		}
 		z.pos = i + end + 1
-		return Token{Type: DoctypeToken, Data: s[i+2 : i+end]}, true
+		tok.Data = s[i+2 : i+end]
+		return true
 	}
 	closing := false
 	j := i + 1
@@ -149,14 +185,14 @@ func (z *Tokenizer) nextTag() (Token, bool) {
 	}
 	// A tag name must start with a letter.
 	if j >= len(s) || !isLetter(s[j]) {
-		return Token{}, false
+		return false
 	}
 	nameStart := j
 	for j < len(s) && isNameChar(s[j]) {
 		j++
 	}
-	name := strings.ToLower(s[nameStart:j])
-	tok := Token{Data: name}
+	name := lowerASCII(s[nameStart:j])
+	tok.Data = name
 	if closing {
 		tok.Type = EndTagToken
 		// Skip to '>'.
@@ -167,7 +203,7 @@ func (z *Tokenizer) nextTag() (Token, bool) {
 			j++
 		}
 		z.pos = j
-		return tok, true
+		return true
 	}
 	tok.Type = StartTagToken
 	// Parse attributes.
@@ -201,7 +237,7 @@ func (z *Tokenizer) nextTag() (Token, bool) {
 		for j < len(s) && !isSpace(s[j]) && s[j] != '=' && s[j] != '>' && s[j] != '/' {
 			j++
 		}
-		aName := strings.ToLower(s[aStart:j])
+		aName := lowerASCII(s[aStart:j])
 		for j < len(s) && isSpace(s[j]) {
 			j++
 		}
@@ -238,7 +274,19 @@ func (z *Tokenizer) nextTag() (Token, bool) {
 	if tok.Type == StartTagToken && isRawTextTag(name) {
 		z.rawTag = name
 	}
-	return tok, true
+	return true
+}
+
+// lowerASCII lower-cases s, returning s itself (no allocation) when it
+// is already free of ASCII upper-case letters — the overwhelmingly
+// common case for tag and attribute names in generated markup.
+func lowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if b := s[i]; b >= 'A' && b <= 'Z' {
+			return strings.ToLower(s)
+		}
+	}
+	return s
 }
 
 func isLetter(b byte) bool {

@@ -70,6 +70,17 @@ func (t *Table) Lookup(s string) Sym {
 	return y
 }
 
+// LookupBytes is Lookup for a byte-slice key. The map index expression
+// with an inline string conversion compiles to a lookup without
+// materializing the string, so the serving-path tokenizer can probe the
+// frozen table from its scratch buffers with zero allocations.
+func (t *Table) LookupBytes(b []byte) Sym {
+	t.mu.RLock()
+	y := t.ids[string(b)]
+	t.mu.RUnlock()
+	return y
+}
+
 // StringOf returns the string a symbol was interned from. None and
 // out-of-range symbols return "".
 func (t *Table) StringOf(y Sym) string {

@@ -8,18 +8,94 @@ import (
 	"objectrunner/internal/symtab"
 )
 
+// Scratch holds the reusable buffers of one extraction pass: the
+// descriptor-occurrence counting map, a bump arena for tuple positions,
+// a free list of span slices, and the word/part/range accumulators. A
+// Scratch is not safe for concurrent use; the serving path keeps one
+// per worker in a pool. Token positions handed out by allocInts stay
+// valid until the next Reset, so extracted instances (which copy text
+// into strings) never alias scratch memory.
+type Scratch struct {
+	counts map[sig3]int
+	ints   [][]int       // bump-allocated position storage, chunked
+	free   [][]tupleSpan // recycled span-slice backing buffers
+	words  []string
+	parts  []string
+	ranges [][2]int
+}
+
+// NewScratch returns an empty scratch ready for extraction.
+func NewScratch() *Scratch {
+	return &Scratch{counts: make(map[sig3]int)}
+}
+
+// Reset recycles all position storage. Spans handed out before the call
+// become invalid; extracted instances are unaffected.
+func (sc *Scratch) Reset() {
+	for i := range sc.ints {
+		sc.ints[i] = sc.ints[i][:0]
+	}
+}
+
+// allocInts bump-allocates a zero-length int slice with capacity n from
+// the current chunk, growing the chunk list geometrically on overflow.
+func (sc *Scratch) allocInts(n int) []int {
+	if k := len(sc.ints); k > 0 {
+		c := sc.ints[k-1]
+		if cap(c)-len(c) >= n {
+			sc.ints[k-1] = c[:len(c)+n]
+			return c[len(c) : len(c) : len(c)+n]
+		}
+	}
+	size := 1024
+	if k := len(sc.ints); k > 0 && 2*cap(sc.ints[k-1]) > size {
+		size = 2 * cap(sc.ints[k-1])
+	}
+	if n > size {
+		size = n
+	}
+	c := make([]int, n, size)
+	sc.ints = append(sc.ints, c)
+	return c[:0:n]
+}
+
+// getSpans hands out an empty span slice, recycling a returned buffer
+// when one is available.
+func (sc *Scratch) getSpans() []tupleSpan {
+	if k := len(sc.free); k > 0 {
+		b := sc.free[k-1]
+		sc.free = sc.free[:k-1]
+		return b[:0]
+	}
+	return make([]tupleSpan, 0, 8)
+}
+
+// putSpans returns a span slice's backing buffer to the free list. The
+// caller must be done with the slice header itself; span values copied
+// out remain valid (their positions live in the int arena).
+func (sc *Scratch) putSpans(b []tupleSpan) {
+	if b != nil {
+		sc.free = append(sc.free, b)
+	}
+}
+
 // Extract applies a match to one page's token sequence and returns the
 // extracted SOD instances: one instance per (class tuple × repeated
 // group). The page need not belong to the inference sample — only the
 // match's separator descriptors are used to locate the template on it.
 func Extract(s *sod.Type, m *Match, toks []*eqclass.Occurrence) []*sod.Instance {
+	return extractWith(s, m, toks, NewScratch())
+}
+
+func extractWith(s *sod.Type, m *Match, toks []*eqclass.Occurrence, sc *Scratch) []*sod.Instance {
 	var out []*sod.Instance
-	ranks := childRanks(m)
-	for _, span := range findTuples(toks, m.Node.EQ.Descs, 0, len(toks)) {
-		if inst := extractGroup(m.Tuple, m, toks, span, ranks); inst != nil {
+	spans := findTuples(toks, m.Node.EQ.Descs, 0, len(toks), sc)
+	for _, span := range spans {
+		if inst := extractGroup(m.Tuple, m, toks, span, sc); inst != nil {
 			out = append(out, inst)
 		}
 	}
+	sc.putSpans(spans)
 	return out
 }
 
@@ -90,6 +166,24 @@ func childRanks(m *Match) map[*Node]int {
 	return ranks
 }
 
+// fieldOrder maps field names (and disjunction alternative names) to
+// their tuple declaration rank, for stable child ordering.
+func fieldOrder(tuple *sod.Type) map[string]int {
+	rank := make(map[string]int)
+	if tuple == nil {
+		return rank
+	}
+	for i, f := range tuple.Fields {
+		rank[f.Name] = i
+		if f.Kind == sod.KindDisjunction {
+			for _, alt := range f.Fields {
+				rank[alt.Name] = i
+			}
+		}
+	}
+	return rank
+}
+
 // descSig is the structural signature of a class's separators.
 func descSig(n *Node) string {
 	var sb strings.Builder
@@ -102,9 +196,18 @@ func descSig(n *Node) string {
 
 // ExtractAll runs every match over the page and concatenates the results.
 func ExtractAll(s *sod.Type, matches []*Match, toks []*eqclass.Occurrence) []*sod.Instance {
+	return ExtractAllStream(s, matches, toks, NewScratch())
+}
+
+// ExtractAllStream is ExtractAll with caller-provided scratch: the
+// streaming serve path pools Scratch values per worker so a cache-hit
+// extract allocates nothing while locating tuples. The scratch is Reset
+// on entry; returned instances never alias it.
+func ExtractAllStream(s *sod.Type, matches []*Match, toks []*eqclass.Occurrence, sc *Scratch) []*sod.Instance {
+	sc.Reset()
 	var out []*sod.Instance
 	for _, m := range matches {
-		out = append(out, Extract(s, m, toks)...)
+		out = append(out, extractWith(s, m, toks, sc)...)
 	}
 	return out
 }
@@ -122,16 +225,17 @@ func (ts tupleSpan) slotRange(i int) (int, int) {
 
 // findTuples locates repetitions of the separator sequence on the page by
 // greedy forward matching of the descriptors (kind, value, DOM path)
-// within [from, to).
-func findTuples(toks []*eqclass.Occurrence, descs []eqclass.Desc, from, to int) []tupleSpan {
-	var out []tupleSpan
+// within [from, to). The returned slice's buffer belongs to the scratch:
+// callers release it with putSpans once done with the headers.
+func findTuples(toks []*eqclass.Occurrence, descs []eqclass.Desc, from, to int, sc *Scratch) []tupleSpan {
+	out := sc.getSpans()
 	i := from
 	for {
-		span, next := matchOnce(toks, descs, i, to)
-		if span == nil {
+		span, next, ok := matchOnce(toks, descs, i, to, sc)
+		if !ok {
 			return out
 		}
-		out = append(out, *span)
+		out = append(out, span)
 		i = next
 	}
 }
@@ -153,18 +257,20 @@ func sigOfDesc(d *eqclass.Desc) sig3      { return sig3{d.Kind, d.Val, d.Pth} }
 // structural signature within the tuple, counted from the anchor — this
 // tells apart separators that annotations differentiated during
 // inference but that look identical on an unseen page.
-func matchOnce(toks []*eqclass.Occurrence, descs []eqclass.Desc, i, to int) (*tupleSpan, int) {
+func matchOnce(toks []*eqclass.Occurrence, descs []eqclass.Desc, i, to int, sc *Scratch) (tupleSpan, int, bool) {
 	if len(descs) == 0 {
-		return nil, to
+		return tupleSpan{}, to, false
 	}
 	// Tracked signatures, with their running occurrence counts. Map
 	// membership marks "tracked"; scanning a token costs a struct hash,
-	// no per-token signature string.
-	counts := make(map[sig3]int, len(descs))
+	// no per-token signature string. The map is scratch-owned and never
+	// nested: matchOnce calls nothing that matches.
+	counts := sc.counts
+	clear(counts)
 	for di := range descs {
 		counts[sigOfDesc(&descs[di])] = 0
 	}
-	positions := make([]int, 0, len(descs))
+	positions := sc.allocInts(len(descs))
 	for di := range descs {
 		d := &descs[di]
 		sig := sigOfDesc(d)
@@ -184,7 +290,7 @@ func matchOnce(toks []*eqclass.Occurrence, descs []eqclass.Desc, i, to int) (*tu
 			}
 		}
 		if found < 0 {
-			return nil, to
+			return tupleSpan{}, to, false
 		}
 		positions = append(positions, found)
 		i = found + 1
@@ -196,18 +302,18 @@ func matchOnce(toks []*eqclass.Occurrence, descs []eqclass.Desc, i, to int) (*tu
 			counts[sig] = 1
 		}
 	}
-	return &tupleSpan{positions: positions}, i
+	return tupleSpan{positions: positions}, i, true
 }
 
 // extractGroup builds one SOD instance from a located tuple span, using
 // the match's field and set bindings. Instances missing a required
 // component are dropped (nil).
-func extractGroup(tuple *sod.Type, m *Match, toks []*eqclass.Occurrence, span tupleSpan, ranks map[*Node]int) *sod.Instance {
+func extractGroup(tuple *sod.Type, m *Match, toks []*eqclass.Occurrence, span tupleSpan, sc *Scratch) *sod.Instance {
+	ranks, excl, order := m.extractCaches()
 	inst := &sod.Instance{Type: tuple}
 	bound := make(map[*sod.Type]bool)
-	excl := boundChildren(m)
 	for f, bindings := range m.Fields {
-		text := bindingsText(m.Node, toks, span, bindings, ranks, excl)
+		text := bindingsText(m.Node, toks, span, bindings, ranks, excl, sc)
 		if text == "" {
 			continue
 		}
@@ -215,7 +321,7 @@ func extractGroup(tuple *sod.Type, m *Match, toks []*eqclass.Occurrence, span tu
 		bound[f] = true
 	}
 	for f, b := range m.Sets {
-		set := extractSet(f, b, toks, span, ranks)
+		set := extractSet(f, b, toks, span, sc)
 		if set == nil || len(set.Children) == 0 {
 			continue
 		}
@@ -240,22 +346,13 @@ func extractGroup(tuple *sod.Type, m *Match, toks []*eqclass.Occurrence, span tu
 	if len(inst.Children) == 0 {
 		return nil
 	}
-	orderChildren(inst, tuple)
+	orderChildren(inst, order)
 	return inst
 }
 
 // orderChildren sorts instance children into the tuple's declaration
-// order for stable output.
-func orderChildren(inst *sod.Instance, tuple *sod.Type) {
-	rank := make(map[string]int)
-	for i, f := range tuple.Fields {
-		rank[f.Name] = i
-		if f.Kind == sod.KindDisjunction {
-			for _, alt := range f.Fields {
-				rank[alt.Name] = i
-			}
-		}
-	}
+// order (precomputed as a name→rank map) for stable output.
+func orderChildren(inst *sod.Instance, rank map[string]int) {
 	sortStable(inst.Children, func(a, b *sod.Instance) bool {
 		return rank[a.Type.Name] < rank[b.Type.Name]
 	})
@@ -270,60 +367,66 @@ func sortStable(xs []*sod.Instance, less func(a, b *sod.Instance) bool) {
 }
 
 // bindingsText concatenates the text located by each field binding.
-func bindingsText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, bindings []FieldBinding, ranks map[*Node]int, excl map[*Node]bool) string {
-	var parts []string
+func bindingsText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, bindings []FieldBinding, ranks map[*Node]int, excl map[*Node]bool, sc *Scratch) string {
+	parts := sc.parts[:0]
 	for _, b := range bindings {
-		if text := bindingText(owner, toks, span, b, ranks, excl); text != "" {
+		if text := bindingText(owner, toks, span, b, ranks, excl, sc); text != "" {
 			parts = append(parts, text)
 		}
 	}
-	return strings.Join(parts, " ")
+	out := strings.Join(parts, " ")
+	sc.parts = parts[:0]
+	return out
 }
 
 // bindingText resolves one binding: descend through the nested classes of
 // the binding path, narrowing at each step to the slot of the enclosing
 // class the child nests in, then read the final slot.
-func bindingText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, b FieldBinding, ranks map[*Node]int, excl map[*Node]bool) string {
+func bindingText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, b FieldBinding, ranks map[*Node]int, excl map[*Node]bool, sc *Scratch) string {
 	cur := span
 	for hop, node := range b.Path {
 		from, to := cur.positions[0], cur.positions[len(cur.positions)-1]
 		if s := node.EQ.ParentSlot; s >= 0 && s+1 < len(cur.positions) {
 			from, to = cur.slotRange(s)
 		}
-		spans := findTuples(toks, node.EQ.Descs, from+1, to)
+		spans := findTuples(toks, node.EQ.Descs, from+1, to, sc)
 		want := 0
 		if hop == 0 {
 			want = ranks[node]
 		}
 		if want >= len(spans) {
+			sc.putSpans(spans)
 			return ""
 		}
-		cur = spans[want]
+		cur = spans[want] // copy the header before releasing the buffer
+		sc.putSpans(spans)
 		owner = node
 	}
-	return innerSlotText(owner, toks, cur, b.Slot, excl)
+	return innerSlotText(owner, toks, cur, b.Slot, excl, sc)
 }
 
 // innerSlotText reads a slot's direct text, excluding the spans of
 // classes nested in it — mirroring how slot profiles attribute words to
 // their innermost class during inference.
-func innerSlotText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, slot int, excl map[*Node]bool) string {
+func innerSlotText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, slot int, excl map[*Node]bool, sc *Scratch) string {
 	if slot+1 >= len(span.positions) {
 		return ""
 	}
 	from, to := span.slotRange(slot)
-	var ranges [][2]int
+	ranges := sc.ranges[:0]
 	if owner != nil {
 		for _, c := range owner.Children {
 			if c.EQ.ParentSlot != slot || !excl[c] {
 				continue
 			}
-			for _, cs := range findTuples(toks, c.EQ.Descs, from+1, to) {
+			cspans := findTuples(toks, c.EQ.Descs, from+1, to, sc)
+			for _, cs := range cspans {
 				ranges = append(ranges, [2]int{cs.positions[0], cs.positions[len(cs.positions)-1]})
 			}
+			sc.putSpans(cspans)
 		}
 	}
-	var words []string
+	words := sc.words[:0]
 	for i := from + 1; i < to; i++ {
 		if toks[i].Kind != eqclass.KindWord {
 			continue
@@ -339,12 +442,14 @@ func innerSlotText(owner *Node, toks []*eqclass.Occurrence, span tupleSpan, slot
 			words = append(words, toks[i].Raw)
 		}
 	}
-	return strings.Join(words, " ")
+	out := strings.Join(words, " ")
+	sc.words, sc.ranges = words[:0], ranges[:0]
+	return out
 }
 
 // slotsText concatenates the word content of the given slots of a span.
-func slotsText(toks []*eqclass.Occurrence, span tupleSpan, slots []int) string {
-	var words []string
+func slotsText(toks []*eqclass.Occurrence, span tupleSpan, slots []int, sc *Scratch) string {
+	words := sc.words[:0]
 	for _, s := range slots {
 		if s+1 >= len(span.positions) {
 			continue
@@ -356,12 +461,13 @@ func slotsText(toks []*eqclass.Occurrence, span tupleSpan, slots []int) string {
 			}
 		}
 	}
-	return strings.Join(words, " ")
+	out := strings.Join(words, " ")
+	sc.words = words[:0]
+	return out
 }
 
 // extractSet materializes a set instance from its binding.
-func extractSet(f *sod.Type, b *SetBinding, toks []*eqclass.Occurrence, span tupleSpan, ranks map[*Node]int) *sod.Instance {
-	_ = ranks
+func extractSet(f *sod.Type, b *SetBinding, toks []*eqclass.Occurrence, span tupleSpan, sc *Scratch) *sod.Instance {
 	set := &sod.Instance{Type: f}
 	addEntity := func(text string) {
 		for _, v := range SplitList(text) {
@@ -371,7 +477,7 @@ func extractSet(f *sod.Type, b *SetBinding, toks []*eqclass.Occurrence, span tup
 	// Inline case: typed slots of the parent node hold the members.
 	if len(b.Slots) > 0 {
 		for _, s := range b.Slots {
-			if text := slotsText(toks, span, []int{s}); text != "" {
+			if text := slotsText(toks, span, []int{s}, sc); text != "" {
 				addEntity(text)
 			}
 		}
@@ -382,18 +488,20 @@ func extractSet(f *sod.Type, b *SetBinding, toks []*eqclass.Occurrence, span tup
 		return set
 	}
 	from, to := span.positions[0], span.positions[len(span.positions)-1]
-	for _, childSpan := range findTuples(toks, b.Child.EQ.Descs, from+1, to) {
+	childSpans := findTuples(toks, b.Child.EQ.Descs, from+1, to, sc)
+	for _, childSpan := range childSpans {
 		if b.ElemMatch != nil {
-			if inst := extractGroup(b.ElemMatch.Tuple, b.ElemMatch, toks, childSpan, childRanks(b.ElemMatch)); inst != nil {
+			if inst := extractGroup(b.ElemMatch.Tuple, b.ElemMatch, toks, childSpan, sc); inst != nil {
 				inst.Type = f.Elem
 				set.Children = append(set.Children, inst)
 			}
 			continue
 		}
-		if text := slotsText(toks, childSpan, b.ElemSlots); text != "" {
+		if text := slotsText(toks, childSpan, b.ElemSlots, sc); text != "" {
 			addEntity(text)
 		}
 	}
+	sc.putSpans(childSpans)
 	return set
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"objectrunner/internal/eqclass"
 	"objectrunner/internal/sod"
@@ -136,6 +137,28 @@ type Match struct {
 	// pending holds secondary (non-dominant) bindings, applied at group
 	// close only for required fields that stayed unbound.
 	pending map[*sod.Type][]FieldBinding
+
+	// Extraction caches, built lazily on first use: they depend only on
+	// the match's bindings and tuple — never on the page — so the
+	// serving path amortizes them across every extract. Matches are
+	// handled exclusively by pointer after construction, and persistence
+	// goes through PersistedMatch, so the sync.Once stays private and
+	// un-serialized.
+	cacheOnce  sync.Once
+	ranksCache map[*Node]int
+	exclCache  map[*Node]bool
+	orderCache map[string]int
+}
+
+// extractCaches returns the page-independent extraction lookup tables,
+// building them on first call. Safe for concurrent extracts.
+func (m *Match) extractCaches() (ranks map[*Node]int, excl map[*Node]bool, order map[string]int) {
+	m.cacheOnce.Do(func() {
+		m.ranksCache = childRanks(m)
+		m.exclCache = boundChildren(m)
+		m.orderCache = fieldOrder(m.Tuple)
+	})
+	return m.ranksCache, m.exclCache, m.orderCache
 }
 
 // MatchSOD matches the canonical form of s against the template tree,

@@ -24,7 +24,7 @@ pid2=""
 cleanup() {
     [ -n "$pid1" ] && kill "$pid1" 2>/dev/null || true
     [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
-    rm -rf "$workdir"
+    rm -rf "$workdir" "$OUT.tmp"
 }
 trap cleanup EXIT INT TERM
 
@@ -94,8 +94,11 @@ for node in n1 n2; do
     fi
 done
 
+# Write through a temp path and rename only on success, so an aborted
+# run never truncates the previous report; the trap removes the temp.
 "$workdir/loadgen" -addr "http://$addr1,http://$addr2" -corpus "$workdir/bench" \
-    -rps "$RPS" -concurrency "$CONCURRENCY" -duration "$DURATION" -out "$OUT"
+    -rps "$RPS" -concurrency "$CONCURRENCY" -duration "$DURATION" -out "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
 
 kill -TERM "$pid1" "$pid2"
 wait "$pid1" || true

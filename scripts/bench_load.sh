@@ -20,7 +20,7 @@ workdir=$(mktemp -d)
 daemon_pid=""
 cleanup() {
     [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
-    rm -rf "$workdir"
+    rm -rf "$workdir" "$OUT.tmp"
 }
 trap cleanup EXIT INT TERM
 
@@ -53,8 +53,11 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 
+# Write through a temp path and rename only on success, so an aborted
+# run never truncates the previous report; the trap removes the temp.
 "$workdir/loadgen" -addr "http://$addr" -corpus "$workdir/bench" \
-    -rps "$RPS" -concurrency "$CONCURRENCY" -duration "$DURATION" -out "$OUT"
+    -rps "$RPS" -concurrency "$CONCURRENCY" -duration "$DURATION" -out "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
 
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || true

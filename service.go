@@ -29,6 +29,13 @@ type StoreConfig struct {
 	// SpillDir persists wrappers to disk, surviving LRU eviction and
 	// process restarts. Empty disables spilling.
 	SpillDir string
+	// DisableStreamExtract routes cache-hit serves through the tree
+	// path (parse + clean per page) instead of the default streaming
+	// path. Streaming extracts straight off the raw token stream with
+	// pooled scratch and is byte-identical to the tree path — pages it
+	// cannot faithfully reproduce fall back per page — so this exists
+	// as an escape hatch and for differential testing, not tuning.
+	DisableStreamExtract bool
 }
 
 // Service is the serving facade: an Extractor plus a wrapper cache. One
@@ -37,14 +44,16 @@ type StoreConfig struct {
 // callers), every later call reuses the cached wrapper and runs only
 // extraction.
 type Service struct {
-	ex *Extractor
-	st *store.Store
+	ex     *Extractor
+	st     *store.Store
+	noStrm bool
 }
 
 // NewService builds a serving facade over the extractor.
 func NewService(ex *Extractor, cfg StoreConfig) *Service {
 	return &Service{
-		ex: ex,
+		ex:     ex,
+		noStrm: cfg.DisableStreamExtract,
 		st: store.New(store.Config{
 			Capacity:        cfg.Capacity,
 			TTL:             cfg.TTL,
@@ -125,7 +134,12 @@ func (s *Service) ServeExtract(ctx context.Context, sourceKey string, pages []st
 		s.ex.obs.CountL("serve.errors", 1, src, obs.L("kind", errKind(err)))
 		return nil, err
 	}
-	per, err := w.ExtractBatchContext(ctx, pages)
+	var per [][]*Object
+	if s.noStrm {
+		per, err = w.ExtractBatchContext(ctx, pages)
+	} else {
+		per, err = w.ExtractStreamBatchContext(ctx, pages)
+	}
 	if err != nil {
 		s.ex.obs.CountL("serve.errors", 1, src, obs.L("kind", errKind(err)))
 		return nil, err
