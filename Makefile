@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test fmt fmt-check ci check bench bench-smoke bench-load bench-cluster bench-guard bench-baseline trace clean
+.PHONY: build test fmt fmt-check ci check bench bench-smoke bench-load bench-cluster bench-guard bench-baseline profile trace clean
 
 build:
 	$(GO) build ./...
@@ -53,7 +53,7 @@ check: ci
 # on success, so a failed run never truncates the previous record.
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
-	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchmem -run XXX . > BENCH_parallel.json.tmp
+	$(GO) test -json -bench='^Benchmark(WrapParallel|AnalyzeFixpoint)$$' -benchmem -run XXX . > BENCH_parallel.json.tmp
 	mv BENCH_parallel.json.tmp BENCH_parallel.json
 	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchmem -run XXX . > BENCH_serve.json.tmp
 	mv BENCH_serve.json.tmp BENCH_serve.json
@@ -65,7 +65,7 @@ bench:
 # as an artifact but asserts nothing about the numbers. -benchmem keeps
 # allocs/op in the smoke record too.
 bench-smoke:
-	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchtime=1x -benchmem -run XXX . > BENCH_parallel.json.tmp
+	$(GO) test -json -bench='^Benchmark(WrapParallel|AnalyzeFixpoint)$$' -benchtime=1x -benchmem -run XXX . > BENCH_parallel.json.tmp
 	mv BENCH_parallel.json.tmp BENCH_parallel.json
 	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchtime=1x -benchmem -run XXX . > BENCH_serve.json.tmp
 	mv BENCH_serve.json.tmp BENCH_serve.json
@@ -90,7 +90,7 @@ GUARD_TOLERANCE ?= 0.20
 GUARD_ALLOC_TOLERANCE ?= 0
 
 bench-guard:
-	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > BENCH_parallel.json.tmp
+	$(GO) test -json -bench='^Benchmark(WrapParallel|AnalyzeFixpoint)$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > BENCH_parallel.json.tmp
 	mv BENCH_parallel.json.tmp BENCH_parallel.json
 	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > BENCH_serve.json.tmp
 	mv BENCH_serve.json.tmp BENCH_serve.json
@@ -102,10 +102,18 @@ bench-guard:
 # new baselines (run after a PR that legitimately moves the numbers, on
 # the machine whose numbers the guard should trust).
 bench-baseline:
-	$(GO) test -json -bench='^BenchmarkWrapParallel$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > bench/baseline/BENCH_parallel.json.tmp
+	$(GO) test -json -bench='^Benchmark(WrapParallel|AnalyzeFixpoint)$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > bench/baseline/BENCH_parallel.json.tmp
 	mv bench/baseline/BENCH_parallel.json.tmp bench/baseline/BENCH_parallel.json
 	$(GO) test -json -bench='^BenchmarkServeCache$$' -benchtime=$(GUARD_BENCHTIME) -count=$(GUARD_COUNT) -benchmem -run XXX . > bench/baseline/BENCH_serve.json.tmp
 	mv bench/baseline/BENCH_serve.json.tmp bench/baseline/BENCH_serve.json
+
+# profile regenerates the committed wrap-path CPU profile
+# (bench/profile/wrap_workers4.prof) that bench/profile/README.md
+# narrates: the full Wrap + ExtractBatch path at workers=4 over 50
+# iterations. Re-run it after changes that move the inference profile,
+# then refresh the README's numbers.
+profile:
+	$(GO) test -bench='^BenchmarkWrapParallel$$/workers=4' -benchtime=50x -run XXX -cpuprofile bench/profile/wrap_workers4.prof .
 
 # bench-load records serving-tier latency under load: it starts a real
 # objectrunnerd over a sitegen corpus and replays it open-loop with

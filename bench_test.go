@@ -374,6 +374,46 @@ func BenchmarkEquivalenceClassAnalysis(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeFixpoint measures the staged Algorithm 2 core the way
+// the wrapper drives it: one Base build per corpus (interning,
+// criterion-i roles, first-round validation), then one resumed fixpoint
+// run per support value in [3,5] — the support-variation loop's analysis
+// work, minus template construction. allocs/op guards the flat-buffer
+// role passes against regressing into per-occurrence allocations.
+func BenchmarkAnalyzeFixpoint(b *testing.B) {
+	env := benchEnvironment(b)
+	src, dd, err := env.B.FindSource("concerts", "eventorb (list)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := mustRecs(b, env, dd)
+	var sample [][]*eqclass.Occurrence
+	for i, p := range src.Pages {
+		pa := annotate.AnnotatePage(p, recs)
+		sample = append(sample, eqclass.TokenizePage(p, pa, i))
+	}
+	params := eqclass.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := make([][]*eqclass.Occurrence, len(sample))
+		for j, page := range sample {
+			fresh[j] = eqclass.CopyPage(page)
+		}
+		pp := params
+		pp.Support = 3
+		base := eqclass.NewBase(fresh, pp, nil, nil)
+		for support := 3; support <= 5; support++ {
+			pr := pp
+			pr.Support = support
+			a := base.Analyze(pr, nil, nil)
+			if len(a.EQs) == 0 {
+				b.Fatal("no classes")
+			}
+		}
+	}
+}
+
 // BenchmarkDictionaryFind measures gazetteer scanning over page-sized
 // text.
 func BenchmarkDictionaryFind(b *testing.B) {

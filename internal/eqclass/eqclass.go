@@ -1,12 +1,14 @@
 package eqclass
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
 	"objectrunner/internal/obs"
+	"objectrunner/internal/parallel"
 	"objectrunner/internal/symtab"
 )
 
@@ -24,11 +26,34 @@ type Params struct {
 	// UseAnnotations enables the semantic criteria. Disabling it yields
 	// the pure ExAlg-style baseline behaviour.
 	UseAnnotations bool
+	// Workers bounds the fan-out of the analysis passes inside the
+	// fixpoint (role re-keying, occurrence-vector counting, annotation
+	// labelling, scope painting). 0 (the default) means one worker per
+	// available CPU; 1 forces the sequential path. Role numbering — and
+	// therefore every downstream artifact — is byte-identical at any
+	// worker count.
+	Workers int
 }
 
 // DefaultParams mirrors the paper's configuration.
 func DefaultParams() Params {
 	return Params{Support: 3, AnnThreshold: 0.7, MaxIter: 10, UseAnnotations: true}
+}
+
+// normalized fills unset fields with the paper's defaults and resolves
+// the worker count.
+func (p Params) normalized() Params {
+	if p.Support <= 0 {
+		p.Support = 3
+	}
+	if p.AnnThreshold <= 0 {
+		p.AnnThreshold = 0.7
+	}
+	if p.MaxIter <= 0 {
+		p.MaxIter = 10
+	}
+	p.Workers = parallel.Workers(p.Workers)
+	return p
 }
 
 // Tuple is one repetition of an equivalence class on a page: the token
@@ -113,6 +138,18 @@ type Analysis struct {
 	// calls (role-indexed membership bitmap; per-page member collector).
 	inClass []bool
 	occsBuf []*Occurrence
+	// pageOff is the flat occurrence layout (see initLayout), shared
+	// with the Base the analysis resumed from.
+	pageOff []int
+	// stats caches the per-role aggregation of the most recent
+	// findEQs/shard for the annotation pass of the following
+	// differentiate call; any role renumbering invalidates it.
+	stats []roleStat
+	// labelsBuf and perOccBuf are flat per-occurrence buffers (annotation
+	// label syms; worker-local key ids) reused across differentiate and
+	// assignRolesBy calls.
+	labelsBuf []symtab.Sym
+	perOccBuf []int32
 }
 
 // roleCount returns the number of distinct roles currently assigned.
@@ -123,6 +160,9 @@ func (a *Analysis) Table() *symtab.Table { return a.tab }
 
 // total returns the token count across all pages.
 func (a *Analysis) total() int {
+	if a.pageOff != nil {
+		return a.pageOff[len(a.Pages)]
+	}
 	n := 0
 	for _, page := range a.Pages {
 		n += len(page)
@@ -150,86 +190,14 @@ func AnalyzeObserved(pages [][]*Occurrence, p Params, hook func(a *Analysis) boo
 // AnalyzeTable is AnalyzeObserved interning into a caller-supplied symbol
 // table (nil creates a private one). Occurrences already carrying symbols
 // must have been interned against the same table; they are not re-interned.
+// It is the staged core run end to end for a single support value: build
+// the per-corpus Base snapshot, then run the fixpoint in place on the
+// caller's pages (their occurrences carry the final role assignment).
+// Callers that vary the support should build the Base once and call its
+// Analyze per value instead.
 func AnalyzeTable(pages [][]*Occurrence, p Params, hook func(a *Analysis) bool, ob *obs.Observer, tab *symtab.Table) *Analysis {
-	if p.Support <= 0 {
-		p.Support = 3
-	}
-	if p.AnnThreshold <= 0 {
-		p.AnnThreshold = 0.7
-	}
-	if p.MaxIter <= 0 {
-		p.MaxIter = 10
-	}
-	if tab == nil {
-		tab = symtab.New()
-	}
-	InternPages(tab, pages)
-	a := &Analysis{Pages: pages, params: p, obs: ob, tab: tab}
-
-	// Line 1: differentiate roles using HTML features (value + DOM path).
-	// Annotated words are shielded from template candidacy so that
-	// too-regular data ("New York") stays extractable (paper §II.C).
-	a.assignRoles(baseKey)
-	ob.Event("eqclass.step", obs.A("step", "i-html"), obs.A("roles", a.roleCount()))
-
-	aborted := false
-	generation := 0
-	for iter := 0; iter < p.MaxIter; iter++ {
-		a.Iterations = iter + 1
-		changedOuter := false
-		// Inner fixpoint: EQs + non-conflicting annotations.
-		for inner := 0; inner < p.MaxIter; inner++ {
-			a.EQs = a.findEQs()
-			// Handle invalid EQs: classes straddling other classes'
-			// separators are discarded, freeing their roles for further
-			// differentiation.
-			BuildHierarchy(a)
-			if hook != nil && !hook(a) {
-				aborted = true
-				ob.Count("eqclass.early_stops", 1)
-				ob.Event("eqclass.early_stop", obs.A("iteration", a.Iterations), obs.A("eqs", len(a.EQs)))
-				break
-			}
-			generation++
-			changed := a.differentiate(false, generation)
-			// Steps ii-iii run fused: positional (EQ + ordinal) keys and
-			// non-conflicting annotation labels in one recomputation.
-			ob.Event("eqclass.step", obs.A("step", "ii-iii-positional+nonconflicting"),
-				obs.A("iteration", a.Iterations), obs.A("roles", a.roleCount()),
-				obs.A("eqs", len(a.EQs)), obs.A("changed", changed))
-			if changed {
-				changedOuter = true
-				continue
-			}
-			break
-		}
-		if aborted {
-			break
-		}
-		// Conflicting annotations.
-		if p.UseAnnotations {
-			generation++
-			changed := a.differentiate(true, generation)
-			ob.Event("eqclass.step", obs.A("step", "iv-conflicting"),
-				obs.A("iteration", a.Iterations), obs.A("roles", a.roleCount()),
-				obs.A("conflicts", a.Conflicts), obs.A("changed", changed))
-			if changed {
-				changedOuter = true
-			}
-		}
-		if !changedOuter {
-			break
-		}
-	}
-	if !aborted {
-		a.EQs = a.findEQs()
-	}
-	BuildHierarchy(a)
-	// Extraction-time separator ordinals are only needed on the final
-	// hierarchy.
-	computeDescOrdinals(a)
-	ob.Count("eqclass.conflicts", int64(a.Conflicts))
-	return a
+	b := NewBase(pages, p, ob, tab)
+	return b.analyzeInPlace(hook, ob)
 }
 
 // roleKey is the comparable role-differentiation key. kind/val/pth are
@@ -292,86 +260,6 @@ func (a *Analysis) templateCandidate(o *Occurrence) bool {
 	return true
 }
 
-// assignRoles recomputes role ids from a key function. It reports whether
-// the induced partition of occurrences changed — ids themselves may be
-// relabelled freely (keys carry generation tags), so change is detected
-// as a broken old↔new bijection. Role ids are dense and deterministic.
-// The key function is called exactly once per occurrence, in page and
-// position order (key functions may be stateful — ordinal counters).
-func (a *Analysis) assignRoles(key func(*Occurrence) roleKey) bool {
-	perOcc := make([]roleKey, 0, a.total())
-	id := make(map[roleKey]int, len(a.roleKeys)+16)
-	keys := make([]roleKey, 0, len(a.roleKeys)+16)
-	for _, page := range a.Pages {
-		for _, o := range page {
-			k := key(o)
-			perOcc = append(perOcc, k)
-			if _, ok := id[k]; !ok {
-				id[k] = 0
-				keys = append(keys, k)
-			}
-		}
-	}
-	legacy := make([]string, len(keys))
-	for i, k := range keys {
-		legacy[i] = a.legacyString(k)
-	}
-	sort.Sort(&keySorter{keys: keys, legacy: legacy})
-	for i, k := range keys {
-		id[k] = i
-	}
-	oldRoles := len(a.roleKeys)
-	if oldRoles == 0 {
-		oldRoles = 1 // initial assignment: every occurrence has role 0
-	}
-	oldToNew := make([]int, oldRoles)
-	newToOld := make([]int, len(keys))
-	for i := range oldToNew {
-		oldToNew[i] = -1
-	}
-	for i := range newToOld {
-		newToOld[i] = -1
-	}
-	changed := false
-	i := 0
-	for _, page := range a.Pages {
-		for _, o := range page {
-			r := id[perOcc[i]]
-			i++
-			if n := oldToNew[o.role]; n >= 0 {
-				if n != r {
-					changed = true
-				}
-			} else {
-				oldToNew[o.role] = r
-			}
-			if old := newToOld[r]; old >= 0 {
-				if old != o.role {
-					changed = true
-				}
-			} else {
-				newToOld[r] = o.role
-			}
-			o.role = r
-		}
-	}
-	a.roleKeys = keys
-	return changed
-}
-
-// keySorter orders role keys with their legacy string forms in lockstep.
-type keySorter struct {
-	keys   []roleKey
-	legacy []string
-}
-
-func (s *keySorter) Len() int           { return len(s.keys) }
-func (s *keySorter) Less(i, j int) bool { return s.legacy[i] < s.legacy[j] }
-func (s *keySorter) Swap(i, j int) {
-	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
-	s.legacy[i], s.legacy[j] = s.legacy[j], s.legacy[i]
-}
-
 // roleStat aggregates a role's occurrence vector, page coverage, and
 // occurrences (page order then position). Roles are dense, so analysis
 // passes index a flat []roleStat instead of hashing role keys.
@@ -383,59 +271,42 @@ type roleStat struct {
 }
 
 // findEQs groups template-candidate roles by occurrence vector, validates
-// order and nesting, and returns the valid equivalence classes.
+// order and nesting, and returns the valid equivalence classes. The
+// per-role aggregation is cached on the analysis for the annotation pass
+// of the following differentiate call.
 func (a *Analysis) findEQs() []*EQ {
-	np := len(a.Pages)
-	support := a.params.Support
-	if support > np {
+	stats := a.computeRoleStats()
+	a.stats = stats
+	return a.classesFrom(stats, a.params.Support)
+}
+
+// classesFrom runs the grouping + validation half of findEQs on an
+// existing per-role aggregation, for one support value.
+func (a *Analysis) classesFrom(stats []roleStat, support int) []*EQ {
+	if np := len(a.Pages); support > np {
 		support = np
 	}
-	// Occurrence vectors and page coverage per role: dense slices indexed
-	// by role id, with one shared backing array per field.
-	n := a.roleCount()
-	stats := make([]roleStat, n)
-	vecs := make([]int, n*np)
-	for r := range stats {
-		stats[r].vector = vecs[r*np : (r+1)*np : (r+1)*np]
-		stats[r].cand = true
-	}
-	for pi, page := range a.Pages {
-		for _, o := range page {
-			st := &stats[o.role]
-			if st.vector[pi] == 0 {
-				st.pages++
-			}
-			st.vector[pi]++
-			if !a.templateCandidate(o) {
-				st.cand = false
-			}
+	var eqs []*EQ
+	for _, roles := range groupRoles(stats, support) {
+		out, invalid := a.salvageEQs(roles, stats)
+		if invalid {
+			a.countInvalidGroup(len(roles))
+		}
+		for _, eq := range out {
+			eq.ID = len(eqs) + 1
+			eqs = append(eqs, eq)
 		}
 	}
-	// Carve per-role occurrence lists out of one arena now that counts are
-	// known, then fill them in page order.
-	counts := make([]int, n)
-	total := 0
-	for r := range stats {
-		for _, c := range stats[r].vector {
-			counts[r] += c
-		}
-		total += counts[r]
-	}
-	occArena := make([]*Occurrence, 0, total)
-	off := 0
-	for r := range stats {
-		stats[r].occs = occArena[off : off : off+counts[r]]
-		off += counts[r]
-	}
-	for _, page := range a.Pages {
-		for _, o := range page {
-			stats[o.role].occs = append(stats[o.role].occs, o)
-		}
-	}
-	// Group candidate roles by vector. The group key replicates the
-	// fmt.Sprint([]int) form "[1 2 3]" — group order is sorted on this
-	// string and determines class ids, which are visible in reports, so
-	// the historical ordering is load-bearing.
+	return eqs
+}
+
+// groupRoles returns the template-candidate role groups (same occurrence
+// vector, page coverage >= support) in sorted vector-key order; each
+// group lists its roles in ascending id order. The group key replicates
+// the fmt.Sprint([]int) form "[1 2 3]" — group order is sorted on this
+// string and determines class ids, which are visible in reports, so the
+// historical ordering is load-bearing.
+func groupRoles(stats []roleStat, support int) [][]int {
 	groups := make(map[string][]int)
 	var buf []byte
 	for r := range stats {
@@ -452,18 +323,29 @@ func (a *Analysis) findEQs() []*EQ {
 		gkeys = append(gkeys, k)
 	}
 	sort.Strings(gkeys)
-
-	var eqs []*EQ
+	out := make([][]int, 0, len(gkeys))
 	for _, gk := range gkeys {
-		// Roles were appended in increasing id order, so each group is
-		// already sorted.
-		roles := groups[gk]
-		for _, eq := range a.salvageEQs(roles, stats) {
-			eq.ID = len(eqs) + 1
-			eqs = append(eqs, eq)
-		}
+		out = append(out, groups[gk])
 	}
-	return eqs
+	return out
+}
+
+// countInvalidGroup records one same-vector group failing the ordered-
+// and-nested test (invalid-EQ accounting).
+func (a *Analysis) countInvalidGroup(roles int) {
+	a.obs.Count("eqclass.invalid_eqs", 1)
+	a.obs.Event("eqclass.invalid_eq", obs.A("roles", roles))
+}
+
+// cloneForRun copies a base prototype class for one analysis run: the
+// immutable parts (roles, vector, tuples) are shared across runs, the
+// descriptors are copied (computeDescOrdinals mutates their ordinals),
+// and the hierarchy links start zero-valued exactly like a class fresh
+// out of validateEQ (BuildHierarchy fills them per run).
+func (e *EQ) cloneForRun() *EQ {
+	descs := make([]Desc, len(e.Descs))
+	copy(descs, e.Descs)
+	return &EQ{Roles: e.Roles, Descs: descs, Vector: e.Vector, Tuples: e.Tuples}
 }
 
 // appendVector formats an occurrence vector exactly like
@@ -484,16 +366,16 @@ func appendVector(buf []byte, v []int) []byte {
 // test — typically because a data word coincidentally shares the vector —
 // progressively smaller subgroups are retried: the tag tokens alone, then
 // the tag tokens partitioned by DOM path. Members excluded from a class
-// simply remain data.
-func (a *Analysis) salvageEQs(roles []int, stats []roleStat) []*EQ {
+// simply remain data. The invalid flag reports that salvage was entered;
+// the caller owns the accounting (countInvalidGroup), so the base
+// snapshot can validate once and re-report per sharded run.
+func (a *Analysis) salvageEQs(roles []int, stats []roleStat) (out []*EQ, invalid bool) {
 	vector := stats[roles[0]].vector
 	if eq := a.validateEQ(roles, vector); eq != nil {
-		return []*EQ{eq}
+		return []*EQ{eq}, false
 	}
-	// Invalid-EQ accounting: the same-vector group failed the
-	// ordered-and-nested test and enters progressive salvage.
-	a.obs.Count("eqclass.invalid_eqs", 1)
-	a.obs.Event("eqclass.invalid_eq", obs.A("roles", len(roles)))
+	// The same-vector group failed the ordered-and-nested test and enters
+	// progressive salvage.
 	// Each role's first occurrence (page order) is its representative for
 	// kind and path.
 	rep := func(r int) *Occurrence { return stats[r].occs[0] }
@@ -505,11 +387,11 @@ func (a *Analysis) salvageEQs(roles []int, stats []roleStat) []*EQ {
 	}
 	if len(tags) > 0 && len(tags) < len(roles) {
 		if eq := a.validateEQ(tags, vector); eq != nil {
-			return []*EQ{eq}
+			return []*EQ{eq}, true
 		}
 	}
 	if len(tags) < 2 {
-		return nil
+		return nil, true
 	}
 	byPath := make(map[string][]int)
 	for _, r := range tags {
@@ -520,14 +402,13 @@ func (a *Analysis) salvageEQs(roles []int, stats []roleStat) []*EQ {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
-	var out []*EQ
 	for _, p := range paths {
 		// Subgroups inherit the ascending role order of tags.
 		if eq := a.validateEQ(byPath[p], vector); eq != nil {
 			out = append(out, eq)
 		}
 	}
-	return out
+	return out, true
 }
 
 // validateEQ checks the ordered-and-nested property: on every page the
@@ -611,22 +492,24 @@ type scope struct {
 	slot  int // interior slot index
 }
 
+// gap is one interior slot span of a class tuple, to be painted into the
+// page's scope row.
+type gap struct {
+	from, to int // token positions, exclusive bounds
+	sc       scope
+}
+
 // computeScopes paints, for every page position, the innermost (EQ,
 // tuple, slot) containing it. Wider gaps are painted first so inner
-// classes overwrite outer ones.
+// classes overwrite outer ones. Gaps never span pages, so the painting
+// fans out per page; the per-page sort (width desc, position, class,
+// slot) is exactly the historical global order restricted to one page,
+// and it is total — same-width overlapping gaps always paint in the same
+// order regardless of worker count.
 func (a *Analysis) computeScopes() [][]scope {
-	scopes := make([][]scope, len(a.Pages))
-	for pi, page := range a.Pages {
-		scopes[pi] = make([]scope, len(page))
-		for i := range scopes[pi] {
-			scopes[pi][i] = scope{eq: -1}
-		}
-	}
-	type gap struct {
-		page, from, to int // token positions, exclusive bounds
-		sc             scope
-	}
-	var gaps []gap
+	np := len(a.Pages)
+	scopes := make([][]scope, np)
+	byPage := make([][]gap, np)
 	for _, eq := range a.EQs {
 		if eq.K() < 2 {
 			continue
@@ -634,8 +517,7 @@ func (a *Analysis) computeScopes() [][]scope {
 		for pi, tups := range eq.Tuples {
 			for ti, t := range tups {
 				for s := 0; s+1 < len(t.Positions); s++ {
-					gaps = append(gaps, gap{
-						page: pi,
+					byPage[pi] = append(byPage[pi], gap{
 						from: t.Positions[s],
 						to:   t.Positions[s+1],
 						sc:   scope{eq: eq.ID, tuple: ti, slot: s},
@@ -644,31 +526,31 @@ func (a *Analysis) computeScopes() [][]scope {
 			}
 		}
 	}
-	// Wider gaps first; equal widths are fully ordered (page, position,
-	// class, slot) so that overlapping same-width gaps always paint in
-	// the same order — sort.Slice is not stable and the paint order is
-	// visible in the scopes.
-	sort.Slice(gaps, func(i, j int) bool {
-		if wi, wj := gaps[i].to-gaps[i].from, gaps[j].to-gaps[j].from; wi != wj {
-			return wi > wj
+	parallel.ForEach(a.params.Workers, np, func(pi int) {
+		row := make([]scope, len(a.Pages[pi]))
+		for i := range row {
+			row[i] = scope{eq: -1}
 		}
-		if gaps[i].page != gaps[j].page {
-			return gaps[i].page < gaps[j].page
+		gaps := byPage[pi]
+		sort.Slice(gaps, func(i, j int) bool {
+			if wi, wj := gaps[i].to-gaps[i].from, gaps[j].to-gaps[j].from; wi != wj {
+				return wi > wj
+			}
+			if gaps[i].from != gaps[j].from {
+				return gaps[i].from < gaps[j].from
+			}
+			if gaps[i].sc.eq != gaps[j].sc.eq {
+				return gaps[i].sc.eq < gaps[j].sc.eq
+			}
+			return gaps[i].sc.slot < gaps[j].sc.slot
+		})
+		for _, g := range gaps {
+			for p := g.from + 1; p < g.to; p++ {
+				row[p] = g.sc
+			}
 		}
-		if gaps[i].from != gaps[j].from {
-			return gaps[i].from < gaps[j].from
-		}
-		if gaps[i].sc.eq != gaps[j].sc.eq {
-			return gaps[i].sc.eq < gaps[j].sc.eq
-		}
-		return gaps[i].sc.slot < gaps[j].sc.slot
+		scopes[pi] = row
 	})
-	for _, g := range gaps {
-		row := scopes[g.page]
-		for p := g.from + 1; p < g.to; p++ {
-			row[p] = g.sc
-		}
-	}
 	return scopes
 }
 
@@ -727,82 +609,135 @@ func (a *Analysis) differentiate(conflicting bool, generation int) bool {
 
 	// Ordinal bounds: for each free (role, class, slot), the minimal
 	// occurrence count over the tuples that contain the role at all.
-	type rsKey struct {
-		role, eq, slot int
-	}
-	tupleCounts := make(map[rsKey]map[[2]int]int) // -> (page,tuple) -> count
-	for pi, page := range a.Pages {
-		for i, o := range page {
-			sc := scopes[pi][i]
-			if sc.eq < 0 || frozen[o.role] {
-				continue
-			}
-			k := rsKey{o.role, sc.eq, sc.slot}
-			if tupleCounts[k] == nil {
-				tupleCounts[k] = make(map[[2]int]int)
-			}
-			tupleCounts[k][[2]int{pi, sc.tuple}]++
-		}
-	}
-	minPerSlot := make(map[rsKey]int)
-	for k, m := range tupleCounts {
-		min := -1
-		for _, c := range m {
-			if min < 0 || c < min {
-				min = c
-			}
-		}
-		minPerSlot[k] = min
-	}
+	minPerSlot := a.slotMinima(scopes, frozen)
 
 	// Annotation labels per occurrence. Annotations apply to frozen roles
 	// too: a frozen iterator class whose token occurrences carry distinct
 	// types (the classless record <div>s) must still be differentiated —
 	// freezing only shields roles from positional re-splitting.
-	annLabel := a.annotationLabels(conflicting)
+	labels := a.annotationSyms(conflicting)
 
 	// Recompute keys: frozen roles keep their previous key modulo the
 	// annotation label; free occurrences get base + scope/ordinal +
 	// annotation label, tagged with the generation so stale keys from
-	// earlier class ids cannot collide.
-	type ordScope struct {
-		page, eq, tuple, slot, role int
-	}
-	ordinalSeen := make(map[ordScope]int)
-	key := func(o *Occurrence) roleKey {
-		if frozen[o.role] {
-			k := a.roleKeys[o.role]
-			k.ann = symtab.None
-			if lbl, ok := annLabel[o]; ok {
-				k.ann = a.tab.Intern(lbl)
+	// earlier class ids cannot collide. Each worker gets its own ordinal
+	// counters — they are page-scoped (ordScope carries the page), so
+	// page-aligned chunks count exactly like one sequential pass.
+	gen := int32(generation)
+	return a.assignRolesBy(func() func(*Occurrence) roleKey {
+		ordinalSeen := make(map[ordScope]int)
+		return func(o *Occurrence) roleKey {
+			var ann symtab.Sym
+			if labels != nil {
+				ann = labels[a.pageOff[o.Page]+o.Pos]
 			}
+			if frozen[o.role] {
+				k := a.roleKeys[o.role]
+				k.ann = ann
+				return k
+			}
+			sc := scopes[o.Page][o.Pos]
+			k := baseKey(o)
+			if sc.eq >= 0 {
+				m := minPerSlot[rsKey{o.role, sc.eq, sc.slot}]
+				os := ordScope{o.Page, sc.eq, sc.tuple, sc.slot, o.role}
+				ordinalSeen[os]++
+				ord := ordinalSeen[os]
+				if ord > m {
+					ord = m + 1 // overflow bucket beyond the minimal count
+				}
+				k.gen = gen
+				k.eq = int32(sc.eq)
+				k.slot = int32(sc.slot)
+				k.ord = int32(ord)
+			}
+			k.ann = ann
 			return k
 		}
-		sc := scopes[o.Page][o.Pos]
-		k := baseKey(o)
-		if sc.eq >= 0 {
-			m := minPerSlot[rsKey{o.role, sc.eq, sc.slot}]
-			os := ordScope{o.Page, sc.eq, sc.tuple, sc.slot, o.role}
-			ordinalSeen[os]++
-			ord := ordinalSeen[os]
-			if ord > m {
-				ord = m + 1 // overflow bucket beyond the minimal count
-			}
-			k.gen = int32(generation)
-			k.eq = int32(sc.eq)
-			k.slot = int32(sc.slot)
-			k.ord = int32(ord)
-		}
-		if lbl, ok := annLabel[o]; ok {
-			k.ann = a.tab.Intern(lbl)
-		}
-		return k
-	}
-	return a.assignRoles(key)
+	})
 }
 
-// annotationLabels decides, per occurrence, the annotation label used for
-// role differentiation of free (non-frozen) roles.
+// rsKey identifies a free role within one slot of one class, for the
+// ordinal bounds of positional differentiation.
+type rsKey struct {
+	role, eq, slot int
+}
+
+// ordScope scopes an ordinal counter to one role inside one tuple slot
+// on one page.
+type ordScope struct {
+	page, eq, tuple, slot, role int
+}
+
+// slotMinima computes, for each free (role, class, slot), the minimal
+// occurrence count over the (page, tuple) pairs containing the role.
+// Tuples never span pages, so per-chunk partial minima merge by min —
+// commutative, hence worker-count independent.
+func (a *Analysis) slotMinima(scopes [][]scope, frozen []bool) map[rsKey]int {
+	np := len(a.Pages)
+	// A key's occurrences of one class repetition are contiguous in page
+	// position order (tuples of a class never interleave), so the
+	// per-(page,tuple) counts reduce by run-length without a nested map.
+	type slotAgg struct {
+		page, tuple int32 // identity of the current run
+		count       int32 // occurrences in the current run
+		min         int32 // min over finalized runs; -1 until one finishes
+	}
+	locals, _ := parallel.MapWorkersCtx(nil, a.params.Workers, np,
+		func(_ context.Context, _ int, c parallel.Chunk) (map[rsKey]int, error) {
+			aggs := make(map[rsKey]slotAgg)
+			for pi := c.Lo; pi < c.Hi; pi++ {
+				for i, o := range a.Pages[pi] {
+					sc := scopes[pi][i]
+					if sc.eq < 0 || frozen[o.role] {
+						continue
+					}
+					k := rsKey{o.role, sc.eq, sc.slot}
+					ag, ok := aggs[k]
+					if !ok {
+						aggs[k] = slotAgg{page: int32(pi), tuple: int32(sc.tuple), count: 1, min: -1}
+						continue
+					}
+					if ag.page == int32(pi) && ag.tuple == int32(sc.tuple) {
+						ag.count++
+					} else {
+						if ag.min < 0 || ag.count < ag.min {
+							ag.min = ag.count
+						}
+						ag.page, ag.tuple, ag.count = int32(pi), int32(sc.tuple), 1
+					}
+					aggs[k] = ag
+				}
+			}
+			local := make(map[rsKey]int, len(aggs))
+			for k, ag := range aggs {
+				m := ag.count // the open run is a run like any other
+				if ag.min >= 0 && ag.min < m {
+					m = ag.min
+				}
+				local[k] = int(m)
+			}
+			return local, nil
+		})
+	if len(locals) == 0 {
+		return map[rsKey]int{}
+	}
+	out := locals[0]
+	for _, local := range locals[1:] {
+		for k, m := range local {
+			if cur, ok := out[k]; !ok || m < cur {
+				out[k] = m
+			}
+		}
+	}
+	return out
+}
+
+// annotationSyms decides, per occurrence, the annotation label used for
+// role differentiation, as interned symbols in a flat buffer indexed by
+// the pageOff layout (symtab.None = unlabelled; labels are non-empty
+// type names, so None is unambiguous). Returns nil when annotations are
+// disabled.
 //
 // Non-conflicting phase: a role whose occurrences carry one consistent
 // type is labelled wholesale when the annotated share reaches
@@ -814,121 +749,129 @@ func (a *Analysis) differentiate(conflicting bool, generation int) bool {
 // Conflicting phase: deferred roles are resolved by majority
 // generalization at AnnThreshold; overridden or unresolved annotations
 // are counted as conflicts (the wrapper's quality estimate).
-func (a *Analysis) annotationLabels(conflicting bool) map[*Occurrence]string {
-	labels := make(map[*Occurrence]string)
+//
+// Decisions are independent per role, so the pass fans out across role
+// chunks: every occurrence has exactly one role, hence exactly one
+// writer for its label slot, and per-worker conflict counts merge by sum
+// (commutative). Type names were pre-interned by NewBase, so the
+// concurrent Intern calls all take the table's read path.
+func (a *Analysis) annotationSyms(conflicting bool) []symtab.Sym {
 	if !a.params.UseAnnotations {
-		return labels
+		return nil
 	}
 	if conflicting {
 		// Conflicts reflect the current role assignment; recount on each
 		// conflicting pass rather than accumulating across passes.
 		a.Conflicts = 0
 	}
-	// Group occurrences by role: count, carve from one arena, fill —
-	// roles are dense, so every pass is a slice index.
-	n := a.roleCount()
-	counts := make([]int, n)
-	total := 0
-	for _, page := range a.Pages {
-		total += len(page)
-		for _, o := range page {
-			counts[o.role]++
-		}
+	// Group occurrences by role, reusing the aggregation of the findEQs
+	// (or shard) round this differentiate call follows when still valid.
+	stats := a.stats
+	if stats == nil {
+		stats = a.computeRoleStats()
 	}
-	arena := make([]*Occurrence, 0, total)
-	byRole := make([][]*Occurrence, n)
-	off := 0
-	for r := range byRole {
-		byRole[r] = arena[off : off : off+counts[r]]
-		off += counts[r]
+	total := a.total()
+	if cap(a.labelsBuf) < total {
+		a.labelsBuf = make([]symtab.Sym, total)
 	}
-	for _, page := range a.Pages {
-		for _, o := range page {
-			byRole[o.role] = append(byRole[o.role], o)
-		}
-	}
-	for r := 0; r < n; r++ {
-		occs := byRole[r]
-		hasMulti := false
-		sole := "" // the single type name while len(typeCounts) == 1
-		typeCounts := make(map[string]int)
-		annotated := 0
-		for _, o := range occs {
-			if len(o.Types) > 1 {
-				hasMulti = true
+	labels := a.labelsBuf[:total]
+	clear(labels)
+	n := len(stats)
+	confl, _ := parallel.MapWorkersCtx(nil, a.params.Workers, n,
+		func(_ context.Context, _ int, c parallel.Chunk) (int, error) {
+			conflicts := 0
+			label := func(o *Occurrence, t string) {
+				labels[a.pageOff[o.Page]+o.Pos] = a.tab.Intern(t)
 			}
-			if len(o.Types) > 0 {
-				annotated++
-				for _, t := range o.Types {
-					typeCounts[t]++
+			typeCounts := make(map[string]int) // cleared per role
+			var keys []string
+			for r := c.Lo; r < c.Hi; r++ {
+				occs := stats[r].occs
+				hasMulti := false
+				sole := "" // the single type name while len(typeCounts) == 1
+				clear(typeCounts)
+				annotated := 0
+				for _, o := range occs {
+					if len(o.Types) > 1 {
+						hasMulti = true
+					}
+					if len(o.Types) > 0 {
+						annotated++
+						for _, t := range o.Types {
+							typeCounts[t]++
+						}
+						if len(typeCounts) == 1 {
+							sole = o.Types[0]
+						}
+					}
 				}
-				if len(typeCounts) == 1 {
-					sole = o.Types[0]
+				if annotated == 0 {
+					continue
 				}
-			}
-		}
-		if annotated == 0 {
-			continue
-		}
-		annShare := float64(annotated) / float64(len(occs))
-		if !conflicting {
-			switch {
-			case hasMulti:
-				// Deferred to the conflicting phase.
-			case len(typeCounts) == 1:
-				if annShare >= a.params.AnnThreshold {
+				annShare := float64(annotated) / float64(len(occs))
+				if !conflicting {
+					switch {
+					case hasMulti:
+						// Deferred to the conflicting phase.
+					case len(typeCounts) == 1:
+						if annShare >= a.params.AnnThreshold {
+							for _, o := range occs {
+								label(o, sole)
+							}
+						}
+						// Too sparse to trust: leave unlabelled rather than
+						// splitting annotated from unannotated occurrences.
+					default:
+						// Several distinct types share the role (the classless
+						// <div>s of the running example): split the annotated
+						// occurrences by their type; unannotated ones stay in
+						// the base role. This is how annotations differentiate
+						// roles that positions alone cannot (paper §III.C).
+						for _, o := range occs {
+							if t := o.SingleType(); t != "" {
+								label(o, t)
+							}
+						}
+					}
+					continue
+				}
+				// Conflicting phase: majority generalization over the role.
+				best, bestCount, annTotal := "", 0, 0
+				keys = keys[:0]
+				for t := range typeCounts {
+					keys = append(keys, t)
+				}
+				sort.Strings(keys)
+				for _, t := range keys {
+					c := typeCounts[t]
+					annTotal += c
+					if c > bestCount {
+						best, bestCount = t, c
+					}
+				}
+				if len(typeCounts) == 1 && !hasMulti {
+					// Consistent but possibly sparse; nothing conflicting here.
+					if annShare >= a.params.AnnThreshold {
+						for _, o := range occs {
+							label(o, best)
+						}
+					}
+					continue
+				}
+				if float64(bestCount)/float64(annTotal) >= a.params.AnnThreshold {
+					conflicts += annTotal - bestCount
 					for _, o := range occs {
-						labels[o] = sole
+						label(o, best)
 					}
+					continue
 				}
-				// Too sparse to trust: leave unlabelled rather than
-				// splitting annotated from unannotated occurrences.
-			default:
-				// Several distinct types share the role (the classless
-				// <div>s of the running example): split the annotated
-				// occurrences by their type; unannotated ones stay in
-				// the base role. This is how annotations differentiate
-				// roles that positions alone cannot (paper §III.C).
-				for _, o := range occs {
-					if t := o.SingleType(); t != "" {
-						labels[o] = t
-					}
-				}
+				// Unresolvable: count the conflict, leave occurrences unlabeled.
+				conflicts += annTotal
 			}
-			continue
-		}
-		// Conflicting phase: majority generalization over the role.
-		best, bestCount, annTotal := "", 0, 0
-		keys := make([]string, 0, len(typeCounts))
-		for t := range typeCounts {
-			keys = append(keys, t)
-		}
-		sort.Strings(keys)
-		for _, t := range keys {
-			c := typeCounts[t]
-			annTotal += c
-			if c > bestCount {
-				best, bestCount = t, c
-			}
-		}
-		if len(typeCounts) == 1 && !hasMulti {
-			// Consistent but possibly sparse; nothing conflicting here.
-			if annShare >= a.params.AnnThreshold {
-				for _, o := range occs {
-					labels[o] = best
-				}
-			}
-			continue
-		}
-		if float64(bestCount)/float64(annTotal) >= a.params.AnnThreshold {
-			a.Conflicts += annTotal - bestCount
-			for _, o := range occs {
-				labels[o] = best
-			}
-			continue
-		}
-		// Unresolvable: count the conflict, leave occurrences unlabeled.
-		a.Conflicts += annTotal
+			return conflicts, nil
+		})
+	for _, c := range confl {
+		a.Conflicts += c
 	}
 	return labels
 }

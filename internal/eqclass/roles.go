@@ -1,0 +1,312 @@
+package eqclass
+
+import (
+	"context"
+	"sort"
+
+	"objectrunner/internal/parallel"
+)
+
+// This file holds the data-parallel core of the staged analysis: role
+// re-keying and per-role occurrence aggregation fan out across page
+// chunks via parallel.MapWorkersCtx, with deterministic merges that keep
+// role numbering — and therefore every downstream artifact — byte-
+// identical at any worker count.
+
+// initLayout computes the flat occurrence layout: pageOff[pi] is the
+// global index of page pi's first token, pageOff[len(Pages)] the total.
+// Flat indices let the parallel passes address per-occurrence state
+// (key ids, annotation labels) in shared pre-sized buffers with no
+// cross-worker synchronization: chunks are page-aligned, so workers
+// write disjoint index ranges.
+func (a *Analysis) initLayout() {
+	off := make([]int, len(a.Pages)+1)
+	n := 0
+	for i, page := range a.Pages {
+		off[i] = n
+		n += len(page)
+	}
+	off[len(a.Pages)] = n
+	a.pageOff = off
+}
+
+// assignRolesBy recomputes role ids from per-occurrence keys. mk returns
+// a fresh key function per worker: key functions may be stateful
+// (ordinal counters), and their state is scoped to single pages
+// (ordScope includes the page), so page-aligned chunks see exactly the
+// counts a sequential pass would.
+//
+// Determinism across worker counts: each worker numbers the distinct
+// keys of its chunk in first-seen order; the worker lists are merged
+// left-to-right into one global list, whose order depends on chunk
+// boundaries — but the *set* of distinct keys does not, and the final
+// numbering is assigned by sorting that set on the legacy string form
+// (with a full field-wise tie-break for the pathological case of two
+// distinct keys composing the same string). The sorted numbering is
+// therefore a pure function of the key set, independent of chunking.
+//
+// Like its sequential predecessor, it reports whether the induced
+// partition of occurrences changed — ids may be relabelled freely (keys
+// carry generation tags), so change is detected as a broken old↔new
+// bijection, which is order-independent.
+func (a *Analysis) assignRolesBy(mk func() func(*Occurrence) roleKey) bool {
+	np := len(a.Pages)
+	total := a.total()
+	if cap(a.perOccBuf) < total {
+		a.perOccBuf = make([]int32, total)
+	}
+	perOcc := a.perOccBuf[:total]
+	chunks := parallel.Chunks(a.params.Workers, np)
+	locals, _ := parallel.MapWorkersCtx(nil, a.params.Workers, np,
+		func(_ context.Context, _ int, c parallel.Chunk) ([]roleKey, error) {
+			key := mk()
+			seen := make(map[roleKey]int32, len(a.roleKeys)+16)
+			keys := make([]roleKey, 0, len(a.roleKeys)+16)
+			for pi := c.Lo; pi < c.Hi; pi++ {
+				gi := a.pageOff[pi]
+				for _, o := range a.Pages[pi] {
+					k := key(o)
+					id, ok := seen[k]
+					if !ok {
+						id = int32(len(keys))
+						seen[k] = id
+						keys = append(keys, k)
+					}
+					perOcc[gi] = id
+					gi++
+				}
+			}
+			return keys, nil
+		})
+
+	// Merge the worker-local key lists into a global first-seen list,
+	// remembering each local id's global id.
+	nguess := 0
+	for _, lk := range locals {
+		nguess += len(lk)
+	}
+	idOf := make(map[roleKey]int32, nguess)
+	keys := make([]roleKey, 0, nguess)
+	remap := make([][]int32, len(locals))
+	for w, lk := range locals {
+		rm := make([]int32, len(lk))
+		for li, k := range lk {
+			gid, ok := idOf[k]
+			if !ok {
+				gid = int32(len(keys))
+				idOf[k] = gid
+				keys = append(keys, k)
+			}
+			rm[li] = gid
+		}
+		remap[w] = rm
+	}
+
+	// Final numbering: sort the distinct keys on their legacy string form
+	// (see legacyString — the order is observable through frozen stale
+	// role ids) and compose each worker remap with the sort ranks.
+	legacy := make([]string, len(keys))
+	for i, k := range keys {
+		legacy[i] = a.legacyString(k)
+	}
+	perm := make([]int, len(keys))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool {
+		if legacy[perm[i]] != legacy[perm[j]] {
+			return legacy[perm[i]] < legacy[perm[j]]
+		}
+		return keyLess(keys[perm[i]], keys[perm[j]])
+	})
+	rank := make([]int32, len(keys))
+	sorted := make([]roleKey, len(keys))
+	for newID, old := range perm {
+		rank[old] = int32(newID)
+		sorted[newID] = keys[old]
+	}
+	for _, rm := range remap {
+		for li := range rm {
+			rm[li] = rank[rm[li]]
+		}
+	}
+
+	// Commit pass: rewrite roles in page order, tracking the old↔new
+	// bijection. The boolean outcome is a property of the two partitions,
+	// not of visit order.
+	oldRoles := len(a.roleKeys)
+	if oldRoles == 0 {
+		// Initial assignment: no role keys yet, but occurrences may carry
+		// stale ids from an earlier analysis (pages copied off a consumed
+		// base) — size the bijection off what is actually there.
+		oldRoles = 1
+		for _, page := range a.Pages {
+			for _, o := range page {
+				if o.role >= oldRoles {
+					oldRoles = o.role + 1
+				}
+			}
+		}
+	}
+	oldToNew := make([]int, oldRoles)
+	newToOld := make([]int, len(sorted))
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for i := range newToOld {
+		newToOld[i] = -1
+	}
+	changed := false
+	w := 0
+	for pi, page := range a.Pages {
+		for w < len(chunks)-1 && pi >= chunks[w].Hi {
+			w++
+		}
+		rm := remap[w]
+		gi := a.pageOff[pi]
+		for _, o := range page {
+			r := int(rm[perOcc[gi]])
+			gi++
+			if n := oldToNew[o.role]; n >= 0 {
+				if n != r {
+					changed = true
+				}
+			} else {
+				oldToNew[o.role] = r
+			}
+			if old := newToOld[r]; old >= 0 {
+				if old != o.role {
+					changed = true
+				}
+			} else {
+				newToOld[r] = o.role
+			}
+			o.role = r
+		}
+	}
+	a.roleKeys = sorted
+	// Any renumbering (even an unchanged partition gets fresh ids from
+	// the legacy sort) invalidates role-indexed caches.
+	a.stats = nil
+	return changed
+}
+
+// keyLess is the deterministic field-wise tie-break for role keys whose
+// legacy strings collide (possible only when a path or label itself
+// contains the separator sequences). It keeps the sort total so the
+// numbering cannot depend on chunk boundaries.
+func keyLess(x, y roleKey) bool {
+	if x.kind != y.kind {
+		return x.kind < y.kind
+	}
+	if x.val != y.val {
+		return x.val < y.val
+	}
+	if x.pth != y.pth {
+		return x.pth < y.pth
+	}
+	if x.gen != y.gen {
+		return x.gen < y.gen
+	}
+	if x.eq != y.eq {
+		return x.eq < y.eq
+	}
+	if x.slot != y.slot {
+		return x.slot < y.slot
+	}
+	if x.ord != y.ord {
+		return x.ord < y.ord
+	}
+	return x.ann < y.ann
+}
+
+// computeRoleStats aggregates per-role occurrence vectors, page
+// coverage, template candidacy, and occurrence lists (page order, then
+// position). Roles are dense, so the result is a flat []roleStat. The
+// two passes fan out across page chunks: vector columns are per-page,
+// so workers write disjoint slots of the shared backing array, and the
+// occurrence arena is filled through per-(worker, role) cursors derived
+// from the vector prefix sums — every cell has exactly one writer.
+func (a *Analysis) computeRoleStats() []roleStat {
+	np := len(a.Pages)
+	n := a.roleCount()
+	stats := make([]roleStat, n)
+	vecs := make([]int, n*np)
+	for r := range stats {
+		stats[r].vector = vecs[r*np : (r+1)*np : (r+1)*np]
+		stats[r].cand = true
+	}
+	// Pass 1: occurrence vectors, plus per-worker non-candidate marks
+	// (merged by OR — commutative, so merge order is irrelevant).
+	marks, _ := parallel.MapWorkersCtx(nil, a.params.Workers, np,
+		func(_ context.Context, _ int, c parallel.Chunk) ([]bool, error) {
+			var notCand []bool
+			for pi := c.Lo; pi < c.Hi; pi++ {
+				for _, o := range a.Pages[pi] {
+					vecs[o.role*np+pi]++
+					if !a.templateCandidate(o) {
+						if notCand == nil {
+							notCand = make([]bool, n)
+						}
+						notCand[o.role] = true
+					}
+				}
+			}
+			return notCand, nil
+		})
+	for _, notCand := range marks {
+		for r, bad := range notCand {
+			if bad {
+				stats[r].cand = false
+			}
+		}
+	}
+	// Page coverage and arena offsets from the completed vectors.
+	counts := make([]int, n)
+	total := 0
+	for r := range stats {
+		for _, c := range stats[r].vector {
+			if c > 0 {
+				stats[r].pages++
+			}
+			counts[r] += c
+		}
+		total += counts[r]
+	}
+	occArena := make([]*Occurrence, total)
+	offs := make([]int, n+1)
+	off := 0
+	for r := range stats {
+		offs[r] = off
+		off += counts[r]
+	}
+	offs[n] = off
+	// Pass 2: fill the per-role occurrence lists. A worker's cursor for
+	// role r starts at offs[r] plus the occurrences of r on all pages
+	// before its chunk — page-major iteration within the chunk then
+	// reproduces exactly the sequential page order.
+	if total > 0 {
+		parallel.MapWorkersCtx(nil, a.params.Workers, np,
+			func(_ context.Context, _ int, c parallel.Chunk) (struct{}, error) {
+				cur := make([]int, n)
+				for r := 0; r < n; r++ {
+					base := offs[r]
+					for pi := 0; pi < c.Lo; pi++ {
+						base += vecs[r*np+pi]
+					}
+					cur[r] = base
+				}
+				for pi := c.Lo; pi < c.Hi; pi++ {
+					for _, o := range a.Pages[pi] {
+						occArena[cur[o.role]] = o
+						cur[o.role]++
+					}
+				}
+				return struct{}{}, nil
+			})
+	}
+	for r := range stats {
+		stats[r].occs = occArena[offs[r]:offs[r+1]:offs[r+1]]
+	}
+	return stats
+}

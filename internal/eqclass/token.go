@@ -333,8 +333,19 @@ func CopyPage(page []*Occurrence) []*Occurrence {
 // produces the same symbol values. Call it once, sequentially, after
 // (possibly parallel) tokenization. Occurrences already carrying symbols
 // are skipped — they must have been interned against the same table.
+//
+// Pages interned by a single pass (the fused tokenize+intern pipeline,
+// or a previous InternPages call) are detected by their boundary tokens
+// and skipped wholesale, so re-entry is O(pages), not O(tokens): interning
+// happens in token order, so a page whose first and last occurrences both
+// carry symbols was fully interned.
 func InternPages(tab *symtab.Table, pages [][]*Occurrence) {
 	for _, page := range pages {
+		if n := len(page); n > 0 &&
+			page[0].Val != symtab.None && page[0].Pth != symtab.None &&
+			page[n-1].Val != symtab.None && page[n-1].Pth != symtab.None {
+			continue
+		}
 		for _, o := range page {
 			if o.Val == symtab.None {
 				o.Val = tab.Intern(o.Value)

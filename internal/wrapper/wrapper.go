@@ -90,6 +90,9 @@ func (c *Config) Normalize() {
 	if c.Segment.Workers == 0 {
 		c.Segment.Workers = c.Workers
 	}
+	if c.EQ.Workers == 0 {
+		c.EQ.Workers = c.Workers
+	}
 }
 
 // Wrapper is an inferred extraction template for one source, applicable
@@ -290,6 +293,16 @@ func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[
 	}
 	tokSpan.End(obs.A("symbols", tab.Len()))
 
+	// The shared analysis base: interning, criterion-i role assignment
+	// and first-round class validation run once per corpus; every support
+	// variation below resumes from this snapshot (DESIGN §16).
+	baseSpan := ob.Span("pipeline.eqbase",
+		obs.A("pages", len(sample)), obs.A("workers", cfg.EQ.Workers))
+	basep := cfg.EQ
+	basep.Support = cfg.SupportMin
+	base := eqclass.NewBase(sample, basep, baseSpan.Observer(), tab)
+	baseSpan.End(obs.A("roles", base.Roles()), obs.A("groups", base.Groups()))
+
 	// Wrapper generation with automatic support variation: re-execute
 	// with the next support value while the quality estimate (conflict
 	// count) can improve; keep the best run.
@@ -307,7 +320,7 @@ func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[
 		// match of the SOD into the current template tree remains
 		// possible. The hook doubles as the cancellation checkpoint inside
 		// the analysis loop — a canceled ctx stops the iteration, and the
-		// ctx check after analyzeFresh turns that into the context error.
+		// ctx check after the analysis turns that into the context error.
 		hook := func(an *eqclass.Analysis) bool {
 			if ctx.Err() != nil {
 				return false
@@ -315,7 +328,7 @@ func InferContext(ctx context.Context, pages []*dom.Node, s *sod.Type, recs map[
 			return template.PartialMatchPossible(s, an, annotatedTypes)
 		}
 		eqSpan := vob.Span("pipeline.eqclass", obs.A("support", support))
-		an := analyzeFresh(sample, p, hook, eqSpan.Observer(), tab, cfg.Workers)
+		an := base.Analyze(p, hook, eqSpan.Observer())
 		eqSpan.End(obs.A("eqs", len(an.EQs)), obs.A("conflicts", an.Conflicts), obs.A("iterations", an.Iterations))
 		if err := ctx.Err(); err != nil {
 			varSpan.End(obs.A("canceled", true))
@@ -409,19 +422,6 @@ func better(a, b *run) bool {
 		return a.analysis.Conflicts < b.analysis.Conflicts
 	}
 	return false
-}
-
-// analyzeFresh re-copies occurrences (roles are mutable) and analyzes
-// against the shared inference symbol table. The copies are independent
-// per-page arena duplications, so they fan out across the worker pool —
-// the variation loop re-copies the whole sample once per support value,
-// which would otherwise be a sequential stretch between parallel stages.
-func analyzeFresh(sample [][]*eqclass.Occurrence, p eqclass.Params, hook func(*eqclass.Analysis) bool, ob *obs.Observer, tab *symtab.Table, workers int) *eqclass.Analysis {
-	fresh := make([][]*eqclass.Occurrence, len(sample))
-	parallel.ForEach(workers, len(sample), func(i int) {
-		fresh[i] = eqclass.CopyPage(sample[i])
-	})
-	return eqclass.AnalyzeTable(fresh, p, hook, ob, tab)
 }
 
 // run is one wrapper-generation attempt of the variation loop.

@@ -179,3 +179,102 @@ func TestParallelRunMatchesSequential(t *testing.T) {
 		t.Fatalf("parallel Run diverged\nseq %s\npar %s", fmt.Sprint(seq), fmt.Sprint(par))
 	}
 }
+
+// TestWrapDeterministicAcrossFixpointWorkers pins the staged analysis
+// core's new axis: the worker count of Algorithm 2's fixpoint passes
+// (role re-keying, vector counting, annotation labelling) must not leak
+// into a single output byte, at any pipeline worker count. Reports,
+// extraction output, and the normalized serialized wrapper must be
+// identical across every combination.
+func TestWrapDeterministicAcrossFixpointWorkers(t *testing.T) {
+	pages := concertPages()
+	var wantReport, wantObjs, wantNormSaved string
+	for _, pipeWorkers := range []int{1, 4} {
+		for _, eqWorkers := range []int{1, 2, 4, 8} {
+			cfg := DefaultConfig()
+			cfg.Workers = pipeWorkers
+			cfg.EQ.Workers = eqWorkers
+			ex := concertExtractor(t, WithConfig(cfg))
+			w, err := ex.Wrap(pages)
+			if err != nil {
+				t.Fatalf("workers=%d/%d: %v", pipeWorkers, eqWorkers, err)
+			}
+			gotReport := w.Report()
+			gotObjs := fmt.Sprint(extractAll(t, w, pages))
+			// The recorded pool size is the only legitimate worker-dependent
+			// byte in the stream; normalize it before comparing.
+			w.inner.SetWorkers(1)
+			var norm bytes.Buffer
+			if err := w.Save(&norm); err != nil {
+				t.Fatalf("workers=%d/%d: save: %v", pipeWorkers, eqWorkers, err)
+			}
+			if wantReport == "" {
+				wantReport, wantObjs, wantNormSaved = gotReport, gotObjs, norm.String()
+				continue
+			}
+			if gotReport != wantReport {
+				t.Errorf("workers=%d/%d: report diverged\n--- want ---\n%s\n--- got ---\n%s",
+					pipeWorkers, eqWorkers, wantReport, gotReport)
+			}
+			if gotObjs != wantObjs {
+				t.Errorf("workers=%d/%d: extraction diverged\n--- want ---\n%s\n--- got ---\n%s",
+					pipeWorkers, eqWorkers, wantObjs, gotObjs)
+			}
+			if norm.String() != wantNormSaved {
+				t.Errorf("workers=%d/%d: serialized wrapper diverged across fixpoint worker counts",
+					pipeWorkers, eqWorkers)
+			}
+		}
+	}
+}
+
+// TestAbortedWrapDeterministicAcrossFixpointWorkers drives the abort
+// path (irrelevant source, no wrapper survives) across fixpoint worker
+// counts: the aborted wrapper's report must come out identical.
+func TestAbortedWrapDeterministicAcrossFixpointWorkers(t *testing.T) {
+	irrelevant := []string{
+		"<html><body><p>about our company and its mission</p></body></html>",
+		"<html><body><p>read the terms of service carefully</p></body></html>",
+		"<html><body><p>open positions and press contacts</p></body></html>",
+	}
+	var wantReport string
+	for _, eqWorkers := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.EQ.Workers = eqWorkers
+		ex := concertExtractor(t, WithConfig(cfg))
+		w, err := ex.Wrap(irrelevant)
+		if err == nil {
+			t.Fatalf("eq workers=%d: irrelevant source not discarded", eqWorkers)
+		}
+		gotReport := w.Report()
+		if wantReport == "" {
+			wantReport = gotReport
+			continue
+		}
+		if gotReport != wantReport {
+			t.Errorf("eq workers=%d: aborted report diverged\n--- want ---\n%s\n--- got ---\n%s",
+				eqWorkers, wantReport, gotReport)
+		}
+	}
+}
+
+// TestWrapVariationsReuseAnalysisBase asserts the support-variation loop
+// resumes from one shared analysis base instead of redoing the corpus
+// stage per variation: with SupportMin=3 and SupportMax=5, at least
+// SupportMax-SupportMin runs must count as base reuses, against a single
+// base build.
+func TestWrapVariationsReuseAnalysisBase(t *testing.T) {
+	ob := NewObserver()
+	ex := observedConcertExtractor(t, ob)
+	if _, err := ex.Wrap(concertPages()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if got := ob.Counter("eqclass.base_builds"); got != 1 {
+		t.Errorf("base_builds = %d, want exactly 1 per wrap", got)
+	}
+	min := int64(cfg.SupportMax - cfg.SupportMin)
+	if got := ob.Counter("eqclass.base_reuse"); got < min {
+		t.Errorf("base_reuse = %d, want >= %d (one per extra support variation)", got, min)
+	}
+}
